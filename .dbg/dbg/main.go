@@ -1,0 +1,41 @@
+package main
+
+import (
+	"fmt"
+
+	"p4guard"
+	"p4guard/internal/fieldsel"
+	"p4guard/internal/packet"
+)
+
+func main() {
+	ds, _ := p4guard.GenerateTrace("zigbee", p4guard.TraceConfig{Seed: 5, Packets: 3000})
+	train, _, _ := ds.Split(0.7)
+	for _, sel := range []fieldsel.Selector{&fieldsel.SaliencySelector{Seed: 5}, fieldsel.MutualInfoSelector{}, fieldsel.ChiSquareSelector{}} {
+		offs, err := sel.Select(train, 12)
+		if err != nil {
+			fmt.Println(err)
+			continue
+		}
+		fmt.Printf("%-12s:", sel.Name())
+		for _, o := range offs {
+			fmt.Printf(" %d(%s)", o, packet.NameFor(packet.LinkIEEE802154, o))
+		}
+		fmt.Println()
+	}
+	// byte 9 histogram per class
+	hist := map[string]map[byte]int{}
+	for _, s := range train.Samples {
+		k := s.Attack
+		if k == "" {
+			k = "benign"
+		}
+		if hist[k] == nil {
+			hist[k] = map[byte]int{}
+		}
+		hist[k][s.Pkt.ByteAt(9)]++
+	}
+	for k, h := range hist {
+		fmt.Println("byte9", k, h)
+	}
+}

@@ -1,0 +1,160 @@
+package p4guard_test
+
+// Benchmark harness: one benchmark per reconstructed table/figure of the
+// paper's evaluation (BenchmarkRT*/BenchmarkRF*), each regenerating its
+// rows at smoke scale through the experiments registry, plus
+// micro-benchmarks of the hot paths (data-plane lookup, rule compilation,
+// training stages).
+//
+// Regenerate every table/figure at full scale with:
+//
+//	go run ./cmd/experiments
+
+import (
+	"testing"
+
+	"p4guard"
+
+	"p4guard/internal/experiments"
+	"p4guard/internal/p4"
+	"p4guard/internal/packet"
+	"p4guard/internal/switchsim"
+)
+
+// benchExperiment runs one registered experiment end to end per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, experiments.Config{
+			Seed: int64(i + 1), Quick: true, Packets: 600,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Lines) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkRT1Datasets(b *testing.B)     { benchExperiment(b, "R-T1") }
+func BenchmarkRT2Accuracy(b *testing.B)     { benchExperiment(b, "R-T2") }
+func BenchmarkRF1FieldSweep(b *testing.B)   { benchExperiment(b, "R-F1") }
+func BenchmarkRF2Selectors(b *testing.B)    { benchExperiment(b, "R-F2") }
+func BenchmarkRF3RuleCost(b *testing.B)     { benchExperiment(b, "R-F3") }
+func BenchmarkRF4Throughput(b *testing.B)   { benchExperiment(b, "R-F4") }
+func BenchmarkRF5Universality(b *testing.B) { benchExperiment(b, "R-F5") }
+func BenchmarkRF6Reactive(b *testing.B)     { benchExperiment(b, "R-F6") }
+func BenchmarkRT3TrainCost(b *testing.B)    { benchExperiment(b, "R-T3") }
+func BenchmarkRF7Fidelity(b *testing.B)     { benchExperiment(b, "R-F7") }
+func BenchmarkRF8TCAMBudget(b *testing.B)   { benchExperiment(b, "R-F8") }
+func BenchmarkRF9Adaptation(b *testing.B)   { benchExperiment(b, "R-F9") }
+func BenchmarkRT4MultiClass(b *testing.B)   { benchExperiment(b, "R-T4") }
+func BenchmarkRF10Hybrid(b *testing.B)      { benchExperiment(b, "R-F10") }
+
+// benchPipelineAndTrace trains one pipeline and returns it with test
+// packets, shared by the micro-benchmarks.
+func benchPipelineAndTrace(b *testing.B) (*p4guard.Pipeline, []*packet.Packet) {
+	b.Helper()
+	ds, err := p4guard.GenerateTrace("wifi-mqtt", p4guard.TraceConfig{Seed: 4, Packets: 1200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, test, err := ds.Split(0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe, err := p4guard.Train(train, p4guard.Config{Seed: 4, NumFields: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts := make([]*packet.Packet, test.Len())
+	for i, s := range test.Samples {
+		pkts[i] = s.Pkt
+	}
+	return pipe, pkts
+}
+
+// BenchmarkDataPlaneLookup measures per-packet processing with installed
+// rules — the paper's fast path.
+func BenchmarkDataPlaneLookup(b *testing.B) {
+	pipe, pkts := benchPipelineAndTrace(b)
+	sw, err := switchsim.New("bench", packet.LinkEthernet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sw.InstallRuleSet(pipe.RuleSet(), p4.Action{Type: p4.ActionAllow}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.Process(pkts[i%len(pkts)])
+	}
+}
+
+// BenchmarkSlowPathClassify measures per-packet MLP classification — the
+// controller path a digested packet takes.
+func BenchmarkSlowPathClassify(b *testing.B) {
+	pipe, pkts := benchPipelineAndTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipe.ClassifySlowPath(pkts[i%len(pkts)])
+	}
+}
+
+// BenchmarkRuleCompile measures tree→rules→ternary compilation.
+func BenchmarkRuleCompile(b *testing.B) {
+	pipe, _ := benchPipelineAndTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := pipe.Tree().CompileRuleSet(pipe.Offsets, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rs.CompileTernary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTwoStageTrain measures full pipeline training on a small trace.
+func BenchmarkTwoStageTrain(b *testing.B) {
+	ds, err := p4guard.GenerateTrace("wifi-mqtt", p4guard.TraceConfig{Seed: 5, Packets: 600})
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, _, err := ds.Split(0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p4guard.Train(train, p4guard.Config{Seed: int64(i), NumFields: 6, MLPEpochs: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures the workload generator.
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds, err := p4guard.GenerateTrace("wifi-coap", p4guard.TraceConfig{Seed: int64(i), Packets: 2000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ds.Len() == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkRuleSetClassify measures raw rule-set classification without
+// the switch wrapper (pure match semantics).
+func BenchmarkRuleSetClassify(b *testing.B) {
+	pipe, pkts := benchPipelineAndTrace(b)
+	rs := pipe.RuleSet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.Classify(pkts[i%len(pkts)])
+	}
+}

@@ -1,0 +1,53 @@
+// Command experiments regenerates every reconstructed table and figure of
+// the paper's evaluation (or one selected by -id) and prints them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"p4guard/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		id      = flag.String("id", "", "experiment id (e.g. R-T2); empty runs all")
+		seed    = flag.Int64("seed", 1, "random seed")
+		packets = flag.Int("packets", 3000, "packets per generated dataset")
+		quick   = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+	cfg := experiments.Config{Seed: *seed, Packets: *packets, Quick: *quick}
+	ids := []string{*id}
+	if *id == "" {
+		ids = ids[:0]
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, eid := range ids {
+		start := time.Now()
+		res, err := experiments.Run(eid, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", eid, err)
+			return 1
+		}
+		fmt.Println(res)
+		fmt.Printf("(%s completed in %s)\n\n", eid, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}

@@ -1,0 +1,113 @@
+// Command p4guard-ctl runs the SDN controller: it loads (or trains) a
+// two-stage model, connects to one or more switches, deploys the compiled
+// rules, and services digests on the slow path, optionally installing
+// reactive drop entries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"p4guard"
+	"p4guard/internal/controller"
+	"p4guard/internal/p4"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		connect  = flag.String("connect", "127.0.0.1:9559", "comma-separated switch addresses")
+		model    = flag.String("model", "", "load a model saved by p4guard-train")
+		scenario = flag.String("scenario", "wifi-mqtt", "train on this scenario when -model is empty")
+		packets  = flag.Int("packets", 3000, "training packets when -model is empty")
+		seed     = flag.Int64("seed", 1, "random seed")
+		k        = flag.Int("k", 6, "selected fields when training")
+		reactive = flag.Bool("reactive", true, "install reactive drop entries for slow-path hits")
+		missOpen = flag.Bool("miss-open", false, "allow on table miss instead of digesting")
+		duration = flag.Duration("duration", 0, "exit after this long (0 = until signal)")
+		stats    = flag.Duration("stats", 2*time.Second, "stats print interval")
+	)
+	flag.Parse()
+
+	pipe, err := loadOrTrain(*model, *scenario, *packets, *seed, *k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4guard-ctl:", err)
+		return 1
+	}
+	fmt.Printf("model: k=%d fields [%s], %d rules\n",
+		len(pipe.Offsets), pipe.DescribeFields(), len(pipe.RuleSet().Rules))
+
+	ctl := controller.New(pipe, controller.Config{Name: "p4guard-ctl", Reactive: *reactive})
+	defer func() { _ = ctl.Close() }()
+	for _, addr := range strings.Split(*connect, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		if err := ctl.Connect(addr); err != nil {
+			fmt.Fprintln(os.Stderr, "p4guard-ctl:", err)
+			return 1
+		}
+		fmt.Printf("connected to %s\n", addr)
+	}
+	miss := p4.Action{Type: p4.ActionDigest}
+	if *missOpen {
+		miss = p4.Action{Type: p4.ActionAllow}
+	}
+	if err := ctl.DeployRuleSet(pipe.RuleSet(), miss); err != nil {
+		fmt.Fprintln(os.Stderr, "p4guard-ctl:", err)
+		return 1
+	}
+	fmt.Printf("deployed rules to %v\n", ctl.Switches())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var timeout <-chan time.Time
+	if *duration > 0 {
+		timeout = time.After(*duration)
+	}
+	ticker := time.NewTicker(*stats)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			printStats(ctl)
+			return 0
+		case <-timeout:
+			printStats(ctl)
+			return 0
+		case <-ticker.C:
+			printStats(ctl)
+		}
+	}
+}
+
+func loadOrTrain(path, scenario string, packets int, seed int64, k int) (*p4guard.Pipeline, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = f.Close() }()
+		return p4guard.LoadPipeline(f)
+	}
+	ds, err := p4guard.GenerateTrace(scenario, p4guard.TraceConfig{Seed: seed, Packets: packets})
+	if err != nil {
+		return nil, err
+	}
+	return p4guard.Train(ds, p4guard.Config{Seed: seed, NumFields: k})
+}
+
+func printStats(ctl *controller.Controller) {
+	st := ctl.Stats()
+	fmt.Printf("digests=%d slow_benign=%d slow_attack=%d reactive_installs=%d\n",
+		st.DigestsProcessed, st.SlowPathBenign, st.SlowPathAttacks, st.ReactiveInstalls)
+}

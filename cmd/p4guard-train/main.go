@@ -1,0 +1,153 @@
+// Command p4guard-train trains the two-stage pipeline on a generated
+// scenario (or a pcap + labels pair produced by tracegen), prints the
+// selected fields, rule summary, and held-out quality, and optionally
+// saves the model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"p4guard"
+	"p4guard/internal/metrics"
+	"p4guard/internal/pcap"
+	"p4guard/internal/trace"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		scenario = flag.String("scenario", "wifi-mqtt", "workload scenario to generate")
+		inPcap   = flag.String("pcap", "", "train from this pcap instead of a generated scenario (needs -labels)")
+		labels   = flag.String("labels", "", "label CSV produced by tracegen")
+		packets  = flag.Int("packets", 3000, "packets when generating")
+		seed     = flag.Int64("seed", 1, "random seed")
+		k        = flag.Int("k", 6, "number of header fields to select")
+		depth    = flag.Int("depth", 6, "distilled tree depth")
+		out      = flag.String("out", "", "save trained model to this path")
+		emitP4   = flag.String("emit-p4", "", "write generated P4-16 source to this path")
+	)
+	flag.Parse()
+
+	ds, err := loadDataset(*scenario, *inPcap, *labels, *packets, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4guard-train:", err)
+		return 1
+	}
+	train, test, err := ds.Split(0.7)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4guard-train:", err)
+		return 1
+	}
+	pipe, err := p4guard.Train(train, p4guard.Config{Seed: *seed, NumFields: *k, TreeDepth: *depth})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4guard-train:", err)
+		return 1
+	}
+	preds, err := pipe.Predict(test)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4guard-train:", err)
+		return 1
+	}
+	conf, err := metrics.FromPredictions(preds, test.BinaryLabels())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4guard-train:", err)
+		return 1
+	}
+	keyBytes, entries := pipe.TableCost()
+	fmt.Printf("trained on %d packets (%s)\n", train.Len(), ds.Name)
+	fmt.Printf("selected fields (k=%d): %s\n", *k, pipe.DescribeFields())
+	fmt.Printf("rules: %d (TCAM entries %d, key %dB)\n", len(pipe.RuleSet().Rules), entries, keyBytes)
+	fmt.Printf("held-out: %s\n", conf)
+	fmt.Printf("fidelity (tree vs MLP): %.3f\n", pipe.Fidelity(test))
+	tm := pipe.Timings
+	fmt.Printf("timings: select=%s mlp=%s distill=%s compile=%s\n",
+		tm.FieldSelection.Round(1e6), tm.Classifier.Round(1e6),
+		tm.Distillation.Round(1e6), tm.RuleCompile.Round(1e6))
+
+	if *emitP4 != "" {
+		src, err := pipe.EmitP4(false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4guard-train:", err)
+			return 1
+		}
+		if err := os.WriteFile(*emitP4, []byte(src), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "p4guard-train:", err)
+			return 1
+		}
+		fmt.Printf("P4 program written to %s\n", *emitP4)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4guard-train:", err)
+			return 1
+		}
+		if err := pipe.Save(f); err != nil {
+			_ = f.Close()
+			fmt.Fprintln(os.Stderr, "p4guard-train:", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "p4guard-train:", err)
+			return 1
+		}
+		fmt.Printf("model saved to %s\n", *out)
+	}
+	return 0
+}
+
+func loadDataset(scenario, inPcap, labelPath string, packets int, seed int64) (*trace.Dataset, error) {
+	if inPcap == "" {
+		return p4guard.GenerateTrace(scenario, p4guard.TraceConfig{Seed: seed, Packets: packets})
+	}
+	if labelPath == "" {
+		return nil, fmt.Errorf("-pcap requires -labels")
+	}
+	f, err := os.Open(inPcap)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	pkts, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(labelPath)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 {
+		return nil, fmt.Errorf("label file %s is empty", labelPath)
+	}
+	lines = lines[1:] // header
+	if len(lines) != len(pkts) {
+		return nil, fmt.Errorf("%d labels for %d packets", len(lines), len(pkts))
+	}
+	ds := &trace.Dataset{Name: inPcap, Link: r.LinkType()}
+	for i, line := range lines {
+		parts := strings.SplitN(line, ",", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("label line %d malformed: %q", i, line)
+		}
+		lv, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("label line %d: %w", i, err)
+		}
+		if err := ds.Append(trace.Sample{Pkt: pkts[i], Label: trace.Label(lv), Attack: parts[2]}); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}

@@ -1,0 +1,3 @@
+module p4guard
+
+go 1.22

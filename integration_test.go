@@ -1,0 +1,183 @@
+package p4guard_test
+
+// Integration tests: the full system exercised end to end — training
+// through the public API, deployment over the real p4rt TCP channel,
+// data-plane verdicts on a live switch, the reactive control loop, and a
+// pcap round trip through the on-disk trace format.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"p4guard"
+	"p4guard/internal/controller"
+	"p4guard/internal/metrics"
+	"p4guard/internal/p4"
+	"p4guard/internal/p4rt"
+	"p4guard/internal/pcap"
+	"p4guard/internal/switchsim"
+	"p4guard/internal/trace"
+)
+
+// TestEndToEndDistributedGateway trains a model, deploys it to a switch
+// over TCP, and checks that the remote data plane reproduces the model's
+// verdicts and that the reactive loop closes.
+func TestEndToEndDistributedGateway(t *testing.T) {
+	ds, err := p4guard.GenerateTrace("wifi-mqtt", p4guard.TraceConfig{Seed: 61, Packets: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := ds.Split(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := p4guard.Train(train, p4guard.Config{Seed: 61, NumFields: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sw, err := switchsim.New("gw-int", ds.Link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := p4rt.Serve("127.0.0.1:0", sw, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	ctl := controller.New(pipe, controller.Config{Name: "int-ctl", Reactive: true})
+	t.Cleanup(func() { _ = ctl.Close() })
+	if err := ctl.Connect(srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.DeployRuleSet(pipe.RuleSet(), p4.Action{Type: p4.ActionDigest}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remote data plane must agree with local rule semantics packet by
+	// packet, and overall detection must be strong.
+	var conf metrics.Confusion
+	truth := test.BinaryLabels()
+	for i, s := range test.Samples {
+		want := pipe.ClassifyPacket(s.Pkt) != 0
+		v := sw.Process(s.Pkt)
+		if got := !v.Allowed; got != want {
+			t.Fatalf("packet %d: remote drop=%v, local class says %v", i, got, want)
+		}
+		conf.Observe(!v.Allowed, truth[i] == 1)
+	}
+	if conf.Accuracy() < 0.9 {
+		t.Fatalf("end-to-end accuracy %.3f (%s)", conf.Accuracy(), conf.String())
+	}
+
+	// Digests must reach the controller's slow path.
+	st := sw.Stats()
+	if st.Digested == 0 {
+		t.Log("no table misses; digest path not exercised in this seed")
+		return
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ctl.Stats().DigestsProcessed > 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("digests never reached the controller")
+}
+
+// TestEndToEndPcapRoundTrip writes a generated trace to pcap, reads it
+// back, retrains, and checks the model is unchanged by the serialization.
+func TestEndToEndPcapRoundTrip(t *testing.T) {
+	ds, err := p4guard.GenerateTrace("zigbee", p4guard.TraceConfig{Seed: 62, Packets: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf, ds.Link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ds.Samples {
+		if err := w.WritePacket(s.Pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := pcap.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != ds.Len() {
+		t.Fatalf("pcap returned %d packets, want %d", len(pkts), ds.Len())
+	}
+	// Rebuild the dataset with the original labels.
+	rebuilt := &trace.Dataset{Name: "rebuilt", Link: r.LinkType()}
+	for i, p := range pkts {
+		if err := rebuilt.Append(trace.Sample{
+			Pkt: p, Label: ds.Samples[i].Label, Attack: ds.Samples[i].Attack,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pipeA, err := p4guard.Train(ds, p4guard.Config{Seed: 62, NumFields: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeB, err := p4guard.Train(rebuilt, p4guard.Config{Seed: 62, NumFields: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range ds.Samples {
+		if pipeA.ClassifyPacket(s.Pkt) != pipeB.ClassifyPacket(s.Pkt) {
+			t.Fatalf("packet %d: models diverge after pcap round trip", i)
+		}
+	}
+}
+
+// TestEndToEndModelPersistence saves a trained pipeline, reloads it, and
+// deploys the reloaded model remotely.
+func TestEndToEndModelPersistence(t *testing.T) {
+	ds, err := p4guard.GenerateTrace("ble", p4guard.TraceConfig{Seed: 63, Packets: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := ds.Split(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := p4guard.Train(train, p4guard.Config{Seed: 63, NumFields: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pipe.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := p4guard.LoadPipeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sw, err := switchsim.New("gw-persist", ds.Link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.InstallRuleSet(loaded.RuleSet(), p4.Action{Type: p4.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	var conf metrics.Confusion
+	truth := test.BinaryLabels()
+	for i, s := range test.Samples {
+		v := sw.Process(s.Pkt)
+		conf.Observe(!v.Allowed, truth[i] == 1)
+	}
+	if conf.Accuracy() < 0.9 {
+		t.Fatalf("reloaded model end-to-end accuracy %.3f (%s)", conf.Accuracy(), conf.String())
+	}
+}

@@ -1,0 +1,62 @@
+// Package baseline implements the comparator detectors the evaluation
+// pits the two-stage pipeline against: a full-header deep network, a raw-
+// byte decision tree, classical flow-statistics ML (logistic regression,
+// kNN), multinomial naive Bayes on header bytes, and a traditional exact-
+// match 5-tuple firewall.
+package baseline
+
+import (
+	"fmt"
+
+	"p4guard/internal/trace"
+)
+
+// Detector is a trainable binary attack detector over labelled traces.
+// Implementations must be usable for Fit once followed by any number of
+// Predict calls.
+type Detector interface {
+	// Name identifies the method in experiment output.
+	Name() string
+	// Fit trains on the labelled trace.
+	Fit(train *trace.Dataset) error
+	// Predict returns 0/1 (benign/attack) per test sample.
+	Predict(test *trace.Dataset) ([]int, error)
+}
+
+// TableCoster is implemented by detectors deployable to the data plane; it
+// reports the match-key width in bytes and entry count (-1 when the method
+// cannot be compiled to switch rules at all).
+type TableCoster interface {
+	TableCost() (keyBytes, entries int)
+}
+
+func checkFit(train *trace.Dataset) error {
+	if train == nil || train.Len() == 0 {
+		return fmt.Errorf("baseline: empty training set")
+	}
+	counts := train.ClassCounts()
+	attacks := 0
+	for label, n := range counts {
+		if label != trace.LabelBenign {
+			attacks += n
+		}
+	}
+	if attacks == 0 || attacks == train.Len() {
+		return fmt.Errorf("baseline: training set needs both classes (%d attack of %d)",
+			attacks, train.Len())
+	}
+	return nil
+}
+
+// All returns every baseline detector with the given seed.
+func All(seed int64) []Detector {
+	return []Detector{
+		NewFullHeaderDNN(seed),
+		NewRawByteTree(),
+		NewHeaderForest(seed),
+		NewFlowLogReg(),
+		NewFlowKNN(5),
+		NewNaiveBayes(),
+		NewExactFirewall(),
+	}
+}

@@ -1,0 +1,194 @@
+package baseline
+
+import (
+	"testing"
+
+	"p4guard/internal/iotgen"
+	"p4guard/internal/metrics"
+	"p4guard/internal/trace"
+)
+
+// split builds a shuffled train/test pair from a generated scenario.
+func split(t *testing.T, scenario string, packets int) (*trace.Dataset, *trace.Dataset) {
+	t.Helper()
+	d, err := iotgen.Generate(scenario, iotgen.Config{Seed: 21, Packets: packets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep time order (flow features need it); split by time.
+	train, test, err := d.Split(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func evalDetector(t *testing.T, det Detector, train, test *trace.Dataset) *metrics.Confusion {
+	t.Helper()
+	if err := det.Fit(train); err != nil {
+		t.Fatalf("%s fit: %v", det.Name(), err)
+	}
+	pred, err := det.Predict(test)
+	if err != nil {
+		t.Fatalf("%s predict: %v", det.Name(), err)
+	}
+	conf, err := metrics.FromPredictions(pred, test.BinaryLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conf
+}
+
+func TestAllRegistry(t *testing.T) {
+	dets := All(1)
+	if len(dets) != 7 {
+		t.Fatalf("%d detectors", len(dets))
+	}
+	names := make(map[string]bool)
+	for _, d := range dets {
+		if names[d.Name()] {
+			t.Fatalf("duplicate name %q", d.Name())
+		}
+		names[d.Name()] = true
+	}
+}
+
+func TestUnfittedPredictErrors(t *testing.T) {
+	_, test := split(t, "wifi-mqtt", 400)
+	for _, det := range All(1) {
+		if _, err := det.Predict(test); err == nil {
+			t.Errorf("%s predicted before Fit", det.Name())
+		}
+	}
+}
+
+func TestFitRejectsDegenerate(t *testing.T) {
+	for _, det := range All(1) {
+		if err := det.Fit(nil); err == nil {
+			t.Errorf("%s accepted nil training set", det.Name())
+		}
+	}
+	// Single-class set.
+	d, err := iotgen.Generate("wifi-mqtt", iotgen.Config{Seed: 1, Packets: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	benign := &trace.Dataset{Name: "b", Link: d.Link}
+	for _, s := range d.Samples {
+		if s.Label == trace.LabelBenign {
+			benign.Samples = append(benign.Samples, s)
+		}
+	}
+	for _, det := range All(1) {
+		if err := det.Fit(benign); err == nil {
+			t.Errorf("%s accepted single-class set", det.Name())
+		}
+	}
+}
+
+func TestFullHeaderDNNAccuracy(t *testing.T) {
+	train, test := split(t, "wifi-mqtt", 1500)
+	conf := evalDetector(t, NewFullHeaderDNN(3), train, test)
+	if conf.Accuracy() < 0.9 {
+		t.Fatalf("full-header DNN accuracy %.3f < 0.9 (%s)", conf.Accuracy(), conf)
+	}
+}
+
+func TestRawByteTreeAccuracyAndCost(t *testing.T) {
+	train, test := split(t, "wifi-mqtt", 1500)
+	det := NewRawByteTree()
+	conf := evalDetector(t, det, train, test)
+	if conf.Accuracy() < 0.9 {
+		t.Fatalf("raw tree accuracy %.3f < 0.9 (%s)", conf.Accuracy(), conf)
+	}
+	keyBytes, entries := det.TableCost()
+	if keyBytes <= 0 || entries <= 0 {
+		t.Fatalf("table cost = %d,%d", keyBytes, entries)
+	}
+}
+
+func TestRawByteTreeCostUnfitted(t *testing.T) {
+	kb, e := NewRawByteTree().TableCost()
+	if kb != -1 || e != -1 {
+		t.Fatal("unfitted cost should be -1,-1")
+	}
+}
+
+func TestHeaderForestAccuracy(t *testing.T) {
+	train, test := split(t, "wifi-mqtt", 1500)
+	conf := evalDetector(t, NewHeaderForest(5), train, test)
+	if conf.Accuracy() < 0.9 {
+		t.Fatalf("header forest accuracy %.3f < 0.9 (%s)", conf.Accuracy(), conf)
+	}
+}
+
+func TestNaiveBayesBetterThanChance(t *testing.T) {
+	train, test := split(t, "wifi-coap", 1500)
+	conf := evalDetector(t, NewNaiveBayes(), train, test)
+	if conf.Accuracy() < 0.7 {
+		t.Fatalf("naive bayes accuracy %.3f < 0.7 (%s)", conf.Accuracy(), conf)
+	}
+}
+
+func TestFlowLogRegDetectsFloods(t *testing.T) {
+	train, test := split(t, "wifi-mqtt", 1500)
+	conf := evalDetector(t, NewFlowLogReg(), train, test)
+	// Flow features see rates and SYN fractions; floods should be mostly
+	// caught, well above chance.
+	if conf.Accuracy() < 0.7 {
+		t.Fatalf("flow logreg accuracy %.3f < 0.7 (%s)", conf.Accuracy(), conf)
+	}
+}
+
+func TestFlowKNNBetterThanChance(t *testing.T) {
+	train, test := split(t, "wifi-mqtt", 1000)
+	conf := evalDetector(t, NewFlowKNN(5), train, test)
+	if conf.Accuracy() < 0.7 {
+		t.Fatalf("flow knn accuracy %.3f < 0.7 (%s)", conf.Accuracy(), conf)
+	}
+}
+
+func TestExactFirewallWeakOnSpoofedTraffic(t *testing.T) {
+	train, test := split(t, "wifi-mqtt", 1500)
+	det := NewExactFirewall()
+	conf := evalDetector(t, det, train, test)
+	// The firewall must be precise (blocks only seen keys)...
+	if conf.FPR() > 0.1 {
+		t.Fatalf("firewall FPR %.3f unexpectedly high (%s)", conf.FPR(), conf)
+	}
+	// ...but blind to spoofed/shifting attacks: recall well below the ML
+	// methods. This is the paper's motivating weakness.
+	if conf.Recall() > 0.8 {
+		t.Fatalf("firewall recall %.3f unexpectedly high — spoofed attacks should evade it (%s)",
+			conf.Recall(), conf)
+	}
+	kb, entries := det.TableCost()
+	if kb != 13 || entries <= 0 {
+		t.Fatalf("firewall cost = %d,%d", kb, entries)
+	}
+}
+
+func TestDetectorsOnZigbee(t *testing.T) {
+	train, test := split(t, "zigbee", 1200)
+	// Non-IP link: header detectors must still work.
+	conf := evalDetector(t, NewRawByteTree(), train, test)
+	if conf.Accuracy() < 0.85 {
+		t.Fatalf("raw tree on zigbee accuracy %.3f (%s)", conf.Accuracy(), conf)
+	}
+	fw := evalDetector(t, NewExactFirewall(), train, test)
+	// MAC-address analogue firewall is weak against shifting sources.
+	if fw.Recall() > conf.Recall() {
+		t.Fatalf("firewall recall %.3f >= tree %.3f on zigbee", fw.Recall(), conf.Recall())
+	}
+}
+
+func TestKNNReservoirCap(t *testing.T) {
+	train, _ := split(t, "wifi-mqtt", 6000)
+	det := NewFlowKNN(3)
+	if err := det.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if len(det.train) > maxReservoir {
+		t.Fatalf("reservoir %d exceeds cap %d", len(det.train), maxReservoir)
+	}
+}

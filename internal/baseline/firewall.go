@@ -1,0 +1,70 @@
+package baseline
+
+import (
+	"fmt"
+
+	"p4guard/internal/packet"
+	"p4guard/internal/rules"
+	"p4guard/internal/trace"
+)
+
+// ExactFirewall is the traditional SDN firewall baseline: it memorizes the
+// exact 5-tuple keys (or link-specific analogues) of attack packets seen in
+// training and blocks exact repeats. It is trivially deployable but fails
+// on spoofed or shifting attack traffic — the behaviour the paper's
+// abstract contrasts against.
+type ExactFirewall struct {
+	offsets []int
+	block   map[string]bool
+}
+
+var _ Detector = (*ExactFirewall)(nil)
+var _ TableCoster = (*ExactFirewall)(nil)
+
+// NewExactFirewall returns an untrained firewall.
+func NewExactFirewall() *ExactFirewall { return &ExactFirewall{} }
+
+// Name implements Detector.
+func (d *ExactFirewall) Name() string { return "exact-firewall" }
+
+// Fit implements Detector.
+func (d *ExactFirewall) Fit(train *trace.Dataset) error {
+	if err := checkFit(train); err != nil {
+		return err
+	}
+	d.offsets = packet.FiveTupleOffsets(train.Link)
+	if len(d.offsets) == 0 {
+		return fmt.Errorf("baseline: no 5-tuple analogue for link %v", train.Link)
+	}
+	d.block = make(map[string]bool)
+	for _, s := range train.Samples {
+		if s.Label != trace.LabelBenign {
+			key := rules.ExtractKey(s.Pkt, d.offsets)
+			d.block[string(key)] = true
+		}
+	}
+	return nil
+}
+
+// Predict implements Detector.
+func (d *ExactFirewall) Predict(test *trace.Dataset) ([]int, error) {
+	if d.block == nil {
+		return nil, fmt.Errorf("baseline: %s not fitted", d.Name())
+	}
+	out := make([]int, test.Len())
+	for i, s := range test.Samples {
+		key := rules.ExtractKey(s.Pkt, d.offsets)
+		if d.block[string(key)] {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// TableCost implements TableCoster: one exact-match entry per blocked key.
+func (d *ExactFirewall) TableCost() (int, int) {
+	if d.block == nil {
+		return -1, -1
+	}
+	return len(d.offsets), len(d.block)
+}

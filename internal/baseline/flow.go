@@ -1,0 +1,229 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"p4guard/internal/flowstats"
+	"p4guard/internal/trace"
+)
+
+// flowFeatures computes the per-packet flow-context features of a dataset,
+// feeding packets in time order.
+func flowFeatures(ds *trace.Dataset) [][]float64 {
+	tr := flowstats.NewTracker()
+	out := make([][]float64, ds.Len())
+	for i, s := range ds.Samples {
+		feats := tr.Update(s.Pkt)
+		out[i] = append([]float64(nil), feats...)
+	}
+	return out
+}
+
+// standardizer scales features to zero mean, unit variance using training
+// statistics.
+type standardizer struct {
+	mean []float64
+	std  []float64
+}
+
+func fitStandardizer(xs [][]float64) *standardizer {
+	width := len(xs[0])
+	s := &standardizer{mean: make([]float64, width), std: make([]float64, width)}
+	n := float64(len(xs))
+	for _, x := range xs {
+		for j, v := range x {
+			s.mean[j] += v
+		}
+	}
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, x := range xs {
+		for j, v := range x {
+			d := v - s.mean[j]
+			s.std[j] += d * d
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / n)
+		if s.std[j] == 0 {
+			s.std[j] = 1
+		}
+	}
+	return s
+}
+
+func (s *standardizer) apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+// FlowLogReg is L2-regularized logistic regression over flow-statistics
+// features — a classical flow-ML IDS baseline.
+type FlowLogReg struct {
+	std     *standardizer
+	weights []float64
+	bias    float64
+}
+
+var _ Detector = (*FlowLogReg)(nil)
+
+// NewFlowLogReg returns an untrained detector.
+func NewFlowLogReg() *FlowLogReg { return &FlowLogReg{} }
+
+// Name implements Detector.
+func (d *FlowLogReg) Name() string { return "flow-logreg" }
+
+// Fit implements Detector.
+func (d *FlowLogReg) Fit(train *trace.Dataset) error {
+	if err := checkFit(train); err != nil {
+		return err
+	}
+	raw := flowFeatures(train)
+	d.std = fitStandardizer(raw)
+	xs := make([][]float64, len(raw))
+	for i, x := range raw {
+		xs[i] = d.std.apply(x)
+	}
+	ys := train.BinaryLabels()
+
+	width := len(xs[0])
+	d.weights = make([]float64, width)
+	d.bias = 0
+	const (
+		epochs = 200
+		lr     = 0.1
+		lambda = 1e-4
+	)
+	n := float64(len(xs))
+	for e := 0; e < epochs; e++ {
+		grad := make([]float64, width)
+		var gradB float64
+		for i, x := range xs {
+			z := d.bias
+			for j, v := range x {
+				z += d.weights[j] * v
+			}
+			p := 1 / (1 + math.Exp(-z))
+			diff := p - float64(ys[i])
+			for j, v := range x {
+				grad[j] += diff * v
+			}
+			gradB += diff
+		}
+		for j := range d.weights {
+			d.weights[j] -= lr * (grad[j]/n + lambda*d.weights[j])
+		}
+		d.bias -= lr * gradB / n
+	}
+	return nil
+}
+
+// Predict implements Detector.
+func (d *FlowLogReg) Predict(test *trace.Dataset) ([]int, error) {
+	if d.weights == nil {
+		return nil, fmt.Errorf("baseline: %s not fitted", d.Name())
+	}
+	raw := flowFeatures(test)
+	out := make([]int, len(raw))
+	for i, x := range raw {
+		z := d.bias
+		for j, v := range d.std.apply(x) {
+			z += d.weights[j] * v
+		}
+		if z > 0 {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// FlowKNN is k-nearest-neighbours over standardized flow features, with a
+// capped training reservoir to keep prediction tractable.
+type FlowKNN struct {
+	k     int
+	std   *standardizer
+	train [][]float64
+	ys    []int
+}
+
+var _ Detector = (*FlowKNN)(nil)
+
+// NewFlowKNN returns an untrained k-NN detector.
+func NewFlowKNN(k int) *FlowKNN {
+	if k <= 0 {
+		k = 5
+	}
+	return &FlowKNN{k: k}
+}
+
+// Name implements Detector.
+func (d *FlowKNN) Name() string { return "flow-knn" }
+
+// maxReservoir bounds the stored training samples (every maxReservoir-th
+// sample is kept beyond the cap, deterministically).
+const maxReservoir = 2000
+
+// Fit implements Detector.
+func (d *FlowKNN) Fit(train *trace.Dataset) error {
+	if err := checkFit(train); err != nil {
+		return err
+	}
+	raw := flowFeatures(train)
+	d.std = fitStandardizer(raw)
+	ys := train.BinaryLabels()
+	stride := 1
+	if len(raw) > maxReservoir {
+		stride = (len(raw) + maxReservoir - 1) / maxReservoir
+	}
+	d.train = d.train[:0]
+	d.ys = d.ys[:0]
+	for i := 0; i < len(raw); i += stride {
+		d.train = append(d.train, d.std.apply(raw[i]))
+		d.ys = append(d.ys, ys[i])
+	}
+	return nil
+}
+
+// Predict implements Detector.
+func (d *FlowKNN) Predict(test *trace.Dataset) ([]int, error) {
+	if d.train == nil {
+		return nil, fmt.Errorf("baseline: %s not fitted", d.Name())
+	}
+	raw := flowFeatures(test)
+	out := make([]int, len(raw))
+	type nb struct {
+		dist float64
+		y    int
+	}
+	for i, x := range raw {
+		q := d.std.apply(x)
+		nbs := make([]nb, len(d.train))
+		for t, tx := range d.train {
+			var dist float64
+			for j, v := range tx {
+				dd := q[j] - v
+				dist += dd * dd
+			}
+			nbs[t] = nb{dist, d.ys[t]}
+		}
+		sort.Slice(nbs, func(a, b int) bool { return nbs[a].dist < nbs[b].dist })
+		k := d.k
+		if k > len(nbs) {
+			k = len(nbs)
+		}
+		votes := 0
+		for _, n := range nbs[:k] {
+			votes += n.y
+		}
+		if votes*2 > k {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,246 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"p4guard/internal/dtree"
+	"p4guard/internal/nn"
+	"p4guard/internal/packet"
+	"p4guard/internal/trace"
+)
+
+// FullHeaderDNN is a deep network over all HeaderWindow bytes — the
+// accuracy upper bound that cannot be deployed to a switch (it matches on
+// every byte and computes a nonlinear function).
+type FullHeaderDNN struct {
+	seed int64
+	net  *nn.Network
+}
+
+var _ Detector = (*FullHeaderDNN)(nil)
+
+// NewFullHeaderDNN returns an untrained detector.
+func NewFullHeaderDNN(seed int64) *FullHeaderDNN {
+	return &FullHeaderDNN{seed: seed}
+}
+
+// Name implements Detector.
+func (d *FullHeaderDNN) Name() string { return "full-header-dnn" }
+
+// Fit implements Detector.
+func (d *FullHeaderDNN) Fit(train *trace.Dataset) error {
+	if err := checkFit(train); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(d.seed))
+	x := train.HeaderMatrix()
+	target, err := nn.OneHot(train.BinaryLabels(), 2)
+	if err != nil {
+		return err
+	}
+	net := nn.NewMLP(rng, x.Cols, []int{64, 32}, 2)
+	if _, err := nn.Train(net, nn.NewAdam(0.003), x, target, nn.TrainConfig{
+		Epochs: 30, BatchSize: 64, Shuffle: rng,
+	}); err != nil {
+		return err
+	}
+	d.net = net
+	return nil
+}
+
+// Predict implements Detector.
+func (d *FullHeaderDNN) Predict(test *trace.Dataset) ([]int, error) {
+	if d.net == nil {
+		return nil, fmt.Errorf("baseline: %s not fitted", d.Name())
+	}
+	return d.net.Predict(test.HeaderMatrix())
+}
+
+// RawByteTree is a CART tree over all HeaderWindow bytes: deployable to a
+// switch in principle, but its match key spans the whole window, which is
+// the efficiency weakness the paper's stage 1 removes.
+type RawByteTree struct {
+	tree *dtree.Tree
+}
+
+var _ Detector = (*RawByteTree)(nil)
+var _ TableCoster = (*RawByteTree)(nil)
+
+// NewRawByteTree returns an untrained detector.
+func NewRawByteTree() *RawByteTree { return &RawByteTree{} }
+
+// Name implements Detector.
+func (d *RawByteTree) Name() string { return "raw-byte-tree" }
+
+// Fit implements Detector.
+func (d *RawByteTree) Fit(train *trace.Dataset) error {
+	if err := checkFit(train); err != nil {
+		return err
+	}
+	xs := make([][]byte, train.Len())
+	for i, s := range train.Samples {
+		xs[i] = s.Pkt.HeaderBytes()
+	}
+	tree, err := dtree.Train(xs, train.BinaryLabels(), 2, dtree.Config{MaxDepth: 10, MinSamplesLeaf: 3})
+	if err != nil {
+		return err
+	}
+	d.tree = tree
+	return nil
+}
+
+// Predict implements Detector.
+func (d *RawByteTree) Predict(test *trace.Dataset) ([]int, error) {
+	if d.tree == nil {
+		return nil, fmt.Errorf("baseline: %s not fitted", d.Name())
+	}
+	out := make([]int, test.Len())
+	for i, s := range test.Samples {
+		out[i] = d.tree.Predict(s.Pkt.HeaderBytes())
+	}
+	return out, nil
+}
+
+// TableCost implements TableCoster: the key must carry every byte the tree
+// tests, and entries come from compiling the tree over the full window.
+func (d *RawByteTree) TableCost() (int, int) {
+	if d.tree == nil {
+		return -1, -1
+	}
+	offsets := make([]int, packet.HeaderWindow)
+	for i := range offsets {
+		offsets[i] = i
+	}
+	rs, err := d.tree.CompileRuleSet(offsets, 0)
+	if err != nil {
+		return -1, -1
+	}
+	cost, err := rs.Cost()
+	if err != nil {
+		return -1, -1
+	}
+	// Only the bytes the tree actually tests need key slots.
+	return len(d.tree.FeaturesUsed()), cost.Entries
+}
+
+// HeaderForest is a random forest over all HeaderWindow bytes — the
+// strong classical-ensemble baseline, not directly deployable to a
+// switch (ensemble voting has no match-action form).
+type HeaderForest struct {
+	seed   int64
+	forest *dtree.Forest
+}
+
+var _ Detector = (*HeaderForest)(nil)
+
+// NewHeaderForest returns an untrained detector.
+func NewHeaderForest(seed int64) *HeaderForest { return &HeaderForest{seed: seed} }
+
+// Name implements Detector.
+func (d *HeaderForest) Name() string { return "header-forest" }
+
+// Fit implements Detector.
+func (d *HeaderForest) Fit(train *trace.Dataset) error {
+	if err := checkFit(train); err != nil {
+		return err
+	}
+	xs := make([][]byte, train.Len())
+	for i, s := range train.Samples {
+		xs[i] = s.Pkt.HeaderBytes()
+	}
+	forest, err := dtree.TrainForest(xs, train.BinaryLabels(), 2, dtree.ForestConfig{
+		Trees: 15, FeatureFrac: 0.4, Seed: d.seed,
+		Tree: dtree.Config{MaxDepth: 8, MinSamplesLeaf: 3},
+	})
+	if err != nil {
+		return err
+	}
+	d.forest = forest
+	return nil
+}
+
+// Predict implements Detector.
+func (d *HeaderForest) Predict(test *trace.Dataset) ([]int, error) {
+	if d.forest == nil {
+		return nil, fmt.Errorf("baseline: %s not fitted", d.Name())
+	}
+	out := make([]int, test.Len())
+	for i, s := range test.Samples {
+		out[i] = d.forest.Predict(s.Pkt.HeaderBytes())
+	}
+	return out, nil
+}
+
+// NaiveBayes is multinomial naive Bayes over binned header bytes with
+// Laplace smoothing — the cheap classical per-packet baseline.
+type NaiveBayes struct {
+	bins      int
+	logPrior  [2]float64
+	logLikeli [][2][]float64 // [offset][class][bin]
+}
+
+var _ Detector = (*NaiveBayes)(nil)
+
+// NewNaiveBayes returns an untrained detector with 16 bins per byte.
+func NewNaiveBayes() *NaiveBayes { return &NaiveBayes{bins: 16} }
+
+// Name implements Detector.
+func (d *NaiveBayes) Name() string { return "naive-bayes" }
+
+// Fit implements Detector.
+func (d *NaiveBayes) Fit(train *trace.Dataset) error {
+	if err := checkFit(train); err != nil {
+		return err
+	}
+	labels := train.BinaryLabels()
+	var classN [2]float64
+	counts := make([][2][]float64, packet.HeaderWindow)
+	for off := range counts {
+		counts[off][0] = make([]float64, d.bins)
+		counts[off][1] = make([]float64, d.bins)
+	}
+	for i, s := range train.Samples {
+		y := labels[i]
+		classN[y]++
+		for off := 0; off < packet.HeaderWindow; off++ {
+			b := int(s.Pkt.ByteAt(off)) * d.bins / 256
+			counts[off][y][b]++
+		}
+	}
+	n := float64(train.Len())
+	d.logPrior[0] = math.Log(classN[0] / n)
+	d.logPrior[1] = math.Log(classN[1] / n)
+	d.logLikeli = make([][2][]float64, packet.HeaderWindow)
+	for off := range counts {
+		for y := 0; y < 2; y++ {
+			d.logLikeli[off][y] = make([]float64, d.bins)
+			denom := classN[y] + float64(d.bins)
+			for b := 0; b < d.bins; b++ {
+				d.logLikeli[off][y][b] = math.Log((counts[off][y][b] + 1) / denom)
+			}
+		}
+	}
+	return nil
+}
+
+// Predict implements Detector.
+func (d *NaiveBayes) Predict(test *trace.Dataset) ([]int, error) {
+	if d.logLikeli == nil {
+		return nil, fmt.Errorf("baseline: %s not fitted", d.Name())
+	}
+	out := make([]int, test.Len())
+	for i, s := range test.Samples {
+		s0, s1 := d.logPrior[0], d.logPrior[1]
+		for off := 0; off < packet.HeaderWindow; off++ {
+			b := int(s.Pkt.ByteAt(off)) * d.bins / 256
+			s0 += d.logLikeli[off][0][b]
+			s1 += d.logLikeli[off][1][b]
+		}
+		if s1 > s0 {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}

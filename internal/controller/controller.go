@@ -1,0 +1,237 @@
+// Package controller implements the SDN controller side of the gateway:
+// it deploys compiled rule sets to switches over p4rt, classifies digested
+// (table-miss) packets with the full stage-2 model as a slow path, and can
+// reactively install exact-match drop entries for attacks the rules missed.
+package controller
+
+import (
+	"fmt"
+	"sync"
+
+	"p4guard/internal/p4"
+	"p4guard/internal/p4rt"
+	"p4guard/internal/packet"
+	"p4guard/internal/rules"
+)
+
+// SlowPath classifies a packet with the full trained model; 0 is benign.
+// *p4guard.Pipeline satisfies it.
+type SlowPath interface {
+	ClassifySlowPath(pkt *packet.Packet) int
+	MatchOffsets() []int
+}
+
+// Config controls controller behaviour.
+type Config struct {
+	// Name identifies the controller in handshakes.
+	Name string
+	// Reactive enables exact-match drop installation for slow-path hits.
+	Reactive bool
+	// ReactivePriority is the priority reactive entries carry (must beat
+	// compiled rules to stick; default 1<<20).
+	ReactivePriority int
+	// QueueDepth bounds the pending reactive-work queue (default 1024).
+	QueueDepth int
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	DigestsProcessed int
+	SlowPathAttacks  int
+	SlowPathBenign   int
+	ReactiveInstalls int
+}
+
+// Controller manages one or more switch connections.
+type Controller struct {
+	cfg   Config
+	model SlowPath
+
+	mu      sync.Mutex
+	clients map[string]*p4rt.Client
+	seen    map[string]bool // reactive keys already installed
+	stats   Stats
+	closed  bool
+
+	work chan work
+	wg   sync.WaitGroup
+}
+
+type work struct {
+	addr string
+	pkts []p4rt.WirePacket
+}
+
+// New builds a controller around a trained slow-path model.
+func New(model SlowPath, cfg Config) *Controller {
+	if cfg.Name == "" {
+		cfg.Name = "p4guard-controller"
+	}
+	if cfg.ReactivePriority <= 0 {
+		cfg.ReactivePriority = 1 << 20
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	c := &Controller{
+		cfg:     cfg,
+		model:   model,
+		clients: make(map[string]*p4rt.Client),
+		seen:    make(map[string]bool),
+		work:    make(chan work, cfg.QueueDepth),
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.worker()
+	}()
+	return c
+}
+
+// Connect dials a switch agent. Digest handling runs on the controller's
+// worker goroutine, so the p4rt read loop is never blocked by reactive
+// RPCs.
+func (c *Controller) Connect(addr string) error {
+	cl, err := p4rt.Dial(addr, c.cfg.Name, func(pkts []p4rt.WirePacket) {
+		c.enqueue(addr, pkts)
+	})
+	if err != nil {
+		return fmt.Errorf("controller: connect %s: %w", addr, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		_ = cl.Close()
+		return fmt.Errorf("controller: closed")
+	}
+	if _, dup := c.clients[addr]; dup {
+		_ = cl.Close()
+		return fmt.Errorf("controller: already connected to %s", addr)
+	}
+	c.clients[addr] = cl
+	return nil
+}
+
+func (c *Controller) enqueue(addr string, pkts []p4rt.WirePacket) {
+	select {
+	case c.work <- work{addr: addr, pkts: pkts}:
+	default:
+		// Queue full: drop the batch rather than block the read loop.
+	}
+}
+
+// worker drains digest batches: slow-path classify, optionally react.
+func (c *Controller) worker() {
+	for w := range c.work {
+		for _, wp := range w.pkts {
+			pkt := wp.ToPacket()
+			class := c.model.ClassifySlowPath(pkt)
+
+			c.mu.Lock()
+			c.stats.DigestsProcessed++
+			if class == 0 {
+				c.stats.SlowPathBenign++
+				c.mu.Unlock()
+				continue
+			}
+			c.stats.SlowPathAttacks++
+			var cl *p4rt.Client
+			var install bool
+			var key []byte
+			if c.cfg.Reactive {
+				key = rules.ExtractKey(pkt, c.model.MatchOffsets())
+				if !c.seen[string(key)] {
+					c.seen[string(key)] = true
+					cl = c.clients[w.addr]
+					install = cl != nil
+				}
+			}
+			c.mu.Unlock()
+
+			if install {
+				// Exact match expressed as a degenerate range (lo==hi).
+				_, err := cl.WriteEntry(p4rt.WireEntry{
+					Priority: c.cfg.ReactivePriority,
+					Lo:       key,
+					Hi:       append([]byte(nil), key...),
+					Action:   p4rt.FormatAction(p4.ActionDrop),
+					Class:    class,
+				})
+				if err == nil {
+					c.mu.Lock()
+					c.stats.ReactiveInstalls++
+					c.mu.Unlock()
+				}
+			}
+		}
+	}
+}
+
+// DeployRuleSet programs every connected switch with the compiled rules.
+// missAction is the detector's default (digest to keep the slow path in
+// the loop, or allow to run open-loop).
+func (c *Controller) DeployRuleSet(rs *rules.RuleSet, missAction p4.Action) error {
+	prog, err := p4rt.ProgramFromRuleSet(rs, missAction)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	clients := make([]*p4rt.Client, 0, len(c.clients))
+	for _, cl := range c.clients {
+		clients = append(clients, cl)
+	}
+	c.mu.Unlock()
+	if len(clients) == 0 {
+		return fmt.Errorf("controller: no connected switches")
+	}
+	for _, cl := range clients {
+		if _, err := cl.ProgramDetector(prog); err != nil {
+			return fmt.Errorf("controller: deploy to %s: %w", cl.ServerName(), err)
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of controller counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Switches returns the names of connected switches.
+func (c *Controller) Switches() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.clients))
+	for _, cl := range c.clients {
+		names = append(names, cl.ServerName())
+	}
+	return names
+}
+
+// Close disconnects every switch and stops the worker.
+func (c *Controller) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	clients := make([]*p4rt.Client, 0, len(c.clients))
+	for _, cl := range c.clients {
+		clients = append(clients, cl)
+	}
+	c.clients = make(map[string]*p4rt.Client)
+	c.mu.Unlock()
+
+	var firstErr error
+	for _, cl := range clients {
+		if err := cl.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	close(c.work)
+	c.wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,163 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"p4guard/internal/p4"
+	"p4guard/internal/p4rt"
+	"p4guard/internal/packet"
+	"p4guard/internal/rules"
+	"p4guard/internal/switchsim"
+)
+
+// fakeModel flags packets whose byte 0 exceeds 127.
+type fakeModel struct{}
+
+func (fakeModel) ClassifySlowPath(pkt *packet.Packet) int {
+	if pkt.ByteAt(0) > 127 {
+		return 1
+	}
+	return 0
+}
+
+func (fakeModel) MatchOffsets() []int { return []int{0, 1} }
+
+func startSwitch(t *testing.T) (*switchsim.Switch, string) {
+	t.Helper()
+	sw, err := switchsim.New("gw-ctl", packet.LinkEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := p4rt.Serve("127.0.0.1:0", sw, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return sw, srv.Addr()
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+func TestConnectAndDeploy(t *testing.T) {
+	sw, addr := startSwitch(t)
+	c := New(fakeModel{}, Config{Name: "test-ctl"})
+	t.Cleanup(func() { _ = c.Close() })
+	if err := c.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Connect(addr); err == nil {
+		t.Fatal("duplicate connect accepted")
+	}
+	if names := c.Switches(); len(names) != 1 || names[0] != "gw-ctl" {
+		t.Fatalf("switches = %v", names)
+	}
+
+	rs := rules.NewRuleSet([]int{0, 1}, 0)
+	rs.Add(rules.Rule{Priority: 1, Class: 1, Preds: []rules.BytePredicate{{Offset: 0, Lo: 200, Hi: 255}}})
+	if err := c.DeployRuleSet(rs, p4.Action{Type: p4.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	if v := sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{210, 0}}); v.Allowed {
+		t.Fatal("deployed rule inactive")
+	}
+}
+
+func TestDeployWithoutSwitches(t *testing.T) {
+	c := New(fakeModel{}, Config{})
+	t.Cleanup(func() { _ = c.Close() })
+	rs := rules.NewRuleSet([]int{0}, 0)
+	if err := c.DeployRuleSet(rs, p4.Action{Type: p4.ActionAllow}); err == nil {
+		t.Fatal("deploy with no switches succeeded")
+	}
+}
+
+func TestSlowPathStats(t *testing.T) {
+	sw, addr := startSwitch(t)
+	c := New(fakeModel{}, Config{})
+	t.Cleanup(func() { _ = c.Close() })
+	if err := c.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	// Empty rules with digest-on-miss: everything goes to the slow path.
+	rs := rules.NewRuleSet([]int{0, 1}, 0)
+	if err := c.DeployRuleSet(rs, p4.Action{Type: p4.ActionDigest}); err != nil {
+		t.Fatal(err)
+	}
+	sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{10, 0}})  // benign
+	sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{200, 0}}) // attack
+
+	waitFor(t, func() bool { return c.Stats().DigestsProcessed >= 2 })
+	st := c.Stats()
+	if st.SlowPathBenign != 1 || st.SlowPathAttacks != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ReactiveInstalls != 0 {
+		t.Fatalf("non-reactive controller installed entries: %+v", st)
+	}
+}
+
+func TestReactiveInstallBlocksRepeat(t *testing.T) {
+	sw, addr := startSwitch(t)
+	c := New(fakeModel{}, Config{Reactive: true})
+	t.Cleanup(func() { _ = c.Close() })
+	if err := c.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	rs := rules.NewRuleSet([]int{0, 1}, 0)
+	if err := c.DeployRuleSet(rs, p4.Action{Type: p4.ActionDigest}); err != nil {
+		t.Fatal(err)
+	}
+
+	attack := &packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{222, 7, 1}}
+	sw.Process(attack)
+	waitFor(t, func() bool { return c.Stats().ReactiveInstalls >= 1 })
+
+	// The repeat must now be dropped at the data plane, without a digest.
+	before := sw.Stats().Digested
+	v := sw.Process(attack.Clone())
+	if v.Allowed {
+		t.Fatal("repeat attack allowed after reactive install")
+	}
+	if v.Digested || sw.Stats().Digested != before {
+		t.Fatal("repeat attack digested despite installed entry")
+	}
+
+	// Same key again must not install twice.
+	time.Sleep(20 * time.Millisecond)
+	if got := c.Stats().ReactiveInstalls; got != 1 {
+		t.Fatalf("reactive installs = %d, want 1", got)
+	}
+
+	// A different key gets its own entry.
+	other := &packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{222, 8, 1}}
+	sw.Process(other)
+	waitFor(t, func() bool { return c.Stats().ReactiveInstalls >= 2 })
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	_, addr := startSwitch(t)
+	c := New(fakeModel{}, Config{})
+	if err := c.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Connect(addr); err == nil {
+		t.Fatal("connect after close succeeded")
+	}
+}

@@ -1,0 +1,73 @@
+package dtree
+
+import (
+	"fmt"
+
+	"p4guard/internal/rules"
+)
+
+// CompileRuleSet converts the tree into a rule set over the given key
+// layout: offsets[i] is the header byte offset that feature i was trained
+// on. Each root→leaf path becomes one rule whose predicates are the
+// accumulated per-feature [lo,hi] ranges; leaves predicting defaultClass
+// are elided (the rule-set default covers them), which is semantics-
+// preserving because tree leaves partition the key space.
+func (t *Tree) CompileRuleSet(offsets []int, defaultClass int) (*rules.RuleSet, error) {
+	if len(offsets) != t.NumFeatures {
+		return nil, fmt.Errorf("dtree: %d offsets for %d features", len(offsets), t.NumFeatures)
+	}
+	rs := rules.NewRuleSet(offsets, defaultClass)
+
+	type bound struct{ lo, hi int }
+	bounds := make([]bound, t.NumFeatures)
+	for i := range bounds {
+		bounds[i] = bound{0, 255}
+	}
+
+	prio := 1
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n == nil {
+			return fmt.Errorf("dtree: nil node during compile")
+		}
+		if n.Leaf {
+			if n.Class != defaultClass {
+				r := rules.Rule{Priority: prio, Class: n.Class}
+				for f, b := range bounds {
+					if b.lo == 0 && b.hi == 255 {
+						continue
+					}
+					r.Preds = append(r.Preds, rules.BytePredicate{
+						Offset: offsets[f], Lo: byte(b.lo), Hi: byte(b.hi),
+					})
+				}
+				rs.Add(r)
+				prio++
+			}
+			return nil
+		}
+		f, thr := n.Feature, int(n.Threshold)
+		saved := bounds[f]
+
+		// Left: value <= thr.
+		if saved.lo <= thr {
+			bounds[f] = bound{saved.lo, min(saved.hi, thr)}
+			if err := walk(n.Left); err != nil {
+				return err
+			}
+		}
+		// Right: value > thr.
+		if saved.hi > thr {
+			bounds[f] = bound{max(saved.lo, thr+1), saved.hi}
+			if err := walk(n.Right); err != nil {
+				return err
+			}
+		}
+		bounds[f] = saved
+		return nil
+	}
+	if err := walk(t.Root); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}

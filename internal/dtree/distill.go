@@ -1,0 +1,91 @@
+package dtree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Teacher labels byte keys; typically a closure over the stage-2 MLP.
+type Teacher func(key []byte) int
+
+// DistillConfig controls teacher–student distillation.
+type DistillConfig struct {
+	Tree Config
+	// BoundaryPerSample is how many perturbed variants of each seed key to
+	// label with the teacher; perturbations concentrate samples near the
+	// teacher's decision boundary where the student needs resolution.
+	BoundaryPerSample int
+	// NoiseBytes is how many byte positions each perturbation mutates.
+	NoiseBytes int
+	// Seed drives the perturbation RNG.
+	Seed int64
+}
+
+func (c DistillConfig) withDefaults() DistillConfig {
+	if c.BoundaryPerSample < 0 {
+		c.BoundaryPerSample = 0
+	}
+	if c.NoiseBytes <= 0 {
+		c.NoiseBytes = 1
+	}
+	return c
+}
+
+// Distill trains a student tree to mimic the teacher on the seed keys plus
+// perturbation-augmented samples, all labelled by the teacher.
+func Distill(teacher Teacher, seeds [][]byte, numClasses int, cfg DistillConfig) (*Tree, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("dtree: distill needs seed keys")
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	width := len(seeds[0])
+
+	capacity := len(seeds) * (1 + cfg.BoundaryPerSample)
+	xs := make([][]byte, 0, capacity)
+	ys := make([]int, 0, capacity)
+	add := func(key []byte) {
+		xs = append(xs, key)
+		ys = append(ys, teacher(key))
+	}
+	for _, s := range seeds {
+		add(s)
+		for p := 0; p < cfg.BoundaryPerSample; p++ {
+			mut := append([]byte(nil), s...)
+			for n := 0; n < cfg.NoiseBytes; n++ {
+				i := rng.Intn(width)
+				switch rng.Intn(3) {
+				case 0:
+					mut[i] = byte(rng.Intn(256))
+				case 1:
+					mut[i]++
+				default:
+					mut[i]--
+				}
+			}
+			add(mut)
+		}
+	}
+	tree, err := Train(xs, ys, numClasses, cfg.Tree)
+	if err != nil {
+		return nil, err
+	}
+	// Reduced-error pruning against the teacher-labelled set strips
+	// splits that only fit augmentation noise.
+	tree.Prune(xs, ys)
+	return tree, nil
+}
+
+// Fidelity measures student/teacher agreement on the given keys.
+func Fidelity(student *Tree, teacher Teacher, keys [][]byte) float64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	agree := 0
+	for _, k := range keys {
+		if student.Predict(k) == teacher(k) {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(keys))
+}

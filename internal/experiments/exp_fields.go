@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"p4guard"
+	"p4guard/internal/fieldsel"
+	"p4guard/internal/metrics"
+)
+
+// fieldSweep is the k axis of R-F1/R-F2.
+func fieldSweep(quick bool) []int {
+	if quick {
+		return []int{2, 4, 8}
+	}
+	return []int{2, 3, 4, 6, 8, 12, 16}
+}
+
+// runRF1 reproduces accuracy vs number of selected header fields: a small
+// learned key should already reach near-peak accuracy on every protocol.
+func runRF1(cfg Config) (*Result, error) {
+	splits, err := datasets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ks := fieldSweep(cfg.Quick)
+	header := []string{"dataset"}
+	for _, k := range ks {
+		header = append(header, fmt.Sprintf("k=%d", k))
+	}
+	var rows [][]string
+	for _, name := range scenarioOrder() {
+		pair := splits[name]
+		row := []string{name}
+		for _, k := range ks {
+			pipe, err := p4guard.Train(pair[0], p4guard.Config{Seed: cfg.Seed, NumFields: k})
+			if err != nil {
+				return nil, fmt.Errorf("RF1 %s k=%d: %w", name, k, err)
+			}
+			preds, err := pipe.Predict(pair[1])
+			if err != nil {
+				return nil, err
+			}
+			conf, err := metrics.FromPredictions(preds, pair[1].BinaryLabels())
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(conf.Accuracy()))
+		}
+		rows = append(rows, row)
+	}
+	return &Result{
+		ID: "R-F1", Title: "Accuracy vs number of selected fields",
+		Lines: table(header, rows),
+	}, nil
+}
+
+// runRF2 reproduces the selector ablation: learned (DNN saliency,
+// autoencoder) vs statistical (MI, chi-square) vs random vs 5-tuple, over
+// the k sweep, on one IP and one non-IP workload.
+func runRF2(cfg Config) (*Result, error) {
+	splits, err := datasets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ks := fieldSweep(cfg.Quick)
+	scenarios := []string{"wifi-mqtt", "zigbee"}
+	header := []string{"dataset", "selector"}
+	for _, k := range ks {
+		header = append(header, fmt.Sprintf("k=%d", k))
+	}
+	var rows [][]string
+	for _, name := range scenarios {
+		pair := splits[name]
+		for _, sel := range fieldsel.All(cfg.Seed) {
+			row := []string{name, sel.Name()}
+			for _, k := range ks {
+				pipe, err := p4guard.Train(pair[0], p4guard.Config{
+					Seed: cfg.Seed, NumFields: k, Selector: sel,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("RF2 %s/%s k=%d: %w", name, sel.Name(), k, err)
+				}
+				preds, err := pipe.Predict(pair[1])
+				if err != nil {
+					return nil, err
+				}
+				conf, err := metrics.FromPredictions(preds, pair[1].BinaryLabels())
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, pct(conf.Accuracy()))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return &Result{
+		ID: "R-F2", Title: "Field-selector ablation",
+		Lines: table(header, rows),
+	}, nil
+}

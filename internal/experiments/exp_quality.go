@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"p4guard"
+	"p4guard/internal/baseline"
+	"p4guard/internal/fieldsel"
+	"p4guard/internal/flowstats"
+	"p4guard/internal/iotgen"
+	"p4guard/internal/metrics"
+	"p4guard/internal/trace"
+)
+
+// runRT1 reproduces the dataset-composition table.
+func runRT1(cfg Config) (*Result, error) {
+	sets, err := iotgen.GenerateAll(iotgen.Config{Seed: cfg.Seed, Packets: cfg.Packets})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]string, 0, len(sets))
+	for _, name := range scenarioOrder() {
+		ds := sets[name]
+		counts := ds.ClassCounts()
+		attacks := ds.Len() - counts[trace.LabelBenign]
+		tr := flowstats.NewTracker()
+		for _, s := range ds.Samples {
+			tr.Update(s.Pkt)
+		}
+		dur := ds.Samples[ds.Len()-1].Pkt.Time - ds.Samples[0].Pkt.Time
+		rows = append(rows, []string{
+			name,
+			ds.Link.String(),
+			strconv.Itoa(ds.Len()),
+			strconv.Itoa(counts[trace.LabelBenign]),
+			strconv.Itoa(attacks),
+			strconv.Itoa(tr.Flows()),
+			fmt.Sprintf("%.1fs", dur.Seconds()),
+			fmt.Sprintf("%d: %v", len(ds.AttackKinds()), ds.AttackKinds()),
+		})
+	}
+	return &Result{
+		ID: "R-T1", Title: "Dataset composition",
+		Lines: table([]string{"dataset", "link", "packets", "benign", "attack", "flows", "span", "attack kinds"}, rows),
+	}, nil
+}
+
+// methodsUnderTest returns the two-stage detector plus every baseline.
+func methodsUnderTest(seed int64) []baseline.Detector {
+	dets := []baseline.Detector{p4guard.NewDetector(p4guard.Config{Seed: seed, NumFields: 6})}
+	return append(dets, baseline.All(seed)...)
+}
+
+// evalOn fits and evaluates a detector on one split.
+func evalOn(det baseline.Detector, train, test *trace.Dataset) (*metrics.Confusion, error) {
+	if err := det.Fit(train); err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", det.Name(), train.Name, err)
+	}
+	pred, err := det.Predict(test)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", det.Name(), test.Name, err)
+	}
+	return metrics.FromPredictions(pred, test.BinaryLabels())
+}
+
+// runRT2 reproduces the headline accuracy-comparison table.
+func runRT2(cfg Config) (*Result, error) {
+	splits, err := datasets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for _, name := range scenarioOrder() {
+		pair := splits[name]
+		for _, det := range methodsUnderTest(cfg.Seed) {
+			conf, err := evalOn(det, pair[0], pair[1])
+			if err != nil {
+				return nil, err
+			}
+			keyBytes, entries := -1, -1
+			if tc, ok := det.(baseline.TableCoster); ok {
+				keyBytes, entries = tc.TableCost()
+			}
+			cost := "n/a"
+			if keyBytes >= 0 {
+				cost = fmt.Sprintf("%dB/%d", keyBytes, entries)
+			}
+			rows = append(rows, []string{
+				name, det.Name(),
+				pct(conf.Accuracy()), pct(conf.Precision()), pct(conf.Recall()),
+				pct(conf.F1()), pct(conf.FPR()), cost,
+			})
+		}
+	}
+	return &Result{
+		ID: "R-T2", Title: "Detection quality per method per dataset",
+		Lines: table([]string{"dataset", "method", "acc", "prec", "rec", "f1", "fpr", "key/entries"}, rows),
+	}, nil
+}
+
+// runRF5 reproduces the universality figure: the learned pipeline works on
+// every protocol family while hand-crafted selection degrades off-IP, plus
+// cross-traffic transfer between the two Ethernet workloads.
+func runRF5(cfg Config) (*Result, error) {
+	splits, err := datasets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for _, name := range scenarioOrder() {
+		pair := splits[name]
+
+		twoStage := p4guard.NewDetector(p4guard.Config{Seed: cfg.Seed, NumFields: 6})
+		tsConf, err := evalOn(twoStage, pair[0], pair[1])
+		if err != nil {
+			return nil, err
+		}
+		fiveT := p4guard.NewDetector(p4guard.Config{
+			Seed: cfg.Seed, NumFields: 6,
+			Selector: fieldsel.FiveTupleSelector{},
+		})
+		ftConf, err := evalOn(fiveT, pair[0], pair[1])
+		if err != nil {
+			return nil, err
+		}
+		fw, err := evalOn(baseline.NewExactFirewall(), pair[0], pair[1])
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			name,
+			pct(tsConf.Accuracy()), pct(tsConf.Recall()),
+			pct(ftConf.Accuracy()), pct(ftConf.Recall()),
+			pct(fw.Accuracy()), pct(fw.Recall()),
+		})
+	}
+	lines := table([]string{
+		"dataset", "two-stage acc", "rec", "5-tuple-key acc", "rec", "exact-fw acc", "rec",
+	}, rows)
+
+	// Cross-traffic transfer between the Ethernet workloads.
+	lines = append(lines, "", "cross-traffic transfer (train -> test), two-stage accuracy:")
+	var xrows [][]string
+	for _, trainName := range []string{"wifi-mqtt", "wifi-coap"} {
+		for _, testName := range []string{"wifi-mqtt", "wifi-coap"} {
+			det := p4guard.NewDetector(p4guard.Config{Seed: cfg.Seed, NumFields: 8})
+			conf, err := evalOn(det, splits[trainName][0], splits[testName][1])
+			if err != nil {
+				return nil, err
+			}
+			xrows = append(xrows, []string{trainName + " -> " + testName, pct(conf.Accuracy())})
+		}
+	}
+	lines = append(lines, table([]string{"direction", "acc"}, xrows)...)
+	return &Result{ID: "R-F5", Title: "Universality across protocols", Lines: lines}, nil
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryUniqueIDs(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if len(seen) != 14 {
+		t.Fatalf("%d experiments, want 14", len(seen))
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("R-T99", Config{}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	lines := table([]string{"a", "bb"}, [][]string{{"xxx", "y"}})
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "a  ") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+}
+
+// TestAllExperimentsQuick runs every experiment at smoke scale and checks
+// each produces non-trivial output.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := Run(e.ID, Config{Seed: 7, Quick: true, Packets: 600})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != e.ID {
+				t.Fatalf("result id %s", res.ID)
+			}
+			if len(res.Lines) < 3 {
+				t.Fatalf("only %d lines:\n%s", len(res.Lines), res)
+			}
+			if res.String() == "" {
+				t.Fatal("empty render")
+			}
+		})
+	}
+}

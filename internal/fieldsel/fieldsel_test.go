@@ -1,0 +1,226 @@
+package fieldsel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"p4guard/internal/iotgen"
+	"p4guard/internal/packet"
+	"p4guard/internal/trace"
+)
+
+// plantedDataset builds a trace where the label is decided entirely by
+// bytes 5 and 20: attacks have byte5 in [200,255] and byte20 = 7.
+func plantedDataset(t *testing.T, n int) *trace.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	d := &trace.Dataset{Name: "planted"}
+	for i := 0; i < n; i++ {
+		body := make([]byte, packet.HeaderWindow)
+		rng.Read(body)
+		label := trace.LabelBenign
+		if i%2 == 0 {
+			body[5] = byte(200 + rng.Intn(56))
+			body[20] = 7
+			label = trace.LabelAttack
+		} else {
+			body[5] = byte(rng.Intn(180))
+			body[20] = byte(10 + rng.Intn(200))
+		}
+		p := &packet.Packet{Link: packet.LinkEthernet, Bytes: body, Time: time.Duration(i)}
+		if err := d.Append(trace.Sample{Pkt: p, Label: label}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func containsBoth(offs []int, a, b int) bool {
+	var hasA, hasB bool
+	for _, o := range offs {
+		if o == a {
+			hasA = true
+		}
+		if o == b {
+			hasB = true
+		}
+	}
+	return hasA && hasB
+}
+
+func TestMutualInfoFindsPlantedBytes(t *testing.T) {
+	d := plantedDataset(t, 600)
+	offs, err := MutualInfoSelector{}.Select(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsBoth(offs, 5, 20) {
+		t.Fatalf("MI top-4 %v missing planted bytes 5,20", offs)
+	}
+}
+
+func TestChiSquareFindsPlantedBytes(t *testing.T) {
+	d := plantedDataset(t, 600)
+	offs, err := ChiSquareSelector{}.Select(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsBoth(offs, 5, 20) {
+		t.Fatalf("chi2 top-4 %v missing planted bytes 5,20", offs)
+	}
+}
+
+func TestSaliencyFindsPlantedBytes(t *testing.T) {
+	d := plantedDataset(t, 600)
+	sel := &SaliencySelector{Seed: 1, Epochs: 30}
+	offs, err := sel.Select(d, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsBoth(offs, 5, 20) {
+		t.Fatalf("saliency top-6 %v missing planted bytes 5,20", offs)
+	}
+}
+
+func TestAutoencoderFindsPlantedBytes(t *testing.T) {
+	d := plantedDataset(t, 600)
+	sel := &AutoencoderSelector{}
+	offs, err := sel.Select(d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The AE ranks deviation-from-benign; at least the strongly shifted
+	// byte 5 must appear.
+	found := false
+	for _, o := range offs {
+		if o == 5 || o == 20 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("autoencoder top-8 %v missing both planted bytes", offs)
+	}
+}
+
+func TestRandomSelectorDeterministicAndDistinct(t *testing.T) {
+	d := plantedDataset(t, 50)
+	a, err := RandomSelector{Seed: 3}.Select(d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomSelector{Seed: 3}.Select(d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random selector not deterministic per seed")
+		}
+		if seen[a[i]] {
+			t.Fatal("duplicate offsets")
+		}
+		seen[a[i]] = true
+	}
+}
+
+func TestFiveTupleTruncatesAndPads(t *testing.T) {
+	d := plantedDataset(t, 100)
+	offs, err := FiveTupleSelector{}.Select(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != 3 {
+		t.Fatalf("len %d", len(offs))
+	}
+	full := packet.FiveTupleOffsets(packet.LinkEthernet)
+	offs, err = FiveTupleSelector{}.Select(d, len(full)+4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != len(full)+4 {
+		t.Fatalf("padded len %d, want %d", len(offs), len(full)+4)
+	}
+	seen := make(map[int]bool)
+	for _, o := range offs {
+		if seen[o] {
+			t.Fatalf("duplicate offset %d after padding", o)
+		}
+		seen[o] = true
+	}
+}
+
+func TestValidation(t *testing.T) {
+	d := plantedDataset(t, 10)
+	for _, sel := range All(1) {
+		if _, err := sel.Select(nil, 4); err == nil {
+			t.Fatalf("%s accepted nil dataset", sel.Name())
+		}
+		if _, err := sel.Select(d, 0); err == nil {
+			t.Fatalf("%s accepted k=0", sel.Name())
+		}
+		if _, err := sel.Select(d, packet.HeaderWindow+1); err == nil {
+			t.Fatalf("%s accepted oversized k", sel.Name())
+		}
+		if sel.Name() == "" {
+			t.Fatal("empty selector name")
+		}
+	}
+}
+
+func TestAutoencoderNeedsBothClasses(t *testing.T) {
+	d := &trace.Dataset{}
+	for i := 0; i < 10; i++ {
+		p := &packet.Packet{Link: packet.LinkEthernet, Bytes: make([]byte, 8)}
+		if err := d.Append(trace.Sample{Pkt: p, Label: trace.LabelBenign}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := (&AutoencoderSelector{}).Select(d, 2); err == nil {
+		t.Fatal("accepted single-class dataset")
+	}
+}
+
+// TestSelectorsOnRealTrace sanity-checks the learned selectors against the
+// wifi-mqtt generator: top bytes should include classic discriminative
+// fields (tcp flags / ports / protocol region), not pure payload noise.
+func TestSelectorsOnRealTrace(t *testing.T) {
+	d, err := iotgen.Generate("wifi-mqtt", iotgen.Config{Seed: 11, Packets: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs, err := MutualInfoSelector{}.Select(d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != 8 {
+		t.Fatalf("len %d", len(offs))
+	}
+	// At least one selected byte must fall in the L3/L4 header region
+	// (bytes 14..53 under the Ethernet stacking).
+	inHeader := false
+	for _, o := range offs {
+		if o >= 14 && o < 54 {
+			inHeader = true
+			break
+		}
+	}
+	if !inHeader {
+		t.Fatalf("MI selected only payload bytes: %v", offs)
+	}
+}
+
+func TestAllRegistry(t *testing.T) {
+	sels := All(7)
+	if len(sels) != 6 {
+		t.Fatalf("%d selectors", len(sels))
+	}
+	names := make(map[string]bool)
+	for _, s := range sels {
+		if names[s.Name()] {
+			t.Fatalf("duplicate selector name %q", s.Name())
+		}
+		names[s.Name()] = true
+	}
+}

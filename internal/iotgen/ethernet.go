@@ -1,0 +1,343 @@
+package iotgen
+
+import (
+	"math/rand"
+	"strconv"
+	"time"
+
+	"p4guard/internal/packet"
+	"p4guard/internal/trace"
+)
+
+// Well-known addresses inside the simulated gateway LAN.
+var (
+	gatewayMAC = packet.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	brokerIP   = [4]byte{10, 0, 0, 2}
+	dnsIP      = [4]byte{10, 0, 0, 3}
+	victimIP   = [4]byte{203, 0, 113, 7}
+)
+
+// deviceMAC derives a stable MAC for device index i.
+func deviceMAC(i int) packet.MAC {
+	return packet.MAC{0x02, 0x00, 0x00, 0x00, 0x01, byte(i)}
+}
+
+// deviceIP derives a stable LAN IP for device index i.
+func deviceIP(i int) [4]byte {
+	return [4]byte{10, 0, 0, byte(10 + i%200)}
+}
+
+// buildTCP assembles Ethernet+IPv4+TCP(+payload).
+func buildTCP(src, dst packet.MAC, sip, dip [4]byte, sport, dport uint16,
+	flags byte, seq uint32, ttl byte, window uint16, payload []byte) []byte {
+	eth := packet.Ethernet{Dst: dst, Src: src, EtherType: packet.EtherTypeIPv4}
+	ip := packet.IPv4{TTL: ttl, Protocol: packet.ProtoTCP, Src: sip, Dst: dip, ID: uint16(seq)}
+	tcp := packet.TCP{SrcPort: sport, DstPort: dport, Seq: seq, Flags: flags, Window: window}
+	b := eth.Marshal(nil)
+	b = ip.Marshal(b, packet.TCPLen+len(payload))
+	b = tcp.Marshal(b)
+	return append(b, payload...)
+}
+
+// buildUDP assembles Ethernet+IPv4+UDP(+payload).
+func buildUDP(src, dst packet.MAC, sip, dip [4]byte, sport, dport uint16, ttl byte, payload []byte) []byte {
+	eth := packet.Ethernet{Dst: dst, Src: src, EtherType: packet.EtherTypeIPv4}
+	ip := packet.IPv4{TTL: ttl, Protocol: packet.ProtoUDP, Src: sip, Dst: dip}
+	udp := packet.UDP{SrcPort: sport, DstPort: dport}
+	b := eth.Marshal(nil)
+	b = ip.Marshal(b, packet.UDPLen+len(payload))
+	b = udp.Marshal(b, len(payload))
+	return append(b, payload...)
+}
+
+// mqttPlugStream models a fleet of smart plugs talking MQTT to the broker:
+// periodic publishes with occasional reconnects (including the TCP
+// three-way handshake, so benign traffic also contains bare SYN/ACK
+// segments) and pings.
+func mqttPlugStream(devices int) stream {
+	seqs := make(map[int]uint32, devices)
+	// pending holds handshake/connect segments queued for emission ahead
+	// of the next application packet.
+	var pending [][]byte
+	return stream{
+		label: trace.LabelBenign,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			if len(pending) > 0 {
+				body := pending[0]
+				pending = pending[1:]
+				return body, jitter(rng, 4*time.Millisecond, 0.5)
+			}
+			dev := rng.Intn(devices)
+			seqs[dev] += uint32(1 + rng.Intn(1400))
+			var msg packet.MQTT
+			switch r := rng.Float64(); {
+			case r < 0.05:
+				// Reconnect: SYN, SYN-ACK, ACK, then MQTT CONNECT.
+				sport := uint16(49152 + dev)
+				syn := buildTCP(deviceMAC(dev), gatewayMAC, deviceIP(dev), brokerIP,
+					sport, 1883, packet.TCPSyn, seqs[dev], 64, 0xfaf0, nil)
+				synack := buildTCP(gatewayMAC, deviceMAC(dev), brokerIP, deviceIP(dev),
+					1883, sport, packet.TCPSyn|packet.TCPAck, rng.Uint32(), 64, 0xffff, nil)
+				ack := buildTCP(deviceMAC(dev), gatewayMAC, deviceIP(dev), brokerIP,
+					sport, 1883, packet.TCPAck, seqs[dev]+1, 64, 0xfaf0, nil)
+				conn := packet.MQTT{Type: packet.MQTTConnect, ClientID: "plug-" + strconv.Itoa(dev)}
+				connBody := buildTCP(deviceMAC(dev), gatewayMAC, deviceIP(dev), brokerIP,
+					sport, 1883, packet.TCPPsh|packet.TCPAck, seqs[dev]+1, 64, 0xfaf0, conn.Marshal(nil))
+				pending = append(pending, synack, ack, connBody)
+				return syn, jitter(rng, 4*time.Millisecond, 0.5)
+			case r < 0.10:
+				msg = packet.MQTT{Type: packet.MQTTPingReq}
+			default:
+				msg = packet.MQTT{
+					Type:    packet.MQTTPublish,
+					Topic:   "home/plug" + strconv.Itoa(dev) + "/power",
+					Payload: []byte(strconv.FormatFloat(50+rng.Float64()*20, 'f', 1, 64)),
+				}
+			}
+			body := buildTCP(deviceMAC(dev), gatewayMAC, deviceIP(dev), brokerIP,
+				uint16(49152+dev), 1883, packet.TCPPsh|packet.TCPAck, seqs[dev],
+				64, 0xfaf0, msg.Marshal(nil))
+			return body, jitter(rng, 120*time.Millisecond, 0.5)
+		},
+	}
+}
+
+// cameraStream models a camera pushing bulk TCP video segments upstream.
+func cameraStream() stream {
+	var seq uint32
+	payload := make([]byte, 32)
+	return stream{
+		label: trace.LabelBenign,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			seq += 1460
+			for i := range payload {
+				payload[i] = byte(rng.Intn(256))
+			}
+			body := buildTCP(deviceMAC(200), gatewayMAC, deviceIP(200), [4]byte{10, 0, 0, 4},
+				55000, 8554, packet.TCPAck, seq, 64, 0xffff, payload)
+			return body, jitter(rng, 8*time.Millisecond, 0.4)
+		},
+	}
+}
+
+// miraiScanStream models a compromised device scanning for telnet.
+func miraiScanStream() stream {
+	return stream{
+		label: trace.LabelAttack, attack: AttackMiraiScan,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			dport := uint16(23)
+			if rng.Float64() < 0.2 {
+				dport = 2323
+			}
+			dst := [4]byte{byte(1 + rng.Intn(223)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(1 + rng.Intn(254))}
+			dev := rng.Intn(4)
+			// Infected devices are local: normal TTL, bot-typical window.
+			body := buildTCP(deviceMAC(dev), gatewayMAC, deviceIP(dev), dst,
+				uint16(1024+rng.Intn(60000)), dport, packet.TCPSyn,
+				rng.Uint32(), 64, 0x3908, nil)
+			return body, jitter(rng, 6*time.Millisecond, 0.6)
+		},
+	}
+}
+
+// synFloodStream models a spoofed-source SYN flood against the broker.
+func synFloodStream() stream {
+	return stream{
+		label: trace.LabelAttack, attack: AttackSynFlood,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			sip := [4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))}
+			body := buildTCP(deviceMAC(rng.Intn(4)), gatewayMAC, sip, brokerIP,
+				uint16(rng.Intn(65536)), 1883, packet.TCPSyn,
+				rng.Uint32(), byte(60+rng.Intn(68)), uint16(rng.Intn(1024)), nil)
+			return body, jitter(rng, time.Millisecond, 0.8)
+		},
+	}
+}
+
+// mqttConnectFloodStream models a CONNECT flood with random client ids.
+func mqttConnectFloodStream() stream {
+	idBuf := make([]byte, 16)
+	return stream{
+		label: trace.LabelAttack, attack: AttackMQTTFlood,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			for i := range idBuf {
+				idBuf[i] = byte('a' + rng.Intn(26))
+			}
+			msg := packet.MQTT{Type: packet.MQTTConnect, ClientID: string(idBuf)}
+			dev := 4 + rng.Intn(4)
+			body := buildTCP(deviceMAC(dev), gatewayMAC, deviceIP(dev), brokerIP,
+				uint16(1024+rng.Intn(60000)), 1883, packet.TCPPsh|packet.TCPAck,
+				rng.Uint32(), 64, 0x0800, msg.Marshal(nil))
+			return body, jitter(rng, 2*time.Millisecond, 0.7)
+		},
+	}
+}
+
+// mqttMalformedStream models malformed MQTT control packets (reserved type
+// 15, oversized remaining length) used to crash brittle broker parsers.
+func mqttMalformedStream() stream {
+	return stream{
+		label: trace.LabelAttack, attack: AttackMQTTMalform,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			// Hand-build a bogus fixed header: reserved packet type 15 with
+			// a varint claiming a huge body that never arrives.
+			mqtt := []byte{0xf0 | byte(rng.Intn(16)), 0xff, 0xff, 0xff, 0x7f}
+			dev := 4 + rng.Intn(4)
+			body := buildTCP(deviceMAC(dev), gatewayMAC, deviceIP(dev), brokerIP,
+				uint16(1024+rng.Intn(60000)), 1883, packet.TCPPsh|packet.TCPAck,
+				rng.Uint32(), 64, 0x0800, mqtt)
+			return body, jitter(rng, 5*time.Millisecond, 0.7)
+		},
+	}
+}
+
+// generateWiFiMQTT is the wifi-mqtt scenario generator.
+func generateWiFiMQTT(cfg Config) (*trace.Dataset, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	streams := []stream{
+		mqttPlugStream(8),
+		cameraStream(),
+		miraiScanStream(),
+		synFloodStream(),
+		mqttConnectFloodStream(),
+		mqttMalformedStream(),
+	}
+	benign := 1 - cfg.AttackFrac
+	weights := []float64{benign * 0.7, benign * 0.3,
+		cfg.AttackFrac / 4, cfg.AttackFrac / 4, cfg.AttackFrac / 4, cfg.AttackFrac / 4}
+	return mix("wifi-mqtt", packet.LinkEthernet, rng, cfg.Packets, streams, weights)
+}
+
+// coapThermostatStream models thermostats polled over CoAP.
+func coapThermostatStream(devices int) stream {
+	var mid uint16
+	return stream{
+		label: trace.LabelBenign,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			dev := rng.Intn(devices)
+			mid++
+			msg := packet.CoAP{
+				Type: packet.CoAPConfirmable, Code: packet.CoAPGet, MessageID: mid,
+				Token: []byte{byte(dev), byte(mid)}, Payload: []byte{0xb4, 't', 'e', 'm', 'p'},
+			}
+			body := buildUDP(deviceMAC(dev), gatewayMAC, deviceIP(dev), [4]byte{10, 0, 0, 5},
+				uint16(40000+dev), 5683, 64, msg.Marshal(nil))
+			return body, jitter(rng, 250*time.Millisecond, 0.5)
+		},
+	}
+}
+
+// dnsHubStream models the hub's periodic benign DNS lookups.
+func dnsHubStream() stream {
+	hosts := []string{"time.iot.example.com", "fw.vendor.example.net", "api.cloud.example.org"}
+	var id uint16
+	return stream{
+		label: trace.LabelBenign,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			id++
+			msg := packet.DNS{ID: id, Flags: 0x0100, Name: hosts[rng.Intn(len(hosts))], QType: 1, QClass: 1}
+			body := buildUDP(deviceMAC(201), gatewayMAC, deviceIP(201), dnsIP,
+				uint16(50000+rng.Intn(1000)), 53, 64, msg.Marshal(nil))
+			return body, jitter(rng, 400*time.Millisecond, 0.5)
+		},
+	}
+}
+
+// coapAmplificationStream models spoofed-source CoAP requests whose replies
+// amplify toward a victim: small GETs with the victim's address as source.
+func coapAmplificationStream() stream {
+	return stream{
+		label: trace.LabelAttack, attack: AttackCoAPAmp,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			msg := packet.CoAP{
+				Type: packet.CoAPNonConfirmable, Code: packet.CoAPGet,
+				MessageID: uint16(rng.Intn(65536)),
+				Payload:   []byte{0xbd, 13, '.', 'w', 'e', 'l', 'l', '-', 'k', 'n', 'o', 'w', 'n'},
+			}
+			dev := rng.Intn(4)
+			body := buildUDP(deviceMAC(dev), gatewayMAC, victimIP, [4]byte{10, 0, 0, 5},
+				uint16(rng.Intn(65536)), 5683, byte(200+rng.Intn(56)), msg.Marshal(nil))
+			return body, jitter(rng, 2*time.Millisecond, 0.7)
+		},
+	}
+}
+
+// udpFloodStream models a volumetric UDP flood to random high ports.
+func udpFloodStream() stream {
+	payload := make([]byte, 48)
+	return stream{
+		label: trace.LabelAttack, attack: AttackUDPFlood,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			for i := range payload {
+				payload[i] = byte(rng.Intn(256))
+			}
+			dev := rng.Intn(4)
+			dst := [4]byte{byte(1 + rng.Intn(223)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(1 + rng.Intn(254))}
+			body := buildUDP(deviceMAC(dev), gatewayMAC, deviceIP(dev), dst,
+				uint16(rng.Intn(65536)), uint16(1024+rng.Intn(64512)), byte(30+rng.Intn(40)), payload)
+			return body, jitter(rng, time.Millisecond, 0.8)
+		},
+	}
+}
+
+// dnsTunnelStream models data exfiltration through long random DNS names.
+func dnsTunnelStream() stream {
+	nameBuf := make([]byte, 40)
+	return stream{
+		label: trace.LabelAttack, attack: AttackDNSTunnel,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			for i := range nameBuf {
+				nameBuf[i] = byte('a' + rng.Intn(26))
+			}
+			msg := packet.DNS{
+				ID: uint16(rng.Intn(65536)), Flags: 0x0100,
+				Name: string(nameBuf[:20]) + "." + string(nameBuf[20:]) + ".evil.example",
+				// TXT queries carry the downstream channel.
+				QType: 16, QClass: 1,
+			}
+			dev := rng.Intn(4)
+			body := buildUDP(deviceMAC(dev), gatewayMAC, deviceIP(dev), dnsIP,
+				uint16(1024+rng.Intn(64512)), 53, 64, msg.Marshal(nil))
+			return body, jitter(rng, 10*time.Millisecond, 0.6)
+		},
+	}
+}
+
+// arpSpoofStream models gratuitous ARP replies poisoning the gateway cache.
+func arpSpoofStream() stream {
+	return stream{
+		label: trace.LabelAttack, attack: AttackARPSpoof,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			dev := rng.Intn(4)
+			a := packet.ARP{
+				Op:        packet.ARPReply,
+				SenderMAC: deviceMAC(dev),
+				SenderIP:  [4]byte{10, 0, 0, 1}, // claims to be the gateway
+				TargetMAC: deviceMAC(rng.Intn(8)),
+				TargetIP:  deviceIP(rng.Intn(8)),
+			}
+			eth := packet.Ethernet{Dst: packet.MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, Src: deviceMAC(dev), EtherType: packet.EtherTypeARP}
+			body := a.Marshal(eth.Marshal(nil))
+			return body, jitter(rng, 50*time.Millisecond, 0.5)
+		},
+	}
+}
+
+// generateWiFiCoAP is the wifi-coap scenario generator.
+func generateWiFiCoAP(cfg Config) (*trace.Dataset, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	streams := []stream{
+		coapThermostatStream(6),
+		dnsHubStream(),
+		coapAmplificationStream(),
+		udpFloodStream(),
+		dnsTunnelStream(),
+		arpSpoofStream(),
+	}
+	benign := 1 - cfg.AttackFrac
+	weights := []float64{benign * 0.75, benign * 0.25,
+		cfg.AttackFrac / 4, cfg.AttackFrac / 4, cfg.AttackFrac / 4, cfg.AttackFrac / 4}
+	return mix("wifi-coap", packet.LinkEthernet, rng, cfg.Packets, streams, weights)
+}

@@ -1,0 +1,291 @@
+package iotgen
+
+import (
+	"testing"
+
+	"p4guard/internal/packet"
+	"p4guard/internal/trace"
+)
+
+func TestScenariosRegistry(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) != 4 {
+		t.Fatalf("%d scenarios", len(scs))
+	}
+	seen := make(map[string]bool)
+	for _, s := range scs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate scenario %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Generate == nil || len(s.Attacks) == 0 {
+			t.Fatalf("scenario %q incomplete", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("zigbee"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("accepted unknown scenario")
+	}
+}
+
+func TestGenerateAllShapes(t *testing.T) {
+	cfg := Config{Seed: 1, Packets: 800, AttackFrac: 0.3}
+	sets, err := GenerateAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range Scenarios() {
+		d, ok := sets[sc.Name]
+		if !ok {
+			t.Fatalf("missing dataset %q", sc.Name)
+		}
+		if d.Link != sc.Link {
+			t.Errorf("%s: link %v, want %v", sc.Name, d.Link, sc.Link)
+		}
+		if d.Len() < 700 || d.Len() > 800 {
+			t.Errorf("%s: %d packets, want ≈800", sc.Name, d.Len())
+		}
+		counts := d.ClassCounts()
+		attackFrac := float64(counts[trace.LabelAttack]) / float64(d.Len())
+		if attackFrac < 0.2 || attackFrac > 0.4 {
+			t.Errorf("%s: attack fraction %.2f, want ≈0.30", sc.Name, attackFrac)
+		}
+		// Every declared attack kind must appear.
+		kinds := make(map[string]bool)
+		for _, k := range d.AttackKinds() {
+			kinds[k] = true
+		}
+		for _, want := range sc.Attacks {
+			if !kinds[want] {
+				t.Errorf("%s: attack kind %q missing", sc.Name, want)
+			}
+		}
+		// Timestamps must be sorted.
+		for i := 1; i < d.Len(); i++ {
+			if d.Samples[i].Pkt.Time < d.Samples[i-1].Pkt.Time {
+				t.Errorf("%s: timestamps not sorted at %d", sc.Name, i)
+				break
+			}
+		}
+	}
+}
+
+// TestAttacksSpreadAcrossTime guards against attack bursts clustering at
+// the start of the capture: a time-ordered train/test split must see
+// attacks in both halves (regression test for the burst-scatter logic).
+func TestAttacksSpreadAcrossTime(t *testing.T) {
+	for _, sc := range Scenarios() {
+		d, err := Generate(sc.Name, Config{Seed: 13, Packets: 1500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		train, test, err := d.Split(0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, half := range []*trace.Dataset{train, test} {
+			counts := half.ClassCounts()
+			frac := float64(counts[trace.LabelAttack]) / float64(half.Len())
+			if frac < 0.1 {
+				t.Errorf("%s %s: attack fraction %.3f — attacks not spread across time",
+					sc.Name, half.Name, frac)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Packets: 300}
+	a, err := Generate("wifi-mqtt", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("wifi-mqtt", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lens differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Samples {
+		if string(a.Samples[i].Pkt.Bytes) != string(b.Samples[i].Pkt.Bytes) {
+			t.Fatalf("packet %d differs between runs with equal seed", i)
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	a, err := Generate("ble", Config{Seed: 1, Packets: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("ble", Config{Seed: 2, Packets: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for i := 0; i < a.Len() && i < b.Len(); i++ {
+		if string(a.Samples[i].Pkt.Bytes) != string(b.Samples[i].Pkt.Bytes) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestEthernetFramesParse checks that generated Ethernet frames decode with
+// the real codecs — the generator and parsers must agree on wire format.
+func TestEthernetFramesParse(t *testing.T) {
+	d, err := Generate("wifi-mqtt", Config{Seed: 3, Packets: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range d.Samples {
+		var eth packet.Ethernet
+		n, err := eth.Unmarshal(s.Pkt.Bytes)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if eth.EtherType != packet.EtherTypeIPv4 {
+			continue
+		}
+		var ip packet.IPv4
+		m, err := ip.Unmarshal(s.Pkt.Bytes[n:])
+		if err != nil {
+			t.Fatalf("packet %d ip: %v", i, err)
+		}
+		switch ip.Protocol {
+		case packet.ProtoTCP:
+			var tcp packet.TCP
+			if _, err := tcp.Unmarshal(s.Pkt.Bytes[n+m:]); err != nil {
+				t.Fatalf("packet %d tcp: %v", i, err)
+			}
+		case packet.ProtoUDP:
+			var udp packet.UDP
+			if _, err := udp.Unmarshal(s.Pkt.Bytes[n+m:]); err != nil {
+				t.Fatalf("packet %d udp: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestZigbeeFramesParse does the same for 802.15.4 frames.
+func TestZigbeeFramesParse(t *testing.T) {
+	d, err := Generate("zigbee", Config{Seed: 4, Packets: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range d.Samples {
+		var mac packet.IEEE802154
+		if _, err := mac.Unmarshal(s.Pkt.Bytes); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+}
+
+// TestBLEFramesParse does the same for BLE PDUs.
+func TestBLEFramesParse(t *testing.T) {
+	d, err := Generate("ble", Config{Seed: 5, Packets: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range d.Samples {
+		var ll packet.BLELinkLayer
+		if _, err := ll.Unmarshal(s.Pkt.Bytes); err != nil {
+			t.Fatalf("pdu %d: %v", i, err)
+		}
+		if ll.AccessAddress != packet.BLEAdvAccessAddress {
+			t.Fatalf("pdu %d: access address %#x", i, ll.AccessAddress)
+		}
+	}
+}
+
+// TestThreadScenario covers the extended 6LoWPAN workload: shape, attack
+// spread, and frame decodability with the real codecs.
+func TestThreadScenario(t *testing.T) {
+	ext := ExtendedScenarios()
+	if len(ext) != len(Scenarios())+1 || ext[len(ext)-1].Name != "thread" {
+		t.Fatalf("extended registry = %v", ext)
+	}
+	d, err := Generate("thread", Config{Seed: 8, Packets: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Link != packet.LinkIEEE802154 {
+		t.Fatalf("link = %v", d.Link)
+	}
+	kinds := d.AttackKinds()
+	if len(kinds) != 2 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	train, test, err := d.Split(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, half := range []*trace.Dataset{train, test} {
+		counts := half.ClassCounts()
+		if frac := float64(counts[trace.LabelAttack]) / float64(half.Len()); frac < 0.1 {
+			t.Fatalf("%s attack fraction %.3f", half.Name, frac)
+		}
+	}
+	// Every frame must decode: MAC always; benign frames carry IPHC +
+	// compressed UDP; frag-flood frames carry FRAG1.
+	for i, s := range d.Samples {
+		var mac packet.IEEE802154
+		n, err := mac.Unmarshal(s.Pkt.Bytes)
+		if err != nil {
+			t.Fatalf("frame %d mac: %v", i, err)
+		}
+		rest := s.Pkt.Bytes[n:]
+		switch s.Attack {
+		case "":
+			var iphc packet.SixLowPANHdr
+			m, err := iphc.Unmarshal(rest)
+			if err != nil {
+				t.Fatalf("frame %d iphc: %v", i, err)
+			}
+			var udp packet.CompressedUDP
+			if _, err := udp.Unmarshal(rest[m:]); err != nil {
+				t.Fatalf("frame %d nhc udp: %v", i, err)
+			}
+		case AttackFragFlood:
+			var frag packet.SixLowPANFrag
+			if _, err := frag.Unmarshal(rest); err != nil {
+				t.Fatalf("frame %d frag: %v", i, err)
+			}
+			if !frag.First {
+				t.Fatalf("frame %d: flood must be FRAG1", i)
+			}
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Packets != 4000 || c.AttackFrac != 0.35 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	c = Config{Packets: 10, AttackFrac: 0.5}.withDefaults()
+	if c.Packets != 10 || c.AttackFrac != 0.5 {
+		t.Fatalf("explicit config altered: %+v", c)
+	}
+}
+
+func TestMixWeightMismatch(t *testing.T) {
+	sc, err := ByName("ble")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sc
+	_, err = mix("x", packet.LinkBLE, nil, 0, []stream{{}}, nil)
+	if err == nil {
+		t.Fatal("mix accepted mismatched weights")
+	}
+}

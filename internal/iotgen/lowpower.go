@@ -1,0 +1,209 @@
+package iotgen
+
+import (
+	"math/rand"
+	"time"
+
+	"p4guard/internal/packet"
+	"p4guard/internal/trace"
+)
+
+// zigbeePAN is the home network's PAN identifier.
+const zigbeePAN uint16 = 0x1a62
+
+// zigbeeSensorStream models battery sensors reporting to the coordinator.
+func zigbeeSensorStream(devices int) stream {
+	seqs := make(map[int]byte, devices)
+	return stream{
+		label: trace.LabelBenign,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			dev := rng.Intn(devices)
+			seqs[dev]++
+			mac := packet.IEEE802154{
+				FrameType: packet.FrameData, Security: true, AckReq: true,
+				Seq: seqs[dev], PANID: zigbeePAN,
+				Dst: 0x0000, Src: uint16(0x1000 + dev),
+			}
+			nwk := packet.ZigbeeNWK{
+				FrameType: packet.ZigbeeData,
+				Dst:       0x0000, Src: uint16(0x1000 + dev),
+				Radius: byte(5 + rng.Intn(3)), Seq: seqs[dev],
+			}
+			body := nwk.Marshal(mac.Marshal(nil))
+			// APS payload: cluster + attribute reading.
+			body = append(body, 0x40, 0x02, byte(20+rng.Intn(10)), byte(rng.Intn(256)))
+			return body, jitter(rng, 500*time.Millisecond, 0.5)
+		},
+	}
+}
+
+// zigbeeCoordinatorStream models periodic coordinator beacons and acks.
+func zigbeeCoordinatorStream() stream {
+	var seq byte
+	return stream{
+		label: trace.LabelBenign,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			seq++
+			ft := packet.FrameAck
+			if rng.Float64() < 0.3 {
+				ft = packet.FrameBeacon
+			}
+			mac := packet.IEEE802154{
+				FrameType: ft, Security: true,
+				Seq: seq, PANID: zigbeePAN, Dst: 0xffff, Src: 0x0000,
+			}
+			body := mac.Marshal(nil)
+			if ft == packet.FrameBeacon {
+				body = append(body, 0xff, 0xcf, 0x00, 0x00) // superframe spec
+			}
+			return body, jitter(rng, 300*time.Millisecond, 0.4)
+		},
+	}
+}
+
+// zigbeeBeaconFloodStream models a rogue node exhausting the channel with
+// beacon-request command frames from shifting source addresses.
+func zigbeeBeaconFloodStream() stream {
+	return stream{
+		label: trace.LabelAttack, attack: AttackZBBeacon,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			mac := packet.IEEE802154{
+				FrameType: packet.FrameCommand, Security: false,
+				Seq: byte(rng.Intn(256)), PANID: 0xffff, // broadcast PAN
+				Dst: 0xffff, Src: uint16(rng.Intn(0x10000)),
+			}
+			body := append(mac.Marshal(nil), 0x07) // beacon request command id
+			return body, jitter(rng, 3*time.Millisecond, 0.7)
+		},
+	}
+}
+
+// zigbeeCommandInjectStream models unsecured NWK leave/route commands
+// injected to detach devices (touchlink-style reset).
+func zigbeeCommandInjectStream() stream {
+	return stream{
+		label: trace.LabelAttack, attack: AttackZBCommand,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			mac := packet.IEEE802154{
+				FrameType: packet.FrameData, Security: false, AckReq: true,
+				Seq: byte(rng.Intn(256)), PANID: zigbeePAN,
+				Dst: uint16(0x1000 + rng.Intn(8)), Src: uint16(rng.Intn(0x10000)),
+			}
+			nwk := packet.ZigbeeNWK{
+				FrameType: packet.ZigbeeCommand,
+				Dst:       uint16(0x1000 + rng.Intn(8)), Src: 0x0000,
+				Radius: 1, Seq: byte(rng.Intn(256)),
+			}
+			body := nwk.Marshal(mac.Marshal(nil))
+			body = append(body, 0x04, 0x40) // leave command, request+rejoin bits
+			return body, jitter(rng, 8*time.Millisecond, 0.6)
+		},
+	}
+}
+
+// generateZigbee is the zigbee scenario generator.
+func generateZigbee(cfg Config) (*trace.Dataset, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	streams := []stream{
+		zigbeeSensorStream(8),
+		zigbeeCoordinatorStream(),
+		zigbeeBeaconFloodStream(),
+		zigbeeCommandInjectStream(),
+	}
+	benign := 1 - cfg.AttackFrac
+	weights := []float64{benign * 0.7, benign * 0.3, cfg.AttackFrac / 2, cfg.AttackFrac / 2}
+	return mix("zigbee", packet.LinkIEEE802154, rng, cfg.Packets, streams, weights)
+}
+
+// bleWearableStream models wearables advertising periodically.
+func bleWearableStream(devices int) stream {
+	return stream{
+		label: trace.LabelBenign,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			dev := rng.Intn(devices)
+			adv := packet.BLELinkLayer{
+				AccessAddress: packet.BLEAdvAccessAddress,
+				PDUType:       packet.BLEAdvInd,
+				AdvAddr:       packet.MAC{0xc4, 0x00, 0x00, 0x00, 0x02, byte(dev)},
+				// Flags AD + shortened local name.
+				Payload: []byte{0x02, 0x01, 0x06, 0x05, 0x08, 'b', 'n', 'd', byte('0' + dev)},
+			}
+			return adv.Marshal(nil), jitter(rng, 100*time.Millisecond, 0.4)
+		},
+	}
+}
+
+// bleHubScanStream models the hub's scan requests to known wearables.
+func bleHubScanStream(devices int) stream {
+	return stream{
+		label: trace.LabelBenign,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			dev := rng.Intn(devices)
+			req := packet.BLELinkLayer{
+				AccessAddress: packet.BLEAdvAccessAddress,
+				PDUType:       packet.BLEScanReq, TxAdd: true,
+				AdvAddr: packet.MAC{0xc4, 0x00, 0x00, 0x00, 0x02, byte(dev)},
+				Payload: []byte{0xd0, 0x00, 0x00, 0x00, 0x00, 0x01}, // scanner addr
+			}
+			return req.Marshal(nil), jitter(rng, 150*time.Millisecond, 0.4)
+		},
+	}
+}
+
+// bleConnectFloodStream models CONNECT_REQ exhaustion: connection requests
+// from random spoofed initiator addresses at high rate.
+func bleConnectFloodStream() stream {
+	payload := make([]byte, 28) // InitA(6) + LLData(22)
+	return stream{
+		label: trace.LabelAttack, attack: AttackBLEConnFlood,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			for i := range payload {
+				payload[i] = byte(rng.Intn(256))
+			}
+			req := packet.BLELinkLayer{
+				AccessAddress: packet.BLEAdvAccessAddress,
+				PDUType:       packet.BLEConnectReq, TxAdd: true,
+				// Discovery flood: connection requests sprayed at shifting
+				// target addresses, so exact-match keys never repeat.
+				AdvAddr: packet.MAC{0xc4, 0x00, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(4))},
+				Payload: payload,
+			}
+			return req.Marshal(nil), jitter(rng, 2*time.Millisecond, 0.7)
+		},
+	}
+}
+
+// bleSpoofStream models cloned-address advertising with abnormal headers
+// (non-connectable high-rate beacons impersonating a wearable).
+func bleSpoofStream() stream {
+	return stream{
+		label: trace.LabelAttack, attack: AttackBLESpoof,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			adv := packet.BLELinkLayer{
+				AccessAddress: packet.BLEAdvAccessAddress,
+				PDUType:       packet.BLEAdvNonConnInd, TxAdd: true,
+				// Cloned vendor prefix with randomized low bytes (address
+				// rotation), defeating memorized allow/deny lists.
+				AdvAddr: packet.MAC{0xc4, 0x00, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))},
+				Payload: []byte{0x02, 0x01, byte(rng.Intn(256)), 0xff, 0x4c, 0x00, byte(rng.Intn(256)), byte(rng.Intn(256))},
+			}
+			return adv.Marshal(nil), jitter(rng, 4*time.Millisecond, 0.7)
+		},
+	}
+}
+
+// generateBLE is the ble scenario generator.
+func generateBLE(cfg Config) (*trace.Dataset, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	streams := []stream{
+		bleWearableStream(4),
+		bleHubScanStream(4),
+		bleConnectFloodStream(),
+		bleSpoofStream(),
+	}
+	benign := 1 - cfg.AttackFrac
+	weights := []float64{benign * 0.7, benign * 0.3, cfg.AttackFrac / 2, cfg.AttackFrac / 2}
+	return mix("ble", packet.LinkBLE, rng, cfg.Packets, streams, weights)
+}

@@ -1,0 +1,160 @@
+package iotgen
+
+import (
+	"math/rand"
+	"time"
+
+	"p4guard/internal/packet"
+	"p4guard/internal/trace"
+)
+
+// Extended attack kinds for the thread scenario.
+const (
+	AttackFragFlood = "6lowpan-frag-flood"
+	AttackMeshAbuse = "6lowpan-mesh-abuse"
+)
+
+// threadPAN is the Thread-style mesh's PAN identifier.
+const threadPAN uint16 = 0x2fae
+
+// ExtendedScenarios returns the core registry plus extra workloads that
+// are not part of the recorded evaluation tables (they exercise further
+// substrates; regenerate experiments to include them).
+func ExtendedScenarios() []Scenario {
+	return append(Scenarios(), Scenario{
+		Name: "thread", Link: packet.LinkIEEE802154,
+		Attacks:  []string{AttackFragFlood, AttackMeshAbuse},
+		Generate: generateThread,
+	})
+}
+
+// threadSensorStream models mesh sensors reporting CoAP readings over
+// compressed UDP (6LoWPAN IPHC + NHC) to the border router.
+func threadSensorStream(devices int) stream {
+	seqs := make(map[int]byte, devices)
+	var mid uint16
+	return stream{
+		label: trace.LabelBenign,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			dev := rng.Intn(devices)
+			seqs[dev]++
+			mid++
+			mac := packet.IEEE802154{
+				FrameType: packet.FrameData, Security: true, AckReq: true,
+				Seq: seqs[dev], PANID: threadPAN,
+				Dst: 0x0000, Src: uint16(0x2000 + dev),
+			}
+			iphc := packet.SixLowPANHdr{
+				NextHeader: packet.ProtoUDP, HopLimit: 64,
+				Src16: uint16(0x2000 + dev), Dst16: 0x0000,
+			}
+			udp := packet.CompressedUDP{
+				SrcPort: packet.CompressedUDPBase + uint16(dev&0x0F),
+				DstPort: packet.CompressedUDPBase + 1, // border router CoAP
+			}
+			coap := packet.CoAP{
+				Type: packet.CoAPNonConfirmable, Code: packet.CoAPPost, MessageID: mid,
+				Token:   []byte{byte(dev)},
+				Payload: []byte{byte(20 + rng.Intn(10)), byte(rng.Intn(256))},
+			}
+			body := mac.Marshal(nil)
+			body = iphc.Marshal(body)
+			body = udp.Marshal(body)
+			body = coap.Marshal(body)
+			return body, jitter(rng, 400*time.Millisecond, 0.5)
+		},
+	}
+}
+
+// threadRouterStream models border-router acknowledgements and periodic
+// mesh maintenance frames.
+func threadRouterStream() stream {
+	var seq byte
+	return stream{
+		label: trace.LabelBenign,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			seq++
+			mac := packet.IEEE802154{
+				FrameType: packet.FrameData, Security: true,
+				Seq: seq, PANID: threadPAN, Dst: uint16(0x2000 + rng.Intn(6)), Src: 0x0000,
+			}
+			iphc := packet.SixLowPANHdr{
+				NextHeader: packet.ProtoUDP, HopLimit: 64,
+				Src16: 0x0000, Dst16: mac.Dst,
+			}
+			udp := packet.CompressedUDP{
+				SrcPort: packet.CompressedUDPBase + 1,
+				DstPort: packet.CompressedUDPBase + uint16(rng.Intn(6)),
+			}
+			ack := packet.CoAP{Type: packet.CoAPAck, Code: packet.CoAPContent, MessageID: uint16(rng.Intn(65536))}
+			body := mac.Marshal(nil)
+			body = iphc.Marshal(body)
+			body = udp.Marshal(body)
+			body = ack.Marshal(body)
+			return body, jitter(rng, 300*time.Millisecond, 0.4)
+		},
+	}
+}
+
+// threadFragFloodStream models the classic 6LoWPAN fragmentation attack:
+// a storm of FRAG1 headers announcing large datagrams whose remaining
+// fragments never arrive, exhausting reassembly buffers.
+func threadFragFloodStream() stream {
+	return stream{
+		label: trace.LabelAttack, attack: AttackFragFlood,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			mac := packet.IEEE802154{
+				FrameType: packet.FrameData, Security: false,
+				Seq: byte(rng.Intn(256)), PANID: threadPAN,
+				Dst: 0x0000, Src: uint16(rng.Intn(0x10000)),
+			}
+			frag := packet.SixLowPANFrag{
+				First:        true,
+				DatagramSize: uint16(1024 + rng.Intn(1024)),
+				DatagramTag:  uint16(rng.Intn(65536)),
+			}
+			body := frag.Marshal(mac.Marshal(nil))
+			// A token of payload so the fragment looks plausible.
+			body = append(body, byte(rng.Intn(256)), byte(rng.Intn(256)))
+			return body, jitter(rng, 3*time.Millisecond, 0.7)
+		},
+	}
+}
+
+// threadMeshAbuseStream models forged mesh-addressing frames with
+// maximal hops-left fields, forcing routers to forward junk across the
+// mesh (battery-drain / loop abuse).
+func threadMeshAbuseStream() stream {
+	return stream{
+		label: trace.LabelAttack, attack: AttackMeshAbuse,
+		next: func(rng *rand.Rand) ([]byte, time.Duration) {
+			mac := packet.IEEE802154{
+				FrameType: packet.FrameData, Security: false, AckReq: true,
+				Seq: byte(rng.Intn(256)), PANID: threadPAN,
+				Dst: uint16(0x2000 + rng.Intn(6)), Src: uint16(rng.Intn(0x10000)),
+			}
+			body := mac.Marshal(nil)
+			// Mesh header: 10 V F hopsleft(4)=15, then 16-bit orig + final.
+			body = append(body, packet.SixLowPANMesh|0x30|0x0F)
+			body = append(body, byte(rng.Intn(256)), byte(rng.Intn(256))) // originator
+			body = append(body, 0xFF, 0xFF)                               // final: broadcast
+			body = append(body, byte(rng.Intn(256)))                      // junk payload
+			return body, jitter(rng, 5*time.Millisecond, 0.6)
+		},
+	}
+}
+
+// generateThread is the thread scenario generator.
+func generateThread(cfg Config) (*trace.Dataset, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 4))
+	streams := []stream{
+		threadSensorStream(6),
+		threadRouterStream(),
+		threadFragFloodStream(),
+		threadMeshAbuseStream(),
+	}
+	benign := 1 - cfg.AttackFrac
+	weights := []float64{benign * 0.7, benign * 0.3, cfg.AttackFrac / 2, cfg.AttackFrac / 2}
+	return mix("thread", packet.LinkIEEE802154, rng, cfg.Packets, streams, weights)
+}

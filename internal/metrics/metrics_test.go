@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	var c Confusion
+	c.Observe(true, true)   // TP
+	c.Observe(true, false)  // FP
+	c.Observe(false, true)  // FN
+	c.Observe(false, false) // TN
+	c.Observe(true, true)   // TP
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("counts: %+v", c)
+	}
+	if c.Total() != 5 {
+		t.Fatalf("total %d", c.Total())
+	}
+	if got := c.Accuracy(); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("accuracy %v", got)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("precision %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("recall %v", got)
+	}
+	if got := c.F1(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("f1 %v", got)
+	}
+	if got := c.FPR(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("fpr %v", got)
+	}
+	if c.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestConfusionZeroDivision(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.FPR() != 0 {
+		t.Fatal("empty confusion should yield zeros")
+	}
+}
+
+func TestFromPredictions(t *testing.T) {
+	c, err := FromPredictions([]int{1, 0, 1, 0}, []int{1, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TP != 1 || c.TN != 1 || c.FP != 1 || c.FN != 1 {
+		t.Fatalf("counts %+v", c)
+	}
+	if _, err := FromPredictions([]int{1}, []int{1, 0}); err == nil {
+		t.Fatal("accepted mismatched lengths")
+	}
+}
+
+func TestROCAUCPerfect(t *testing.T) {
+	auc, err := ROCAUC([]float64{0.1, 0.2, 0.8, 0.9}, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Fatalf("perfect AUC = %v", auc)
+	}
+}
+
+func TestROCAUCInverted(t *testing.T) {
+	auc, err := ROCAUC([]float64{0.9, 0.8, 0.2, 0.1}, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0 {
+		t.Fatalf("inverted AUC = %v", auc)
+	}
+}
+
+func TestROCAUCRandomIsHalf(t *testing.T) {
+	// All scores tied: AUC must be exactly 0.5 via tie correction.
+	auc, err := ROCAUC([]float64{0.5, 0.5, 0.5, 0.5}, []int{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v", auc)
+	}
+}
+
+func TestROCAUCErrors(t *testing.T) {
+	if _, err := ROCAUC([]float64{1}, []int{1, 0}); err == nil {
+		t.Fatal("accepted mismatched lengths")
+	}
+	if _, err := ROCAUC([]float64{1, 2}, []int{1, 1}); err == nil {
+		t.Fatal("accepted single-class input")
+	}
+}
+
+func TestROCAUCKnownValue(t *testing.T) {
+	// scores: pos {0.9, 0.4}, neg {0.5, 0.3}. Pairs: (0.9>0.5),(0.9>0.3),
+	// (0.4<0.5),(0.4>0.3) => 3/4.
+	auc, err := ROCAUC([]float64{0.9, 0.5, 0.4, 0.3}, []int{1, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.75) > 1e-12 {
+		t.Fatalf("AUC = %v, want 0.75", auc)
+	}
+}

@@ -1,0 +1,265 @@
+// Package nn implements a small from-scratch neural-network stack: dense
+// layers, common activations, dropout, softmax/cross-entropy and MSE losses,
+// SGD and Adam optimizers, and a deterministic minibatch trainer. It replaces
+// the deep-learning framework the paper used (TensorFlow-class) as a substrate
+// for the two-stage detection pipeline.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"p4guard/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network. Forward consumes a batch
+// (rows are samples) and caches whatever Backward needs; Backward consumes
+// dL/dOutput and returns dL/dInput, accumulating parameter gradients.
+type Layer interface {
+	// Forward computes the layer output for the batch x.
+	Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error)
+	// Backward computes dL/dInput given dL/dOutput for the most recent
+	// Forward call with train=true.
+	Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error)
+	// Params returns the layer's trainable parameters; may be empty.
+	Params() []*tensor.Matrix
+	// Grads returns gradient accumulators aligned with Params.
+	Grads() []*tensor.Matrix
+}
+
+// Dense is a fully connected layer: y = xW + b.
+type Dense struct {
+	W, B   *tensor.Matrix // B is 1×out
+	dW, dB *tensor.Matrix
+
+	lastIn *tensor.Matrix
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense returns a Glorot-initialized in→out dense layer.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	w := tensor.New(in, out)
+	w.GlorotInit(rng, in, out)
+	return &Dense{
+		W:  w,
+		B:  tensor.New(1, out),
+		dW: tensor.New(in, out),
+		dB: tensor.New(1, out),
+	}
+}
+
+// In returns the layer's input width.
+func (d *Dense) In() int { return d.W.Rows }
+
+// Out returns the layer's output width.
+func (d *Dense) Out() int { return d.W.Cols }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
+	out := tensor.New(x.Rows, d.W.Cols)
+	if err := tensor.MatMul(out, x, d.W); err != nil {
+		return nil, fmt.Errorf("dense forward: %w", err)
+	}
+	if err := out.AddRowVector(d.B.Row(0)); err != nil {
+		return nil, fmt.Errorf("dense bias: %w", err)
+	}
+	if train {
+		d.lastIn = x
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error) {
+	if d.lastIn == nil {
+		return nil, fmt.Errorf("dense backward before forward(train)")
+	}
+	if err := tensor.MatMulATB(d.dW, d.lastIn, gradOut); err != nil {
+		return nil, fmt.Errorf("dense dW: %w", err)
+	}
+	d.dB.SetRow(0, gradOut.ColSums())
+	gradIn := tensor.New(gradOut.Rows, d.W.Rows)
+	if err := tensor.MatMulABT(gradIn, gradOut, d.W); err != nil {
+		return nil, fmt.Errorf("dense gradIn: %w", err)
+	}
+	return gradIn, nil
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*tensor.Matrix { return []*tensor.Matrix{d.W, d.B} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*tensor.Matrix { return []*tensor.Matrix{d.dW, d.dB} }
+
+// ReLU is the rectified-linear activation.
+type ReLU struct {
+	mask *tensor.Matrix
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
+	out := x.Clone()
+	if train {
+		r.mask = tensor.New(x.Rows, x.Cols)
+	}
+	for i, v := range out.Data {
+		if v > 0 {
+			if train {
+				r.mask.Data[i] = 1
+			}
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error) {
+	if r.mask == nil {
+		return nil, fmt.Errorf("relu backward before forward(train)")
+	}
+	gradIn := gradOut.Clone()
+	if err := gradIn.Hadamard(r.mask); err != nil {
+		return nil, fmt.Errorf("relu backward: %w", err)
+	}
+	return gradIn, nil
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*tensor.Matrix { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*tensor.Matrix { return nil }
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct {
+	lastOut *tensor.Matrix
+}
+
+var _ Layer = (*Sigmoid)(nil)
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
+	out := x.Clone()
+	out.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	if train {
+		s.lastOut = out
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error) {
+	if s.lastOut == nil {
+		return nil, fmt.Errorf("sigmoid backward before forward(train)")
+	}
+	gradIn := gradOut.Clone()
+	for i, y := range s.lastOut.Data {
+		gradIn.Data[i] *= y * (1 - y)
+	}
+	return gradIn, nil
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*tensor.Matrix { return nil }
+
+// Grads implements Layer.
+func (s *Sigmoid) Grads() []*tensor.Matrix { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	lastOut *tensor.Matrix
+}
+
+var _ Layer = (*Tanh)(nil)
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
+	out := x.Clone()
+	out.Apply(math.Tanh)
+	if train {
+		t.lastOut = out
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error) {
+	if t.lastOut == nil {
+		return nil, fmt.Errorf("tanh backward before forward(train)")
+	}
+	gradIn := gradOut.Clone()
+	for i, y := range t.lastOut.Data {
+		gradIn.Data[i] *= 1 - y*y
+	}
+	return gradIn, nil
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*tensor.Matrix { return nil }
+
+// Grads implements Layer.
+func (t *Tanh) Grads() []*tensor.Matrix { return nil }
+
+// Dropout randomly zeroes activations during training with probability Rate
+// and rescales survivors by 1/(1-Rate) (inverted dropout). It is the identity
+// at inference time.
+type Dropout struct {
+	Rate float64
+	rng  *rand.Rand
+	mask *tensor.Matrix
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout returns a dropout layer with the given drop probability.
+func NewDropout(rng *rand.Rand, rate float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v out of [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
+	if !train || d.Rate == 0 {
+		return x.Clone(), nil
+	}
+	out := x.Clone()
+	d.mask = tensor.New(x.Rows, x.Cols)
+	keep := 1 - d.Rate
+	scale := 1 / keep
+	for i := range out.Data {
+		if d.rng.Float64() < keep {
+			d.mask.Data[i] = scale
+			out.Data[i] *= scale
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error) {
+	if d.mask == nil {
+		// Rate==0 or inference; pass through.
+		return gradOut.Clone(), nil
+	}
+	gradIn := gradOut.Clone()
+	if err := gradIn.Hadamard(d.mask); err != nil {
+		return nil, fmt.Errorf("dropout backward: %w", err)
+	}
+	return gradIn, nil
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*tensor.Matrix { return nil }
+
+// Grads implements Layer.
+func (d *Dropout) Grads() []*tensor.Matrix { return nil }

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"p4guard/internal/tensor"
+)
+
+// Loss maps a network output batch and targets to a scalar loss and the
+// gradient dL/dOutput.
+type Loss interface {
+	// Value returns the mean loss over the batch.
+	Value(out, target *tensor.Matrix) (float64, error)
+	// Grad returns dL/dOutput (same shape as out).
+	Grad(out, target *tensor.Matrix) (*tensor.Matrix, error)
+}
+
+// SoftmaxCE is softmax followed by cross-entropy against one-hot targets.
+// The gradient is the standard combined form (probs - target)/batch, which
+// keeps backpropagation numerically stable.
+type SoftmaxCE struct{}
+
+var _ Loss = SoftmaxCE{}
+
+func (SoftmaxCE) probs(out *tensor.Matrix) *tensor.Matrix {
+	p := tensor.New(out.Rows, out.Cols)
+	for i := 0; i < out.Rows; i++ {
+		tensor.Softmax(p.Row(i), out.Row(i))
+	}
+	return p
+}
+
+// Value implements Loss.
+func (l SoftmaxCE) Value(out, target *tensor.Matrix) (float64, error) {
+	if out.Rows != target.Rows || out.Cols != target.Cols {
+		return 0, fmt.Errorf("softmaxCE: out %dx%d vs target %dx%d: %w",
+			out.Rows, out.Cols, target.Rows, target.Cols, tensor.ErrShape)
+	}
+	p := l.probs(out)
+	var sum float64
+	for i := 0; i < out.Rows; i++ {
+		prow, trow := p.Row(i), target.Row(i)
+		for j, tv := range trow {
+			if tv > 0 {
+				sum -= tv * math.Log(math.Max(prow[j], 1e-12))
+			}
+		}
+	}
+	return sum / float64(out.Rows), nil
+}
+
+// Grad implements Loss.
+func (l SoftmaxCE) Grad(out, target *tensor.Matrix) (*tensor.Matrix, error) {
+	if out.Rows != target.Rows || out.Cols != target.Cols {
+		return nil, fmt.Errorf("softmaxCE grad: out %dx%d vs target %dx%d: %w",
+			out.Rows, out.Cols, target.Rows, target.Cols, tensor.ErrShape)
+	}
+	g := l.probs(out)
+	if err := g.AddScaled(target, -1); err != nil {
+		return nil, err
+	}
+	g.Scale(1 / float64(out.Rows))
+	return g, nil
+}
+
+// MSE is mean squared error, used by the autoencoder reconstruction head.
+type MSE struct{}
+
+var _ Loss = MSE{}
+
+// Value implements Loss.
+func (MSE) Value(out, target *tensor.Matrix) (float64, error) {
+	if out.Rows != target.Rows || out.Cols != target.Cols {
+		return 0, fmt.Errorf("mse: out %dx%d vs target %dx%d: %w",
+			out.Rows, out.Cols, target.Rows, target.Cols, tensor.ErrShape)
+	}
+	var sum float64
+	for i, v := range out.Data {
+		d := v - target.Data[i]
+		sum += d * d
+	}
+	return sum / float64(out.Rows*out.Cols), nil
+}
+
+// Grad implements Loss.
+func (MSE) Grad(out, target *tensor.Matrix) (*tensor.Matrix, error) {
+	if out.Rows != target.Rows || out.Cols != target.Cols {
+		return nil, fmt.Errorf("mse grad: out %dx%d vs target %dx%d: %w",
+			out.Rows, out.Cols, target.Rows, target.Cols, tensor.ErrShape)
+	}
+	g := out.Clone()
+	if err := g.AddScaled(target, -1); err != nil {
+		return nil, err
+	}
+	g.Scale(2 / float64(out.Rows*out.Cols))
+	return g, nil
+}

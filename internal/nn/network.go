@@ -1,0 +1,123 @@
+package nn
+
+import (
+	"fmt"
+
+	"p4guard/internal/tensor"
+)
+
+// Network is an ordered stack of layers with a loss head.
+type Network struct {
+	Layers []Layer
+	Loss   Loss
+}
+
+// NewNetwork builds a network from the given layers and loss.
+func NewNetwork(loss Loss, layers ...Layer) *Network {
+	return &Network{Layers: layers, Loss: loss}
+}
+
+// Forward runs the batch through every layer. train controls caching for
+// backprop and stochastic layers such as dropout.
+func (n *Network) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
+	cur := x
+	for i, l := range n.Layers {
+		out, err := l.Forward(cur, train)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// Backward propagates dL/dOutput back through every layer, accumulating
+// parameter gradients, and returns dL/dInput.
+func (n *Network) Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error) {
+	cur := gradOut
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g, err := n.Layers[i].Backward(cur)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d backward: %w", i, err)
+		}
+		cur = g
+	}
+	return cur, nil
+}
+
+// Step runs one forward/backward pass over the batch and returns the loss
+// value; parameter gradients are left in the layers for the optimizer. It
+// also returns dL/dInput, which stage-1 saliency attribution consumes.
+func (n *Network) Step(x, target *tensor.Matrix) (float64, *tensor.Matrix, error) {
+	out, err := n.Forward(x, true)
+	if err != nil {
+		return 0, nil, err
+	}
+	loss, err := n.Loss.Value(out, target)
+	if err != nil {
+		return 0, nil, err
+	}
+	grad, err := n.Loss.Grad(out, target)
+	if err != nil {
+		return 0, nil, err
+	}
+	gradIn, err := n.Backward(grad)
+	if err != nil {
+		return 0, nil, err
+	}
+	return loss, gradIn, nil
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []*tensor.Matrix {
+	var ps []*tensor.Matrix
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Grads returns gradient accumulators aligned with Params.
+func (n *Network) Grads() []*tensor.Matrix {
+	var gs []*tensor.Matrix
+	for _, l := range n.Layers {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+// Predict returns the argmax class for each row of x.
+func (n *Network) Predict(x *tensor.Matrix) ([]int, error) {
+	out, err := n.Forward(x, false)
+	if err != nil {
+		return nil, err
+	}
+	preds := make([]int, out.Rows)
+	for i := range preds {
+		preds[i] = tensor.Argmax(out.Row(i))
+	}
+	return preds, nil
+}
+
+// PredictProba returns softmax class probabilities for each row of x.
+func (n *Network) PredictProba(x *tensor.Matrix) (*tensor.Matrix, error) {
+	out, err := n.Forward(x, false)
+	if err != nil {
+		return nil, err
+	}
+	p := tensor.New(out.Rows, out.Cols)
+	for i := 0; i < out.Rows; i++ {
+		tensor.Softmax(p.Row(i), out.Row(i))
+	}
+	return p, nil
+}
+
+// InputGradient returns dLoss/dInput for the batch without updating any
+// parameters — used for saliency-based field attribution.
+func (n *Network) InputGradient(x, target *tensor.Matrix) (*tensor.Matrix, error) {
+	_, gradIn, err := n.Step(x, target)
+	if err != nil {
+		return nil, err
+	}
+	return gradIn, nil
+}

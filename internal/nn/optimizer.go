@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"p4guard/internal/tensor"
+)
+
+// Optimizer updates parameters in place from their accumulated gradients.
+type Optimizer interface {
+	// Update applies one optimization step. params and grads must be
+	// aligned and keep the same identity across calls.
+	Update(params, grads []*tensor.Matrix) error
+}
+
+// SGD is stochastic gradient descent with classical momentum and optional
+// L2 weight decay.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	Decay    float64
+
+	velocity []*tensor.Matrix
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// Update implements Optimizer.
+func (s *SGD) Update(params, grads []*tensor.Matrix) error {
+	if len(params) != len(grads) {
+		return fmt.Errorf("sgd: %d params vs %d grads", len(params), len(grads))
+	}
+	if s.velocity == nil {
+		s.velocity = make([]*tensor.Matrix, len(params))
+		for i, p := range params {
+			s.velocity[i] = tensor.New(p.Rows, p.Cols)
+		}
+	}
+	for i, p := range params {
+		g, v := grads[i], s.velocity[i]
+		for j := range p.Data {
+			gj := g.Data[j] + s.Decay*p.Data[j]
+			v.Data[j] = s.Momentum*v.Data[j] - s.LR*gj
+			p.Data[j] += v.Data[j]
+		}
+	}
+	return nil
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t    int
+	m, v []*tensor.Matrix
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam returns an Adam optimizer with standard defaults for any zero
+// hyperparameter.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Update implements Optimizer.
+func (a *Adam) Update(params, grads []*tensor.Matrix) error {
+	if len(params) != len(grads) {
+		return fmt.Errorf("adam: %d params vs %d grads", len(params), len(grads))
+	}
+	if a.m == nil {
+		a.m = make([]*tensor.Matrix, len(params))
+		a.v = make([]*tensor.Matrix, len(params))
+		for i, p := range params {
+			a.m[i] = tensor.New(p.Rows, p.Cols)
+			a.v[i] = tensor.New(p.Rows, p.Cols)
+		}
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		g, m, v := grads[i], a.m[i], a.v[i]
+		for j := range p.Data {
+			gj := g.Data[j]
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*gj
+			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*gj*gj
+			mhat := m.Data[j] / bc1
+			vhat := v.Data[j] / bc2
+			p.Data[j] -= a.LR * mhat / (math.Sqrt(vhat) + a.Epsilon)
+		}
+	}
+	return nil
+}

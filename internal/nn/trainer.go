@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"p4guard/internal/tensor"
+)
+
+// TrainConfig controls the minibatch training loop.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	// Shuffle reshuffles sample order each epoch when non-nil.
+	Shuffle *rand.Rand
+	// OnEpoch, when non-nil, receives (epoch, meanLoss) after each epoch;
+	// returning false stops training early.
+	OnEpoch func(epoch int, loss float64) bool
+}
+
+// Train runs minibatch gradient descent over (x, target) with the given
+// optimizer and returns the mean loss of the final epoch.
+func Train(net *Network, opt Optimizer, x, target *tensor.Matrix, cfg TrainConfig) (float64, error) {
+	if x.Rows != target.Rows {
+		return 0, fmt.Errorf("nn: %d samples vs %d targets: %w", x.Rows, target.Rows, tensor.ErrShape)
+	}
+	if x.Rows == 0 {
+		return 0, fmt.Errorf("nn: empty training set")
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 || batch > x.Rows {
+		batch = x.Rows
+	}
+	epochs := cfg.Epochs
+	if epochs <= 0 {
+		epochs = 1
+	}
+
+	order := make([]int, x.Rows)
+	for i := range order {
+		order[i] = i
+	}
+
+	var lastLoss float64
+	for e := 0; e < epochs; e++ {
+		if cfg.Shuffle != nil {
+			cfg.Shuffle.Shuffle(len(order), func(i, j int) {
+				order[i], order[j] = order[j], order[i]
+			})
+		}
+		var epochLoss float64
+		var batches int
+		for start := 0; start < len(order); start += batch {
+			end := start + batch
+			if end > len(order) {
+				end = len(order)
+			}
+			bx := tensor.New(end-start, x.Cols)
+			bt := tensor.New(end-start, target.Cols)
+			for bi, idx := range order[start:end] {
+				bx.SetRow(bi, x.Row(idx))
+				bt.SetRow(bi, target.Row(idx))
+			}
+			loss, _, err := net.Step(bx, bt)
+			if err != nil {
+				return 0, fmt.Errorf("epoch %d batch %d: %w", e, batches, err)
+			}
+			if err := opt.Update(net.Params(), net.Grads()); err != nil {
+				return 0, fmt.Errorf("epoch %d update: %w", e, err)
+			}
+			epochLoss += loss
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+		if cfg.OnEpoch != nil && !cfg.OnEpoch(e, lastLoss) {
+			break
+		}
+	}
+	return lastLoss, nil
+}
+
+// OneHot encodes integer labels into an n×classes one-hot matrix.
+func OneHot(labels []int, classes int) (*tensor.Matrix, error) {
+	m := tensor.New(len(labels), classes)
+	for i, l := range labels {
+		if l < 0 || l >= classes {
+			return nil, fmt.Errorf("nn: label %d out of range [0,%d)", l, classes)
+		}
+		m.Set(i, l, 1)
+	}
+	return m, nil
+}
+
+// NewMLP builds a ReLU multi-layer perceptron with a softmax/cross-entropy
+// head. hidden lists the hidden-layer widths in order.
+func NewMLP(rng *rand.Rand, in int, hidden []int, out int) *Network {
+	var layers []Layer
+	prev := in
+	for _, h := range hidden {
+		layers = append(layers, NewDense(rng, prev, h), &ReLU{})
+		prev = h
+	}
+	layers = append(layers, NewDense(rng, prev, out))
+	return NewNetwork(SoftmaxCE{}, layers...)
+}

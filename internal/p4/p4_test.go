@@ -1,0 +1,405 @@
+package p4
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"p4guard/internal/packet"
+)
+
+func key1() []FieldSpec { return []FieldSpec{{Name: "b0", Offset: 0, Width: 1}} }
+
+func TestMatchKindActionStrings(t *testing.T) {
+	for _, k := range []MatchKind{MatchExact, MatchTernary, MatchLPM, MatchRange} {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+	for _, a := range []ActionType{ActionAllow, ActionDrop, ActionDigest, ActionSetClass, ActionNop} {
+		if a.String() == "" {
+			t.Fatal("empty action name")
+		}
+	}
+}
+
+func TestExtractKeyPadsMissing(t *testing.T) {
+	specs := []FieldSpec{{Offset: 1, Width: 2}, {Offset: 10, Width: 1}}
+	key := ExtractKey([]byte{9, 8, 7}, specs)
+	if len(key) != 3 || key[0] != 8 || key[1] != 7 || key[2] != 0 {
+		t.Fatalf("key = %v", key)
+	}
+	if KeyWidth(specs) != 3 {
+		t.Fatalf("KeyWidth = %d", KeyWidth(specs))
+	}
+}
+
+func TestExactTable(t *testing.T) {
+	tbl := NewTable("fw", MatchExact, key1(), 0, Action{Type: ActionNop})
+	id, err := tbl.Insert(Entry{Value: []byte{42}, Action: Action{Type: ActionDrop, Class: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, matched := tbl.Lookup([]byte{42})
+	if !matched || act.Type != ActionDrop {
+		t.Fatalf("lookup = %v matched=%v", act, matched)
+	}
+	act, matched = tbl.Lookup([]byte{43})
+	if matched || act.Type != ActionNop {
+		t.Fatalf("miss = %v matched=%v", act, matched)
+	}
+	hits, err := tbl.EntryHits(id)
+	if err != nil || hits != 1 {
+		t.Fatalf("hits=%d err=%v", hits, err)
+	}
+	st := tbl.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := tbl.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, matched := tbl.Lookup([]byte{42}); matched {
+		t.Fatal("deleted entry still matches")
+	}
+	if err := tbl.Delete(id); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestTernaryPriority(t *testing.T) {
+	tbl := NewTable("det", MatchTernary, key1(), 0, Action{Type: ActionAllow})
+	if _, err := tbl.Insert(Entry{
+		Priority: 1, Value: []byte{0x00}, Mask: []byte{0x00},
+		Action: Action{Type: ActionAllow},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(Entry{
+		Priority: 10, Value: []byte{0x80}, Mask: []byte{0x80},
+		Action: Action{Type: ActionDrop, Class: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if act, _ := tbl.Lookup([]byte{0x90}); act.Type != ActionDrop {
+		t.Fatalf("high-priority drop not chosen: %v", act)
+	}
+	if act, _ := tbl.Lookup([]byte{0x10}); act.Type != ActionAllow {
+		t.Fatalf("wildcard allow not chosen: %v", act)
+	}
+}
+
+func TestTernaryValueOutsideMaskRejected(t *testing.T) {
+	tbl := NewTable("det", MatchTernary, key1(), 0, Action{Type: ActionNop})
+	_, err := tbl.Insert(Entry{Value: []byte{0x01}, Mask: []byte{0x00}})
+	if !errors.Is(err, ErrBadEntry) {
+		t.Fatalf("err = %v, want ErrBadEntry", err)
+	}
+}
+
+func TestLPMLongestPrefixWins(t *testing.T) {
+	specs := []FieldSpec{{Name: "ip.dst", Offset: 0, Width: 4}}
+	tbl := NewTable("routes", MatchLPM, specs, 0, Action{Type: ActionDrop})
+	if _, err := tbl.Insert(Entry{
+		Value: []byte{10, 0, 0, 0}, PrefixLen: 8, Action: Action{Type: ActionSetClass, Class: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(Entry{
+		Value: []byte{10, 1, 0, 0}, PrefixLen: 16, Action: Action{Type: ActionSetClass, Class: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if act, _ := tbl.Lookup([]byte{10, 1, 2, 3}); act.Class != 2 {
+		t.Fatalf("longest prefix not chosen: %v", act)
+	}
+	if act, _ := tbl.Lookup([]byte{10, 9, 2, 3}); act.Class != 1 {
+		t.Fatalf("/8 not chosen: %v", act)
+	}
+	if _, matched := tbl.Lookup([]byte{11, 0, 0, 1}); matched {
+		t.Fatal("miss matched")
+	}
+	if _, err := tbl.Insert(Entry{Value: []byte{1, 2, 3, 4}, PrefixLen: 33}); !errors.Is(err, ErrBadEntry) {
+		t.Fatal("accepted prefix > width")
+	}
+}
+
+// TestLPMPartialByteBoundary checks non-multiple-of-8 prefixes.
+func TestLPMPartialByteBoundary(t *testing.T) {
+	specs := []FieldSpec{{Offset: 0, Width: 1}}
+	tbl := NewTable("lpm", MatchLPM, specs, 0, Action{Type: ActionNop})
+	if _, err := tbl.Insert(Entry{Value: []byte{0b1010_0000}, PrefixLen: 3, Action: Action{Type: ActionDrop}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, matched := tbl.Lookup([]byte{0b1011_1111}); !matched {
+		t.Fatal("prefix 101 should match 1011_1111")
+	}
+	if _, matched := tbl.Lookup([]byte{0b1000_0000}); matched {
+		t.Fatal("prefix 101 should not match 1000_0000")
+	}
+}
+
+func TestRangeTable(t *testing.T) {
+	tbl := NewTable("rng", MatchRange, key1(), 0, Action{Type: ActionNop})
+	if _, err := tbl.Insert(Entry{
+		Priority: 1, Lo: []byte{10}, Hi: []byte{20}, Action: Action{Type: ActionDrop},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, matched := tbl.Lookup([]byte{15}); !matched {
+		t.Fatal("15 in [10,20] missed")
+	}
+	if _, matched := tbl.Lookup([]byte{21}); matched {
+		t.Fatal("21 matched [10,20]")
+	}
+	if _, err := tbl.Insert(Entry{Lo: []byte{5}, Hi: []byte{4}}); !errors.Is(err, ErrBadEntry) {
+		t.Fatal("accepted lo>hi")
+	}
+}
+
+func TestTableFull(t *testing.T) {
+	tbl := NewTable("small", MatchExact, key1(), 1, Action{Type: ActionNop})
+	if _, err := tbl.Insert(Entry{Value: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(Entry{Value: []byte{2}}); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("err = %v, want ErrTableFull", err)
+	}
+}
+
+func TestTableClear(t *testing.T) {
+	tbl := NewTable("c", MatchExact, key1(), 0, Action{Type: ActionNop})
+	if _, err := tbl.Insert(Entry{Value: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Clear()
+	if tbl.Len() != 0 {
+		t.Fatal("Clear left entries")
+	}
+	if _, matched := tbl.Lookup([]byte{1}); matched {
+		t.Fatal("cleared entry still matches")
+	}
+}
+
+// TestTernaryAgainstReference cross-checks table lookup against a direct
+// scan for random entries and keys.
+func TestTernaryAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		specs := []FieldSpec{{Offset: 0, Width: 2}}
+		tbl := NewTable("t", MatchTernary, specs, 0, Action{Type: ActionNop})
+		type ref struct {
+			prio        int
+			value, mask []byte
+			class       int
+		}
+		var refs []ref
+		for i := 0; i < 8; i++ {
+			mask := []byte{byte(rng.Intn(256)), byte(rng.Intn(256))}
+			value := []byte{byte(rng.Intn(256)) & mask[0], byte(rng.Intn(256)) & mask[1]}
+			prio := rng.Intn(20)
+			class := rng.Intn(5)
+			if _, err := tbl.Insert(Entry{
+				Priority: prio, Value: value, Mask: mask,
+				Action: Action{Type: ActionSetClass, Class: class},
+			}); err != nil {
+				return false
+			}
+			refs = append(refs, ref{prio, value, mask, class})
+		}
+		for p := 0; p < 100; p++ {
+			key := []byte{byte(rng.Intn(256)), byte(rng.Intn(256))}
+			// Reference: highest priority match, earliest insert on ties.
+			best := -1
+			bestClass := -1
+			for _, r := range refs {
+				if key[0]&r.mask[0] == r.value[0] && key[1]&r.mask[1] == r.value[1] && r.prio > best {
+					best = r.prio
+					bestClass = r.class
+				}
+			}
+			act, matched := tbl.Lookup(key)
+			if (best >= 0) != matched {
+				return false
+			}
+			if matched && act.Class != bestClass {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineFlow(t *testing.T) {
+	p := NewPipeline(4)
+	class := NewTable("classify", MatchExact, key1(), 0, Action{Type: ActionDigest})
+	if _, err := class.Insert(Entry{Value: []byte{1}, Action: Action{Type: ActionSetClass, Class: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	verdict := NewTable("verdict", MatchExact, key1(), 0, Action{Type: ActionAllow})
+	if _, err := verdict.Insert(Entry{Value: []byte{1}, Action: Action{Type: ActionDrop, Class: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddTable(class); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddTable(verdict); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddTable(class); err == nil {
+		t.Fatal("accepted duplicate table")
+	}
+
+	v := p.Process(&packet.Packet{Bytes: []byte{1}})
+	if v.Allowed || v.Class != 3 || !v.Matched {
+		t.Fatalf("verdict = %+v", v)
+	}
+	// Miss in classify -> digest queued, then verdict table allows.
+	v = p.Process(&packet.Packet{Bytes: []byte{9}})
+	if !v.Allowed || !v.Digested {
+		t.Fatalf("miss verdict = %+v", v)
+	}
+	ds := p.DrainDigests(0)
+	if len(ds) != 1 || ds[0].Table != "classify" {
+		t.Fatalf("digests = %+v", ds)
+	}
+}
+
+func TestPipelineDigestOverflow(t *testing.T) {
+	p := NewPipeline(2)
+	tbl := NewTable("d", MatchExact, key1(), 0, Action{Type: ActionDigest})
+	if err := p.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		p.Process(&packet.Packet{Bytes: []byte{byte(i)}})
+	}
+	if got := len(p.DrainDigests(0)); got != 2 {
+		t.Fatalf("queued %d, want 2", got)
+	}
+	if p.DroppedDigests() != 3 {
+		t.Fatalf("dropped %d, want 3", p.DroppedDigests())
+	}
+}
+
+func TestPipelineTableAccess(t *testing.T) {
+	p := NewPipeline(0)
+	tbl := NewTable("x", MatchExact, key1(), 0, Action{Type: ActionNop})
+	if err := p.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Table("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Table("y"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := len(p.Tables()); got != 1 {
+		t.Fatalf("Tables len %d", got)
+	}
+}
+
+func TestStandardParserEthernet(t *testing.T) {
+	parser, err := StandardParser(packet.LinkEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+	ip := packet.IPv4{Protocol: packet.ProtoTCP, TTL: 64}
+	tcp := packet.TCP{SrcPort: 1, DstPort: 2}
+	frame := eth.Marshal(nil)
+	frame = ip.Marshal(frame, packet.TCPLen)
+	frame = tcp.Marshal(frame)
+
+	res := parser.Parse(frame)
+	if !res.Accepted {
+		t.Fatal("frame rejected")
+	}
+	for _, h := range []string{"ethernet", "ipv4", "tcp"} {
+		if !res.Has(h) {
+			t.Fatalf("missing header %s in %+v", h, res.Headers)
+		}
+	}
+	// Truncated frame must reject.
+	res = parser.Parse(frame[:20])
+	if res.Accepted {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestStandardParserZigbee(t *testing.T) {
+	parser, err := StandardParser(packet.LinkIEEE802154)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mac := packet.IEEE802154{FrameType: packet.FrameData, PANID: 1, Dst: 2, Src: 3}
+	nwk := packet.ZigbeeNWK{FrameType: packet.ZigbeeData, Dst: 2, Src: 3, Radius: 5, Seq: 1}
+	frame := nwk.Marshal(mac.Marshal(nil))
+	res := parser.Parse(frame)
+	if !res.Accepted || !res.Has("nwk") {
+		t.Fatalf("zigbee parse = %+v", res)
+	}
+	// Ack frame has no NWK header.
+	ack := packet.IEEE802154{FrameType: packet.FrameAck, PANID: 1, Dst: 2, Src: 3}
+	res = parser.Parse(ack.Marshal(nil))
+	if !res.Accepted || res.Has("nwk") {
+		t.Fatalf("ack parse = %+v", res)
+	}
+}
+
+func TestStandardParserBLEAndUnknown(t *testing.T) {
+	parser, err := StandardParser(packet.LinkBLE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdu := packet.BLELinkLayer{AccessAddress: packet.BLEAdvAccessAddress, PDUType: packet.BLEAdvInd}
+	res := parser.Parse(pdu.Marshal(nil))
+	if !res.Accepted || !res.Has("ll") {
+		t.Fatalf("ble parse = %+v", res)
+	}
+	if _, err := StandardParser(packet.LinkType(99)); err == nil {
+		t.Fatal("accepted unknown link")
+	}
+}
+
+func TestParserRejectsLoopsAndDanglingStates(t *testing.T) {
+	loop, err := NewParser("a",
+		&ParseState{
+			Name:    "a",
+			Extract: func([]byte, int) (int, error) { return 0, nil },
+			Next:    func([]byte, int, int) string { return "a" },
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := loop.Parse([]byte{1}); res.Accepted {
+		t.Fatal("looping parser accepted")
+	}
+	dangling, err := NewParser("a",
+		&ParseState{
+			Name:    "a",
+			Extract: func([]byte, int) (int, error) { return 1, nil },
+			Next:    func([]byte, int, int) string { return "ghost" },
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := dangling.Parse([]byte{1}); res.Accepted {
+		t.Fatal("dangling transition accepted")
+	}
+	if _, err := NewParser("missing"); err == nil {
+		t.Fatal("accepted undefined start state")
+	}
+	if _, err := NewParser("a",
+		&ParseState{Name: "a", Extract: func([]byte, int) (int, error) { return 0, nil }, Next: func([]byte, int, int) string { return "" }},
+		&ParseState{Name: "a", Extract: func([]byte, int) (int, error) { return 0, nil }, Next: func([]byte, int, int) string { return "" }},
+	); err == nil {
+		t.Fatal("accepted duplicate states")
+	}
+}

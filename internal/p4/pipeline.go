@@ -1,0 +1,144 @@
+package p4
+
+import (
+	"fmt"
+	"sync"
+
+	"p4guard/internal/packet"
+)
+
+// Verdict is a pipeline's final decision on a packet.
+type Verdict struct {
+	// Allowed reports whether the packet is forwarded.
+	Allowed bool
+	// Class is the last class metadata written by ActionSetClass, or the
+	// class carried by the terminal action.
+	Class int
+	// Matched reports whether any non-default entry fired.
+	Matched bool
+	// Digested reports whether a digest was queued for the controller.
+	Digested bool
+}
+
+// Digest is a packet sample queued for the controller.
+type Digest struct {
+	Table string
+	Pkt   *packet.Packet
+}
+
+// Pipeline is an ordered list of tables applied to every packet, plus a
+// bounded digest queue. It models a single P4 ingress control block.
+type Pipeline struct {
+	mu      sync.RWMutex
+	tables  []*Table
+	byName  map[string]*Table
+	digests []Digest
+	dropped uint64 // digests dropped due to a full queue
+	maxQ    int
+}
+
+// NewPipeline builds a pipeline with the given digest queue capacity
+// (<=0 means 1024).
+func NewPipeline(digestCap int) *Pipeline {
+	if digestCap <= 0 {
+		digestCap = 1024
+	}
+	return &Pipeline{byName: make(map[string]*Table), maxQ: digestCap}
+}
+
+// AddTable appends a table to the pipeline.
+func (p *Pipeline) AddTable(t *Table) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.byName[t.Name]; dup {
+		return fmt.Errorf("p4: duplicate table %q", t.Name)
+	}
+	p.tables = append(p.tables, t)
+	p.byName[t.Name] = t
+	return nil
+}
+
+// Table returns the named table.
+func (p *Pipeline) Table(name string) (*Table, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	t, ok := p.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%q: %w", name, ErrNoSuchTable)
+	}
+	return t, nil
+}
+
+// Tables returns the tables in pipeline order.
+func (p *Pipeline) Tables() []*Table {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*Table, len(p.tables))
+	copy(out, p.tables)
+	return out
+}
+
+// Process runs the packet through the pipeline and returns the verdict.
+// The default disposition when no terminal action fires is allow (a
+// firewall that fails open for unmatched traffic; the detector's default
+// action usually overrides this by digesting or dropping).
+func (p *Pipeline) Process(pkt *packet.Packet) Verdict {
+	p.mu.RLock()
+	tables := p.tables
+	p.mu.RUnlock()
+
+	v := Verdict{Allowed: true}
+	for _, t := range tables {
+		act, matched := t.Lookup(pkt.Bytes)
+		v.Matched = v.Matched || matched
+		switch act.Type {
+		case ActionAllow:
+			v.Allowed = true
+			v.Class = act.Class
+			return v
+		case ActionDrop:
+			v.Allowed = false
+			v.Class = act.Class
+			return v
+		case ActionDigest:
+			p.queueDigest(Digest{Table: t.Name, Pkt: pkt})
+			v.Digested = true
+		case ActionSetClass:
+			v.Class = act.Class
+		case ActionNop:
+		}
+	}
+	return v
+}
+
+func (p *Pipeline) queueDigest(d Digest) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.digests) >= p.maxQ {
+		p.dropped++
+		return
+	}
+	p.digests = append(p.digests, d)
+}
+
+// DrainDigests removes and returns up to max queued digests (all when
+// max <= 0).
+func (p *Pipeline) DrainDigests(max int) []Digest {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.digests)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Digest, n)
+	copy(out, p.digests[:n])
+	p.digests = p.digests[n:]
+	return out
+}
+
+// DroppedDigests reports digests lost to queue overflow.
+func (p *Pipeline) DroppedDigests() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.dropped
+}

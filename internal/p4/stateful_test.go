@@ -1,0 +1,148 @@
+package p4
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRegisterBasics(t *testing.T) {
+	r, err := NewRegister(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 4 {
+		t.Fatalf("size %d", r.Size())
+	}
+	if got := r.Add(1, 5); got != 5 {
+		t.Fatalf("Add = %d", got)
+	}
+	if got := r.Add(1, 2); got != 7 {
+		t.Fatalf("Add = %d", got)
+	}
+	if r.Read(1) != 7 || r.Read(0) != 0 {
+		t.Fatal("Read values wrong")
+	}
+	// Out-of-range indices are inert.
+	if r.Add(99, 1) != 0 || r.Read(-1) != 0 {
+		t.Fatal("out-of-range not inert")
+	}
+	r.Reset()
+	if r.Read(1) != 0 {
+		t.Fatal("Reset left state")
+	}
+	if _, err := NewRegister(0); err == nil {
+		t.Fatal("accepted size 0")
+	}
+}
+
+// TestSketchNeverUndercounts is the count-min invariant.
+func TestSketchNeverUndercounts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := NewCountMinSketch(4, 64)
+		if err != nil {
+			return false
+		}
+		truth := make(map[string]uint64)
+		for i := 0; i < 500; i++ {
+			key := []byte("key-" + strconv.Itoa(rng.Intn(40)))
+			truth[string(key)]++
+			s.Update(key, 1)
+		}
+		for k, want := range truth {
+			if s.Estimate([]byte(k)) < want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSketchAccurateWhenSparse(t *testing.T) {
+	s, err := NewCountMinSketch(4, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		key := []byte{byte(i)}
+		for j := 0; j <= i; j++ {
+			s.Update(key, 1)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if got := s.Estimate([]byte{byte(i)}); got != uint64(i+1) {
+			t.Fatalf("estimate(%d) = %d, want %d", i, got, i+1)
+		}
+	}
+	s.Reset()
+	if s.Estimate([]byte{1}) != 0 {
+		t.Fatal("Reset left counts")
+	}
+}
+
+func TestSketchValidation(t *testing.T) {
+	if _, err := NewCountMinSketch(0, 8); err == nil {
+		t.Fatal("accepted depth 0")
+	}
+	if _, err := NewCountMinSketch(2, 0); err == nil {
+		t.Fatal("accepted width 0")
+	}
+}
+
+func TestRateGuardFlagsFloods(t *testing.T) {
+	key := []FieldSpec{{Offset: 0, Width: 1}}
+	g, err := NewRateGuard(key, 10, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow key: 5 packets/window, never flagged.
+	for i := 0; i < 5; i++ {
+		if g.Observe([]byte{1}, time.Duration(i)*100*time.Millisecond) {
+			t.Fatal("slow key flagged")
+		}
+	}
+	// Flood key: 50 packets in one window, flagged after the threshold.
+	flagged := 0
+	for i := 0; i < 50; i++ {
+		if g.Observe([]byte{2}, time.Duration(i)*time.Millisecond) {
+			flagged++
+		}
+	}
+	if flagged != 40 {
+		t.Fatalf("flagged %d of 50, want 40 (threshold 10)", flagged)
+	}
+	if g.Flagged() != 40 {
+		t.Fatalf("Flagged() = %d", g.Flagged())
+	}
+}
+
+func TestRateGuardWindowReset(t *testing.T) {
+	key := []FieldSpec{{Offset: 0, Width: 1}}
+	g, err := NewRateGuard(key, 3, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 packets in window 1, then window rolls: counts must reset.
+	for i := 0; i < 3; i++ {
+		g.Observe([]byte{7}, time.Duration(i)*time.Millisecond)
+	}
+	if g.Observe([]byte{7}, 200*time.Millisecond) {
+		t.Fatal("count survived window reset")
+	}
+}
+
+func TestRateGuardValidation(t *testing.T) {
+	key := []FieldSpec{{Offset: 0, Width: 1}}
+	if _, err := NewRateGuard(key, 0, time.Second); err == nil {
+		t.Fatal("accepted zero threshold")
+	}
+	if _, err := NewRateGuard(key, 1, 0); err == nil {
+		t.Fatal("accepted zero window")
+	}
+}

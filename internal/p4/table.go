@@ -1,0 +1,295 @@
+package p4
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Entry is one table row. Which match fields are meaningful depends on the
+// table's kind:
+//
+//   - exact:   Value only (full key width)
+//   - ternary: Value and Mask (full key width), Priority breaks overlaps
+//   - lpm:     Value and PrefixLen (bits); longest prefix wins
+//   - range:   Lo and Hi per key byte (inclusive), Priority breaks overlaps
+type Entry struct {
+	ID        uint64
+	Priority  int
+	Value     []byte
+	Mask      []byte
+	PrefixLen int
+	Lo        []byte
+	Hi        []byte
+	Action    Action
+
+	hits uint64
+}
+
+// Table is one match–action table.
+type Table struct {
+	Name          string
+	Kind          MatchKind
+	Key           []FieldSpec
+	MaxEntries    int
+	DefaultAction Action
+
+	mu      sync.RWMutex
+	nextID  uint64
+	entries []*Entry
+	exact   map[string]*Entry
+	tuples  []*tupleGroup // ternary tuple-space-search index
+	hits    uint64
+	misses  uint64
+}
+
+// tupleGroup indexes all ternary entries sharing one mask: a hash lookup
+// of key&mask replaces a linear scan, the classic tuple-space-search
+// optimization software switches use to emulate TCAM lookup.
+type tupleGroup struct {
+	mask   []byte
+	byValu map[string]*Entry // masked value -> highest-priority entry
+}
+
+// NewTable constructs an empty table. MaxEntries <= 0 means unlimited.
+func NewTable(name string, kind MatchKind, key []FieldSpec, maxEntries int, def Action) *Table {
+	return &Table{
+		Name: name, Kind: kind, Key: key, MaxEntries: maxEntries,
+		DefaultAction: def,
+		exact:         make(map[string]*Entry),
+	}
+}
+
+// width returns the key width in bytes.
+func (t *Table) width() int { return KeyWidth(t.Key) }
+
+// validate checks an entry against the table's kind and key width.
+func (t *Table) validate(e *Entry) error {
+	w := t.width()
+	switch t.Kind {
+	case MatchExact:
+		if len(e.Value) != w {
+			return fmt.Errorf("exact value width %d != key %d: %w", len(e.Value), w, ErrBadEntry)
+		}
+	case MatchTernary:
+		if len(e.Value) != w || len(e.Mask) != w {
+			return fmt.Errorf("ternary value/mask widths %d/%d != key %d: %w",
+				len(e.Value), len(e.Mask), w, ErrBadEntry)
+		}
+		for i := range e.Value {
+			if e.Value[i]&^e.Mask[i] != 0 {
+				return fmt.Errorf("ternary value bit outside mask at byte %d: %w", i, ErrBadEntry)
+			}
+		}
+	case MatchLPM:
+		if len(e.Value) != w {
+			return fmt.Errorf("lpm value width %d != key %d: %w", len(e.Value), w, ErrBadEntry)
+		}
+		if e.PrefixLen < 0 || e.PrefixLen > w*8 {
+			return fmt.Errorf("lpm prefix length %d out of [0,%d]: %w", e.PrefixLen, w*8, ErrBadEntry)
+		}
+	case MatchRange:
+		if len(e.Lo) != w || len(e.Hi) != w {
+			return fmt.Errorf("range lo/hi widths %d/%d != key %d: %w", len(e.Lo), len(e.Hi), w, ErrBadEntry)
+		}
+		for i := range e.Lo {
+			if e.Lo[i] > e.Hi[i] {
+				return fmt.Errorf("range lo>hi at byte %d: %w", i, ErrBadEntry)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown match kind %v: %w", t.Kind, ErrBadEntry)
+	}
+	return nil
+}
+
+// Insert adds an entry and returns its assigned ID.
+func (t *Table) Insert(e Entry) (uint64, error) {
+	if err := t.validate(&e); err != nil {
+		return 0, fmt.Errorf("table %s: %w", t.Name, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.MaxEntries > 0 && len(t.entries) >= t.MaxEntries {
+		return 0, fmt.Errorf("table %s (%d entries): %w", t.Name, len(t.entries), ErrTableFull)
+	}
+	t.nextID++
+	e.ID = t.nextID
+	stored := e
+	t.entries = append(t.entries, &stored)
+	switch t.Kind {
+	case MatchExact:
+		t.exact[string(e.Value)] = &stored
+	case MatchTernary:
+		sort.SliceStable(t.entries, func(i, j int) bool {
+			return t.entries[i].Priority > t.entries[j].Priority
+		})
+		t.rebuildTuples()
+	case MatchRange:
+		sort.SliceStable(t.entries, func(i, j int) bool {
+			return t.entries[i].Priority > t.entries[j].Priority
+		})
+	case MatchLPM:
+		sort.SliceStable(t.entries, func(i, j int) bool {
+			return t.entries[i].PrefixLen > t.entries[j].PrefixLen
+		})
+	}
+	return stored.ID, nil
+}
+
+// rebuildTuples reindexes ternary entries by mask. Entries are already
+// sorted by descending priority, so the first entry seen for a
+// (mask,value) pair is the winner (matching first-match-wins semantics on
+// priority ties).
+func (t *Table) rebuildTuples() {
+	byMask := make(map[string]*tupleGroup)
+	t.tuples = t.tuples[:0]
+	for _, e := range t.entries {
+		g := byMask[string(e.Mask)]
+		if g == nil {
+			g = &tupleGroup{mask: e.Mask, byValu: make(map[string]*Entry)}
+			byMask[string(e.Mask)] = g
+			t.tuples = append(t.tuples, g)
+		}
+		if _, dup := g.byValu[string(e.Value)]; !dup {
+			g.byValu[string(e.Value)] = e
+		}
+	}
+}
+
+// Delete removes the entry with the given ID.
+func (t *Table) Delete(id uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, e := range t.entries {
+		if e.ID == id {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			switch t.Kind {
+			case MatchExact:
+				delete(t.exact, string(e.Value))
+			case MatchTernary:
+				t.rebuildTuples()
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("table %s: entry %d: %w", t.Name, id, ErrBadEntry)
+}
+
+// Clear removes every entry.
+func (t *Table) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = nil
+	t.exact = make(map[string]*Entry)
+	t.tuples = nil
+}
+
+// Len returns the entry count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Lookup matches the frame against the table and returns the action.
+// matched reports whether an entry (vs the default action) fired.
+func (t *Table) Lookup(frame []byte) (act Action, matched bool) {
+	key := ExtractKey(frame, t.Key)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var hit *Entry
+	switch t.Kind {
+	case MatchExact:
+		hit = t.exact[string(key)]
+	case MatchTernary:
+		// Tuple-space search: one hash probe per distinct mask instead of
+		// a scan over every entry.
+		masked := make([]byte, len(key))
+		for _, g := range t.tuples {
+			for i, m := range g.mask {
+				masked[i] = key[i] & m
+			}
+			e, ok := g.byValu[string(masked)]
+			if !ok {
+				continue
+			}
+			if hit == nil || e.Priority > hit.Priority {
+				hit = e
+			}
+		}
+	case MatchLPM:
+		for _, e := range t.entries {
+			if prefixMatch(key, e.Value, e.PrefixLen) {
+				hit = e
+				break
+			}
+		}
+	case MatchRange:
+		for _, e := range t.entries {
+			if rangeMatch(key, e.Lo, e.Hi) {
+				hit = e
+				break
+			}
+		}
+	}
+	if hit == nil {
+		t.misses++
+		return t.DefaultAction, false
+	}
+	hit.hits++
+	t.hits++
+	return hit.Action, true
+}
+
+func prefixMatch(key, value []byte, prefixLen int) bool {
+	full := prefixLen / 8
+	for i := 0; i < full; i++ {
+		if key[i] != value[i] {
+			return false
+		}
+	}
+	if rem := prefixLen % 8; rem > 0 {
+		mask := byte(0xff << (8 - rem))
+		if key[full]&mask != value[full]&mask {
+			return false
+		}
+	}
+	return true
+}
+
+func rangeMatch(key, lo, hi []byte) bool {
+	for i := range key {
+		if key[i] < lo[i] || key[i] > hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats reports table hit/miss counters.
+type Stats struct {
+	Name    string
+	Entries int
+	Hits    uint64
+	Misses  uint64
+}
+
+// Stats returns a snapshot of the table's counters.
+func (t *Table) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return Stats{Name: t.Name, Entries: len(t.entries), Hits: t.hits, Misses: t.misses}
+}
+
+// EntryHits returns the hit counter for one entry.
+func (t *Table) EntryHits(id uint64) (uint64, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, e := range t.entries {
+		if e.ID == id {
+			return e.hits, nil
+		}
+	}
+	return 0, fmt.Errorf("table %s: entry %d: %w", t.Name, id, ErrBadEntry)
+}

@@ -1,0 +1,89 @@
+package p4gen
+
+import (
+	"strings"
+	"testing"
+
+	"p4guard/internal/packet"
+	"p4guard/internal/rules"
+)
+
+func sampleRuleSet() *rules.RuleSet {
+	rs := rules.NewRuleSet([]int{23, 47}, 0)
+	rs.SetLink(packet.LinkEthernet)
+	rs.Add(rules.Rule{Priority: 2, Class: 1, Preds: []rules.BytePredicate{
+		{Offset: 23, Lo: 6, Hi: 6},
+		{Offset: 47, Lo: 2, Hi: 2},
+	}})
+	rs.Add(rules.Rule{Priority: 1, Class: 0, Preds: []rules.BytePredicate{
+		{Offset: 23, Lo: 0, Hi: 255},
+	}})
+	return rs
+}
+
+func TestEmitStructure(t *testing.T) {
+	src, err := Emit(sampleRuleSet(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"#include <v1model.p4>",
+		"header raw_h",
+		"bit<384> bytes;", // window = offset 47 + 1 = 48 bytes
+		"parser p4guardParser",
+		"table iot_detector",
+		": range; // ip.proto",
+		": range; // tcp.flags",
+		"default_action = send_digest()",
+		"size = 1024;",
+		"V1Switch(",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("emitted P4 missing %q", want)
+		}
+	}
+	if strings.Contains(src, "const entries") {
+		t.Error("entries emitted without EmitConstEntries")
+	}
+}
+
+func TestEmitConstEntries(t *testing.T) {
+	src, err := Emit(sampleRuleSet(), Options{EmitConstEntries: true, TableSize: 64, ProgramName: "gw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"const entries",
+		"(6..6, 2..2) : set_class_and_drop(1); // priority 2",
+		"(0..255, 0..255) : allow(); // priority 1",
+		"size = 64;",
+		"parser gwParser",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("emitted P4 missing %q\n%s", want, src)
+		}
+	}
+}
+
+func TestEmitValidation(t *testing.T) {
+	if _, err := Emit(nil, Options{}); err == nil {
+		t.Fatal("accepted nil rule set")
+	}
+	if _, err := Emit(rules.NewRuleSet(nil, 0), Options{}); err == nil {
+		t.Fatal("accepted empty key layout")
+	}
+}
+
+func TestEmitBalancedBraces(t *testing.T) {
+	src, err := Emit(sampleRuleSet(), Options{EmitConstEntries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(src, "{") != strings.Count(src, "}") {
+		t.Fatalf("unbalanced braces: %d open vs %d close",
+			strings.Count(src, "{"), strings.Count(src, "}"))
+	}
+	if strings.Count(src, "(") != strings.Count(src, ")") {
+		t.Fatal("unbalanced parens")
+	}
+}

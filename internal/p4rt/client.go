@@ -1,0 +1,190 @@
+package p4rt
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is the controller-side connection to one switch agent.
+type Client struct {
+	conn       net.Conn
+	serverName string
+
+	writeMu sync.Mutex // serializes frame writes
+	mu      sync.Mutex // guards nextID/pending/closed
+	nextID  uint64
+	pending map[uint64]chan Envelope
+	closed  bool
+
+	onDigest func([]WirePacket)
+	wg       sync.WaitGroup
+}
+
+// DialTimeout bounds connection establishment and each RPC.
+const DialTimeout = 5 * time.Second
+
+// Dial connects to a switch agent, performs the hello handshake, and
+// starts the read loop. onDigest (may be nil) receives asynchronous packet
+// samples; it is called from the read loop, so it must not block on RPCs
+// issued over the same client.
+func Dial(addr, clientName string, onDigest func([]WirePacket)) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("p4rt: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:     conn,
+		pending:  make(map[uint64]chan Envelope),
+		onDigest: onDigest,
+	}
+	// Handshake happens before the read loop starts, synchronously.
+	if err := WriteMsg(conn, TypeHello, 1, Hello{SwitchName: clientName}); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	env, err := ReadMsg(conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("p4rt: handshake: %w", err)
+	}
+	if env.Type != TypeHelloAck {
+		_ = conn.Close()
+		return nil, fmt.Errorf("p4rt: handshake got %q, want hello_ack", env.Type)
+	}
+	var ack HelloAck
+	if err := DecodeBody(env, &ack); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	c.serverName = ack.ServerName
+	c.mu.Lock()
+	c.nextID = 1
+	c.mu.Unlock()
+
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.readLoop()
+	}()
+	return c, nil
+}
+
+// ServerName returns the switch name from the handshake.
+func (c *Client) ServerName() string { return c.serverName }
+
+// Close shuts the connection and waits for the read loop.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Client) readLoop() {
+	for {
+		env, err := ReadMsg(c.conn)
+		if err != nil {
+			// Connection closed: fail all pending calls.
+			c.mu.Lock()
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		switch env.Type {
+		case TypeDigest:
+			if c.onDigest != nil {
+				var msg DigestMsg
+				if err := DecodeBody(env, &msg); err == nil {
+					c.onDigest(msg.Packets)
+				}
+			}
+		case TypeResponse, TypeHelloAck:
+			c.mu.Lock()
+			ch := c.pending[env.ID]
+			delete(c.pending, env.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- env
+			}
+		}
+	}
+}
+
+// call issues one request and waits for its response.
+func (c *Client) call(typ MsgType, body any) (Response, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Response{}, net.ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan Envelope, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := WriteMsg(c.conn, typ, id, body)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return Response{}, err
+	}
+	select {
+	case env, ok := <-ch:
+		if !ok {
+			return Response{}, fmt.Errorf("p4rt: connection closed awaiting %s response", typ)
+		}
+		var resp Response
+		if err := DecodeBody(env, &resp); err != nil {
+			return Response{}, err
+		}
+		if resp.Error != "" {
+			return resp, fmt.Errorf("p4rt: %s: %s", typ, resp.Error)
+		}
+		return resp, nil
+	case <-time.After(DialTimeout):
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return Response{}, fmt.Errorf("p4rt: %s timed out", typ)
+	}
+}
+
+// ProgramDetector reprograms the switch's detector table.
+func (c *Client) ProgramDetector(prog Program) (Response, error) {
+	return c.call(TypeProgram, prog)
+}
+
+// WriteEntry inserts one reactive entry.
+func (c *Client) WriteEntry(e WireEntry) (Response, error) {
+	return c.call(TypeWrite, Write{Entry: e})
+}
+
+// Counters reads the detector table counters.
+func (c *Client) Counters() (Response, error) {
+	return c.call(TypeCounters, CountersRequest{})
+}
+
+// Heartbeat checks liveness.
+func (c *Client) Heartbeat() error {
+	_, err := c.call(TypeHeartbeat, struct{}{})
+	return err
+}

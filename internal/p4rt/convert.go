@@ -1,0 +1,77 @@
+package p4rt
+
+import (
+	"fmt"
+
+	"p4guard/internal/p4"
+	"p4guard/internal/rules"
+)
+
+// FormatAction renders an action type for the wire.
+func FormatAction(t p4.ActionType) string { return t.String() }
+
+// ParseAction parses a wire action name.
+func ParseAction(s string) (p4.ActionType, error) {
+	switch s {
+	case "allow":
+		return p4.ActionAllow, nil
+	case "drop":
+		return p4.ActionDrop, nil
+	case "digest":
+		return p4.ActionDigest, nil
+	case "set_class":
+		return p4.ActionSetClass, nil
+	case "nop":
+		return p4.ActionNop, nil
+	default:
+		return 0, fmt.Errorf("p4rt: unknown action %q", s)
+	}
+}
+
+// ToP4Entry converts a wire entry to a p4 table entry.
+func (w WireEntry) ToP4Entry() (p4.Entry, error) {
+	at, err := ParseAction(w.Action)
+	if err != nil {
+		return p4.Entry{}, err
+	}
+	return p4.Entry{
+		Priority:  w.Priority,
+		Value:     w.Value,
+		Mask:      w.Mask,
+		PrefixLen: w.PrefixLen,
+		Lo:        w.Lo,
+		Hi:        w.Hi,
+		Action:    p4.Action{Type: at, Class: w.Class},
+	}, nil
+}
+
+// ProgramFromRuleSet compiles a rule set into a Program message: one
+// range-match entry per rule, actions derived from each rule's class, with
+// the given miss behaviour. (The detector table is a range table; TCAM
+// prefix-expansion cost is accounted separately via rules.RuleSet.Cost.)
+func ProgramFromRuleSet(rs *rules.RuleSet, missAction p4.Action) (Program, error) {
+	entries, err := rs.RangeEntries()
+	if err != nil {
+		return Program{}, fmt.Errorf("p4rt: compile: %w", err)
+	}
+	prog := Program{
+		Offsets:       rs.Offsets,
+		DefaultAction: FormatAction(missAction.Type),
+		DefaultClass:  missAction.Class,
+		Entries:       make([]WireEntry, 0, len(entries)),
+	}
+	for _, e := range entries {
+		action := p4.ActionAllow
+		if rules.ActionForClass(e.Class) == rules.ActionDrop {
+			action = p4.ActionDrop
+		}
+		prog.Entries = append(prog.Entries, WireEntry{
+			Priority: e.Priority,
+			Lo:       e.Lo,
+			Hi:       e.Hi,
+			Action:   FormatAction(action),
+			Class:    e.Class,
+		})
+	}
+	return prog, nil
+}

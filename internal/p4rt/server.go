@@ -1,0 +1,237 @@
+package p4rt
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"p4guard/internal/p4"
+	"p4guard/internal/switchsim"
+)
+
+// Server is the switch-side agent: it exposes the detector table of one
+// behavioural switch over the p4rt protocol and pushes digests to every
+// connected controller.
+type Server struct {
+	sw *switchsim.Switch
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]*connState
+	closed bool
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// Serve starts listening on addr ("127.0.0.1:0" picks a free port) and
+// pumping digests every interval (<=0 means 10ms).
+func Serve(addr string, sw *switchsim.Switch, digestInterval time.Duration) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("p4rt: listen: %w", err)
+	}
+	if digestInterval <= 0 {
+		digestInterval = 10 * time.Millisecond
+	}
+	s := &Server{
+		sw:    sw,
+		ln:    ln,
+		conns: make(map[net.Conn]*connState),
+		stop:  make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop()
+	}()
+	go func() {
+		defer s.wg.Done()
+		s.digestPump(digestInterval)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, closes every connection, and waits for all
+// server goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.stop)
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = &connState{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	_ = conn.Close()
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.dropConn(conn)
+	for {
+		env, err := ReadMsg(conn)
+		if err != nil {
+			return
+		}
+		var resp Response
+		switch env.Type {
+		case TypeHello:
+			ack := HelloAck{ServerName: s.sw.Name}
+			if err := s.send(conn, TypeHelloAck, env.ID, ack); err != nil {
+				return
+			}
+			continue
+		case TypeProgram:
+			var prog Program
+			if err := DecodeBody(env, &prog); err != nil {
+				resp = Response{Error: err.Error()}
+				break
+			}
+			resp = s.applyProgram(prog)
+		case TypeWrite:
+			var w Write
+			if err := DecodeBody(env, &w); err != nil {
+				resp = Response{Error: err.Error()}
+				break
+			}
+			resp = s.applyWrite(w)
+		case TypeCounters:
+			resp = s.readCounters()
+		case TypeHeartbeat:
+			resp = Response{OK: true}
+		default:
+			resp = Response{Error: fmt.Sprintf("unknown message type %q", env.Type)}
+		}
+		if err := s.send(conn, TypeResponse, env.ID, resp); err != nil {
+			return
+		}
+	}
+}
+
+// connState carries per-connection server state; its mutex serializes
+// concurrent writers (request handler vs digest pump) on one connection.
+type connState struct {
+	mu sync.Mutex
+}
+
+func (s *Server) send(conn net.Conn, typ MsgType, id uint64, body any) error {
+	s.mu.Lock()
+	st := s.conns[conn]
+	s.mu.Unlock()
+	if st == nil {
+		return net.ErrClosed
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return WriteMsg(conn, typ, id, body)
+}
+
+func (s *Server) applyProgram(prog Program) Response {
+	defAct, err := ParseAction(prog.DefaultAction)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	entries := make([]p4.Entry, 0, len(prog.Entries))
+	for _, we := range prog.Entries {
+		e, err := we.ToP4Entry()
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		entries = append(entries, e)
+	}
+	if err := s.sw.ProgramDetector(prog.Offsets, p4.Action{Type: defAct, Class: prog.DefaultClass}, entries); err != nil {
+		return Response{Error: err.Error()}
+	}
+	return Response{OK: true, Installed: len(entries)}
+}
+
+func (s *Server) applyWrite(w Write) Response {
+	e, err := w.Entry.ToP4Entry()
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	if _, err := s.sw.InsertDetectorEntry(e); err != nil {
+		return Response{Error: err.Error()}
+	}
+	return Response{OK: true, Installed: 1}
+}
+
+func (s *Server) readCounters() Response {
+	st, err := s.sw.DetectorStats()
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	return Response{OK: true, Entries: st.Entries, Hits: st.Hits, Misses: st.Misses}
+}
+
+// digestPump periodically drains switch digests to all connected
+// controllers.
+func (s *Server) digestPump(interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		ds := s.sw.DrainDigests(256)
+		if len(ds) == 0 {
+			continue
+		}
+		msg := DigestMsg{Packets: make([]WirePacket, 0, len(ds))}
+		for _, d := range ds {
+			msg.Packets = append(msg.Packets, FromPacket(d.Pkt))
+		}
+		s.mu.Lock()
+		conns := make([]net.Conn, 0, len(s.conns))
+		for c := range s.conns {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
+		for _, c := range conns {
+			if err := s.send(c, TypeDigest, 0, msg); err != nil && !errors.Is(err, net.ErrClosed) {
+				s.dropConn(c)
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package p4rt is a P4Runtime-like control protocol between controller and
+// switch: length-prefixed JSON frames over TCP carrying table programming,
+// counter reads, and asynchronous digest (packet-in) notifications. It
+// substitutes for the gRPC-based P4Runtime the paper's testbed used while
+// preserving the same controller/switch separation.
+package p4rt
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"p4guard/internal/packet"
+)
+
+// MaxFrame bounds a single wire frame.
+const MaxFrame = 4 << 20
+
+// MsgType discriminates envelope payloads.
+type MsgType string
+
+// Protocol message types.
+const (
+	TypeHello     MsgType = "hello"
+	TypeHelloAck  MsgType = "hello_ack"
+	TypeProgram   MsgType = "program"
+	TypeWrite     MsgType = "write"
+	TypeCounters  MsgType = "counters"
+	TypeResponse  MsgType = "response"
+	TypeDigest    MsgType = "digest"
+	TypeHeartbeat MsgType = "heartbeat"
+)
+
+// Envelope is the outer frame: a type tag, a request-correlation ID
+// (0 for async pushes), and the type-specific payload.
+type Envelope struct {
+	Type MsgType         `json:"type"`
+	ID   uint64          `json:"id,omitempty"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Hello is the switch's first message.
+type Hello struct {
+	SwitchName string `json:"switch_name"`
+	Link       int    `json:"link"`
+}
+
+// HelloAck is the controller's (or server's) greeting response.
+type HelloAck struct {
+	ServerName string `json:"server_name"`
+}
+
+// WireEntry is a table entry in wire form. Fields mirror p4.Entry.
+type WireEntry struct {
+	Priority  int    `json:"priority,omitempty"`
+	Value     []byte `json:"value,omitempty"`
+	Mask      []byte `json:"mask,omitempty"`
+	PrefixLen int    `json:"prefix_len,omitempty"`
+	Lo        []byte `json:"lo,omitempty"`
+	Hi        []byte `json:"hi,omitempty"`
+	Action    string `json:"action"`
+	Class     int    `json:"class,omitempty"`
+}
+
+// Program atomically reprograms the detector table: key layout, default
+// action, and full entry list.
+type Program struct {
+	Offsets       []int       `json:"offsets"`
+	DefaultAction string      `json:"default_action"`
+	DefaultClass  int         `json:"default_class,omitempty"`
+	Entries       []WireEntry `json:"entries"`
+}
+
+// Write inserts a single entry into the detector table (reactive path).
+type Write struct {
+	Entry WireEntry `json:"entry"`
+}
+
+// CountersRequest asks for the detector table's counters.
+type CountersRequest struct{}
+
+// Response answers Program/Write/Counters requests.
+type Response struct {
+	OK        bool   `json:"ok"`
+	Error     string `json:"error,omitempty"`
+	Installed int    `json:"installed,omitempty"`
+	Entries   int    `json:"entries,omitempty"`
+	Hits      uint64 `json:"hits,omitempty"`
+	Misses    uint64 `json:"misses,omitempty"`
+}
+
+// DigestMsg pushes packet samples switch→controller.
+type DigestMsg struct {
+	Packets []WirePacket `json:"packets"`
+}
+
+// WirePacket is a packet sample in wire form.
+type WirePacket struct {
+	TimeNS int64  `json:"time_ns"`
+	Link   int    `json:"link"`
+	Bytes  []byte `json:"bytes"`
+}
+
+// ToPacket converts the wire form back to a packet.
+func (w WirePacket) ToPacket() *packet.Packet {
+	return &packet.Packet{
+		Time:  time.Duration(w.TimeNS),
+		Link:  packet.LinkType(w.Link),
+		Bytes: w.Bytes,
+	}
+}
+
+// FromPacket converts a packet to wire form.
+func FromPacket(p *packet.Packet) WirePacket {
+	return WirePacket{TimeNS: int64(p.Time), Link: int(p.Link), Bytes: p.Bytes}
+}
+
+// WriteMsg frames and writes one envelope.
+func WriteMsg(w io.Writer, typ MsgType, id uint64, body any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("p4rt: marshal %s: %w", typ, err)
+	}
+	env, err := json.Marshal(Envelope{Type: typ, ID: id, Body: raw})
+	if err != nil {
+		return fmt.Errorf("p4rt: marshal envelope: %w", err)
+	}
+	if len(env) > MaxFrame {
+		return fmt.Errorf("p4rt: frame %d exceeds max %d", len(env), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(env)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("p4rt: write frame header: %w", err)
+	}
+	if _, err := w.Write(env); err != nil {
+		return fmt.Errorf("p4rt: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadMsg reads one envelope.
+func ReadMsg(r io.Reader) (Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Envelope{}, fmt.Errorf("p4rt: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Envelope{}, fmt.Errorf("p4rt: frame %d exceeds max %d", n, MaxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Envelope{}, fmt.Errorf("p4rt: read frame body: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return Envelope{}, fmt.Errorf("p4rt: decode envelope: %w", err)
+	}
+	return env, nil
+}
+
+// DecodeBody unmarshals an envelope body into dst.
+func DecodeBody[T any](env Envelope, dst *T) error {
+	if err := json.Unmarshal(env.Body, dst); err != nil {
+		return fmt.Errorf("p4rt: decode %s body: %w", env.Type, err)
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// DNSHeaderLen is the length of a DNS message header.
+const DNSHeaderLen = 12
+
+// DNS is a DNS message with a single question section. Answer records are
+// not modelled; the generator only needs query/response header shapes.
+type DNS struct {
+	ID       uint16
+	Flags    uint16 // QR/opcode/AA/TC/RD/RA/rcode
+	Name     string // query name, dot-separated
+	QType    uint16
+	QClass   uint16
+	AnsCount uint16
+}
+
+// Marshal appends the wire form of d to dst.
+func (d *DNS) Marshal(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, d.ID)
+	dst = binary.BigEndian.AppendUint16(dst, d.Flags)
+	dst = binary.BigEndian.AppendUint16(dst, 1) // QDCOUNT
+	dst = binary.BigEndian.AppendUint16(dst, d.AnsCount)
+	dst = binary.BigEndian.AppendUint16(dst, 0) // NSCOUNT
+	dst = binary.BigEndian.AppendUint16(dst, 0) // ARCOUNT
+	for _, label := range strings.Split(d.Name, ".") {
+		if label == "" {
+			continue
+		}
+		if len(label) > 63 {
+			label = label[:63]
+		}
+		dst = append(dst, byte(len(label)))
+		dst = append(dst, label...)
+	}
+	dst = append(dst, 0)
+	dst = binary.BigEndian.AppendUint16(dst, d.QType)
+	return binary.BigEndian.AppendUint16(dst, d.QClass)
+}
+
+// Unmarshal decodes the message from b and returns the number of bytes read.
+func (d *DNS) Unmarshal(b []byte) (int, error) {
+	if len(b) < DNSHeaderLen {
+		return 0, fmt.Errorf("dns needs %d bytes, have %d: %w", DNSHeaderLen, len(b), ErrTruncated)
+	}
+	d.ID = binary.BigEndian.Uint16(b[0:2])
+	d.Flags = binary.BigEndian.Uint16(b[2:4])
+	qd := binary.BigEndian.Uint16(b[4:6])
+	d.AnsCount = binary.BigEndian.Uint16(b[6:8])
+	off := DNSHeaderLen
+	if qd == 0 {
+		d.Name = ""
+		return off, nil
+	}
+	var labels []string
+	for {
+		if off >= len(b) {
+			return 0, fmt.Errorf("dns name: %w", ErrTruncated)
+		}
+		l := int(b[off])
+		off++
+		if l == 0 {
+			break
+		}
+		if l > 63 {
+			return 0, fmt.Errorf("dns: compressed/invalid label length %d", l)
+		}
+		if off+l > len(b) {
+			return 0, fmt.Errorf("dns label: %w", ErrTruncated)
+		}
+		labels = append(labels, string(b[off:off+l]))
+		off += l
+	}
+	d.Name = strings.Join(labels, ".")
+	if off+4 > len(b) {
+		return 0, fmt.Errorf("dns question: %w", ErrTruncated)
+	}
+	d.QType = binary.BigEndian.Uint16(b[off : off+2])
+	d.QClass = binary.BigEndian.Uint16(b[off+2 : off+4])
+	return off + 4, nil
+}
+
+// MQTT control packet types (high nibble of byte 0).
+const (
+	MQTTConnect     byte = 1
+	MQTTConnAck     byte = 2
+	MQTTPublish     byte = 3
+	MQTTPubAck      byte = 4
+	MQTTSubscribe   byte = 8
+	MQTTSubAck      byte = 9
+	MQTTPingReq     byte = 12
+	MQTTPingResp    byte = 13
+	MQTTDisconnect  byte = 14
+	mqttMaxVarintSz      = 4
+)
+
+// MQTT is a simplified MQTT 3.1.1 control packet: the fixed header plus, for
+// CONNECT, the client identifier, and for PUBLISH, topic and payload.
+type MQTT struct {
+	Type     byte
+	Flags    byte // low nibble of byte 0
+	ClientID string
+	Topic    string
+	Payload  []byte
+}
+
+// Marshal appends the wire form of m to dst.
+func (m *MQTT) Marshal(dst []byte) []byte {
+	var body []byte
+	switch m.Type {
+	case MQTTConnect:
+		body = binary.BigEndian.AppendUint16(body, 4)
+		body = append(body, "MQTT"...)
+		body = append(body, 4, 0x02)                   // protocol level, clean session
+		body = binary.BigEndian.AppendUint16(body, 60) // keepalive
+		body = binary.BigEndian.AppendUint16(body, uint16(len(m.ClientID)))
+		body = append(body, m.ClientID...)
+	case MQTTPublish:
+		body = binary.BigEndian.AppendUint16(body, uint16(len(m.Topic)))
+		body = append(body, m.Topic...)
+		body = append(body, m.Payload...)
+	case MQTTConnAck:
+		body = append(body, 0, 0)
+	default:
+		body = append(body, m.Payload...)
+	}
+	dst = append(dst, m.Type<<4|m.Flags&0x0f)
+	dst = appendMQTTVarint(dst, len(body))
+	return append(dst, body...)
+}
+
+// Unmarshal decodes the packet from b and returns the number of bytes read.
+func (m *MQTT) Unmarshal(b []byte) (int, error) {
+	if len(b) < 2 {
+		return 0, fmt.Errorf("mqtt needs 2 bytes, have %d: %w", len(b), ErrTruncated)
+	}
+	m.Type = b[0] >> 4
+	m.Flags = b[0] & 0x0f
+	remaining, n, err := readMQTTVarint(b[1:])
+	if err != nil {
+		return 0, err
+	}
+	off := 1 + n
+	if off+remaining > len(b) {
+		return 0, fmt.Errorf("mqtt body needs %d bytes, have %d: %w", remaining, len(b)-off, ErrTruncated)
+	}
+	body := b[off : off+remaining]
+	switch m.Type {
+	case MQTTConnect:
+		// proto name len(2)+name+level+flags+keepalive = 10 before client id.
+		if len(body) < 12 {
+			return 0, fmt.Errorf("mqtt connect body: %w", ErrTruncated)
+		}
+		idLen := int(binary.BigEndian.Uint16(body[10:12]))
+		if 12+idLen > len(body) {
+			return 0, fmt.Errorf("mqtt client id: %w", ErrTruncated)
+		}
+		m.ClientID = string(body[12 : 12+idLen])
+	case MQTTPublish:
+		if len(body) < 2 {
+			return 0, fmt.Errorf("mqtt publish body: %w", ErrTruncated)
+		}
+		tLen := int(binary.BigEndian.Uint16(body[0:2]))
+		if 2+tLen > len(body) {
+			return 0, fmt.Errorf("mqtt topic: %w", ErrTruncated)
+		}
+		m.Topic = string(body[2 : 2+tLen])
+		m.Payload = append([]byte(nil), body[2+tLen:]...)
+	default:
+		m.Payload = append([]byte(nil), body...)
+	}
+	return off + remaining, nil
+}
+
+func appendMQTTVarint(dst []byte, v int) []byte {
+	for {
+		b := byte(v % 128)
+		v /= 128
+		if v > 0 {
+			dst = append(dst, b|0x80)
+		} else {
+			return append(dst, b)
+		}
+	}
+}
+
+func readMQTTVarint(b []byte) (value, n int, err error) {
+	mult := 1
+	for i := 0; i < mqttMaxVarintSz; i++ {
+		if i >= len(b) {
+			return 0, 0, fmt.Errorf("mqtt varint: %w", ErrTruncated)
+		}
+		value += int(b[i]&0x7f) * mult
+		if b[i]&0x80 == 0 {
+			return value, i + 1, nil
+		}
+		mult *= 128
+	}
+	return 0, 0, fmt.Errorf("mqtt varint longer than %d bytes", mqttMaxVarintSz)
+}
+
+// CoAP message types.
+const (
+	CoAPConfirmable    byte = 0
+	CoAPNonConfirmable byte = 1
+	CoAPAck            byte = 2
+	CoAPReset          byte = 3
+)
+
+// CoAP method/response codes (class.detail packed as class<<5|detail).
+const (
+	CoAPGet     byte = 0x01
+	CoAPPost    byte = 0x02
+	CoAPContent byte = 0x45 // 2.05
+)
+
+// CoAP is a CoAP (RFC 7252) message: header, token, and opaque payload
+// (options are not modelled individually; they ride in Payload).
+type CoAP struct {
+	Type      byte
+	Code      byte
+	MessageID uint16
+	Token     []byte // 0..8 bytes
+	Payload   []byte
+}
+
+// Marshal appends the wire form of c to dst.
+func (c *CoAP) Marshal(dst []byte) []byte {
+	tkl := len(c.Token)
+	if tkl > 8 {
+		tkl = 8
+	}
+	dst = append(dst, 0x40|c.Type<<4|byte(tkl), c.Code) // version 1
+	dst = binary.BigEndian.AppendUint16(dst, c.MessageID)
+	dst = append(dst, c.Token[:tkl]...)
+	return append(dst, c.Payload...)
+}
+
+// Unmarshal decodes the message from b and returns the number of bytes read.
+func (c *CoAP) Unmarshal(b []byte) (int, error) {
+	if len(b) < 4 {
+		return 0, fmt.Errorf("coap needs 4 bytes, have %d: %w", len(b), ErrTruncated)
+	}
+	if v := b[0] >> 6; v != 1 {
+		return 0, fmt.Errorf("coap: version %d", v)
+	}
+	c.Type = b[0] >> 4 & 0x3
+	tkl := int(b[0] & 0x0f)
+	if tkl > 8 {
+		return 0, fmt.Errorf("coap: token length %d", tkl)
+	}
+	c.Code = b[1]
+	c.MessageID = binary.BigEndian.Uint16(b[2:4])
+	if 4+tkl > len(b) {
+		return 0, fmt.Errorf("coap token: %w", ErrTruncated)
+	}
+	c.Token = append([]byte(nil), b[4:4+tkl]...)
+	c.Payload = append([]byte(nil), b[4+tkl:]...)
+	return len(b), nil
+}

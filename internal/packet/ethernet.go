@@ -1,0 +1,99 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is returned (wrapped) when a buffer is too short for the
+// header being decoded.
+var ErrTruncated = errors.New("packet: truncated")
+
+// EtherType values used by the generator and parser.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+)
+
+// EthernetLen is the length of an Ethernet II header.
+const EthernetLen = 14
+
+// MAC is a 48-bit hardware address.
+type MAC [6]byte
+
+// String formats the MAC in colon-hex notation.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is an Ethernet II header.
+type Ethernet struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+}
+
+// Marshal appends the wire form of h to dst and returns the extended slice.
+func (h *Ethernet) Marshal(dst []byte) []byte {
+	dst = append(dst, h.Dst[:]...)
+	dst = append(dst, h.Src[:]...)
+	return binary.BigEndian.AppendUint16(dst, h.EtherType)
+}
+
+// Unmarshal decodes the header from b and returns the number of bytes read.
+func (h *Ethernet) Unmarshal(b []byte) (int, error) {
+	if len(b) < EthernetLen {
+		return 0, fmt.Errorf("ethernet needs %d bytes, have %d: %w", EthernetLen, len(b), ErrTruncated)
+	}
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return EthernetLen, nil
+}
+
+// ARPLen is the length of an IPv4-over-Ethernet ARP payload.
+const ARPLen = 28
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARP is an IPv4-over-Ethernet ARP message.
+type ARP struct {
+	Op        uint16
+	SenderMAC MAC
+	SenderIP  [4]byte
+	TargetMAC MAC
+	TargetIP  [4]byte
+}
+
+// Marshal appends the wire form of a to dst and returns the extended slice.
+func (a *ARP) Marshal(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, 1)      // hardware type: Ethernet
+	dst = binary.BigEndian.AppendUint16(dst, 0x0800) // protocol type: IPv4
+	dst = append(dst, 6, 4)                          // hlen, plen
+	dst = binary.BigEndian.AppendUint16(dst, a.Op)
+	dst = append(dst, a.SenderMAC[:]...)
+	dst = append(dst, a.SenderIP[:]...)
+	dst = append(dst, a.TargetMAC[:]...)
+	return append(dst, a.TargetIP[:]...)
+}
+
+// Unmarshal decodes the message from b and returns the number of bytes read.
+func (a *ARP) Unmarshal(b []byte) (int, error) {
+	if len(b) < ARPLen {
+		return 0, fmt.Errorf("arp needs %d bytes, have %d: %w", ARPLen, len(b), ErrTruncated)
+	}
+	if ht := binary.BigEndian.Uint16(b[0:2]); ht != 1 {
+		return 0, fmt.Errorf("arp: unsupported hardware type %d", ht)
+	}
+	a.Op = binary.BigEndian.Uint16(b[6:8])
+	copy(a.SenderMAC[:], b[8:14])
+	copy(a.SenderIP[:], b[14:18])
+	copy(a.TargetMAC[:], b[18:24])
+	copy(a.TargetIP[:], b[24:28])
+	return ARPLen, nil
+}

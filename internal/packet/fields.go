@@ -1,0 +1,144 @@
+package packet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NamedField names a contiguous byte range of a frame under the common
+// header stacking for a link type (e.g. Ethernet+IPv4+TCP with no options).
+// The learning pipeline selects raw byte offsets; this dictionary exists to
+// render those offsets as human-readable protocol fields and to define the
+// hand-crafted 5-tuple baseline selector.
+type NamedField struct {
+	Name   string
+	Offset int // byte offset from frame start
+	Width  int // bytes
+}
+
+// Contains reports whether the field covers frame byte offset off.
+func (f NamedField) Contains(off int) bool {
+	return off >= f.Offset && off < f.Offset+f.Width
+}
+
+// ethernetFields assumes Ethernet II + option-less IPv4 + TCP.
+var ethernetFields = []NamedField{
+	{"eth.dst", 0, 6},
+	{"eth.src", 6, 6},
+	{"eth.type", 12, 2},
+	{"ip.ver_ihl", 14, 1},
+	{"ip.tos", 15, 1},
+	{"ip.len", 16, 2},
+	{"ip.id", 18, 2},
+	{"ip.flags_frag", 20, 2},
+	{"ip.ttl", 22, 1},
+	{"ip.proto", 23, 1},
+	{"ip.csum", 24, 2},
+	{"ip.src", 26, 4},
+	{"ip.dst", 30, 4},
+	{"l4.sport", 34, 2},
+	{"l4.dport", 36, 2},
+	{"tcp.seq", 38, 4},
+	{"tcp.ack", 42, 4},
+	{"tcp.off", 46, 1},
+	{"tcp.flags", 47, 1},
+	{"tcp.win", 48, 2},
+	{"tcp.csum", 50, 2},
+	{"tcp.urg", 52, 2},
+	{"l7", 54, HeaderWindow - 54},
+}
+
+// ieee802154Fields assumes the short-address intra-PAN MAC header followed
+// by a Zigbee NWK header.
+var ieee802154Fields = []NamedField{
+	{"mac.fcf", 0, 2},
+	{"mac.seq", 2, 1},
+	{"mac.panid", 3, 2},
+	{"mac.dst", 5, 2},
+	{"mac.src", 7, 2},
+	{"nwk.fc", 9, 2},
+	{"nwk.dst", 11, 2},
+	{"nwk.src", 13, 2},
+	{"nwk.radius", 15, 1},
+	{"nwk.seq", 16, 1},
+	{"aps", 17, HeaderWindow - 17},
+}
+
+// bleFields covers advertising-channel PDUs.
+var bleFields = []NamedField{
+	{"ll.access", 0, 4},
+	{"ll.header", 4, 1},
+	{"ll.len", 5, 1},
+	{"ll.adva", 6, 6},
+	{"ll.payload", 12, HeaderWindow - 12},
+}
+
+// FieldDict returns the named-field dictionary for the link type. The
+// returned slice must not be modified.
+func FieldDict(link LinkType) []NamedField {
+	switch link {
+	case LinkEthernet:
+		return ethernetFields
+	case LinkIEEE802154:
+		return ieee802154Fields
+	case LinkBLE:
+		return bleFields
+	default:
+		return nil
+	}
+}
+
+// NameFor returns the protocol field name covering byte offset off under the
+// link type's common stacking, or "byte<off>" when no field matches.
+func NameFor(link LinkType, off int) string {
+	for _, f := range FieldDict(link) {
+		if f.Contains(off) {
+			if f.Width == 1 {
+				return f.Name
+			}
+			return fmt.Sprintf("%s[%d]", f.Name, off-f.Offset)
+		}
+	}
+	return fmt.Sprintf("byte%d", off)
+}
+
+// DescribeOffsets renders a list of selected byte offsets as a
+// comma-separated list of field names.
+func DescribeOffsets(link LinkType, offsets []int) string {
+	names := make([]string, len(offsets))
+	for i, off := range offsets {
+		names[i] = NameFor(link, off)
+	}
+	return strings.Join(names, ", ")
+}
+
+// FiveTupleOffsets returns the byte offsets of the classical 5-tuple
+// (protocol, src/dst address, src/dst port) under the link type's stacking.
+// For non-IP link types there is no 5-tuple; the closest analogue
+// (addresses and frame-control bytes) is returned instead, which is exactly
+// the weakness of hand-crafted selectors the paper's universality argument
+// targets.
+func FiveTupleOffsets(link LinkType) []int {
+	var names []string
+	switch link {
+	case LinkEthernet:
+		names = []string{"ip.proto", "ip.src", "ip.dst", "l4.sport", "l4.dport"}
+	case LinkIEEE802154:
+		names = []string{"mac.fcf", "mac.dst", "mac.src", "nwk.dst", "nwk.src"}
+	case LinkBLE:
+		names = []string{"ll.header", "ll.adva"}
+	default:
+		return nil
+	}
+	var offs []int
+	for _, f := range FieldDict(link) {
+		for _, n := range names {
+			if f.Name == n {
+				for i := 0; i < f.Width; i++ {
+					offs = append(offs, f.Offset+i)
+				}
+			}
+		}
+	}
+	return offs
+}

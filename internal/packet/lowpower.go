@@ -1,0 +1,165 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IEEE 802.15.4 frame types (FCF bits 0-2).
+const (
+	FrameBeacon  byte = 0
+	FrameData    byte = 1
+	FrameAck     byte = 2
+	FrameCommand byte = 3
+)
+
+// IEEE802154 is a simplified IEEE 802.15.4 MAC header with 16-bit short
+// addressing and intra-PAN compression, the dominant mode in Zigbee networks.
+type IEEE802154 struct {
+	FrameType byte
+	Security  bool
+	AckReq    bool
+	Seq       byte
+	PANID     uint16
+	Dst       uint16
+	Src       uint16
+}
+
+// IEEE802154Len is the length of the short-address intra-PAN MAC header.
+const IEEE802154Len = 9
+
+// Marshal appends the wire form of h to dst. The FCF is little-endian per
+// the 802.15.4 standard.
+func (h *IEEE802154) Marshal(dst []byte) []byte {
+	var fcf uint16
+	fcf |= uint16(h.FrameType & 0x7)
+	if h.Security {
+		fcf |= 1 << 3
+	}
+	if h.AckReq {
+		fcf |= 1 << 5
+	}
+	fcf |= 1 << 6  // intra-PAN
+	fcf |= 2 << 10 // dst addressing: short
+	fcf |= 2 << 14 // src addressing: short
+	dst = binary.LittleEndian.AppendUint16(dst, fcf)
+	dst = append(dst, h.Seq)
+	dst = binary.LittleEndian.AppendUint16(dst, h.PANID)
+	dst = binary.LittleEndian.AppendUint16(dst, h.Dst)
+	return binary.LittleEndian.AppendUint16(dst, h.Src)
+}
+
+// Unmarshal decodes the header from b and returns the number of bytes read.
+func (h *IEEE802154) Unmarshal(b []byte) (int, error) {
+	if len(b) < IEEE802154Len {
+		return 0, fmt.Errorf("802.15.4 needs %d bytes, have %d: %w", IEEE802154Len, len(b), ErrTruncated)
+	}
+	fcf := binary.LittleEndian.Uint16(b[0:2])
+	h.FrameType = byte(fcf & 0x7)
+	h.Security = fcf&(1<<3) != 0
+	h.AckReq = fcf&(1<<5) != 0
+	if dam := fcf >> 10 & 0x3; dam != 2 {
+		return 0, fmt.Errorf("802.15.4: unsupported dst addressing mode %d", dam)
+	}
+	h.Seq = b[2]
+	h.PANID = binary.LittleEndian.Uint16(b[3:5])
+	h.Dst = binary.LittleEndian.Uint16(b[5:7])
+	h.Src = binary.LittleEndian.Uint16(b[7:9])
+	return IEEE802154Len, nil
+}
+
+// Zigbee NWK frame types.
+const (
+	ZigbeeData    byte = 0
+	ZigbeeCommand byte = 1
+)
+
+// ZigbeeNWK is a simplified Zigbee network-layer header.
+type ZigbeeNWK struct {
+	FrameType byte
+	Dst       uint16
+	Src       uint16
+	Radius    byte
+	Seq       byte
+}
+
+// ZigbeeNWKLen is the length of the NWK header without extended fields.
+const ZigbeeNWKLen = 8
+
+// Marshal appends the wire form of h to dst.
+func (h *ZigbeeNWK) Marshal(dst []byte) []byte {
+	fc := uint16(h.FrameType&0x3) | 2<<2 // protocol version 2
+	dst = binary.LittleEndian.AppendUint16(dst, fc)
+	dst = binary.LittleEndian.AppendUint16(dst, h.Dst)
+	dst = binary.LittleEndian.AppendUint16(dst, h.Src)
+	return append(dst, h.Radius, h.Seq)
+}
+
+// Unmarshal decodes the header from b and returns the number of bytes read.
+func (h *ZigbeeNWK) Unmarshal(b []byte) (int, error) {
+	if len(b) < ZigbeeNWKLen {
+		return 0, fmt.Errorf("zigbee nwk needs %d bytes, have %d: %w", ZigbeeNWKLen, len(b), ErrTruncated)
+	}
+	fc := binary.LittleEndian.Uint16(b[0:2])
+	h.FrameType = byte(fc & 0x3)
+	h.Dst = binary.LittleEndian.Uint16(b[2:4])
+	h.Src = binary.LittleEndian.Uint16(b[4:6])
+	h.Radius = b[6]
+	h.Seq = b[7]
+	return ZigbeeNWKLen, nil
+}
+
+// BLE advertising PDU types.
+const (
+	BLEAdvInd        byte = 0
+	BLEAdvDirectInd  byte = 1
+	BLEAdvNonConnInd byte = 2
+	BLEScanReq       byte = 3
+	BLEConnectReq    byte = 5
+)
+
+// BLEAdvAccessAddress is the fixed access address of the BLE advertising
+// channel.
+const BLEAdvAccessAddress uint32 = 0x8e89bed6
+
+// BLELinkLayer is a BLE link-layer advertising-channel PDU.
+type BLELinkLayer struct {
+	AccessAddress uint32
+	PDUType       byte
+	TxAdd         bool
+	AdvAddr       MAC
+	Payload       []byte
+}
+
+// BLEMinLen is the minimum length of an advertising PDU (access address +
+// header + AdvA).
+const BLEMinLen = 12
+
+// Marshal appends the wire form of h to dst.
+func (h *BLELinkLayer) Marshal(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, h.AccessAddress)
+	hdr := h.PDUType & 0x0f
+	if h.TxAdd {
+		hdr |= 1 << 6
+	}
+	dst = append(dst, hdr, byte(6+len(h.Payload)))
+	dst = append(dst, h.AdvAddr[:]...)
+	return append(dst, h.Payload...)
+}
+
+// Unmarshal decodes the PDU from b and returns the number of bytes read.
+func (h *BLELinkLayer) Unmarshal(b []byte) (int, error) {
+	if len(b) < BLEMinLen {
+		return 0, fmt.Errorf("ble needs %d bytes, have %d: %w", BLEMinLen, len(b), ErrTruncated)
+	}
+	h.AccessAddress = binary.LittleEndian.Uint32(b[0:4])
+	h.PDUType = b[4] & 0x0f
+	h.TxAdd = b[4]&(1<<6) != 0
+	plen := int(b[5])
+	if plen < 6 || 6+plen > len(b) {
+		return 0, fmt.Errorf("ble payload length %d vs %d available: %w", plen, len(b)-6, ErrTruncated)
+	}
+	copy(h.AdvAddr[:], b[6:12])
+	h.Payload = append([]byte(nil), b[12:6+plen]...)
+	return 6 + plen, nil
+}

@@ -1,0 +1,154 @@
+// Package packet defines the raw packet representation shared by the whole
+// system and binary codecs for the IoT protocols the evaluation uses:
+// Ethernet, ARP, IPv4, TCP, UDP, ICMP, DNS, MQTT, CoAP, IEEE 802.15.4,
+// Zigbee NWK, and BLE link layer.
+//
+// The learning pipeline is protocol-agnostic: it consumes the first
+// HeaderWindow bytes of a frame as a byte vector. The codecs here exist to
+// generate realistic frames, to pretty-print selected byte positions as
+// protocol fields, and to parse frames inside the P4Lite data plane.
+package packet
+
+import (
+	"fmt"
+	"time"
+)
+
+// LinkType identifies the layer-2 technology of a frame, mirroring pcap
+// link-layer header types.
+type LinkType int
+
+// Supported link types.
+const (
+	LinkEthernet LinkType = iota + 1
+	LinkIEEE802154
+	LinkBLE
+)
+
+// String returns the conventional name of the link type.
+func (l LinkType) String() string {
+	switch l {
+	case LinkEthernet:
+		return "ethernet"
+	case LinkIEEE802154:
+		return "ieee802.15.4"
+	case LinkBLE:
+		return "ble"
+	default:
+		return fmt.Sprintf("linktype(%d)", int(l))
+	}
+}
+
+// DLT returns the libpcap data-link type constant for the link type.
+func (l LinkType) DLT() uint32 {
+	switch l {
+	case LinkEthernet:
+		return 1 // DLT_EN10MB
+	case LinkIEEE802154:
+		return 195 // DLT_IEEE802_15_4_WITHFCS
+	case LinkBLE:
+		return 251 // DLT_BLUETOOTH_LE_LL
+	default:
+		return 147 // DLT_USER0
+	}
+}
+
+// LinkTypeFromDLT maps a libpcap DLT constant back to a LinkType.
+func LinkTypeFromDLT(dlt uint32) (LinkType, error) {
+	switch dlt {
+	case 1:
+		return LinkEthernet, nil
+	case 195:
+		return LinkIEEE802154, nil
+	case 251:
+		return LinkBLE, nil
+	default:
+		return 0, fmt.Errorf("packet: unsupported DLT %d", dlt)
+	}
+}
+
+// HeaderWindow is the number of leading frame bytes the learning pipeline
+// observes. Frames shorter than the window are zero-padded.
+const HeaderWindow = 64
+
+// Packet is one captured or generated frame.
+type Packet struct {
+	// Time is the offset of the packet from the start of its trace.
+	Time time.Duration
+	// Link is the layer-2 technology the frame uses.
+	Link LinkType
+	// Bytes is the raw frame.
+	Bytes []byte
+}
+
+// HeaderVector returns the first HeaderWindow bytes of the frame,
+// zero-padded, as normalized float64 features in [0,1].
+func (p *Packet) HeaderVector() []float64 {
+	v := make([]float64, HeaderWindow)
+	n := len(p.Bytes)
+	if n > HeaderWindow {
+		n = HeaderWindow
+	}
+	for i := 0; i < n; i++ {
+		v[i] = float64(p.Bytes[i]) / 255
+	}
+	return v
+}
+
+// HeaderBitsVector returns the first HeaderWindow bytes of the frame as
+// HeaderWindow×8 binary features, most significant bit first. Bit-level
+// features mirror how TCAM ternary matching sees packets and keep
+// adjacent byte values (e.g. 8 vs 9) linearly separable for the deep
+// stages.
+func (p *Packet) HeaderBitsVector() []float64 {
+	v := make([]float64, HeaderWindow*8)
+	n := len(p.Bytes)
+	if n > HeaderWindow {
+		n = HeaderWindow
+	}
+	for i := 0; i < n; i++ {
+		b := p.Bytes[i]
+		for bit := 0; bit < 8; bit++ {
+			if b&(0x80>>bit) != 0 {
+				v[i*8+bit] = 1
+			}
+		}
+	}
+	return v
+}
+
+// BitsOf expands key bytes into 8-per-byte binary features, MSB first.
+func BitsOf(key []byte) []float64 {
+	v := make([]float64, len(key)*8)
+	for i, b := range key {
+		for bit := 0; bit < 8; bit++ {
+			if b&(0x80>>bit) != 0 {
+				v[i*8+bit] = 1
+			}
+		}
+	}
+	return v
+}
+
+// HeaderBytes returns the first HeaderWindow bytes of the frame,
+// zero-padded, as a fresh slice.
+func (p *Packet) HeaderBytes() []byte {
+	b := make([]byte, HeaderWindow)
+	copy(b, p.Bytes)
+	return b
+}
+
+// ByteAt returns frame byte i, or 0 when the frame is shorter.
+func (p *Packet) ByteAt(i int) byte {
+	if i < 0 || i >= len(p.Bytes) {
+		return 0
+	}
+	return p.Bytes[i]
+}
+
+// Clone returns a deep copy of the packet.
+func (p *Packet) Clone() *Packet {
+	b := make([]byte, len(p.Bytes))
+	copy(b, p.Bytes)
+	return &Packet{Time: p.Time, Link: p.Link, Bytes: b}
+}

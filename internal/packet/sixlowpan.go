@@ -1,0 +1,150 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// 6LoWPAN dispatch values (RFC 4944 / RFC 6282, simplified).
+const (
+	// SixLowPANIPHC is the LOWPAN_IPHC compressed-IPv6 dispatch prefix
+	// (011 in the top bits).
+	SixLowPANIPHC byte = 0x60
+	// SixLowPANFrag1 is the first-fragment dispatch (11000xxx).
+	SixLowPANFrag1 byte = 0xC0
+	// SixLowPANFragN is the subsequent-fragment dispatch (11100xxx).
+	SixLowPANFragN byte = 0xE0
+	// SixLowPANMesh is the mesh-addressing dispatch (10xxxxxx).
+	SixLowPANMesh byte = 0x80
+)
+
+// SixLowPANIPHCLen is the wire length of the simplified IPHC header.
+const SixLowPANIPHCLen = 8
+
+// SixLowPANHdr is a simplified LOWPAN_IPHC header with 16-bit
+// context-compressed addresses and an inline hop limit — the dominant
+// compression mode inside a Thread-style mesh. Real IPHC has many more
+// modes; this models the fixed shape a single mesh uses, which preserves
+// the byte-position structure the learning pipeline consumes.
+type SixLowPANHdr struct {
+	TrafficClass byte // 2 bits kept
+	NextHeader   byte // carried inline (e.g. 17 for UDP)
+	HopLimit     byte
+	Src16        uint16
+	Dst16        uint16
+}
+
+// Marshal appends the wire form of h to dst.
+func (h *SixLowPANHdr) Marshal(dst []byte) []byte {
+	// Byte 0: 011 TF(2) NH=0(inline) HLIM=00(inline).
+	dst = append(dst, SixLowPANIPHC|(h.TrafficClass&0x3)<<3)
+	// Byte 1: CID=0 SAC=0 SAM=10(16-bit) M=0 DAC=0 DAM=10(16-bit).
+	dst = append(dst, 0x22)
+	dst = append(dst, h.NextHeader, h.HopLimit)
+	dst = binary.BigEndian.AppendUint16(dst, h.Src16)
+	return binary.BigEndian.AppendUint16(dst, h.Dst16)
+}
+
+// Unmarshal decodes the header from b and returns the number of bytes read.
+func (h *SixLowPANHdr) Unmarshal(b []byte) (int, error) {
+	if len(b) < SixLowPANIPHCLen {
+		return 0, fmt.Errorf("6lowpan iphc needs %d bytes, have %d: %w", SixLowPANIPHCLen, len(b), ErrTruncated)
+	}
+	if b[0]&0xE0 != SixLowPANIPHC {
+		return 0, fmt.Errorf("6lowpan: dispatch %#x is not IPHC", b[0])
+	}
+	h.TrafficClass = b[0] >> 3 & 0x3
+	h.NextHeader = b[2]
+	h.HopLimit = b[3]
+	h.Src16 = binary.BigEndian.Uint16(b[4:6])
+	h.Dst16 = binary.BigEndian.Uint16(b[6:8])
+	return SixLowPANIPHCLen, nil
+}
+
+// SixLowPANFragLen is the wire length of a FRAG1 header.
+const SixLowPANFragLen = 4
+
+// SixLowPANFrag is a FRAG1/FRAGN fragmentation header (RFC 4944 §5.3).
+type SixLowPANFrag struct {
+	First        bool
+	DatagramSize uint16 // 11 bits
+	DatagramTag  uint16
+	Offset       byte // FRAGN only, ×8 octets
+}
+
+// Marshal appends the wire form of f to dst.
+func (f *SixLowPANFrag) Marshal(dst []byte) []byte {
+	dispatch := SixLowPANFragN
+	if f.First {
+		dispatch = SixLowPANFrag1
+	}
+	word := uint16(dispatch)<<8 | (f.DatagramSize & 0x07FF)
+	dst = binary.BigEndian.AppendUint16(dst, word)
+	dst = binary.BigEndian.AppendUint16(dst, f.DatagramTag)
+	if !f.First {
+		dst = append(dst, f.Offset)
+	}
+	return dst
+}
+
+// Unmarshal decodes the header from b and returns the number of bytes read.
+func (f *SixLowPANFrag) Unmarshal(b []byte) (int, error) {
+	if len(b) < SixLowPANFragLen {
+		return 0, fmt.Errorf("6lowpan frag needs %d bytes, have %d: %w", SixLowPANFragLen, len(b), ErrTruncated)
+	}
+	switch b[0] & 0xF8 {
+	case SixLowPANFrag1:
+		f.First = true
+	case SixLowPANFragN:
+		f.First = false
+	default:
+		return 0, fmt.Errorf("6lowpan: dispatch %#x is not FRAG1/FRAGN", b[0])
+	}
+	f.DatagramSize = binary.BigEndian.Uint16(b[0:2]) & 0x07FF
+	f.DatagramTag = binary.BigEndian.Uint16(b[2:4])
+	if f.First {
+		return SixLowPANFragLen, nil
+	}
+	if len(b) < SixLowPANFragLen+1 {
+		return 0, fmt.Errorf("6lowpan fragN offset: %w", ErrTruncated)
+	}
+	f.Offset = b[4]
+	return SixLowPANFragLen + 1, nil
+}
+
+// CompressedUDPLen is the wire length of the simplified LOWPAN_NHC UDP
+// header with fully elided checksum and 4-bit compressed ports.
+const CompressedUDPLen = 2
+
+// CompressedUDPBase is the port base of 4-bit compressed UDP ports
+// (RFC 6282 §4.3.3).
+const CompressedUDPBase uint16 = 0xF0B0
+
+// CompressedUDP is a LOWPAN_NHC UDP header with both ports in the
+// 0xF0B0–0xF0BF range (4 bits each) and the checksum elided.
+type CompressedUDP struct {
+	SrcPort uint16
+	DstPort uint16
+}
+
+// Marshal appends the wire form of u to dst. Ports outside the compressed
+// range are truncated into it.
+func (u *CompressedUDP) Marshal(dst []byte) []byte {
+	dst = append(dst, 0xF3) // 11110 C=1 P=11
+	sp := byte(u.SrcPort-CompressedUDPBase) & 0x0F
+	dp := byte(u.DstPort-CompressedUDPBase) & 0x0F
+	return append(dst, sp<<4|dp)
+}
+
+// Unmarshal decodes the header from b and returns the number of bytes read.
+func (u *CompressedUDP) Unmarshal(b []byte) (int, error) {
+	if len(b) < CompressedUDPLen {
+		return 0, fmt.Errorf("nhc udp needs %d bytes, have %d: %w", CompressedUDPLen, len(b), ErrTruncated)
+	}
+	if b[0] != 0xF3 {
+		return 0, fmt.Errorf("6lowpan: NHC %#x is not compressed UDP", b[0])
+	}
+	u.SrcPort = CompressedUDPBase + uint16(b[1]>>4)
+	u.DstPort = CompressedUDPBase + uint16(b[1]&0x0F)
+	return CompressedUDPLen, nil
+}

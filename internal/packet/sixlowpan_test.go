@@ -1,0 +1,86 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSixLowPANIPHCRoundTrip(t *testing.T) {
+	f := func(tc, nh, hlim byte, src, dst uint16) bool {
+		h := SixLowPANHdr{TrafficClass: tc & 0x3, NextHeader: nh, HopLimit: hlim, Src16: src, Dst16: dst}
+		wire := h.Marshal(nil)
+		var got SixLowPANHdr
+		n, err := got.Unmarshal(wire)
+		return err == nil && n == SixLowPANIPHCLen && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSixLowPANIPHCRejectsWrongDispatch(t *testing.T) {
+	var h SixLowPANHdr
+	b := make([]byte, SixLowPANIPHCLen)
+	b[0] = 0xC0 // FRAG1, not IPHC
+	if _, err := h.Unmarshal(b); err == nil {
+		t.Fatal("accepted non-IPHC dispatch")
+	}
+	if _, err := h.Unmarshal(b[:3]); !errors.Is(err, ErrTruncated) {
+		t.Fatal("accepted truncated IPHC")
+	}
+}
+
+func TestSixLowPANFragRoundTrip(t *testing.T) {
+	f := func(first bool, size, tag uint16, off byte) bool {
+		frag := SixLowPANFrag{First: first, DatagramSize: size & 0x07FF, DatagramTag: tag}
+		if !first {
+			frag.Offset = off
+		}
+		wire := frag.Marshal(nil)
+		var got SixLowPANFrag
+		n, err := got.Unmarshal(wire)
+		if err != nil || n != len(wire) {
+			return false
+		}
+		return got == frag
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSixLowPANFragValidation(t *testing.T) {
+	var f SixLowPANFrag
+	if _, err := f.Unmarshal([]byte{0x60, 0, 0, 0}); err == nil {
+		t.Fatal("accepted IPHC dispatch as frag")
+	}
+	if _, err := f.Unmarshal([]byte{0xC0}); !errors.Is(err, ErrTruncated) {
+		t.Fatal("accepted truncated frag")
+	}
+	// FRAGN without offset byte.
+	frag := SixLowPANFrag{First: false, DatagramSize: 100, DatagramTag: 7, Offset: 3}
+	wire := frag.Marshal(nil)
+	if _, err := f.Unmarshal(wire[:4]); !errors.Is(err, ErrTruncated) {
+		t.Fatal("accepted FRAGN without offset")
+	}
+}
+
+func TestCompressedUDPRoundTrip(t *testing.T) {
+	u := CompressedUDP{SrcPort: CompressedUDPBase + 3, DstPort: CompressedUDPBase + 11}
+	wire := u.Marshal(nil)
+	if len(wire) != CompressedUDPLen {
+		t.Fatalf("wire len %d", len(wire))
+	}
+	var got CompressedUDP
+	n, err := got.Unmarshal(wire)
+	if err != nil || n != CompressedUDPLen {
+		t.Fatal(err)
+	}
+	if got != u {
+		t.Fatalf("got %+v, want %+v", got, u)
+	}
+	if _, err := got.Unmarshal([]byte{0xF0, 0x00}); err == nil {
+		t.Fatal("accepted wrong NHC byte")
+	}
+}

@@ -1,0 +1,161 @@
+package pcap
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"p4guard/internal/packet"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, packet.LinkEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := []*packet.Packet{
+		{Time: 0, Link: packet.LinkEthernet, Bytes: []byte{1, 2, 3}},
+		{Time: 1500 * time.Millisecond, Link: packet.LinkEthernet, Bytes: []byte{4}},
+		{Time: 2 * time.Hour, Link: packet.LinkEthernet, Bytes: []byte{}},
+	}
+	for _, p := range pkts {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != packet.LinkEthernet {
+		t.Fatalf("link = %v", r.LinkType())
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pkts) {
+		t.Fatalf("got %d packets, want %d", len(got), len(pkts))
+	}
+	for i, p := range pkts {
+		if !bytes.Equal(got[i].Bytes, p.Bytes) {
+			t.Errorf("packet %d bytes = %v, want %v", i, got[i].Bytes, p.Bytes)
+		}
+		if got[i].Time != p.Time {
+			t.Errorf("packet %d time = %v, want %v", i, got[i].Time, p.Time)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(bodies [][]byte, microsRaw []int64) bool {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, packet.LinkIEEE802154)
+		if err != nil {
+			return false
+		}
+		if len(bodies) > 50 {
+			bodies = bodies[:50]
+		}
+		var want []*packet.Packet
+		for i, b := range bodies {
+			var us int64
+			if i < len(microsRaw) {
+				us = microsRaw[i] % (1 << 40)
+				if us < 0 {
+					us = -us
+				}
+			}
+			p := &packet.Packet{
+				Time:  time.Duration(us) * time.Microsecond,
+				Link:  packet.LinkIEEE802154,
+				Bytes: b,
+			}
+			if err := w.WritePacket(p); err != nil {
+				return false
+			}
+			want = append(want, p)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.ReadAll()
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if !bytes.Equal(got[i].Bytes, want[i].Bytes) || got[i].Time != want[i].Time {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterRejectsWrongLink(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, packet.LinkEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &packet.Packet{Link: packet.LinkBLE, Bytes: []byte{1}}
+	if err := w.WritePacket(p); err == nil {
+		t.Fatal("accepted wrong link type")
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	bad := make([]byte, 24)
+	if _, err := NewReader(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReaderShortHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("accepted short header")
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, packet.LinkBLE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(&packet.Packet{Link: packet.LinkBLE, Bytes: []byte{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPacket(); err == nil {
+		t.Fatal("accepted truncated record")
+	}
+}
+
+func TestReadPacketEOF(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, packet.LinkEthernet); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPacket(); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}

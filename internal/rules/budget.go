@@ -1,0 +1,96 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"p4guard/internal/packet"
+)
+
+// PerRuleCost returns each rule's ternary-expansion entry count, in
+// rs.Rules order — the TCAM space the rule would consume.
+func (rs *RuleSet) PerRuleCost() ([]int, error) {
+	costs := make([]int, len(rs.Rules))
+	for i, r := range rs.Rules {
+		entries := 1
+		for _, p := range r.Preds {
+			if p.Trivial() {
+				continue
+			}
+			entries *= len(RangeToMasks(p.Lo, p.Hi))
+		}
+		if err := rs.checkOffsets(r); err != nil {
+			return nil, err
+		}
+		costs[i] = entries
+	}
+	return costs, nil
+}
+
+func (rs *RuleSet) checkOffsets(r Rule) error {
+	pos := make(map[int]bool, len(rs.Offsets))
+	for _, off := range rs.Offsets {
+		pos[off] = true
+	}
+	for _, p := range r.Preds {
+		if !pos[p.Offset] {
+			return fmt.Errorf("rules: predicate offset %d not in key layout %v", p.Offset, rs.Offsets)
+		}
+	}
+	return nil
+}
+
+// HitWeights counts, for each rule, how many of the packets it is the
+// first match for — the rule's traffic coverage under full-set semantics.
+func (rs *RuleSet) HitWeights(pkts []*packet.Packet) []int {
+	weights := make([]int, len(rs.Rules))
+	for _, pkt := range pkts {
+		for i := range rs.Rules {
+			if rs.Rules[i].Matches(pkt) {
+				weights[i]++
+				break
+			}
+		}
+	}
+	return weights
+}
+
+// TrimToBudget returns a copy of the rule set containing the subset of
+// rules that fits within budget TCAM entries, chosen greedily by
+// weight-per-entry density (ties keep higher-priority rules). Dropped
+// rules' regions fall back to DefaultClass, so trimming only ever trades
+// recall for table space — it never flips a default-class verdict.
+func (rs *RuleSet) TrimToBudget(budget int, weights []int) (*RuleSet, error) {
+	if len(weights) != len(rs.Rules) {
+		return nil, fmt.Errorf("rules: %d weights for %d rules", len(weights), len(rs.Rules))
+	}
+	costs, err := rs.PerRuleCost()
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, len(rs.Rules))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		da := float64(weights[ia]) / float64(costs[ia])
+		db := float64(weights[ib]) / float64(costs[ib])
+		if da != db {
+			return da > db
+		}
+		return rs.Rules[ia].Priority > rs.Rules[ib].Priority
+	})
+
+	out := NewRuleSet(rs.Offsets, rs.DefaultClass)
+	out.SetLink(rs.link)
+	used := 0
+	for _, i := range order {
+		if used+costs[i] > budget {
+			continue
+		}
+		used += costs[i]
+		out.Add(rs.Rules[i])
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package rules
+
+import (
+	"testing"
+
+	"p4guard/internal/packet"
+)
+
+func budgetRuleSet() *RuleSet {
+	rs := NewRuleSet([]int{0, 1}, 0)
+	// Cheap, high-value rule: exact byte, 1 entry.
+	rs.Add(Rule{Priority: 3, Class: 1, Preds: []BytePredicate{{Offset: 0, Lo: 7, Hi: 7}}})
+	// Expensive rule: worst-case range on byte 1, 14 entries.
+	rs.Add(Rule{Priority: 2, Class: 1, Preds: []BytePredicate{{Offset: 1, Lo: 1, Hi: 254}}})
+	// Mid-cost rule: aligned half range, 1 entry.
+	rs.Add(Rule{Priority: 1, Class: 2, Preds: []BytePredicate{{Offset: 0, Lo: 128, Hi: 255}}})
+	return rs
+}
+
+func TestPerRuleCost(t *testing.T) {
+	rs := budgetRuleSet()
+	costs, err := rs.PerRuleCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rules are stored priority-descending: exact(1), range(14), half(1).
+	want := []int{1, 14, 1}
+	for i, w := range want {
+		if costs[i] != w {
+			t.Fatalf("cost[%d] = %d, want %d (costs=%v)", i, costs[i], w, costs)
+		}
+	}
+}
+
+func TestPerRuleCostRejectsForeignOffset(t *testing.T) {
+	rs := NewRuleSet([]int{0}, 0)
+	rs.Add(Rule{Priority: 1, Class: 1, Preds: []BytePredicate{{Offset: 9, Lo: 0, Hi: 1}}})
+	if _, err := rs.PerRuleCost(); err == nil {
+		t.Fatal("accepted foreign offset")
+	}
+}
+
+func TestHitWeights(t *testing.T) {
+	rs := budgetRuleSet()
+	pkts := []*packet.Packet{
+		{Bytes: []byte{7, 0}},   // exact rule
+		{Bytes: []byte{7, 50}},  // exact rule (wins over range by priority)
+		{Bytes: []byte{0, 50}},  // range rule
+		{Bytes: []byte{200, 0}}, // half rule
+		{Bytes: []byte{0, 0}},   // miss
+	}
+	w := rs.HitWeights(pkts)
+	if w[0] != 2 || w[1] != 1 || w[2] != 1 {
+		t.Fatalf("weights = %v", w)
+	}
+}
+
+func TestTrimToBudget(t *testing.T) {
+	rs := budgetRuleSet()
+	// Give the expensive rule huge weight, others modest.
+	weights := []int{10, 100, 10}
+	// Budget 2: expensive rule (14 entries) cannot fit even with best
+	// density; the two cheap rules (1 entry each) must be kept.
+	trimmed, err := rs.TrimToBudget(2, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trimmed.Rules) != 2 {
+		t.Fatalf("trimmed to %d rules, want 2", len(trimmed.Rules))
+	}
+	cost, err := trimmed.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Entries > 2 {
+		t.Fatalf("trimmed cost %d exceeds budget", cost.Entries)
+	}
+	// Dropped region falls to default.
+	if got := trimmed.Classify(&packet.Packet{Bytes: []byte{0, 50}}); got != 0 {
+		t.Fatalf("dropped rule region classified %d, want default 0", got)
+	}
+	// Kept rules still fire.
+	if got := trimmed.Classify(&packet.Packet{Bytes: []byte{7, 0}}); got != 1 {
+		t.Fatalf("kept rule not firing: %d", got)
+	}
+
+	// Large budget keeps everything.
+	full, err := rs.TrimToBudget(1000, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Rules) != 3 {
+		t.Fatalf("full budget kept %d rules", len(full.Rules))
+	}
+}
+
+func TestTrimToBudgetValidation(t *testing.T) {
+	rs := budgetRuleSet()
+	if _, err := rs.TrimToBudget(10, []int{1}); err == nil {
+		t.Fatal("accepted mismatched weights")
+	}
+}
+
+func TestTrimPrefersDensity(t *testing.T) {
+	rs := NewRuleSet([]int{0}, 0)
+	rs.Add(Rule{Priority: 2, Class: 1, Preds: []BytePredicate{{Offset: 0, Lo: 1, Hi: 254}}}) // 14 entries
+	rs.Add(Rule{Priority: 1, Class: 1, Preds: []BytePredicate{{Offset: 0, Lo: 0, Hi: 0}}})   // 1 entry
+	// Equal weights: the cheap rule has higher density and must win the
+	// tight budget.
+	trimmed, err := rs.TrimToBudget(1, []int{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trimmed.Rules) != 1 {
+		t.Fatalf("kept %d rules", len(trimmed.Rules))
+	}
+	if trimmed.Rules[0].Preds[0].Hi != 0 {
+		t.Fatalf("kept wrong rule: %v", trimmed.Rules[0])
+	}
+}

@@ -1,0 +1,273 @@
+// Package switchsim is the behavioural gateway switch: a P4Lite pipeline
+// fed by traces (or by the p4rt server), with verdict accounting and
+// throughput/latency measurement. It models the IoT gateway the paper
+// programs, including deployment of compiled rule sets into a TCAM-style
+// detector table.
+package switchsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"p4guard/internal/p4"
+	"p4guard/internal/packet"
+	"p4guard/internal/rules"
+)
+
+// DetectorTable is the name of the range-match table the two-stage
+// pipeline deploys into.
+const DetectorTable = "iot_detector"
+
+// Switch is one simulated gateway data plane.
+type Switch struct {
+	Name string
+
+	mu        sync.Mutex
+	pipeline  *p4.Pipeline
+	parser    *p4.Parser
+	link      packet.LinkType
+	stats     RunStats
+	rateGuard *p4.RateGuard
+}
+
+// RunStats aggregates processing outcomes.
+type RunStats struct {
+	Packets     int
+	Allowed     int
+	Dropped     int
+	Digested    int
+	ParseFailed int
+	RateDropped int
+	Elapsed     time.Duration
+}
+
+// PPS returns packets per second over the measured elapsed time.
+func (s RunStats) PPS() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Packets) / s.Elapsed.Seconds()
+}
+
+// PerPacket returns mean processing latency per packet.
+func (s RunStats) PerPacket() time.Duration {
+	if s.Packets == 0 {
+		return 0
+	}
+	return s.Elapsed / time.Duration(s.Packets)
+}
+
+// New builds a switch for the link type with an empty detector table whose
+// miss action sends a digest to the controller (fail-open with sampling).
+func New(name string, link packet.LinkType) (*Switch, error) {
+	parser, err := p4.StandardParser(link)
+	if err != nil {
+		return nil, fmt.Errorf("switchsim: %w", err)
+	}
+	pipe := p4.NewPipeline(4096)
+	det := p4.NewTable(DetectorTable, p4.MatchRange, nil, 0, p4.Action{Type: p4.ActionDigest})
+	if err := pipe.AddTable(det); err != nil {
+		return nil, err
+	}
+	return &Switch{Name: name, pipeline: pipe, parser: parser, link: link}, nil
+}
+
+// Pipeline exposes the underlying pipeline (used by the p4rt server).
+func (s *Switch) Pipeline() *p4.Pipeline { return s.pipeline }
+
+// Link returns the switch's link type.
+func (s *Switch) Link() packet.LinkType { return s.link }
+
+// InstallRuleSet programs the detector table from a compiled rule set:
+// each rule becomes one range-match row whose action derives from the
+// rule's class, and the key layout is reprogrammed to the rule set's
+// selected offsets (P4 targets support range match keys; TCAM prefix
+// expansion is accounted separately via rules.RuleSet.Cost). missAction is
+// the table's default (typically digest while learning, or allow once
+// confident).
+func (s *Switch) InstallRuleSet(rs *rules.RuleSet, missAction p4.Action) (int, error) {
+	entries, err := rs.RangeEntries()
+	if err != nil {
+		return 0, fmt.Errorf("switchsim: compile: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	det, err := s.pipeline.Table(DetectorTable)
+	if err != nil {
+		return 0, err
+	}
+	det.Clear()
+	det.Key = keySpecs(rs.Offsets)
+	det.DefaultAction = missAction
+	for _, e := range entries {
+		act := p4.Action{Type: p4.ActionAllow, Class: e.Class}
+		if rules.ActionForClass(e.Class) == rules.ActionDrop {
+			act = p4.Action{Type: p4.ActionDrop, Class: e.Class}
+		}
+		if _, err := det.Insert(p4.Entry{
+			Priority: e.Priority,
+			Lo:       e.Lo,
+			Hi:       e.Hi,
+			Action:   act,
+		}); err != nil {
+			return 0, fmt.Errorf("switchsim: install: %w", err)
+		}
+	}
+	return len(entries), nil
+}
+
+// ProgramDetector atomically reprograms the detector table at the p4 level:
+// key layout, default action, and full entry list. The p4rt server uses it
+// to apply Program requests whose entries are already ternary-expanded.
+func (s *Switch) ProgramDetector(offsets []int, missAction p4.Action, entries []p4.Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	det, err := s.pipeline.Table(DetectorTable)
+	if err != nil {
+		return err
+	}
+	det.Clear()
+	det.Key = keySpecs(offsets)
+	det.DefaultAction = missAction
+	for i, e := range entries {
+		if _, err := det.Insert(e); err != nil {
+			return fmt.Errorf("switchsim: program entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// InsertDetectorEntry adds one entry to the detector table (reactive path).
+func (s *Switch) InsertDetectorEntry(e p4.Entry) (uint64, error) {
+	det, err := s.pipeline.Table(DetectorTable)
+	if err != nil {
+		return 0, err
+	}
+	return det.Insert(e)
+}
+
+// keySpecs converts byte offsets into single-byte field specs.
+func keySpecs(offsets []int) []p4.FieldSpec {
+	specs := make([]p4.FieldSpec, len(offsets))
+	for i, off := range offsets {
+		specs[i] = p4.FieldSpec{Name: fmt.Sprintf("hdr.b%d", off), Offset: off, Width: 1}
+	}
+	return specs
+}
+
+// EnableRateGuard arms a stateful heavy-hitter stage keyed on the given
+// field specs: packets whose key exceeds threshold hits per window are
+// dropped even when the match–action rules would allow them. Pass nil
+// key specs to key on the link's source-address bytes.
+func (s *Switch) EnableRateGuard(key []p4.FieldSpec, threshold uint64, window time.Duration) error {
+	if key == nil {
+		key = defaultGuardKey(s.link)
+	}
+	g, err := p4.NewRateGuard(key, threshold, window)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rateGuard = g
+	return nil
+}
+
+// defaultGuardKey returns the per-link source-identity bytes.
+func defaultGuardKey(link packet.LinkType) []p4.FieldSpec {
+	switch link {
+	case packet.LinkEthernet:
+		// ip.src + l4.sport under the standard stacking.
+		return []p4.FieldSpec{{Name: "ip.src", Offset: 26, Width: 4}, {Name: "l4.sport", Offset: 34, Width: 2}}
+	case packet.LinkIEEE802154:
+		return []p4.FieldSpec{{Name: "mac.src", Offset: 7, Width: 2}}
+	case packet.LinkBLE:
+		return []p4.FieldSpec{{Name: "ll.adva", Offset: 6, Width: 6}}
+	default:
+		return []p4.FieldSpec{{Name: "frame.head", Offset: 0, Width: 8}}
+	}
+}
+
+// Process runs one packet through parser, rate guard, and pipeline,
+// updating stats.
+func (s *Switch) Process(pkt *packet.Packet) p4.Verdict {
+	start := time.Now()
+	parsed := s.parser.Parse(pkt.Bytes)
+
+	s.mu.Lock()
+	guard := s.rateGuard
+	s.mu.Unlock()
+	if guard != nil && guard.Observe(pkt.Bytes, pkt.Time) {
+		elapsed := time.Since(start)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.stats.Packets++
+		s.stats.Elapsed += elapsed
+		s.stats.Dropped++
+		s.stats.RateDropped++
+		if !parsed.Accepted {
+			s.stats.ParseFailed++
+		}
+		return p4.Verdict{Allowed: false, Class: -1, Matched: true}
+	}
+
+	v := s.pipeline.Process(pkt)
+	elapsed := time.Since(start)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Packets++
+	s.stats.Elapsed += elapsed
+	if !parsed.Accepted {
+		s.stats.ParseFailed++
+	}
+	if v.Allowed {
+		s.stats.Allowed++
+	} else {
+		s.stats.Dropped++
+	}
+	if v.Digested {
+		s.stats.Digested++
+	}
+	return v
+}
+
+// Run processes a whole trace and returns stats for just that run.
+func (s *Switch) Run(pkts []*packet.Packet) RunStats {
+	before := s.Stats()
+	for _, p := range pkts {
+		s.Process(p)
+	}
+	after := s.Stats()
+	return RunStats{
+		Packets:     after.Packets - before.Packets,
+		Allowed:     after.Allowed - before.Allowed,
+		Dropped:     after.Dropped - before.Dropped,
+		Digested:    after.Digested - before.Digested,
+		ParseFailed: after.ParseFailed - before.ParseFailed,
+		RateDropped: after.RateDropped - before.RateDropped,
+		Elapsed:     after.Elapsed - before.Elapsed,
+	}
+}
+
+// Stats returns a snapshot of cumulative stats.
+func (s *Switch) Stats() RunStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// DrainDigests removes and returns up to max queued digests.
+func (s *Switch) DrainDigests(max int) []p4.Digest {
+	return s.pipeline.DrainDigests(max)
+}
+
+// DetectorStats returns the detector table's counters.
+func (s *Switch) DetectorStats() (p4.Stats, error) {
+	det, err := s.pipeline.Table(DetectorTable)
+	if err != nil {
+		return p4.Stats{}, err
+	}
+	return det.Stats(), nil
+}

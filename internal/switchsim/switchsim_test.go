@@ -1,0 +1,230 @@
+package switchsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"p4guard/internal/p4"
+	"p4guard/internal/packet"
+	"p4guard/internal/rules"
+)
+
+func mkSwitch(t *testing.T) *Switch {
+	t.Helper()
+	sw, err := New("gw0", packet.LinkEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+// dropHighByte0 builds a rule set that drops packets whose byte 0 > 100.
+func dropHighByte0() *rules.RuleSet {
+	rs := rules.NewRuleSet([]int{0}, 0)
+	rs.Add(rules.Rule{Priority: 1, Class: 1, Preds: []rules.BytePredicate{
+		{Offset: 0, Lo: 101, Hi: 255},
+	}})
+	return rs
+}
+
+func TestNewUnknownLink(t *testing.T) {
+	if _, err := New("x", packet.LinkType(99)); err == nil {
+		t.Fatal("accepted unknown link")
+	}
+}
+
+func TestInstallAndProcess(t *testing.T) {
+	sw := mkSwitch(t)
+	n, err := sw.InstallRuleSet(dropHighByte0(), p4.Action{Type: p4.ActionAllow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no entries installed")
+	}
+	v := sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{200, 0, 0}})
+	if v.Allowed {
+		t.Fatal("attack packet allowed")
+	}
+	v = sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{50, 0, 0}})
+	if !v.Allowed {
+		t.Fatal("benign packet dropped")
+	}
+	st := sw.Stats()
+	if st.Packets != 2 || st.Dropped != 1 || st.Allowed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Both tiny frames fail the Ethernet parser.
+	if st.ParseFailed != 2 {
+		t.Fatalf("parse failed = %d, want 2", st.ParseFailed)
+	}
+}
+
+func TestMissDigests(t *testing.T) {
+	sw := mkSwitch(t)
+	// Detector with digest-on-miss and no entries: everything digested.
+	rs := rules.NewRuleSet([]int{0}, 0)
+	if _, err := sw.InstallRuleSet(rs, p4.Action{Type: p4.ActionDigest}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		v := sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{byte(i)}})
+		if !v.Digested {
+			t.Fatal("miss did not digest")
+		}
+	}
+	ds := sw.DrainDigests(0)
+	if len(ds) != 5 {
+		t.Fatalf("%d digests", len(ds))
+	}
+	if sw.Stats().Digested != 5 {
+		t.Fatalf("digest stat = %d", sw.Stats().Digested)
+	}
+}
+
+func TestReinstallReplacesRules(t *testing.T) {
+	sw := mkSwitch(t)
+	if _, err := sw.InstallRuleSet(dropHighByte0(), p4.Action{Type: p4.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	// New rule set: drop byte0 < 10 instead.
+	rs := rules.NewRuleSet([]int{0}, 0)
+	rs.Add(rules.Rule{Priority: 1, Class: 1, Preds: []rules.BytePredicate{{Offset: 0, Lo: 0, Hi: 9}}})
+	if _, err := sw.InstallRuleSet(rs, p4.Action{Type: p4.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	if v := sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{200}}); !v.Allowed {
+		t.Fatal("old rule still active after reinstall")
+	}
+	if v := sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{5}}); v.Allowed {
+		t.Fatal("new rule not active")
+	}
+}
+
+// TestSwitchMatchesRuleSetSemantics: the deployed data plane must agree
+// with direct rule-set classification on random packets.
+func TestSwitchMatchesRuleSetSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rs := rules.NewRuleSet([]int{0, 3, 7}, 0)
+	for i := 0; i < 5; i++ {
+		var preds []rules.BytePredicate
+		for _, off := range []int{0, 3, 7} {
+			if rng.Float64() < 0.7 {
+				a, b := byte(rng.Intn(256)), byte(rng.Intn(256))
+				if a > b {
+					a, b = b, a
+				}
+				preds = append(preds, rules.BytePredicate{Offset: off, Lo: a, Hi: b})
+			}
+		}
+		rs.Add(rules.Rule{Priority: i + 1, Class: 1 + rng.Intn(2), Preds: preds})
+	}
+	sw := mkSwitch(t)
+	if _, err := sw.InstallRuleSet(rs, p4.Action{Type: p4.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		body := make([]byte, 12)
+		rng.Read(body)
+		pkt := &packet.Packet{Link: packet.LinkEthernet, Bytes: body}
+		want := rules.ActionForClass(rs.Classify(pkt)) == rules.ActionAllow
+		if got := sw.Process(pkt); got.Allowed != want {
+			t.Fatalf("packet %d: switch allowed=%v, rules say %v", i, got.Allowed, want)
+		}
+	}
+}
+
+func TestRunStatsDelta(t *testing.T) {
+	sw := mkSwitch(t)
+	if _, err := sw.InstallRuleSet(dropHighByte0(), p4.Action{Type: p4.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	pkts := []*packet.Packet{
+		{Link: packet.LinkEthernet, Bytes: []byte{200}},
+		{Link: packet.LinkEthernet, Bytes: []byte{10}},
+		{Link: packet.LinkEthernet, Bytes: []byte{150}},
+	}
+	st := sw.Run(pkts)
+	if st.Packets != 3 || st.Dropped != 2 || st.Allowed != 1 {
+		t.Fatalf("run stats = %+v", st)
+	}
+	if st.PPS() <= 0 || st.PerPacket() <= 0 {
+		t.Fatalf("rates: pps=%v perpkt=%v", st.PPS(), st.PerPacket())
+	}
+	// Second run must not double-count the first.
+	st2 := sw.Run(pkts[:1])
+	if st2.Packets != 1 {
+		t.Fatalf("second run stats = %+v", st2)
+	}
+}
+
+func TestDetectorStats(t *testing.T) {
+	sw := mkSwitch(t)
+	if _, err := sw.InstallRuleSet(dropHighByte0(), p4.Action{Type: p4.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{250}})
+	sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{1}})
+	st, err := sw.DetectorStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("detector stats = %+v", st)
+	}
+}
+
+func TestRateGuardDropsFloodsKeepsBenign(t *testing.T) {
+	sw := mkSwitch(t)
+	// Rules allow everything; the guard alone must act.
+	if _, err := sw.InstallRuleSet(rules.NewRuleSet([]int{0}, 0), p4.Action{Type: p4.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	// Key on byte 0 so the test controls identity directly.
+	key := []p4.FieldSpec{{Name: "b0", Offset: 0, Width: 1}}
+	if err := sw.EnableRateGuard(key, 5, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Benign: 4 pkts per key per window.
+	for i := 0; i < 4; i++ {
+		v := sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{1}, Time: time.Duration(i) * time.Millisecond})
+		if !v.Allowed {
+			t.Fatal("benign-rate packet dropped")
+		}
+	}
+	// Flood: 30 pkts, same key.
+	dropped := 0
+	for i := 0; i < 30; i++ {
+		v := sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{2}, Time: time.Duration(i) * time.Millisecond})
+		if !v.Allowed {
+			dropped++
+		}
+	}
+	if dropped != 25 {
+		t.Fatalf("flood dropped %d of 30, want 25", dropped)
+	}
+	st := sw.Stats()
+	if st.RateDropped != 25 {
+		t.Fatalf("RateDropped = %d", st.RateDropped)
+	}
+}
+
+func TestRateGuardDefaultKeys(t *testing.T) {
+	for _, link := range []packet.LinkType{packet.LinkEthernet, packet.LinkIEEE802154, packet.LinkBLE} {
+		sw, err := New("g", link)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.EnableRateGuard(nil, 100, time.Second); err != nil {
+			t.Fatalf("%v: %v", link, err)
+		}
+	}
+}
+
+func TestEmptyRunStats(t *testing.T) {
+	var st RunStats
+	if st.PPS() != 0 || st.PerPacket() != 0 {
+		t.Fatal("empty stats should be zero rates")
+	}
+}

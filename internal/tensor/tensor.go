@@ -1,0 +1,291 @@
+// Package tensor provides small dense linear-algebra primitives used by the
+// from-scratch neural-network stack. Matrices are row-major float64 with flat
+// backing storage; all operations are deterministic given a seeded rand.Rand.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrShape is returned (wrapped) when operand shapes are incompatible.
+var ErrShape = errors.New("tensor: shape mismatch")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows int
+	Cols int
+	Data []float64 // len == Rows*Cols
+}
+
+// New returns a zero-initialized rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows×cols matrix.
+func FromSlice(rows, cols int, data []float64) (*Matrix, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("tensor: FromSlice %dx%d needs %d values, got %d: %w",
+			rows, cols, rows*cols, len(data), ErrShape)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}, nil
+}
+
+// FromRows builds a matrix by copying the given equal-length rows.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("tensor: ragged row %d (len %d, want %d): %w",
+				i, len(r), cols, ErrShape)
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// SetRow copies v into row i.
+func (m *Matrix) SetRow(i int, v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: SetRow len %d != cols %d", len(v), m.Cols))
+	}
+	copy(m.Row(i), v)
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() { m.Fill(0) }
+
+// Randomize fills m with uniform values in [-scale, scale).
+func (m *Matrix) Randomize(rng *rand.Rand, scale float64) {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// GlorotInit fills m with the Glorot/Xavier uniform distribution for a layer
+// with fanIn inputs and fanOut outputs.
+func (m *Matrix) GlorotInit(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	m.Randomize(rng, limit)
+}
+
+// MatMul computes dst = a × b. dst must be a.Rows×b.Cols and may not alias
+// a or b.
+func MatMul(dst, a, b *Matrix) error {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		return fmt.Errorf("tensor: matmul (%dx%d)·(%dx%d)->(%dx%d): %w",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols, ErrShape)
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return nil
+}
+
+// MatMulATB computes dst = aᵀ × b.
+func MatMulATB(dst, a, b *Matrix) error {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		return fmt.Errorf("tensor: matmulATB (%dx%d)ᵀ·(%dx%d)->(%dx%d): %w",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols, ErrShape)
+	}
+	dst.Zero()
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return nil
+}
+
+// MatMulABT computes dst = a × bᵀ.
+func MatMulABT(dst, a, b *Matrix) error {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		return fmt.Errorf("tensor: matmulABT (%dx%d)·(%dx%d)ᵀ->(%dx%d): %w",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols, ErrShape)
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var sum float64
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			drow[j] = sum
+		}
+	}
+	return nil
+}
+
+// AddRowVector adds vector v to every row of m in place.
+func (m *Matrix) AddRowVector(v []float64) error {
+	if len(v) != m.Cols {
+		return fmt.Errorf("tensor: AddRowVector len %d != cols %d: %w", len(v), m.Cols, ErrShape)
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, b := range v {
+			row[j] += b
+		}
+	}
+	return nil
+}
+
+// ColSums returns the per-column sums of m.
+func (m *Matrix) ColSums() []float64 {
+	sums := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			sums[j] += v
+		}
+	}
+	return sums
+}
+
+// Apply replaces every element x with f(x).
+func (m *Matrix) Apply(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// Scale multiplies every element by s.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaled adds s·other to m in place.
+func (m *Matrix) AddScaled(other *Matrix, s float64) error {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return fmt.Errorf("tensor: AddScaled %dx%d vs %dx%d: %w",
+			m.Rows, m.Cols, other.Rows, other.Cols, ErrShape)
+	}
+	for i, v := range other.Data {
+		m.Data[i] += s * v
+	}
+	return nil
+}
+
+// Hadamard multiplies m element-wise by other in place.
+func (m *Matrix) Hadamard(other *Matrix) error {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return fmt.Errorf("tensor: Hadamard %dx%d vs %dx%d: %w",
+			m.Rows, m.Cols, other.Rows, other.Cols, ErrShape)
+	}
+	for i, v := range other.Data {
+		m.Data[i] *= v
+	}
+	return nil
+}
+
+// Argmax returns the index of the largest value in v (first on ties).
+func Argmax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Dot returns the inner product of a and b, which must have equal length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: dot len %d != %d", len(a), len(b)))
+	}
+	var sum float64
+	for i, v := range a {
+		sum += v * b[i]
+	}
+	return sum
+}
+
+// L2Norm returns the Euclidean norm of v.
+func L2Norm(v []float64) float64 {
+	var sum float64
+	for _, x := range v {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// Softmax writes the softmax of src into dst (may alias). It is numerically
+// stabilized by max subtraction.
+func Softmax(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: softmax len %d != %d", len(dst), len(src)))
+	}
+	maxv := src[0]
+	for _, v := range src[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(v - maxv)
+		dst[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+}

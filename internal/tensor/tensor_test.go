@@ -1,0 +1,268 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("New(2,3) = %+v", m)
+	}
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+	if got := m.Row(1)[2]; got != 7.5 {
+		t.Fatalf("Row(1)[2] = %v, want 7.5", got)
+	}
+}
+
+func TestFromSliceShapeError(t *testing.T) {
+	if _, err := FromSlice(2, 2, []float64{1, 2, 3}); !errors.Is(err, ErrShape) {
+		t.Fatalf("FromSlice err = %v, want ErrShape", err)
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+	if _, err := FromRows([][]float64{{1}, {2, 3}}); !errors.Is(err, ErrShape) {
+		t.Fatalf("ragged FromRows err = %v, want ErrShape", err)
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows != 0 {
+		t.Fatalf("FromRows(nil) = %v, %v", empty, err)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	dst := New(2, 2)
+	if err := MatMul(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if !almostEq(dst.At(i, j), want[i][j]) {
+				t.Errorf("dst[%d][%d] = %v, want %v", i, j, dst.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatMulShapeError(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	if err := MatMul(New(2, 3), a, b); !errors.Is(err, ErrShape) {
+		t.Fatalf("MatMul shape err = %v, want ErrShape", err)
+	}
+}
+
+// TestMatMulVariants checks that ATB and ABT agree with explicit transposition
+// through plain MatMul, on random matrices.
+func TestMatMulVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	transpose := func(m *Matrix) *Matrix {
+		tm := New(m.Cols, m.Rows)
+		for i := 0; i < m.Rows; i++ {
+			for j := 0; j < m.Cols; j++ {
+				tm.Set(j, i, m.At(i, j))
+			}
+		}
+		return tm
+	}
+	for iter := 0; iter < 20; iter++ {
+		n, k, m := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := New(n, k)
+		a.Randomize(rng, 1)
+		b := New(k, m)
+		b.Randomize(rng, 1)
+
+		// ATB: (kxn)ᵀ is built from aT.
+		at := transpose(a)
+		gotATB := New(n, m)
+		if err := MatMulATB(gotATB, at, b); err != nil {
+			t.Fatal(err)
+		}
+		want := New(n, m)
+		if err := MatMul(want, a, b); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if !almostEq(gotATB.Data[i], want.Data[i]) {
+				t.Fatalf("iter %d: ATB mismatch at %d: %v vs %v", iter, i, gotATB.Data[i], want.Data[i])
+			}
+		}
+
+		// ABT: b is given transposed.
+		bt := transpose(b)
+		gotABT := New(n, m)
+		if err := MatMulABT(gotABT, a, bt); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if !almostEq(gotABT.Data[i], want.Data[i]) {
+				t.Fatalf("iter %d: ABT mismatch at %d: %v vs %v", iter, i, gotABT.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestAddRowVectorAndColSums(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err := m.AddRowVector([]float64{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	sums := m.ColSums()
+	if !almostEq(sums[0], 24) || !almostEq(sums[1], 46) {
+		t.Fatalf("ColSums = %v, want [24 46]", sums)
+	}
+	if err := m.AddRowVector([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("AddRowVector shape err = %v", err)
+	}
+}
+
+func TestApplyScaleAddScaledHadamard(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, -2}})
+	m.Apply(math.Abs)
+	if m.At(0, 1) != 2 {
+		t.Fatalf("Apply abs: %v", m.Data)
+	}
+	m.Scale(3)
+	if m.At(0, 0) != 3 {
+		t.Fatalf("Scale: %v", m.Data)
+	}
+	other, _ := FromRows([][]float64{{1, 1}})
+	if err := m.AddScaled(other, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 5 {
+		t.Fatalf("AddScaled: %v", m.Data)
+	}
+	if err := m.Hadamard(other); err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 8 {
+		t.Fatalf("Hadamard: %v", m.Data)
+	}
+	bad := New(2, 2)
+	if err := m.AddScaled(bad, 1); !errors.Is(err, ErrShape) {
+		t.Fatalf("AddScaled shape err = %v", err)
+	}
+	if err := m.Hadamard(bad); !errors.Is(err, ErrShape) {
+		t.Fatalf("Hadamard shape err = %v", err)
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	tests := []struct {
+		in   []float64
+		want int
+	}{
+		{[]float64{1}, 0},
+		{[]float64{1, 3, 2}, 1},
+		{[]float64{5, 5, 5}, 0}, // first on ties
+		{[]float64{-3, -1, -2}, 1},
+	}
+	for _, tt := range tests {
+		if got := Argmax(tt.in); got != tt.want {
+			t.Errorf("Argmax(%v) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		src := make([]float64, len(raw))
+		for i, v := range raw {
+			// Clamp to keep exp finite but exercise stabilization.
+			src[i] = math.Mod(v, 50)
+			if math.IsNaN(src[i]) {
+				src[i] = 0
+			}
+		}
+		dst := make([]float64, len(src))
+		Softmax(dst, src)
+		var sum float64
+		for _, v := range dst {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxLargeValuesStable(t *testing.T) {
+	src := []float64{1000, 1001, 999}
+	dst := make([]float64, 3)
+	Softmax(dst, src)
+	for _, v := range dst {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax unstable: %v", dst)
+		}
+	}
+	if Argmax(dst) != 1 {
+		t.Fatalf("softmax argmax = %d, want 1", Argmax(dst))
+	}
+}
+
+func TestDotAndL2Norm(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); !almostEq(got, 32) {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := L2Norm([]float64{3, 4}); !almostEq(got, 5) {
+		t.Fatalf("L2Norm = %v, want 5", got)
+	}
+}
+
+func TestGlorotInitBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := New(10, 10)
+	m.GlorotInit(rng, 100, 100)
+	limit := math.Sqrt(6.0 / 200.0)
+	for _, v := range m.Data {
+		if math.Abs(v) > limit {
+			t.Fatalf("glorot value %v exceeds limit %v", v, limit)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases original storage")
+	}
+}
+
+func TestSetRowPanicsOnBadLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetRow with wrong length did not panic")
+		}
+	}()
+	New(1, 2).SetRow(0, []float64{1, 2, 3})
+}

@@ -1,0 +1,312 @@
+package p4guard
+
+import (
+	"strings"
+	"testing"
+
+	"p4guard/internal/fieldsel"
+	"p4guard/internal/metrics"
+	"p4guard/internal/trace"
+)
+
+func trainTest(t *testing.T, scenario string, packets int) (*trace.Dataset, *trace.Dataset) {
+	t.Helper()
+	ds, err := GenerateTrace(scenario, TraceConfig{Seed: 31, Packets: packets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := ds.Split(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func TestTrainEndToEndMQTT(t *testing.T) {
+	train, test := trainTest(t, "wifi-mqtt", 1500)
+	pipe, err := Train(train, Config{Seed: 1, NumFields: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pipe.Offsets) != 6 {
+		t.Fatalf("selected %d fields", len(pipe.Offsets))
+	}
+	preds, err := pipe.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := metrics.FromPredictions(preds, test.BinaryLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Accuracy() < 0.9 {
+		t.Fatalf("two-stage accuracy %.3f < 0.9 (%s)", conf.Accuracy(), conf)
+	}
+	kb, entries := pipe.TableCost()
+	if kb != 6 {
+		t.Fatalf("key bytes %d", kb)
+	}
+	if entries <= 0 || entries > 4000 {
+		t.Fatalf("entries %d out of sane range", entries)
+	}
+	if pipe.DescribeFields() == "" {
+		t.Fatal("empty field description")
+	}
+	if fid := pipe.Fidelity(test); fid < 0.9 {
+		t.Fatalf("fidelity %.3f < 0.9", fid)
+	}
+	// Timings must be populated.
+	tm := pipe.Timings
+	if tm.FieldSelection <= 0 || tm.Classifier <= 0 || tm.Distillation <= 0 || tm.RuleCompile <= 0 {
+		t.Fatalf("timings = %+v", tm)
+	}
+}
+
+// TestUniversalityZigbee: the same pipeline must work on a non-IP link.
+func TestTrainEndToEndZigbee(t *testing.T) {
+	train, test := trainTest(t, "zigbee", 1200)
+	pipe, err := Train(train, Config{Seed: 2, NumFields: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := pipe.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := metrics.FromPredictions(preds, test.BinaryLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Accuracy() < 0.85 {
+		t.Fatalf("zigbee accuracy %.3f < 0.85 (%s)", conf.Accuracy(), conf)
+	}
+}
+
+// TestTrainEndToEndThread: the extended 6LoWPAN/Thread workload — a
+// third header layout on the same 802.15.4 link — must work unchanged.
+func TestTrainEndToEndThread(t *testing.T) {
+	ds, err := GenerateTrace("thread", TraceConfig{Seed: 33, Packets: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := ds.Split(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := Train(train, Config{Seed: 7, NumFields: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := pipe.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := metrics.FromPredictions(preds, test.BinaryLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Accuracy() < 0.9 {
+		t.Fatalf("thread accuracy %.3f < 0.9 (%s)", conf.Accuracy(), conf)
+	}
+}
+
+func TestPredictNNAgreesWithRulesMostly(t *testing.T) {
+	train, test := trainTest(t, "wifi-mqtt", 1200)
+	pipe, err := Train(train, Config{Seed: 3, NumFields: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := pipe.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := pipe.PredictNN(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i := range rp {
+		if rp[i] == np[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(rp)); frac < 0.9 {
+		t.Fatalf("rules/NN agreement %.3f < 0.9", frac)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, Config{}); err == nil {
+		t.Fatal("accepted nil dataset")
+	}
+	if _, err := Train(&trace.Dataset{}, Config{}); err == nil {
+		t.Fatal("accepted empty dataset")
+	}
+}
+
+func TestCustomSelector(t *testing.T) {
+	train, test := trainTest(t, "wifi-mqtt", 1000)
+	pipe, err := Train(train, Config{Seed: 4, NumFields: 8, Selector: fieldsel.MutualInfoSelector{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := pipe.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := metrics.FromPredictions(preds, test.BinaryLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Accuracy() < 0.85 {
+		t.Fatalf("MI-selector accuracy %.3f (%s)", conf.Accuracy(), conf)
+	}
+}
+
+func TestDetectorAdapter(t *testing.T) {
+	train, test := trainTest(t, "wifi-coap", 1200)
+	det := NewDetector(Config{Seed: 5, NumFields: 6})
+	if det.Name() != "two-stage" {
+		t.Fatalf("name %q", det.Name())
+	}
+	if _, err := det.Predict(test); err == nil {
+		t.Fatal("predicted before fit")
+	}
+	if kb, e := det.TableCost(); kb != -1 || e != -1 {
+		t.Fatal("unfitted cost should be -1,-1")
+	}
+	if err := det.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	preds, err := det.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := metrics.FromPredictions(preds, test.BinaryLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Accuracy() < 0.85 {
+		t.Fatalf("coap accuracy %.3f (%s)", conf.Accuracy(), conf)
+	}
+	if det.Pipeline() == nil {
+		t.Fatal("Pipeline() nil after fit")
+	}
+}
+
+func TestMultiClassTraining(t *testing.T) {
+	train, test := trainTest(t, "wifi-mqtt", 1500)
+	pipe, err := Train(train, Config{Seed: 8, NumFields: 8, TreeDepth: 8, MultiClass: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pipe.ClassNames) != 5 || pipe.ClassNames[0] != "benign" {
+		t.Fatalf("class names = %v", pipe.ClassNames)
+	}
+	preds, err := pipe.PredictMulti(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, kinds := test.MultiLabels()
+	if len(kinds) != 4 {
+		t.Fatalf("test kinds = %v", kinds)
+	}
+	correct := 0
+	for i := range preds {
+		if preds[i] == truth[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(preds)); acc < 0.85 {
+		t.Fatalf("multi-class accuracy %.3f < 0.85", acc)
+	}
+	// Binary collapse must still work through Predict.
+	bin, err := pipe.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := metrics.FromPredictions(bin, test.BinaryLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Accuracy() < 0.9 {
+		t.Fatalf("binary collapse accuracy %.3f", conf.Accuracy())
+	}
+}
+
+func TestTrimToBudgetPipeline(t *testing.T) {
+	train, test := trainTest(t, "wifi-mqtt", 1200)
+	pipe, err := Train(train, Config{Seed: 10, NumFields: 6, TreeDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, full := pipe.TableCost()
+	trimmed, err := pipe.TrimToBudget(full/4+1, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, used := trimmed.TableCost()
+	if used > full/4+1 {
+		t.Fatalf("trimmed entries %d exceed budget %d", used, full/4+1)
+	}
+	// Trimmed pipeline must still predict (possibly with lower recall).
+	preds, err := trimmed.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := metrics.FromPredictions(preds, test.BinaryLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.FPR() > 0.05 {
+		t.Fatalf("trimming raised FPR to %.3f", conf.FPR())
+	}
+	var untrained Pipeline
+	if _, err := untrained.TrimToBudget(10, train); err == nil {
+		t.Fatal("untrained TrimToBudget succeeded")
+	}
+}
+
+func TestScenarioNames(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) != 4 {
+		t.Fatalf("scenarios = %v", names)
+	}
+}
+
+func TestEmitP4(t *testing.T) {
+	train, _ := trainTest(t, "wifi-mqtt", 1000)
+	pipe, err := Train(train, Config{Seed: 12, NumFields: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := pipe.EmitP4(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table iot_detector", "const entries", "V1Switch("} {
+		if !strings.Contains(src, want) {
+			t.Errorf("P4 source missing %q", want)
+		}
+	}
+	var untrained Pipeline
+	if _, err := untrained.EmitP4(false); err == nil {
+		t.Fatal("untrained EmitP4 succeeded")
+	}
+}
+
+func TestUntrainedPipelineMethods(t *testing.T) {
+	var p Pipeline
+	if _, err := p.Predict(&trace.Dataset{}); err == nil {
+		t.Fatal("untrained Predict succeeded")
+	}
+	if _, err := p.PredictNN(&trace.Dataset{}); err == nil {
+		t.Fatal("untrained PredictNN succeeded")
+	}
+	if got := p.ClassifyPacket(nil); got != 0 {
+		t.Fatal("untrained ClassifyPacket non-zero")
+	}
+	if kb, e := p.TableCost(); kb != -1 || e != -1 {
+		t.Fatal("untrained TableCost")
+	}
+}

@@ -1,0 +1,79 @@
+package p4guard
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"p4guard/internal/dtree"
+	"p4guard/internal/nn"
+	"p4guard/internal/packet"
+)
+
+// pipelineSnap is the on-disk form of a trained pipeline.
+type pipelineSnap struct {
+	Offsets    []int
+	Link       int
+	ClassNames []string
+	Net        []byte
+	Tree       []byte
+}
+
+// Save writes the trained pipeline (field selection, MLP, tree) to w. The
+// rule set is recompiled at load time, which keeps the format small and
+// guarantees rules always match the stored tree.
+func (p *Pipeline) Save(w io.Writer) error {
+	if p.net == nil || p.tree == nil {
+		return fmt.Errorf("p4guard: cannot save untrained pipeline")
+	}
+	var netBuf, treeBuf bytes.Buffer
+	if err := nn.Save(&netBuf, p.net); err != nil {
+		return err
+	}
+	if err := p.tree.Save(&treeBuf); err != nil {
+		return err
+	}
+	snap := pipelineSnap{
+		Offsets:    p.Offsets,
+		Link:       int(p.Link),
+		ClassNames: p.ClassNames,
+		Net:        netBuf.Bytes(),
+		Tree:       treeBuf.Bytes(),
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("p4guard: encode pipeline: %w", err)
+	}
+	return nil
+}
+
+// LoadPipeline reads a pipeline saved by Save and recompiles its rule set.
+func LoadPipeline(r io.Reader) (*Pipeline, error) {
+	var snap pipelineSnap
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("p4guard: decode pipeline: %w", err)
+	}
+	net, err := nn.Load(bytes.NewReader(snap.Net), rand.New(rand.NewSource(0)))
+	if err != nil {
+		return nil, err
+	}
+	tree, err := dtree.Load(bytes.NewReader(snap.Tree))
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		Offsets:    snap.Offsets,
+		Link:       packet.LinkType(snap.Link),
+		ClassNames: snap.ClassNames,
+		net:        net,
+		tree:       tree,
+	}
+	rs, err := tree.CompileRuleSet(snap.Offsets, 0)
+	if err != nil {
+		return nil, err
+	}
+	rs.SetLink(p.Link)
+	p.rs = rs
+	return p, nil
+}

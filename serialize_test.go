@@ -1,0 +1,60 @@
+package p4guard
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPipelineSaveLoadRoundTrip(t *testing.T) {
+	train, test := trainTest(t, "wifi-mqtt", 1000)
+	pipe, err := Train(train, Config{Seed: 9, NumFields: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pipe.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPipeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Link != pipe.Link || len(loaded.Offsets) != len(pipe.Offsets) {
+		t.Fatalf("loaded meta = %v/%v", loaded.Link, loaded.Offsets)
+	}
+	// Rule-set decisions must be identical.
+	want, err := pipe.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("prediction %d differs after reload", i)
+		}
+	}
+	// Slow-path decisions must be identical too.
+	for i := 0; i < 50 && i < test.Len(); i++ {
+		p := test.Samples[i].Pkt
+		if pipe.ClassifySlowPath(p) != loaded.ClassifySlowPath(p) {
+			t.Fatalf("slow-path decision %d differs after reload", i)
+		}
+	}
+}
+
+func TestSaveUntrainedFails(t *testing.T) {
+	var p Pipeline
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err == nil {
+		t.Fatal("saved untrained pipeline")
+	}
+}
+
+func TestLoadGarbageFails(t *testing.T) {
+	if _, err := LoadPipeline(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("loaded garbage")
+	}
+}
