@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test race bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Hot-path microbenchmarks only (fast feedback while tuning).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkKeyIndexFind|BenchmarkCompiledMatcherClassify|BenchmarkRuleSetClassify|BenchmarkDataPlaneLookup$$|BenchmarkSwitchRunSequential|BenchmarkSwitchRunParallel' -benchtime 1s ./...
+
+# Full CI gate: vet + build + race-enabled tests + hot-path benchmarks.
+ci:
+	sh scripts/ci.sh

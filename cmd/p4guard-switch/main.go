@@ -33,6 +33,7 @@ func run() int {
 		duration = flag.Duration("duration", 0, "exit after this long (0 = until signal)")
 		rateThr  = flag.Uint64("rate-threshold", 0, "enable the heavy-hitter rate guard above this per-window packet count (0 = off)")
 		rateWin  = flag.Duration("rate-window", time.Second, "rate-guard window")
+		workers  = flag.Int("workers", 1, "forwarding workers per replay round (<=0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -73,7 +74,7 @@ func run() int {
 		t := time.NewTicker(*interval)
 		defer t.Stop()
 		replayTick = t.C
-		if err := replayOnce(sw, *replay, *packetsN, *seed); err != nil {
+		if err := replayOnce(sw, *replay, *packetsN, *seed, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "p4guard-switch:", err)
 			return 1
 		}
@@ -90,7 +91,7 @@ func run() int {
 			return 0
 		case <-replayTick:
 			round++
-			if err := replayOnce(sw, *replay, *packetsN, round); err != nil {
+			if err := replayOnce(sw, *replay, *packetsN, round, *workers); err != nil {
 				fmt.Fprintln(os.Stderr, "p4guard-switch:", err)
 				return 1
 			}
@@ -108,14 +109,20 @@ func parseLink(s string) (packet.LinkType, error) {
 	return 0, fmt.Errorf("unknown link %q", s)
 }
 
-func replayOnce(sw *switchsim.Switch, scenario string, packets int, seed int64) error {
+func replayOnce(sw *switchsim.Switch, scenario string, packets int, seed int64, workers int) error {
 	ds, err := p4guard.GenerateTrace(scenario, p4guard.TraceConfig{Seed: seed, Packets: packets})
 	if err != nil {
 		return err
 	}
-	for _, s := range ds.Samples {
-		sw.Process(s.Pkt)
+	pkts := make([]*packet.Packet, len(ds.Samples))
+	for i, s := range ds.Samples {
+		pkts[i] = s.Pkt
 	}
+	if workers == 1 {
+		sw.ProcessBatch(pkts)
+		return nil
+	}
+	sw.RunParallel(pkts, workers)
 	return nil
 }
 

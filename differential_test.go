@@ -1,0 +1,129 @@
+package p4guard
+
+import (
+	"bytes"
+	"testing"
+
+	"p4guard/internal/p4"
+	"p4guard/internal/packet"
+	"p4guard/internal/rules"
+	"p4guard/internal/switchsim"
+	"p4guard/internal/trace"
+)
+
+func tracePacketSlice(ds *trace.Dataset) []*packet.Packet {
+	pkts := make([]*packet.Packet, len(ds.Samples))
+	for i, s := range ds.Samples {
+		pkts[i] = s.Pkt
+	}
+	return pkts
+}
+
+func saveLoad(t *testing.T, pipe *Pipeline) *Pipeline {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pipe.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPipeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loaded
+}
+
+// TestDifferentialMatchAgreement cross-checks every classification path on
+// every scenario: the legacy linear rule scan (the reference oracle), the
+// compiled bitset matcher, the TCAM ternary expansion, and the behavioural
+// switch's installed detector table must all return the same class for the
+// same packet. Any drift between the offline model and the data plane is a
+// correctness bug, not a tuning difference.
+func TestDifferentialMatchAgreement(t *testing.T) {
+	for _, scen := range ScenarioNames() {
+		t.Run(scen, func(t *testing.T) {
+			ds, err := GenerateTrace(scen, TraceConfig{Seed: 41, Packets: 900})
+			if err != nil {
+				t.Fatal(err)
+			}
+			train, test, err := ds.Split(0.6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pipe, err := Train(train, Config{Seed: 3, NumFields: 5, MLPEpochs: 10, TreeDepth: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs := pipe.RuleSet()
+			ternary, err := rs.CompileTernary()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sw, err := switchsim.New("diff-"+scen, ds.Link)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sw.InstallRuleSet(rs, p4.Action{Type: p4.ActionAllow}); err != nil {
+				t.Fatal(err)
+			}
+
+			pkts := tracePacketSlice(test)
+			verdicts := sw.ProcessBatch(pkts)
+			if pf := sw.Stats().ParseFailed; pf != 0 {
+				t.Fatalf("%d generated packets failed to parse; differential comparison needs a clean trace", pf)
+			}
+
+			matcher := pipe.Matcher()
+			for i, pkt := range pkts {
+				oracleClass, oracleMatched := rs.ClassifyDetail(pkt)
+				gotClass, gotMatched := matcher.Classify(pkt)
+				if gotClass != oracleClass || gotMatched != oracleMatched {
+					t.Fatalf("pkt %d: compiled matcher (%d,%v) != scan oracle (%d,%v)",
+						i, gotClass, gotMatched, oracleClass, oracleMatched)
+				}
+				if tc := rules.ClassifyTernary(ternary, rs.DefaultClass, rs.Offsets, pkt); tc != oracleClass {
+					t.Fatalf("pkt %d: ternary expansion %d != scan oracle %d", i, tc, oracleClass)
+				}
+				v := verdicts[i]
+				if v.Matched != oracleMatched {
+					t.Fatalf("pkt %d: switch matched=%v, scan oracle matched=%v", i, v.Matched, oracleMatched)
+				}
+				// On a table miss the verdict carries the miss action's class
+				// (0), which equals the rule set's default class here.
+				if v.Class != oracleClass {
+					t.Fatalf("pkt %d: switch class %d != scan oracle class %d", i, v.Class, oracleClass)
+				}
+				wantDrop := rules.ActionForClass(oracleClass) == rules.ActionDrop && oracleMatched
+				if !v.Allowed != wantDrop {
+					t.Fatalf("pkt %d: switch allowed=%v, policy for class %d wants drop=%v",
+						i, v.Allowed, oracleClass, wantDrop)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialAgreementSurvivesReload runs the matcher/oracle agreement
+// check on a pipeline that has been through a Save/Load round trip, so the
+// recompiled matcher in LoadPipeline is covered too.
+func TestDifferentialAgreementSurvivesReload(t *testing.T) {
+	train, test := trainTest(t, "wifi-mqtt", 1000)
+	pipe, err := Train(train, Config{Seed: 5, NumFields: 5, MLPEpochs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := saveLoad(t, pipe)
+	rs := loaded.RuleSet()
+	matcher := loaded.Matcher()
+	if matcher == nil {
+		t.Fatal("loaded pipeline has no compiled matcher")
+	}
+	for i, s := range test.Samples {
+		wantClass, wantMatched := rs.ClassifyDetail(s.Pkt)
+		gotClass, gotMatched := matcher.Classify(s.Pkt)
+		if gotClass != wantClass || gotMatched != wantMatched {
+			t.Fatalf("pkt %d: reloaded matcher (%d,%v) != scan oracle (%d,%v)",
+				i, gotClass, gotMatched, wantClass, wantMatched)
+		}
+	}
+}

@@ -69,13 +69,19 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	pkts := make([]*packet.Packet, len(liveDS.Samples))
+	for i, s := range liveDS.Samples {
+		pkts[i] = s.Pkt
+	}
 	for wave := 1; wave <= 2; wave++ {
+		// Each wave is one batched pass; verdicts come back per packet so
+		// the accounting below stays exact.
+		verdicts := sw.ProcessBatch(pkts)
 		var droppedAttacks, attacks int
-		for _, s := range liveDS.Samples {
-			v := sw.Process(s.Pkt)
+		for i, s := range liveDS.Samples {
 			if s.Label != trace.LabelBenign {
 				attacks++
-				if !v.Allowed {
+				if !verdicts[i].Allowed {
 					droppedAttacks++
 				}
 			}

@@ -10,6 +10,7 @@ import (
 
 	"p4guard"
 	"p4guard/internal/p4"
+	"p4guard/internal/packet"
 	"p4guard/internal/switchsim"
 	"p4guard/internal/trace"
 )
@@ -51,11 +52,19 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// One batched pass through the data plane: the switch snapshots its
+	// tables once and returns a verdict per packet.
+	pkts := make([]*packet.Packet, len(liveDS.Samples))
+	for i, s := range liveDS.Samples {
+		pkts[i] = s.Pkt
+	}
+	verdicts := sw.ProcessBatch(pkts)
+
 	dropped := make(map[string]int)
 	total := make(map[string]int)
 	var benignDropped, benignTotal int
-	for _, s := range liveDS.Samples {
-		v := sw.Process(s.Pkt)
+	for i, s := range liveDS.Samples {
+		v := verdicts[i]
 		if s.Label == trace.LabelBenign {
 			benignTotal++
 			if !v.Allowed {

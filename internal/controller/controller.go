@@ -2,12 +2,19 @@
 // it deploys compiled rule sets to switches over p4rt, classifies digested
 // (table-miss) packets with the full stage-2 model as a slow path, and can
 // reactively install exact-match drop entries for attacks the rules missed.
+//
+// The controller keeps a compiled mirror of the last deployed rule set
+// (the same internal/match engine the switch tables run), so it can
+// predict the data plane's verdict for any digested packet: reactive
+// installs are suppressed when the deployed rules already drop the key,
+// keeping controller and switch provably in agreement.
 package controller
 
 import (
 	"fmt"
 	"sync"
 
+	"p4guard/internal/match"
 	"p4guard/internal/p4"
 	"p4guard/internal/p4rt"
 	"p4guard/internal/packet"
@@ -40,6 +47,9 @@ type Stats struct {
 	SlowPathAttacks  int
 	SlowPathBenign   int
 	ReactiveInstalls int
+	// MirrorSuppressed counts reactive installs skipped because the
+	// deployment mirror proved the data plane already drops the key.
+	MirrorSuppressed int
 }
 
 // Controller manages one or more switch connections.
@@ -50,6 +60,7 @@ type Controller struct {
 	mu      sync.Mutex
 	clients map[string]*p4rt.Client
 	seen    map[string]bool // reactive keys already installed
+	mirror  *match.Compiled // compiled copy of the last deployed rule set
 	stats   Stats
 	closed  bool
 
@@ -139,6 +150,17 @@ func (c *Controller) worker() {
 			var install bool
 			var key []byte
 			if c.cfg.Reactive {
+				// The deployment mirror runs the same compiled engine as
+				// the switch table: when it already drops this packet the
+				// digest is stale (raced a deploy) and an exact-match
+				// entry would only waste TCAM.
+				if m := c.mirror; m != nil {
+					if class, matched := m.Classify(pkt); matched && rules.ActionForClass(class) == rules.ActionDrop {
+						c.stats.MirrorSuppressed++
+						c.mu.Unlock()
+						continue
+					}
+				}
 				key = rules.ExtractKey(pkt, c.model.MatchOffsets())
 				if !c.seen[string(key)] {
 					c.seen[string(key)] = true
@@ -171,6 +193,13 @@ func (c *Controller) worker() {
 // missAction is the detector's default (digest to keep the slow path in
 // the loop, or allow to run open-loop).
 func (c *Controller) DeployRuleSet(rs *rules.RuleSet, missAction p4.Action) error {
+	// Compile first: a rule set the unified matcher rejects must never
+	// reach a switch, and the compiled mirror is what the reactive path
+	// consults for deployed coverage.
+	mirror, err := match.Compile(rs)
+	if err != nil {
+		return fmt.Errorf("controller: %w", err)
+	}
 	prog, err := p4rt.ProgramFromRuleSet(rs, missAction)
 	if err != nil {
 		return err
@@ -189,6 +218,9 @@ func (c *Controller) DeployRuleSet(rs *rules.RuleSet, missAction p4.Action) erro
 			return fmt.Errorf("controller: deploy to %s: %w", cl.ServerName(), err)
 		}
 	}
+	c.mu.Lock()
+	c.mirror = mirror
+	c.mu.Unlock()
 	return nil
 }
 

@@ -1,0 +1,225 @@
+// Package match is the unified classification engine: it compiles
+// priority-ordered range rules into an immutable, allocation-free bitset
+// index shared by every consumer of match semantics — the offline rule
+// set (rules.RuleSet), the behavioural data plane (p4.Table range
+// lookup), and the controller's deployment mirror. Compiling once and
+// routing every path through the same index guarantees the offline
+// model, the simulated switch, and the controller make the same decision
+// for every packet.
+//
+// The index is a per-key-byte interval table: for each key byte position
+// there are 256 bitmasks, one per byte value, whose bit r is set when
+// row r admits that value at that position. Classification ANDs one
+// mask per position and picks the lowest set bit — rows are stored in
+// priority order, so the lowest bit is the winner. Lookup cost is
+// O(width × rows/64) with no branching on rules and no allocation.
+package match
+
+import (
+	"fmt"
+	"math/bits"
+
+	"p4guard/internal/packet"
+	"p4guard/internal/rules"
+)
+
+// Matcher classifies packets with data-plane semantics: the class of the
+// highest-priority matching rule, or the default class on miss.
+type Matcher interface {
+	// Classify returns the class for the packet and whether any rule
+	// (vs the default) matched.
+	Classify(pkt *packet.Packet) (class int, matched bool)
+	// Offsets returns the match-key layout (header byte offsets).
+	Offsets() []int
+	// DefaultClass returns the class assigned on miss.
+	DefaultClass() int
+}
+
+// stackKeyBytes is the widest key classified without heap allocation.
+// packet.HeaderWindow bounds every learned layout, so the spill path is
+// effectively unreachable for compiled pipelines.
+const stackKeyBytes = 64
+
+// RangeRow is one row of a key-level index: key byte i must lie in
+// [Lo[i], Hi[i]] inclusive. A row whose Lo[i] > Hi[i] admits nothing
+// (rows compiled from contradictory predicates are kept, dead, to
+// preserve row numbering).
+type RangeRow struct {
+	Lo, Hi []byte
+}
+
+// KeyIndex is an immutable first-match-wins index over fixed-width byte
+// keys. Row order is priority order: Find returns the lowest matching
+// row index. It is safe for concurrent use.
+type KeyIndex struct {
+	width  int
+	nRows  int
+	nWords int
+	// rowMask has a bit set for every valid row index, per word; it
+	// seeds the AND chain so trailing bits of the last word never
+	// produce a phantom row.
+	rowMask []uint64
+	// table is indexed as ((pos*256)+byteValue)*nWords + word.
+	table []uint64
+}
+
+// CompileRanges builds a KeyIndex over width-byte keys from rows in
+// priority (first-match-wins) order.
+func CompileRanges(width int, rows []RangeRow) (*KeyIndex, error) {
+	if width < 0 {
+		return nil, fmt.Errorf("match: negative key width %d", width)
+	}
+	nWords := (len(rows) + 63) / 64
+	ix := &KeyIndex{
+		width:   width,
+		nRows:   len(rows),
+		nWords:  nWords,
+		rowMask: make([]uint64, nWords),
+		table:   make([]uint64, width*256*nWords),
+	}
+	for r, row := range rows {
+		if len(row.Lo) != width || len(row.Hi) != width {
+			return nil, fmt.Errorf("match: row %d lo/hi widths %d/%d != key width %d",
+				r, len(row.Lo), len(row.Hi), width)
+		}
+		dead := false
+		for pos := 0; pos < width; pos++ {
+			if row.Lo[pos] > row.Hi[pos] {
+				dead = true
+				break
+			}
+		}
+		if dead {
+			continue
+		}
+		word, bit := r/64, uint(r%64)
+		ix.rowMask[word] |= 1 << bit
+		for pos := 0; pos < width; pos++ {
+			for v := int(row.Lo[pos]); v <= int(row.Hi[pos]); v++ {
+				ix.table[((pos*256)+v)*nWords+word] |= 1 << bit
+			}
+		}
+	}
+	return ix, nil
+}
+
+// Rows returns the number of rows the index was compiled from.
+func (ix *KeyIndex) Rows() int { return ix.nRows }
+
+// Width returns the key width in bytes.
+func (ix *KeyIndex) Width() int { return ix.width }
+
+// Find returns the lowest row index matching the key. ok is false on
+// miss or when the key width is wrong.
+func (ix *KeyIndex) Find(key []byte) (row int, ok bool) {
+	if ix.nRows == 0 || len(key) != ix.width {
+		return -1, false
+	}
+	nW := ix.nWords
+	for w := 0; w < nW; w++ {
+		acc := ix.rowMask[w]
+		for pos := 0; pos < ix.width && acc != 0; pos++ {
+			acc &= ix.table[((pos*256)+int(key[pos]))*nW+w]
+		}
+		if acc != 0 {
+			return w*64 + bits.TrailingZeros64(acc), true
+		}
+	}
+	return -1, false
+}
+
+// Compiled is the packet-level compiled matcher over a rule set. It is
+// immutable after Compile and safe for concurrent use; Classify performs
+// no heap allocation for key layouts up to 64 bytes.
+type Compiled struct {
+	offsets      []int
+	classes      []int
+	defaultClass int
+	idx          *KeyIndex
+}
+
+var _ Matcher = (*Compiled)(nil)
+
+// Compile builds an immutable matcher from a rule set. Rule order (as
+// maintained by RuleSet.Add: descending priority, stable) is preserved,
+// so Compile agrees exactly with the first-match-wins reference scan
+// rules.RuleSet.ClassifyDetail. Predicates repeated on one offset are
+// intersected; a predicate on an offset outside the key layout is an
+// error, mirroring RuleSet.RangeEntries.
+func Compile(rs *rules.RuleSet) (*Compiled, error) {
+	if rs == nil {
+		return nil, fmt.Errorf("match: nil rule set")
+	}
+	width := len(rs.Offsets)
+	pos := make(map[int]int, width)
+	for i, off := range rs.Offsets {
+		pos[off] = i
+	}
+	rows := make([]RangeRow, len(rs.Rules))
+	classes := make([]int, len(rs.Rules))
+	for r := range rs.Rules {
+		rule := &rs.Rules[r]
+		row := RangeRow{Lo: make([]byte, width), Hi: make([]byte, width)}
+		for i := range row.Hi {
+			row.Hi[i] = 0xff
+		}
+		for _, p := range rule.Preds {
+			i, ok := pos[p.Offset]
+			if !ok {
+				return nil, fmt.Errorf("match: predicate offset %d not in key layout %v", p.Offset, rs.Offsets)
+			}
+			if p.Lo > row.Lo[i] {
+				row.Lo[i] = p.Lo
+			}
+			if p.Hi < row.Hi[i] {
+				row.Hi[i] = p.Hi
+			}
+		}
+		rows[r] = row
+		classes[r] = rule.Class
+	}
+	idx, err := CompileRanges(width, rows)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		offsets:      append([]int(nil), rs.Offsets...),
+		classes:      classes,
+		defaultClass: rs.DefaultClass,
+		idx:          idx,
+	}, nil
+}
+
+// Classify returns the class of the highest-priority matching rule, or
+// the default class when nothing matches.
+func (m *Compiled) Classify(pkt *packet.Packet) (class int, matched bool) {
+	var kb [stackKeyBytes]byte
+	var key []byte
+	if len(m.offsets) <= len(kb) {
+		key = kb[:len(m.offsets)]
+	} else {
+		key = make([]byte, len(m.offsets))
+	}
+	for i, off := range m.offsets {
+		key[i] = pkt.ByteAt(off)
+	}
+	return m.ClassifyKey(key)
+}
+
+// ClassifyKey classifies an already-extracted match key (one byte per
+// key offset, in layout order).
+func (m *Compiled) ClassifyKey(key []byte) (class int, matched bool) {
+	if row, ok := m.idx.Find(key); ok {
+		return m.classes[row], true
+	}
+	return m.defaultClass, false
+}
+
+// Offsets returns a copy of the match-key layout.
+func (m *Compiled) Offsets() []int { return append([]int(nil), m.offsets...) }
+
+// DefaultClass returns the class assigned on miss.
+func (m *Compiled) DefaultClass() int { return m.defaultClass }
+
+// NumRules returns the number of compiled rules.
+func (m *Compiled) NumRules() int { return m.idx.Rows() }

@@ -403,3 +403,175 @@ func TestParserRejectsLoopsAndDanglingStates(t *testing.T) {
 		t.Fatal("accepted duplicate states")
 	}
 }
+
+// TestTernaryChurnDeterminism guards the tuple-space rebuild: priority
+// ties resolve to the earliest-inserted entry, cross-tuple ordering obeys
+// priority, and both invariants survive Insert/Delete churn.
+func TestTernaryChurnDeterminism(t *testing.T) {
+	tbl := NewTable("acl", MatchTernary, key1(), 0, Action{Type: ActionNop})
+
+	// Two entries with identical (value,mask) and identical priority:
+	// the first inserted must win, deterministically.
+	idA, err := tbl.Insert(Entry{Priority: 5, Value: []byte{0x40}, Mask: []byte{0xc0},
+		Action: Action{Type: ActionDrop, Class: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(Entry{Priority: 5, Value: []byte{0x40}, Mask: []byte{0xc0},
+		Action: Action{Type: ActionDrop, Class: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	lookupClass := func() int {
+		t.Helper()
+		act, matched := tbl.Lookup([]byte{0x55})
+		if !matched {
+			t.Fatal("ternary miss")
+		}
+		return act.Class
+	}
+	for i := 0; i < 3; i++ {
+		if got := lookupClass(); got != 1 {
+			t.Fatalf("tie iteration %d: class %d, want first-inserted 1", i, got)
+		}
+	}
+
+	// A higher-priority entry in a different tuple (mask) must win over
+	// both, regardless of insertion order.
+	idC, err := tbl.Insert(Entry{Priority: 9, Value: []byte{0x50}, Mask: []byte{0xf0},
+		Action: Action{Type: ActionDrop, Class: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lookupClass(); got != 3 {
+		t.Fatalf("cross-tuple priority: class %d, want 3", got)
+	}
+
+	// Deleting the cross-tuple winner must restore the tie winner...
+	if err := tbl.Delete(idC); err != nil {
+		t.Fatal(err)
+	}
+	if got := lookupClass(); got != 1 {
+		t.Fatalf("after delete of high-priority entry: class %d, want 1", got)
+	}
+	// ...and deleting the tie winner must promote the second entry.
+	if err := tbl.Delete(idA); err != nil {
+		t.Fatal(err)
+	}
+	if got := lookupClass(); got != 2 {
+		t.Fatalf("after delete of tie winner: class %d, want 2", got)
+	}
+
+	// Churn: reinsert the deleted pair in reverse order; insertion order
+	// (not ID order) decides ties after every rebuild.
+	if _, err := tbl.Insert(Entry{Priority: 9, Value: []byte{0x50}, Mask: []byte{0xf0},
+		Action: Action{Type: ActionDrop, Class: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(Entry{Priority: 5, Value: []byte{0x40}, Mask: []byte{0xc0},
+		Action: Action{Type: ActionDrop, Class: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := lookupClass(); got != 3 {
+		t.Fatalf("after churn: class %d, want 3", got)
+	}
+}
+
+// TestRangeIndexMatchesScanUnderChurn: the compiled range index must make
+// the same decision as the reference linear scan across random
+// insert/delete churn.
+func TestRangeIndexMatchesScanUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	specs := []FieldSpec{{Name: "b0", Offset: 0, Width: 1}, {Name: "b2", Offset: 2, Width: 1}}
+	tbl := NewTable("det", MatchRange, specs, 0, Action{Type: ActionNop})
+
+	type row struct {
+		id       uint64
+		prio     int
+		lo, hi   []byte
+		class    int
+		inserted int
+	}
+	var live []row
+	seq := 0
+	for step := 0; step < 60; step++ {
+		if len(live) > 0 && rng.Float64() < 0.3 {
+			i := rng.Intn(len(live))
+			if err := tbl.Delete(live[i].id); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		} else {
+			lo := []byte{byte(rng.Intn(200)), byte(rng.Intn(200))}
+			hi := []byte{lo[0] + byte(rng.Intn(56)), lo[1] + byte(rng.Intn(56))}
+			r := row{prio: rng.Intn(5), lo: lo, hi: hi, class: seq, inserted: seq}
+			seq++
+			id, err := tbl.Insert(Entry{Priority: r.prio, Lo: lo, Hi: hi,
+				Action: Action{Type: ActionDrop, Class: r.class}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.id = id
+			live = append(live, r)
+		}
+
+		// Reference: stable sort by descending priority (insertion order
+		// breaks ties), first match wins.
+		ref := func(key []byte) (int, bool) {
+			bestPrio, bestIns, bestClass, found := 0, 0, 0, false
+			for _, r := range live {
+				if key[0] < r.lo[0] || key[0] > r.hi[0] || key[1] < r.lo[1] || key[1] > r.hi[1] {
+					continue
+				}
+				if !found || r.prio > bestPrio || (r.prio == bestPrio && r.inserted < bestIns) {
+					bestPrio, bestIns, bestClass, found = r.prio, r.inserted, r.class, true
+				}
+			}
+			return bestClass, found
+		}
+		for trial := 0; trial < 40; trial++ {
+			frame := []byte{byte(rng.Intn(256)), 0, byte(rng.Intn(256))}
+			wantClass, wantHit := ref([]byte{frame[0], frame[2]})
+			act, hit := tbl.Lookup(frame)
+			if hit != wantHit || (hit && act.Class != wantClass) {
+				t.Fatalf("step %d: lookup (%d,%v) != reference (%d,%v) for frame %v",
+					step, act.Class, hit, wantClass, wantHit, frame)
+			}
+		}
+	}
+}
+
+// TestTableProgramReplacesAtomically: Program swaps key layout, default
+// action, and entries in one step and validates before mutating.
+func TestTableProgramReplacesAtomically(t *testing.T) {
+	tbl := NewTable("det", MatchRange, key1(), 2, Action{Type: ActionDigest})
+	if _, err := tbl.Insert(Entry{Lo: []byte{0}, Hi: []byte{10}, Action: Action{Type: ActionDrop}}); err != nil {
+		t.Fatal(err)
+	}
+	newKey := []FieldSpec{{Name: "b1", Offset: 1, Width: 1}}
+	err := tbl.Program(newKey, Action{Type: ActionAllow}, []Entry{
+		{Priority: 1, Lo: []byte{100}, Hi: []byte{200}, Action: Action{Type: ActionDrop, Class: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act, matched := tbl.Lookup([]byte{0, 150}); !matched || act.Type != ActionDrop {
+		t.Fatalf("programmed entry missed: %+v %v", act, matched)
+	}
+	if act, matched := tbl.Lookup([]byte{0, 50}); matched || act.Type != ActionAllow {
+		t.Fatalf("default after Program: %+v %v", act, matched)
+	}
+
+	// A bad batch must leave the table untouched.
+	if err := tbl.Program(key1(), Action{Type: ActionDigest}, []Entry{
+		{Lo: []byte{5, 5}, Hi: []byte{6, 6}, Action: Action{Type: ActionDrop}},
+	}); err == nil {
+		t.Fatal("Program accepted entries wider than the key")
+	}
+	if act, matched := tbl.Lookup([]byte{0, 150}); !matched || act.Type != ActionDrop {
+		t.Fatalf("failed Program corrupted table: %+v %v", act, matched)
+	}
+	// MaxEntries still enforced.
+	if err := tbl.Program(key1(), Action{Type: ActionAllow}, make([]Entry, 3)); err == nil {
+		t.Fatal("Program accepted more than MaxEntries rows")
+	}
+}

@@ -89,6 +89,31 @@ func (p *Parser) Parse(frame []byte) ParseResult {
 	return res // loop guard tripped: reject
 }
 
+// Accepts runs the graph over the frame and reports only whether it
+// reaches an accepting state. Unlike Parse it records no headers, so the
+// data-plane hot path pays no allocation for parse accounting.
+func (p *Parser) Accepts(frame []byte) bool {
+	off := 0
+	cur := p.start
+	for steps := 0; steps <= len(p.states); steps++ {
+		st, ok := p.states[cur]
+		if !ok {
+			return false // dangling transition: reject
+		}
+		n, err := st.Extract(frame, off)
+		if err != nil {
+			return false
+		}
+		next := st.Next(frame, off, n)
+		off += n
+		if next == "" {
+			return true
+		}
+		cur = next
+	}
+	return false // loop guard tripped: reject
+}
+
 // StandardParser returns the parse graph for a link type, covering the
 // protocol stacks the IoT scenarios use.
 func StandardParser(link packet.LinkType) (*Parser, error) {

@@ -3,6 +3,7 @@ package p4
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"p4guard/internal/packet"
 )
@@ -32,6 +33,7 @@ type Pipeline struct {
 	mu      sync.RWMutex
 	tables  []*Table
 	byName  map[string]*Table
+	snap    atomic.Pointer[[]*Table] // published copy of tables for lock-free reads
 	digests []Digest
 	dropped uint64 // digests dropped due to a full queue
 	maxQ    int
@@ -55,6 +57,9 @@ func (p *Pipeline) AddTable(t *Table) error {
 	}
 	p.tables = append(p.tables, t)
 	p.byName[t.Name] = t
+	snap := make([]*Table, len(p.tables))
+	copy(snap, p.tables)
+	p.snap.Store(&snap)
 	return nil
 }
 
@@ -83,10 +88,36 @@ func (p *Pipeline) Tables() []*Table {
 // firewall that fails open for unmatched traffic; the detector's default
 // action usually overrides this by digesting or dropping).
 func (p *Pipeline) Process(pkt *packet.Packet) Verdict {
-	p.mu.RLock()
-	tables := p.tables
-	p.mu.RUnlock()
+	return p.RunTables(p.TableSnapshot(), pkt)
+}
 
+// TableSnapshot returns the current table list for use with RunTables.
+// The snapshot is published atomically by AddTable, so reading it costs
+// one atomic load and no lock; the slice must be treated as immutable.
+func (p *Pipeline) TableSnapshot() []*Table {
+	if snap := p.snap.Load(); snap != nil {
+		return *snap
+	}
+	return nil
+}
+
+// ProcessBatch runs every packet through the pipeline, snapshotting the
+// table list once for the whole batch, and writes verdicts into out
+// (grown if needed). It returns the verdict slice.
+func (p *Pipeline) ProcessBatch(pkts []*packet.Packet, out []Verdict) []Verdict {
+	if cap(out) < len(pkts) {
+		out = make([]Verdict, len(pkts))
+	}
+	out = out[:len(pkts)]
+	tables := p.TableSnapshot()
+	for i, pkt := range pkts {
+		out[i] = p.RunTables(tables, pkt)
+	}
+	return out
+}
+
+// RunTables applies a table snapshot (from TableSnapshot) to one packet.
+func (p *Pipeline) RunTables(tables []*Table, pkt *packet.Packet) Verdict {
 	v := Verdict{Allowed: true}
 	for _, t := range tables {
 		act, matched := t.Lookup(pkt.Bytes)

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"p4guard/internal/match"
 )
 
 // Entry is one table row. Which match fields are meaningful depends on the
@@ -23,10 +26,13 @@ type Entry struct {
 	Hi        []byte
 	Action    Action
 
-	hits uint64
+	hits uint64 // accessed atomically
 }
 
-// Table is one match–action table.
+// Table is one match–action table. Mutations (insert/delete/program) are
+// serialized by mu and publish an immutable lookupState snapshot; the
+// lookup hot path reads the snapshot through one atomic load and touches
+// no lock at all. Hit/miss counters are atomics shared across snapshots.
 type Table struct {
 	Name          string
 	Kind          MatchKind
@@ -34,13 +40,28 @@ type Table struct {
 	MaxEntries    int
 	DefaultAction Action
 
-	mu      sync.RWMutex
+	mu      sync.Mutex // serializes mutation; never taken by Lookup
 	nextID  uint64
-	entries []*Entry
-	exact   map[string]*Entry
-	tuples  []*tupleGroup // ternary tuple-space-search index
-	hits    uint64
-	misses  uint64
+	entries []*Entry // source of truth; replaced (never mutated) on change
+	state   atomic.Pointer[lookupState]
+	hits    uint64 // accessed atomically
+	misses  uint64 // accessed atomically
+}
+
+// lookupState is one immutable generation of the table's lookup index.
+// Every mutation builds a fresh state (entry slice included, since
+// reindexing sorts), so concurrent lookups on an old generation never
+// observe a partial update. Entry pointers are shared across generations,
+// keeping per-entry hit counters stable over reprogramming.
+type lookupState struct {
+	kind     MatchKind
+	key      []FieldSpec
+	width    int
+	def      Action
+	entries  []*Entry
+	exact    map[string]*Entry
+	tuples   []*tupleGroup   // ternary tuple-space-search index
+	rangeIdx *match.KeyIndex // compiled range-match index (row i = entries[i])
 }
 
 // tupleGroup indexes all ternary entries sharing one mask: a hash lookup
@@ -53,19 +74,19 @@ type tupleGroup struct {
 
 // NewTable constructs an empty table. MaxEntries <= 0 means unlimited.
 func NewTable(name string, kind MatchKind, key []FieldSpec, maxEntries int, def Action) *Table {
-	return &Table{
+	t := &Table{
 		Name: name, Kind: kind, Key: key, MaxEntries: maxEntries,
 		DefaultAction: def,
-		exact:         make(map[string]*Entry),
 	}
+	t.reindex()
+	return t
 }
 
 // width returns the key width in bytes.
 func (t *Table) width() int { return KeyWidth(t.Key) }
 
 // validate checks an entry against the table's kind and key width.
-func (t *Table) validate(e *Entry) error {
-	w := t.width()
+func (t *Table) validate(e *Entry, w int) error {
 	switch t.Kind {
 	case MatchExact:
 		if len(e.Value) != w {
@@ -105,56 +126,134 @@ func (t *Table) validate(e *Entry) error {
 
 // Insert adds an entry and returns its assigned ID.
 func (t *Table) Insert(e Entry) (uint64, error) {
-	if err := t.validate(&e); err != nil {
-		return 0, fmt.Errorf("table %s: %w", t.Name, err)
-	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if err := t.validate(&e, t.width()); err != nil {
+		return 0, fmt.Errorf("table %s: %w", t.Name, err)
+	}
 	if t.MaxEntries > 0 && len(t.entries) >= t.MaxEntries {
 		return 0, fmt.Errorf("table %s (%d entries): %w", t.Name, len(t.entries), ErrTableFull)
 	}
 	t.nextID++
 	e.ID = t.nextID
 	stored := e
-	t.entries = append(t.entries, &stored)
+	next := make([]*Entry, len(t.entries)+1)
+	copy(next, t.entries)
+	next[len(t.entries)] = &stored
+	t.entries = next
+	t.reindex()
+	return stored.ID, nil
+}
+
+// Program atomically replaces the table's key layout, default action, and
+// entry list, rebuilding the lookup index once. It is the race-safe (and
+// O(n log n) instead of per-insert) way to reprogram a live table.
+func (t *Table) Program(key []FieldSpec, def Action, entries []Entry) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := KeyWidth(key)
+	savedKey, savedDef := t.Key, t.DefaultAction
+	t.Key, t.DefaultAction = key, def
+	if t.MaxEntries > 0 && len(entries) > t.MaxEntries {
+		t.Key, t.DefaultAction = savedKey, savedDef
+		return fmt.Errorf("table %s (%d entries): %w", t.Name, len(entries), ErrTableFull)
+	}
+	for i := range entries {
+		if err := t.validate(&entries[i], w); err != nil {
+			t.Key, t.DefaultAction = savedKey, savedDef
+			return fmt.Errorf("table %s: entry %d: %w", t.Name, i, err)
+		}
+	}
+	t.entries = make([]*Entry, len(entries))
+	for i := range entries {
+		e := entries[i]
+		t.nextID++
+		e.ID = t.nextID
+		t.entries[i] = &e
+	}
+	t.reindex()
+	return nil
+}
+
+// reindex sorts the (freshly copied) entry slice for the table's kind,
+// rebuilds the lookup index, and publishes the new state. Callers must
+// hold t.mu and must have replaced t.entries with a new slice (the
+// previous generation's slice is still being read lock-free).
+func (t *Table) reindex() {
+	st := &lookupState{
+		kind:  t.Kind,
+		key:   t.Key,
+		width: t.width(),
+		def:   t.DefaultAction,
+	}
 	switch t.Kind {
 	case MatchExact:
-		t.exact[string(e.Value)] = &stored
+		st.exact = make(map[string]*Entry, len(t.entries))
+		// Later entries overwrite earlier duplicates, matching the
+		// behaviour of sequential Inserts.
+		for _, e := range t.entries {
+			st.exact[string(e.Value)] = e
+		}
 	case MatchTernary:
 		sort.SliceStable(t.entries, func(i, j int) bool {
 			return t.entries[i].Priority > t.entries[j].Priority
 		})
-		t.rebuildTuples()
+		st.tuples = buildTuples(t.entries)
 	case MatchRange:
 		sort.SliceStable(t.entries, func(i, j int) bool {
 			return t.entries[i].Priority > t.entries[j].Priority
 		})
+		st.rangeIdx = buildRangeIndex(st.width, t.entries)
 	case MatchLPM:
 		sort.SliceStable(t.entries, func(i, j int) bool {
 			return t.entries[i].PrefixLen > t.entries[j].PrefixLen
 		})
 	}
-	return stored.ID, nil
+	st.entries = t.entries
+	t.state.Store(st)
 }
 
-// rebuildTuples reindexes ternary entries by mask. Entries are already
+// buildTuples indexes ternary entries by mask. Entries are already
 // sorted by descending priority, so the first entry seen for a
 // (mask,value) pair is the winner (matching first-match-wins semantics on
 // priority ties).
-func (t *Table) rebuildTuples() {
+func buildTuples(entries []*Entry) []*tupleGroup {
 	byMask := make(map[string]*tupleGroup)
-	t.tuples = t.tuples[:0]
-	for _, e := range t.entries {
+	var tuples []*tupleGroup
+	for _, e := range entries {
 		g := byMask[string(e.Mask)]
 		if g == nil {
 			g = &tupleGroup{mask: e.Mask, byValu: make(map[string]*Entry)}
 			byMask[string(e.Mask)] = g
-			t.tuples = append(t.tuples, g)
+			tuples = append(tuples, g)
 		}
 		if _, dup := g.byValu[string(e.Value)]; !dup {
 			g.byValu[string(e.Value)] = e
 		}
 	}
+	return tuples
+}
+
+// buildRangeIndex compiles the priority-sorted range entries into the
+// shared bitset index from internal/match — the same engine the offline
+// rule set classifies with, so table lookups and rule-set classification
+// cannot drift apart.
+func buildRangeIndex(width int, entries []*Entry) *match.KeyIndex {
+	if len(entries) == 0 {
+		return nil
+	}
+	rows := make([]match.RangeRow, len(entries))
+	for i, e := range entries {
+		rows[i] = match.RangeRow{Lo: e.Lo, Hi: e.Hi}
+	}
+	idx, err := match.CompileRanges(width, rows)
+	if err != nil {
+		// Entries inconsistent with the current key layout (reprogrammed
+		// underneath): fall back to the linear scan, which degrades to a
+		// miss per entry instead of a wrong hit.
+		return nil
+	}
+	return idx
 }
 
 // Delete removes the entry with the given ID.
@@ -163,13 +262,11 @@ func (t *Table) Delete(id uint64) error {
 	defer t.mu.Unlock()
 	for i, e := range t.entries {
 		if e.ID == id {
-			t.entries = append(t.entries[:i], t.entries[i+1:]...)
-			switch t.Kind {
-			case MatchExact:
-				delete(t.exact, string(e.Value))
-			case MatchTernary:
-				t.rebuildTuples()
-			}
+			next := make([]*Entry, 0, len(t.entries)-1)
+			next = append(next, t.entries[:i]...)
+			next = append(next, t.entries[i+1:]...)
+			t.entries = next
+			t.reindex()
 			return nil
 		}
 	}
@@ -181,32 +278,43 @@ func (t *Table) Clear() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.entries = nil
-	t.exact = make(map[string]*Entry)
-	t.tuples = nil
+	t.reindex()
 }
 
 // Len returns the entry count.
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.entries)
+	return len(t.state.Load().entries)
 }
 
 // Lookup matches the frame against the table and returns the action.
-// matched reports whether an entry (vs the default action) fired.
+// matched reports whether an entry (vs the default action) fired. The
+// hot path is lock-free — one atomic load of the current index
+// generation — and allocates nothing for key widths up to 64 bytes, so
+// concurrent lookups scale linearly with cores.
 func (t *Table) Lookup(frame []byte) (act Action, matched bool) {
-	key := ExtractKey(frame, t.Key)
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	st := t.state.Load()
+	var kb [64]byte
+	var key []byte
+	if st.width <= len(kb) {
+		key = appendKey(kb[:0], frame, st.key)
+	} else {
+		key = appendKey(make([]byte, 0, st.width), frame, st.key)
+	}
 	var hit *Entry
-	switch t.Kind {
+	switch st.kind {
 	case MatchExact:
-		hit = t.exact[string(key)]
+		hit = st.exact[string(key)]
 	case MatchTernary:
 		// Tuple-space search: one hash probe per distinct mask instead of
 		// a scan over every entry.
-		masked := make([]byte, len(key))
-		for _, g := range t.tuples {
+		var mb [64]byte
+		var masked []byte
+		if len(key) <= len(mb) {
+			masked = mb[:len(key)]
+		} else {
+			masked = make([]byte, len(key))
+		}
+		for _, g := range st.tuples {
 			for i, m := range g.mask {
 				masked[i] = key[i] & m
 			}
@@ -219,26 +327,32 @@ func (t *Table) Lookup(frame []byte) (act Action, matched bool) {
 			}
 		}
 	case MatchLPM:
-		for _, e := range t.entries {
+		for _, e := range st.entries {
 			if prefixMatch(key, e.Value, e.PrefixLen) {
 				hit = e
 				break
 			}
 		}
 	case MatchRange:
-		for _, e := range t.entries {
-			if rangeMatch(key, e.Lo, e.Hi) {
-				hit = e
-				break
+		if st.rangeIdx != nil {
+			if row, ok := st.rangeIdx.Find(key); ok {
+				hit = st.entries[row]
+			}
+		} else {
+			for _, e := range st.entries {
+				if rangeMatch(key, e.Lo, e.Hi) {
+					hit = e
+					break
+				}
 			}
 		}
 	}
 	if hit == nil {
-		t.misses++
-		return t.DefaultAction, false
+		atomic.AddUint64(&t.misses, 1)
+		return st.def, false
 	}
-	hit.hits++
-	t.hits++
+	atomic.AddUint64(&hit.hits, 1)
+	atomic.AddUint64(&t.hits, 1)
 	return hit.Action, true
 }
 
@@ -277,18 +391,19 @@ type Stats struct {
 
 // Stats returns a snapshot of the table's counters.
 func (t *Table) Stats() Stats {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return Stats{Name: t.Name, Entries: len(t.entries), Hits: t.hits, Misses: t.misses}
+	return Stats{
+		Name:    t.Name,
+		Entries: len(t.state.Load().entries),
+		Hits:    atomic.LoadUint64(&t.hits),
+		Misses:  atomic.LoadUint64(&t.misses),
+	}
 }
 
 // EntryHits returns the hit counter for one entry.
 func (t *Table) EntryHits(id uint64) (uint64, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for _, e := range t.entries {
+	for _, e := range t.state.Load().entries {
 		if e.ID == id {
-			return e.hits, nil
+			return atomic.LoadUint64(&e.hits), nil
 		}
 	}
 	return 0, fmt.Errorf("table %s: entry %d: %w", t.Name, id, ErrBadEntry)

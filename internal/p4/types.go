@@ -101,18 +101,23 @@ func KeyWidth(specs []FieldSpec) int {
 // ExtractKey concatenates the frame bytes each spec covers; bytes past the
 // frame end read as zero (matching parser padding semantics).
 func ExtractKey(frame []byte, specs []FieldSpec) []byte {
-	key := make([]byte, 0, KeyWidth(specs))
+	return appendKey(make([]byte, 0, KeyWidth(specs)), frame, specs)
+}
+
+// appendKey appends the match key to dst, letting hot paths reuse a
+// stack buffer instead of allocating per lookup.
+func appendKey(dst, frame []byte, specs []FieldSpec) []byte {
 	for _, s := range specs {
 		for i := 0; i < s.Width; i++ {
 			off := s.Offset + i
-			if off < len(frame) {
-				key = append(key, frame[off])
+			if off >= 0 && off < len(frame) {
+				dst = append(dst, frame[off])
 			} else {
-				key = append(key, 0)
+				dst = append(dst, 0)
 			}
 		}
 	}
-	return key
+	return dst
 }
 
 // Errors shared by the package.

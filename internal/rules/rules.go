@@ -137,7 +137,10 @@ func (rs *RuleSet) Classify(pkt *packet.Packet) int {
 	return class
 }
 
-// ClassifyDetail additionally reports whether any rule matched.
+// ClassifyDetail additionally reports whether any rule matched. The
+// linear scan is the reference oracle for the compiled bitset matcher in
+// internal/match: hot paths classify through match.Compile, and
+// differential tests assert the two never disagree.
 func (rs *RuleSet) ClassifyDetail(pkt *packet.Packet) (class int, matched bool) {
 	for i := range rs.Rules {
 		if rs.Rules[i].Matches(pkt) {

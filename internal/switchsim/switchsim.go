@@ -3,11 +3,18 @@
 // throughput/latency measurement. It models the IoT gateway the paper
 // programs, including deployment of compiled rule sets into a TCAM-style
 // detector table.
+//
+// The forwarding engine is batched and multi-core: ProcessBatch amortizes
+// table snapshots and clock reads over whole bursts, and RunParallel
+// shards a trace across workers that keep private stats merged once at
+// the end — the hot path takes no per-packet mutex and allocates nothing.
 package switchsim
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p4guard/internal/p4"
@@ -19,16 +26,29 @@ import (
 // pipeline deploys into.
 const DetectorTable = "iot_detector"
 
-// Switch is one simulated gateway data plane.
+// Switch is one simulated gateway data plane. The hot path (Process and
+// the batch/parallel runners) is lock-free at the switch level:
+// cumulative stats are atomic counters and the rate guard is read
+// through an atomic pointer, so table programming never stalls
+// forwarding and workers never serialize on a switch mutex.
 type Switch struct {
 	Name string
 
-	mu        sync.Mutex
-	pipeline  *p4.Pipeline
-	parser    *p4.Parser
-	link      packet.LinkType
-	stats     RunStats
-	rateGuard *p4.RateGuard
+	mu       sync.Mutex // serializes table programming, not forwarding
+	pipeline *p4.Pipeline
+	parser   *p4.Parser
+	link     packet.LinkType
+
+	rateGuard atomic.Pointer[p4.RateGuard]
+
+	// Cumulative stats, updated with atomics (one merge per batch).
+	packets     atomic.Int64
+	allowed     atomic.Int64
+	dropped     atomic.Int64
+	digested    atomic.Int64
+	parseFailed atomic.Int64
+	rateDropped atomic.Int64
+	elapsedNs   atomic.Int64
 }
 
 // RunStats aggregates processing outcomes.
@@ -58,6 +78,38 @@ func (s RunStats) PerPacket() time.Duration {
 	return s.Elapsed / time.Duration(s.Packets)
 }
 
+// add accumulates one verdict into the stats (Packets and Elapsed are
+// handled by the caller).
+func (s *RunStats) add(v p4.Verdict, parsedOK, rateDropped bool) {
+	if !parsedOK {
+		s.ParseFailed++
+	}
+	if rateDropped {
+		s.Dropped++
+		s.RateDropped++
+		return
+	}
+	if v.Allowed {
+		s.Allowed++
+	} else {
+		s.Dropped++
+	}
+	if v.Digested {
+		s.Digested++
+	}
+}
+
+// merge folds another delta into s.
+func (s *RunStats) merge(d RunStats) {
+	s.Packets += d.Packets
+	s.Allowed += d.Allowed
+	s.Dropped += d.Dropped
+	s.Digested += d.Digested
+	s.ParseFailed += d.ParseFailed
+	s.RateDropped += d.RateDropped
+	s.Elapsed += d.Elapsed
+}
+
 // New builds a switch for the link type with an empty detector table whose
 // miss action sends a digest to the controller (fail-open with sampling).
 func New(name string, link packet.LinkType) (*Switch, error) {
@@ -85,11 +137,19 @@ func (s *Switch) Link() packet.LinkType { return s.link }
 // selected offsets (P4 targets support range match keys; TCAM prefix
 // expansion is accounted separately via rules.RuleSet.Cost). missAction is
 // the table's default (typically digest while learning, or allow once
-// confident).
+// confident). The swap is atomic with respect to concurrent forwarding.
 func (s *Switch) InstallRuleSet(rs *rules.RuleSet, missAction p4.Action) (int, error) {
 	entries, err := rs.RangeEntries()
 	if err != nil {
 		return 0, fmt.Errorf("switchsim: compile: %w", err)
+	}
+	rows := make([]p4.Entry, len(entries))
+	for i, e := range entries {
+		act := p4.Action{Type: p4.ActionAllow, Class: e.Class}
+		if rules.ActionForClass(e.Class) == rules.ActionDrop {
+			act = p4.Action{Type: p4.ActionDrop, Class: e.Class}
+		}
+		rows[i] = p4.Entry{Priority: e.Priority, Lo: e.Lo, Hi: e.Hi, Action: act}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -97,24 +157,10 @@ func (s *Switch) InstallRuleSet(rs *rules.RuleSet, missAction p4.Action) (int, e
 	if err != nil {
 		return 0, err
 	}
-	det.Clear()
-	det.Key = keySpecs(rs.Offsets)
-	det.DefaultAction = missAction
-	for _, e := range entries {
-		act := p4.Action{Type: p4.ActionAllow, Class: e.Class}
-		if rules.ActionForClass(e.Class) == rules.ActionDrop {
-			act = p4.Action{Type: p4.ActionDrop, Class: e.Class}
-		}
-		if _, err := det.Insert(p4.Entry{
-			Priority: e.Priority,
-			Lo:       e.Lo,
-			Hi:       e.Hi,
-			Action:   act,
-		}); err != nil {
-			return 0, fmt.Errorf("switchsim: install: %w", err)
-		}
+	if err := det.Program(keySpecs(rs.Offsets), missAction, rows); err != nil {
+		return 0, fmt.Errorf("switchsim: install: %w", err)
 	}
-	return len(entries), nil
+	return len(rows), nil
 }
 
 // ProgramDetector atomically reprograms the detector table at the p4 level:
@@ -127,13 +173,8 @@ func (s *Switch) ProgramDetector(offsets []int, missAction p4.Action, entries []
 	if err != nil {
 		return err
 	}
-	det.Clear()
-	det.Key = keySpecs(offsets)
-	det.DefaultAction = missAction
-	for i, e := range entries {
-		if _, err := det.Insert(e); err != nil {
-			return fmt.Errorf("switchsim: program entry %d: %w", i, err)
-		}
+	if err := det.Program(keySpecs(offsets), missAction, entries); err != nil {
+		return fmt.Errorf("switchsim: program: %w", err)
 	}
 	return nil
 }
@@ -168,9 +209,7 @@ func (s *Switch) EnableRateGuard(key []p4.FieldSpec, threshold uint64, window ti
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.rateGuard = g
+	s.rateGuard.Store(g)
 	return nil
 }
 
@@ -189,73 +228,153 @@ func defaultGuardKey(link packet.LinkType) []p4.FieldSpec {
 	}
 }
 
+// classify runs one packet through parser, rate guard, and pipeline with
+// no stats or timing side effects; the caller accounts the outcome.
+func (s *Switch) classify(tables []*p4.Table, pkt *packet.Packet) (v p4.Verdict, parsedOK, rateDropped bool) {
+	parsedOK = s.parser.Accepts(pkt.Bytes)
+	if g := s.rateGuard.Load(); g != nil && g.Observe(pkt.Bytes, pkt.Time) {
+		return p4.Verdict{Allowed: false, Class: -1, Matched: true}, parsedOK, true
+	}
+	return s.pipeline.RunTables(tables, pkt), parsedOK, false
+}
+
 // Process runs one packet through parser, rate guard, and pipeline,
-// updating stats.
+// updating stats. Prefer ProcessBatch/RunParallel for bursts: they
+// amortize the clock reads and stats merges Process pays per packet.
 func (s *Switch) Process(pkt *packet.Packet) p4.Verdict {
 	start := time.Now()
-	parsed := s.parser.Parse(pkt.Bytes)
-
-	s.mu.Lock()
-	guard := s.rateGuard
-	s.mu.Unlock()
-	if guard != nil && guard.Observe(pkt.Bytes, pkt.Time) {
-		elapsed := time.Since(start)
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		s.stats.Packets++
-		s.stats.Elapsed += elapsed
-		s.stats.Dropped++
-		s.stats.RateDropped++
-		if !parsed.Accepted {
-			s.stats.ParseFailed++
-		}
-		return p4.Verdict{Allowed: false, Class: -1, Matched: true}
-	}
-
-	v := s.pipeline.Process(pkt)
-	elapsed := time.Since(start)
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Packets++
-	s.stats.Elapsed += elapsed
-	if !parsed.Accepted {
-		s.stats.ParseFailed++
-	}
-	if v.Allowed {
-		s.stats.Allowed++
-	} else {
-		s.stats.Dropped++
-	}
-	if v.Digested {
-		s.stats.Digested++
-	}
+	v, parsedOK, rateDropped := s.classify(s.pipeline.TableSnapshot(), pkt)
+	var d RunStats
+	d.add(v, parsedOK, rateDropped)
+	d.Packets = 1
+	d.Elapsed = time.Since(start)
+	s.mergeStats(d)
 	return v
+}
+
+// processBatch classifies pkts sequentially against one table snapshot,
+// writing verdicts into out when non-nil, and returns the batch delta.
+// Cumulative stats are merged once.
+func (s *Switch) processBatch(pkts []*packet.Packet, out []p4.Verdict) RunStats {
+	start := time.Now()
+	tables := s.pipeline.TableSnapshot()
+	var d RunStats
+	for i, pkt := range pkts {
+		v, parsedOK, rateDropped := s.classify(tables, pkt)
+		if out != nil {
+			out[i] = v
+		}
+		d.add(v, parsedOK, rateDropped)
+	}
+	d.Packets = len(pkts)
+	d.Elapsed = time.Since(start)
+	s.mergeStats(d)
+	return d
+}
+
+// ProcessBatch runs a burst of packets through the data plane and
+// returns their verdicts. The table snapshot and the two clock reads are
+// amortized over the whole batch.
+func (s *Switch) ProcessBatch(pkts []*packet.Packet) []p4.Verdict {
+	out := make([]p4.Verdict, len(pkts))
+	s.processBatch(pkts, out)
+	return out
 }
 
 // Run processes a whole trace and returns stats for just that run.
 func (s *Switch) Run(pkts []*packet.Packet) RunStats {
-	before := s.Stats()
-	for _, p := range pkts {
-		s.Process(p)
+	return s.processBatch(pkts, nil)
+}
+
+// RunParallel shards the trace across workers goroutines (capped at
+// GOMAXPROCS when workers <= 0), each classifying its contiguous shard
+// with private stats. Shard stats are merged once after the barrier, and
+// Elapsed is the wall-clock time of the whole parallel run, so PPS
+// reflects aggregate throughput. Verdict accounting is identical to Run;
+// only per-packet verdict order within stats is unordered, which the
+// counters cannot observe.
+func (s *Switch) RunParallel(pkts []*packet.Packet, workers int) RunStats {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	after := s.Stats()
-	return RunStats{
-		Packets:     after.Packets - before.Packets,
-		Allowed:     after.Allowed - before.Allowed,
-		Dropped:     after.Dropped - before.Dropped,
-		Digested:    after.Digested - before.Digested,
-		ParseFailed: after.ParseFailed - before.ParseFailed,
-		RateDropped: after.RateDropped - before.RateDropped,
-		Elapsed:     after.Elapsed - before.Elapsed,
+	if workers > len(pkts) {
+		workers = len(pkts)
+	}
+	if workers <= 1 {
+		return s.Run(pkts)
+	}
+	start := time.Now()
+	tables := s.pipeline.TableSnapshot()
+	deltas := make([]RunStats, workers)
+	var wg sync.WaitGroup
+	chunk := (len(pkts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pkts) {
+			hi = len(pkts)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(shard []*packet.Packet, d *RunStats) {
+			defer wg.Done()
+			for _, pkt := range shard {
+				v, parsedOK, rateDropped := s.classify(tables, pkt)
+				d.add(v, parsedOK, rateDropped)
+			}
+			d.Packets = len(shard)
+		}(pkts[lo:hi], &deltas[w])
+	}
+	wg.Wait()
+	var total RunStats
+	for _, d := range deltas {
+		total.merge(d)
+	}
+	total.Elapsed = time.Since(start)
+	s.mergeStats(total)
+	return total
+}
+
+// mergeStats folds a delta into the cumulative atomic counters. Zero
+// fields are skipped: a branch is far cheaper than a contended atomic
+// read-modify-write, and per-packet deltas touch at most three counters.
+func (s *Switch) mergeStats(d RunStats) {
+	if d.Packets != 0 {
+		s.packets.Add(int64(d.Packets))
+	}
+	if d.Allowed != 0 {
+		s.allowed.Add(int64(d.Allowed))
+	}
+	if d.Dropped != 0 {
+		s.dropped.Add(int64(d.Dropped))
+	}
+	if d.Digested != 0 {
+		s.digested.Add(int64(d.Digested))
+	}
+	if d.ParseFailed != 0 {
+		s.parseFailed.Add(int64(d.ParseFailed))
+	}
+	if d.RateDropped != 0 {
+		s.rateDropped.Add(int64(d.RateDropped))
+	}
+	if d.Elapsed != 0 {
+		s.elapsedNs.Add(int64(d.Elapsed))
 	}
 }
 
 // Stats returns a snapshot of cumulative stats.
 func (s *Switch) Stats() RunStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return RunStats{
+		Packets:     int(s.packets.Load()),
+		Allowed:     int(s.allowed.Load()),
+		Dropped:     int(s.dropped.Load()),
+		Digested:    int(s.digested.Load()),
+		ParseFailed: int(s.parseFailed.Load()),
+		RateDropped: int(s.rateDropped.Load()),
+		Elapsed:     time.Duration(s.elapsedNs.Load()),
+	}
 }
 
 // DrainDigests removes and returns up to max queued digests.

@@ -228,3 +228,143 @@ func TestEmptyRunStats(t *testing.T) {
 		t.Fatal("empty stats should be zero rates")
 	}
 }
+
+// tracePackets builds a deterministic mixed trace for engine tests.
+func tracePackets(n int, seed int64) []*packet.Packet {
+	rng := rand.New(rand.NewSource(seed))
+	pkts := make([]*packet.Packet, n)
+	for i := range pkts {
+		body := make([]byte, 16)
+		rng.Read(body)
+		pkts[i] = &packet.Packet{Link: packet.LinkEthernet, Bytes: body, Time: time.Duration(i) * time.Microsecond}
+	}
+	return pkts
+}
+
+// TestProcessBatchMatchesProcess: the batched path must produce the same
+// verdicts and stats deltas as per-packet Process.
+func TestProcessBatchMatchesProcess(t *testing.T) {
+	pkts := tracePackets(300, 21)
+
+	seq := mkSwitch(t)
+	if _, err := seq.InstallRuleSet(dropHighByte0(), p4.Action{Type: p4.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	var want []p4.Verdict
+	for _, p := range pkts {
+		want = append(want, seq.Process(p))
+	}
+
+	bat := mkSwitch(t)
+	if _, err := bat.InstallRuleSet(dropHighByte0(), p4.Action{Type: p4.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	got := bat.ProcessBatch(pkts)
+	if len(got) != len(want) {
+		t.Fatalf("verdict count %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("packet %d: batch %+v != sequential %+v", i, got[i], want[i])
+		}
+	}
+	ss, bs := seq.Stats(), bat.Stats()
+	ss.Elapsed, bs.Elapsed = 0, 0
+	if ss != bs {
+		t.Fatalf("stats diverge: sequential %+v, batch %+v", ss, bs)
+	}
+}
+
+// TestRunParallelMatchesSequential: sharded parallel processing must
+// agree with the sequential run on every counter.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	pkts := tracePackets(1000, 22)
+	seq := mkSwitch(t)
+	if _, err := seq.InstallRuleSet(dropHighByte0(), p4.Action{Type: p4.ActionDigest}); err != nil {
+		t.Fatal(err)
+	}
+	want := seq.Run(pkts)
+	for _, workers := range []int{2, 3, 8, 0} {
+		sw := mkSwitch(t)
+		if _, err := sw.InstallRuleSet(dropHighByte0(), p4.Action{Type: p4.ActionDigest}); err != nil {
+			t.Fatal(err)
+		}
+		got := sw.RunParallel(pkts, workers)
+		got.Elapsed, want.Elapsed = 0, 0
+		if got != want {
+			t.Fatalf("workers=%d: parallel %+v != sequential %+v", workers, got, want)
+		}
+		if ds := sw.DrainDigests(0); len(ds) != got.Digested {
+			t.Fatalf("workers=%d: %d digests queued, stats say %d", workers, len(ds), got.Digested)
+		}
+	}
+}
+
+// TestRunParallelFewPacketsAndEmpty: degenerate inputs must not panic or
+// deadlock.
+func TestRunParallelDegenerate(t *testing.T) {
+	sw := mkSwitch(t)
+	if _, err := sw.InstallRuleSet(dropHighByte0(), p4.Action{Type: p4.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	if st := sw.RunParallel(nil, 8); st.Packets != 0 {
+		t.Fatalf("empty run stats = %+v", st)
+	}
+	if st := sw.RunParallel(tracePackets(3, 1), 8); st.Packets != 3 {
+		t.Fatalf("3-packet run stats = %+v", st)
+	}
+}
+
+// TestParallelRunWithConcurrentReprogram: forwarding workers racing a
+// table reprogram and reactive inserts must stay memory-safe (run under
+// -race) and account every packet exactly once.
+func TestParallelRunWithConcurrentReprogram(t *testing.T) {
+	sw := mkSwitch(t)
+	if _, err := sw.InstallRuleSet(dropHighByte0(), p4.Action{Type: p4.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	pkts := tracePackets(2000, 23)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			if _, err := sw.InstallRuleSet(dropHighByte0(), p4.Action{Type: p4.ActionAllow}); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := sw.InsertDetectorEntry(p4.Entry{
+				Priority: 1000 + i, Lo: []byte{7}, Hi: []byte{7},
+				Action: p4.Action{Type: p4.ActionDrop, Class: 1},
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	st := sw.RunParallel(pkts, 4)
+	<-done
+	if st.Packets != len(pkts) || st.Allowed+st.Dropped != len(pkts) {
+		t.Fatalf("lost packets under churn: %+v", st)
+	}
+}
+
+// TestRateGuardUnderParallelRun: the shared guard must keep counting
+// correctly when observed from many workers.
+func TestRateGuardUnderParallelRun(t *testing.T) {
+	sw := mkSwitch(t)
+	if _, err := sw.InstallRuleSet(rules.NewRuleSet([]int{0}, 0), p4.Action{Type: p4.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	key := []p4.FieldSpec{{Name: "b0", Offset: 0, Width: 1}}
+	if err := sw.EnableRateGuard(key, 5, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	pkts := make([]*packet.Packet, 100)
+	for i := range pkts {
+		pkts[i] = &packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{9}, Time: time.Duration(i)}
+	}
+	st := sw.RunParallel(pkts, 4)
+	if st.RateDropped != 95 {
+		t.Fatalf("RateDropped = %d, want 95", st.RateDropped)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"p4guard/internal/dtree"
 	"p4guard/internal/fieldsel"
 	"p4guard/internal/iotgen"
+	"p4guard/internal/match"
 	"p4guard/internal/nn"
 	"p4guard/internal/p4gen"
 	"p4guard/internal/packet"
@@ -104,9 +105,23 @@ type Pipeline struct {
 	// Binary pipelines have ["benign", "attack"].
 	ClassNames []string
 
-	net  *nn.Network
-	tree *dtree.Tree
-	rs   *rules.RuleSet
+	net     *nn.Network
+	tree    *dtree.Tree
+	rs      *rules.RuleSet
+	matcher *match.Compiled
+}
+
+// setRuleSet installs a rule set and its compiled matcher together, so
+// the fast classification path can never drift from the deployable
+// rules.
+func (p *Pipeline) setRuleSet(rs *rules.RuleSet) error {
+	m, err := match.Compile(rs)
+	if err != nil {
+		return fmt.Errorf("p4guard: matcher compile: %w", err)
+	}
+	p.rs = rs
+	p.matcher = m
+	return nil
 }
 
 // Train runs the full two-stage pipeline on a labelled trace.
@@ -182,7 +197,9 @@ func Train(train *trace.Dataset, cfg Config) (*Pipeline, error) {
 		return nil, fmt.Errorf("p4guard: rule compile: %w", err)
 	}
 	rs.SetLink(train.Link)
-	p.rs = rs
+	if err := p.setRuleSet(rs); err != nil {
+		return nil, err
+	}
 	p.Timings.RuleCompile = time.Since(start)
 	return p, nil
 }
@@ -214,18 +231,29 @@ func (p *Pipeline) teacher() dtree.Teacher {
 // RuleSet returns the compiled rule set.
 func (p *Pipeline) RuleSet() *rules.RuleSet { return p.rs }
 
+// Matcher returns the compiled data-plane matcher (nil before training).
+// Every packet-classification consumer — Predict, PredictMulti,
+// ClassifyPacket, the controller mirror — routes through it, so its
+// decisions are by construction the decisions of the deployed rules.
+func (p *Pipeline) Matcher() match.Matcher {
+	if p.matcher == nil {
+		return nil
+	}
+	return p.matcher
+}
+
 // Tree returns the distilled decision tree.
 func (p *Pipeline) Tree() *dtree.Tree { return p.tree }
 
 // Predict classifies every test packet with data-plane semantics (the
-// compiled rules), returning 0/1 labels.
+// compiled matcher over the rule set), returning 0/1 labels.
 func (p *Pipeline) Predict(test *trace.Dataset) ([]int, error) {
 	if p.rs == nil {
 		return nil, fmt.Errorf("p4guard: pipeline not trained")
 	}
 	out := make([]int, test.Len())
 	for i, s := range test.Samples {
-		if p.rs.Classify(s.Pkt) != 0 {
+		if class, _ := p.matcher.Classify(s.Pkt); class != 0 {
 			out[i] = 1
 		}
 	}
@@ -240,7 +268,7 @@ func (p *Pipeline) PredictMulti(test *trace.Dataset) ([]int, error) {
 	}
 	out := make([]int, test.Len())
 	for i, s := range test.Samples {
-		out[i] = p.rs.Classify(s.Pkt)
+		out[i], _ = p.matcher.Classify(s.Pkt)
 	}
 	return out, nil
 }
@@ -248,10 +276,11 @@ func (p *Pipeline) PredictMulti(test *trace.Dataset) ([]int, error) {
 // ClassifyPacket returns the rule-set class of one packet — the exact
 // decision the switch makes.
 func (p *Pipeline) ClassifyPacket(pkt *packet.Packet) int {
-	if p.rs == nil {
+	if p.matcher == nil {
 		return 0
 	}
-	return p.rs.Classify(pkt)
+	class, _ := p.matcher.Classify(pkt)
+	return class
 }
 
 // ClassifySlowPath classifies one packet with the full MLP — the
@@ -335,7 +364,9 @@ func (p *Pipeline) TrimToBudget(budget int, ref *trace.Dataset) (*Pipeline, erro
 		return nil, err
 	}
 	out := *p
-	out.rs = trimmed
+	if err := out.setRuleSet(trimmed); err != nil {
+		return nil, err
+	}
 	return &out, nil
 }
 

@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI gate: vet, build, full test suite under the race detector, then the
+# hot-path benchmarks (compiled matcher, data-plane lookup, batched and
+# parallel forwarding) so throughput regressions show up in the log.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "==> hot-path benchmarks"
+go test -run '^$' \
+    -bench 'BenchmarkKeyIndexFind|BenchmarkCompiledMatcherClassify|BenchmarkRuleSetClassify|BenchmarkDataPlaneLookup$|BenchmarkSwitchRunSequential|BenchmarkSwitchRunParallel' \
+    -benchtime "${CI_BENCHTIME:-1s}" \
+    ./... 2>&1 | grep -v '^ok\|no test files'
+
+echo "==> ci green"

@@ -74,6 +74,8 @@ func LoadPipeline(r io.Reader) (*Pipeline, error) {
 		return nil, err
 	}
 	rs.SetLink(p.Link)
-	p.rs = rs
+	if err := p.setRuleSet(rs); err != nil {
+		return nil, err
+	}
 	return p, nil
 }

@@ -45,6 +45,65 @@ func TestPipelineSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSerializeMultiClassRoundTrip(t *testing.T) {
+	train, test := trainTest(t, "wifi-mqtt", 1200)
+	pipe, err := Train(train, Config{Seed: 13, NumFields: 6, MultiClass: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pipe.ClassNames) <= 2 {
+		t.Fatalf("multi-class pipeline trained only %d classes", len(pipe.ClassNames))
+	}
+	loaded := saveLoad(t, pipe)
+
+	if len(loaded.ClassNames) != len(pipe.ClassNames) {
+		t.Fatalf("class names: got %v, want %v", loaded.ClassNames, pipe.ClassNames)
+	}
+	for i := range pipe.ClassNames {
+		if loaded.ClassNames[i] != pipe.ClassNames[i] {
+			t.Fatalf("class names: got %v, want %v", loaded.ClassNames, pipe.ClassNames)
+		}
+	}
+	for i := range pipe.Offsets {
+		if loaded.Offsets[i] != pipe.Offsets[i] {
+			t.Fatalf("offsets: got %v, want %v", loaded.Offsets, pipe.Offsets)
+		}
+	}
+
+	// The recompiled rule set must carry the same per-rule classes.
+	rsWant, rsGot := pipe.RuleSet(), loaded.RuleSet()
+	if len(rsGot.Rules) != len(rsWant.Rules) {
+		t.Fatalf("rule count: got %d, want %d", len(rsGot.Rules), len(rsWant.Rules))
+	}
+	for i := range rsWant.Rules {
+		if rsGot.Rules[i].Class != rsWant.Rules[i].Class {
+			t.Fatalf("rule %d class: got %d, want %d", i, rsGot.Rules[i].Class, rsWant.Rules[i].Class)
+		}
+	}
+
+	// Per-class predictions and the compiled matcher must be identical.
+	want, err := pipe.PredictMulti(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.PredictMulti(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("multi-class prediction %d differs after reload: got %d, want %d", i, got[i], want[i])
+		}
+	}
+	for _, s := range test.Samples {
+		wc, wm := pipe.Matcher().Classify(s.Pkt)
+		gc, gm := loaded.Matcher().Classify(s.Pkt)
+		if wc != gc || wm != gm {
+			t.Fatalf("matcher disagrees after reload: got (%d,%v), want (%d,%v)", gc, gm, wc, wm)
+		}
+	}
+}
+
 func TestSaveUntrainedFails(t *testing.T) {
 	var p Pipeline
 	var buf bytes.Buffer
