@@ -19,6 +19,7 @@ import (
 	"p4guard/internal/p4"
 	"p4guard/internal/packet"
 	"p4guard/internal/switchsim"
+	"p4guard/internal/telemetry"
 )
 
 // benchExperiment runs one registered experiment end to end per iteration.
@@ -86,6 +87,27 @@ func BenchmarkDataPlaneLookup(b *testing.B) {
 	if _, err := sw.InstallRuleSet(pipe.RuleSet(), p4.Action{Type: p4.ActionAllow}); err != nil {
 		b.Fatal(err)
 	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.Process(pkts[i%len(pkts)])
+	}
+}
+
+// BenchmarkDataPlaneLookupInstrumented is BenchmarkDataPlaneLookup with
+// full telemetry registered (sampled latency histogram armed, counter
+// callbacks wired). scripts/ci.sh fails if this regresses more than 10%
+// over the uninstrumented benchmark — the guard that keeps observability
+// off the hot path.
+func BenchmarkDataPlaneLookupInstrumented(b *testing.B) {
+	pipe, pkts := benchPipelineAndTrace(b)
+	sw, err := switchsim.New("bench", packet.LinkEthernet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sw.InstallRuleSet(pipe.RuleSet(), p4.Action{Type: p4.ActionAllow}); err != nil {
+		b.Fatal(err)
+	}
+	sw.RegisterTelemetry(telemetry.NewRegistry())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sw.Process(pkts[i%len(pkts)])

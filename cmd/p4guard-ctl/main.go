@@ -16,6 +16,7 @@ import (
 	"p4guard"
 	"p4guard/internal/controller"
 	"p4guard/internal/p4"
+	"p4guard/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func run() int {
 		missOpen = flag.Bool("miss-open", false, "allow on table miss instead of digesting")
 		duration = flag.Duration("duration", 0, "exit after this long (0 = until signal)")
 		stats    = flag.Duration("stats", 2*time.Second, "stats print interval")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -45,8 +47,24 @@ func run() int {
 	fmt.Printf("model: k=%d fields [%s], %d rules\n",
 		len(pipe.Offsets), pipe.DescribeFields(), len(pipe.RuleSet().Rules))
 
-	ctl := controller.New(pipe, controller.Config{Name: "p4guard-ctl", Reactive: *reactive})
+	var fr *telemetry.FlightRecorder
+	var reg *telemetry.Registry
+	if *metrics != "" {
+		reg = telemetry.NewRegistry()
+		fr = telemetry.NewFlightRecorder(4096)
+	}
+	ctl := controller.New(pipe, controller.Config{Name: "p4guard-ctl", Reactive: *reactive, FlightRecorder: fr})
 	defer func() { _ = ctl.Close() }()
+	if reg != nil {
+		ctl.RegisterTelemetry(reg)
+		ts, err := telemetry.NewServer(*metrics, reg, fr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4guard-ctl:", err)
+			return 1
+		}
+		defer func() { _ = ts.Close() }()
+		fmt.Printf("telemetry on http://%s/metrics (flight recorder: /debug/vars, profiles: /debug/pprof)\n", ts.Addr())
+	}
 	for _, addr := range strings.Split(*connect, ",") {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
@@ -107,7 +125,5 @@ func loadOrTrain(path, scenario string, packets int, seed int64, k int) (*p4guar
 }
 
 func printStats(ctl *controller.Controller) {
-	st := ctl.Stats()
-	fmt.Printf("digests=%d slow_benign=%d slow_attack=%d reactive_installs=%d\n",
-		st.DigestsProcessed, st.SlowPathBenign, st.SlowPathAttacks, st.ReactiveInstalls)
+	fmt.Println(ctl.Stats())
 }

@@ -15,6 +15,7 @@ import (
 	"p4guard/internal/p4rt"
 	"p4guard/internal/packet"
 	"p4guard/internal/switchsim"
+	"p4guard/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func run() int {
 		rateThr  = flag.Uint64("rate-threshold", 0, "enable the heavy-hitter rate guard above this per-window packet count (0 = off)")
 		rateWin  = flag.Duration("rate-window", time.Second, "rate-guard window")
 		workers  = flag.Int("workers", 1, "forwarding workers per replay round (<=0 = GOMAXPROCS)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -61,6 +63,21 @@ func run() int {
 	}
 	defer func() { _ = srv.Close() }()
 	fmt.Printf("switch %s (%s) listening on %s\n", *name, lt, srv.Addr())
+
+	if *metrics != "" {
+		reg := telemetry.NewRegistry()
+		fr := telemetry.NewFlightRecorder(4096)
+		sw.RegisterTelemetry(reg)
+		srv.RegisterTelemetry(reg)
+		ts, err := telemetry.NewServer(*metrics, reg, fr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4guard-switch:", err)
+			return 1
+		}
+		defer func() { _ = ts.Close() }()
+		fr.Record("boot", map[string]any{"switch": *name, "link": lt.String()})
+		fmt.Printf("telemetry on http://%s/metrics (flight recorder: /debug/vars, profiles: /debug/pprof)\n", ts.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -127,7 +144,5 @@ func replayOnce(sw *switchsim.Switch, scenario string, packets int, seed int64, 
 }
 
 func printStats(sw *switchsim.Switch) {
-	st := sw.Stats()
-	fmt.Printf("processed=%d allowed=%d dropped=%d rate_dropped=%d digested=%d parse_failed=%d\n",
-		st.Packets, st.Allowed, st.Dropped, st.RateDropped, st.Digested, st.ParseFailed)
+	fmt.Println(sw.Stats())
 }

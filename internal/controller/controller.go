@@ -19,6 +19,7 @@ import (
 	"p4guard/internal/p4rt"
 	"p4guard/internal/packet"
 	"p4guard/internal/rules"
+	"p4guard/internal/telemetry"
 )
 
 // SlowPath classifies a packet with the full trained model; 0 is benign.
@@ -39,6 +40,10 @@ type Config struct {
 	ReactivePriority int
 	// QueueDepth bounds the pending reactive-work queue (default 1024).
 	QueueDepth int
+	// FlightRecorder, when non-nil, receives structured events for every
+	// digest round trip (classify outcome, monotonic duration), rule-set
+	// deploy, and switch connection.
+	FlightRecorder *telemetry.FlightRecorder
 }
 
 // Stats counts controller activity.
@@ -50,6 +55,19 @@ type Stats struct {
 	// MirrorSuppressed counts reactive installs skipped because the
 	// deployment mirror proved the data plane already drops the key.
 	MirrorSuppressed int
+	// Deploys counts successful DeployRuleSet calls; DeployedRules the
+	// rows shipped by the most recent one.
+	Deploys       int
+	DeployedRules int
+	// DroppedBatches counts digest batches discarded because the work
+	// queue was full (backpressure on the p4rt read loop).
+	DroppedBatches int
+}
+
+// String renders the stats in the key=value form p4guard-ctl prints.
+func (s Stats) String() string {
+	return fmt.Sprintf("digests=%d slow_benign=%d slow_attack=%d reactive_installs=%d suppressed=%d deploys=%d",
+		s.DigestsProcessed, s.SlowPathBenign, s.SlowPathAttacks, s.ReactiveInstalls, s.MirrorSuppressed, s.Deploys)
 }
 
 // Controller manages one or more switch connections.
@@ -120,6 +138,9 @@ func (c *Controller) Connect(addr string) error {
 		return fmt.Errorf("controller: already connected to %s", addr)
 	}
 	c.clients[addr] = cl
+	if fr := c.cfg.FlightRecorder; fr != nil {
+		fr.Record("connect", map[string]any{"switch": addr, "name": cl.ServerName()})
+	}
 	return nil
 }
 
@@ -127,7 +148,11 @@ func (c *Controller) enqueue(addr string, pkts []p4rt.WirePacket) {
 	select {
 	case c.work <- work{addr: addr, pkts: pkts}:
 	default:
-		// Queue full: drop the batch rather than block the read loop.
+		// Queue full: drop the batch rather than block the read loop —
+		// and count the loss, it is the controller's overload signal.
+		c.mu.Lock()
+		c.stats.DroppedBatches++
+		c.mu.Unlock()
 	}
 }
 
@@ -135,57 +160,86 @@ func (c *Controller) enqueue(addr string, pkts []p4rt.WirePacket) {
 func (c *Controller) worker() {
 	for w := range c.work {
 		for _, wp := range w.pkts {
-			pkt := wp.ToPacket()
-			class := c.model.ClassifySlowPath(pkt)
-
-			c.mu.Lock()
-			c.stats.DigestsProcessed++
-			if class == 0 {
-				c.stats.SlowPathBenign++
-				c.mu.Unlock()
-				continue
-			}
-			c.stats.SlowPathAttacks++
-			var cl *p4rt.Client
-			var install bool
-			var key []byte
-			if c.cfg.Reactive {
-				// The deployment mirror runs the same compiled engine as
-				// the switch table: when it already drops this packet the
-				// digest is stale (raced a deploy) and an exact-match
-				// entry would only waste TCAM.
-				if m := c.mirror; m != nil {
-					if class, matched := m.Classify(pkt); matched && rules.ActionForClass(class) == rules.ActionDrop {
-						c.stats.MirrorSuppressed++
-						c.mu.Unlock()
-						continue
-					}
-				}
-				key = rules.ExtractKey(pkt, c.model.MatchOffsets())
-				if !c.seen[string(key)] {
-					c.seen[string(key)] = true
-					cl = c.clients[w.addr]
-					install = cl != nil
-				}
-			}
-			c.mu.Unlock()
-
-			if install {
-				// Exact match expressed as a degenerate range (lo==hi).
-				_, err := cl.WriteEntry(p4rt.WireEntry{
-					Priority: c.cfg.ReactivePriority,
-					Lo:       key,
-					Hi:       append([]byte(nil), key...),
-					Action:   p4rt.FormatAction(p4.ActionDrop),
-					Class:    class,
-				})
-				if err == nil {
-					c.mu.Lock()
-					c.stats.ReactiveInstalls++
-					c.mu.Unlock()
-				}
-			}
+			c.handleDigest(w.addr, wp)
 		}
+	}
+}
+
+// handleDigest runs one digest through the slow path and the reactive
+// decision, tracing the whole round trip as a flight-recorder event:
+// kind "digest" with the switch address, the slow-path class, the final
+// decision, and the monotonic duration of classify+decide+install.
+func (c *Controller) handleDigest(addr string, wp p4rt.WirePacket) {
+	fr := c.cfg.FlightRecorder
+	var start int64
+	if fr != nil {
+		start = fr.Now().Nanoseconds()
+	}
+	decision := "attack"
+
+	pkt := wp.ToPacket()
+	class := c.model.ClassifySlowPath(pkt)
+
+	c.mu.Lock()
+	c.stats.DigestsProcessed++
+	var cl *p4rt.Client
+	var install bool
+	var key []byte
+	switch {
+	case class == 0:
+		c.stats.SlowPathBenign++
+		decision = "benign"
+	default:
+		c.stats.SlowPathAttacks++
+		if c.cfg.Reactive {
+			// The deployment mirror runs the same compiled engine as the
+			// switch table: when it already drops this packet the digest
+			// is stale (raced a deploy) and an exact-match entry would
+			// only waste TCAM.
+			if m := c.mirror; m != nil {
+				if mc, matched := m.Classify(pkt); matched && rules.ActionForClass(mc) == rules.ActionDrop {
+					c.stats.MirrorSuppressed++
+					decision = "suppressed"
+					break
+				}
+			}
+			key = rules.ExtractKey(pkt, c.model.MatchOffsets())
+			if c.seen[string(key)] {
+				decision = "duplicate"
+				break
+			}
+			c.seen[string(key)] = true
+			cl = c.clients[addr]
+			install = cl != nil
+		}
+	}
+	c.mu.Unlock()
+
+	if install {
+		// Exact match expressed as a degenerate range (lo==hi).
+		_, err := cl.WriteEntry(p4rt.WireEntry{
+			Priority: c.cfg.ReactivePriority,
+			Lo:       key,
+			Hi:       append([]byte(nil), key...),
+			Action:   p4rt.FormatAction(p4.ActionDrop),
+			Class:    class,
+		})
+		if err == nil {
+			decision = "install"
+			c.mu.Lock()
+			c.stats.ReactiveInstalls++
+			c.mu.Unlock()
+		} else {
+			decision = "install_failed"
+		}
+	}
+	if fr != nil {
+		fr.Record("digest", map[string]any{
+			"switch":   addr,
+			"class":    class,
+			"decision": decision,
+			"dur_ns":   fr.Now().Nanoseconds() - start,
+		})
 	}
 }
 
@@ -213,6 +267,10 @@ func (c *Controller) DeployRuleSet(rs *rules.RuleSet, missAction p4.Action) erro
 	if len(clients) == 0 {
 		return fmt.Errorf("controller: no connected switches")
 	}
+	var start int64
+	if fr := c.cfg.FlightRecorder; fr != nil {
+		start = fr.Now().Nanoseconds()
+	}
 	for _, cl := range clients {
 		if _, err := cl.ProgramDetector(prog); err != nil {
 			return fmt.Errorf("controller: deploy to %s: %w", cl.ServerName(), err)
@@ -220,8 +278,42 @@ func (c *Controller) DeployRuleSet(rs *rules.RuleSet, missAction p4.Action) erro
 	}
 	c.mu.Lock()
 	c.mirror = mirror
+	c.stats.Deploys++
+	c.stats.DeployedRules = len(prog.Entries)
 	c.mu.Unlock()
+	if fr := c.cfg.FlightRecorder; fr != nil {
+		fr.Record("deploy", map[string]any{
+			"rules":    len(prog.Entries),
+			"switches": len(clients),
+			"dur_ns":   fr.Now().Nanoseconds() - start,
+		})
+	}
 	return nil
+}
+
+// RegisterTelemetry exports the controller's counters through a metrics
+// registry; values are read from the stats snapshot at scrape time.
+func (c *Controller) RegisterTelemetry(reg *telemetry.Registry) {
+	ctl := telemetry.Label{Key: "controller", Value: c.cfg.Name}
+	stat := func(pick func(Stats) int) func() float64 {
+		return func() float64 { return float64(pick(c.Stats())) }
+	}
+	reg.CounterFunc("p4guard_ctl_digests_processed_total", "Digests classified on the slow path.",
+		stat(func(s Stats) int { return s.DigestsProcessed }), ctl)
+	reg.CounterFunc("p4guard_ctl_slowpath_total", "Slow-path verdicts by outcome.",
+		stat(func(s Stats) int { return s.SlowPathBenign }), ctl, telemetry.Label{Key: "outcome", Value: "benign"})
+	reg.CounterFunc("p4guard_ctl_slowpath_total", "Slow-path verdicts by outcome.",
+		stat(func(s Stats) int { return s.SlowPathAttacks }), ctl, telemetry.Label{Key: "outcome", Value: "attack"})
+	reg.CounterFunc("p4guard_ctl_reactive_installs_total", "Reactive drop entries installed.",
+		stat(func(s Stats) int { return s.ReactiveInstalls }), ctl)
+	reg.CounterFunc("p4guard_ctl_mirror_suppressed_total", "Reactive installs suppressed by the deployment mirror.",
+		stat(func(s Stats) int { return s.MirrorSuppressed }), ctl)
+	reg.CounterFunc("p4guard_ctl_deploys_total", "Successful rule-set deployments.",
+		stat(func(s Stats) int { return s.Deploys }), ctl)
+	reg.GaugeFunc("p4guard_ctl_deployed_rules", "Rules shipped by the most recent deployment.",
+		stat(func(s Stats) int { return s.DeployedRules }), ctl)
+	reg.CounterFunc("p4guard_ctl_dropped_batches_total", "Digest batches dropped by work-queue backpressure.",
+		stat(func(s Stats) int { return s.DroppedBatches }), ctl)
 }
 
 // Stats returns a snapshot of controller counters.

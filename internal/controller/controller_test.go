@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"p4guard/internal/packet"
 	"p4guard/internal/rules"
 	"p4guard/internal/switchsim"
+	"p4guard/internal/telemetry"
 )
 
 // fakeModel flags packets whose byte 0 exceeds 127.
@@ -159,5 +161,96 @@ func TestCloseIdempotent(t *testing.T) {
 	}
 	if err := c.Connect(addr); err == nil {
 		t.Fatal("connect after close succeeded")
+	}
+}
+
+// TestFlightRecorderTracesControlLoop: connect, deploy, and every digest
+// round trip must land in the flight recorder with increasing sequence
+// numbers, monotonic timings, and the right decisions.
+func TestFlightRecorderTracesControlLoop(t *testing.T) {
+	sw, addr := startSwitch(t)
+	fr := telemetry.NewFlightRecorder(256)
+	c := New(fakeModel{}, Config{Reactive: true, FlightRecorder: fr})
+	t.Cleanup(func() { _ = c.Close() })
+	if err := c.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	rs := rules.NewRuleSet([]int{0, 1}, 0)
+	if err := c.DeployRuleSet(rs, p4.Action{Type: p4.ActionDigest}); err != nil {
+		t.Fatal(err)
+	}
+	sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{10, 0}})  // benign
+	sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{200, 0}}) // attack -> install
+	waitFor(t, func() bool { return c.Stats().DigestsProcessed >= 2 })
+
+	decisions := map[string]int{}
+	kinds := map[string]int{}
+	var lastSeq uint64
+	var lastAt int64
+	for _, e := range fr.Events() {
+		if e.Seq <= lastSeq || e.AtNs < lastAt {
+			t.Fatalf("events out of order: %+v", fr.Events())
+		}
+		lastSeq, lastAt = e.Seq, e.AtNs
+		kinds[e.Kind]++
+		if e.Kind == "digest" {
+			decisions[e.Fields["decision"].(string)]++
+			if e.Fields["dur_ns"].(int64) < 0 {
+				t.Fatalf("negative duration: %+v", e)
+			}
+			if e.Fields["switch"].(string) != addr {
+				t.Fatalf("wrong switch label: %+v", e)
+			}
+		}
+	}
+	if kinds["connect"] != 1 || kinds["deploy"] != 1 || kinds["digest"] < 2 {
+		t.Fatalf("event kinds = %v", kinds)
+	}
+	if decisions["benign"] < 1 || decisions["install"] < 1 {
+		t.Fatalf("digest decisions = %v", decisions)
+	}
+
+	st := c.Stats()
+	if st.Deploys != 1 {
+		t.Fatalf("deploys = %d, want 1", st.Deploys)
+	}
+}
+
+// TestRegisterTelemetryExportsControllerCounters checks the Prometheus
+// families the controller exports and that the printed stats line comes
+// from the shared String method.
+func TestRegisterTelemetryExportsControllerCounters(t *testing.T) {
+	sw, addr := startSwitch(t)
+	c := New(fakeModel{}, Config{Name: "ctl-tel", Reactive: true})
+	t.Cleanup(func() { _ = c.Close() })
+	reg := telemetry.NewRegistry()
+	c.RegisterTelemetry(reg)
+	if err := c.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	rs := rules.NewRuleSet([]int{0, 1}, 0)
+	if err := c.DeployRuleSet(rs, p4.Action{Type: p4.ActionDigest}); err != nil {
+		t.Fatal(err)
+	}
+	sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{210, 3}})
+	waitFor(t, func() bool { return c.Stats().ReactiveInstalls >= 1 })
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`p4guard_ctl_digests_processed_total{controller="ctl-tel"} 1`,
+		`p4guard_ctl_slowpath_total{controller="ctl-tel",outcome="attack"} 1`,
+		`p4guard_ctl_reactive_installs_total{controller="ctl-tel"} 1`,
+		`p4guard_ctl_deploys_total{controller="ctl-tel"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if got := c.Stats().String(); !strings.Contains(got, "reactive_installs=1") || !strings.Contains(got, "deploys=1") {
+		t.Fatalf("stats line = %q", got)
 	}
 }

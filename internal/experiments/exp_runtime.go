@@ -59,8 +59,8 @@ func runRF4(cfg Config) (*Result, error) {
 		rows = append(rows, []string{
 			fmt.Sprintf("data-plane rules (depth %d)", depth),
 			strconv.Itoa(entries),
-			fmt.Sprintf("%.0f", st.PPS()),
-			st.PerPacket().Round(time.Nanosecond).String(),
+			st.FormatPPS(),
+			st.FormatPerPacket(),
 		})
 		// Same rules through the batched multi-core engine. Speedup over
 		// the sequential row tracks available cores.
@@ -71,8 +71,8 @@ func runRF4(cfg Config) (*Result, error) {
 		rows = append(rows, []string{
 			fmt.Sprintf("data-plane rules (depth %d, %d workers)", depth, parallelWorkers),
 			strconv.Itoa(entries),
-			fmt.Sprintf("%.0f", pst.PPS()),
-			pst.PerPacket().Round(time.Nanosecond).String(),
+			pst.FormatPPS(),
+			pst.FormatPerPacket(),
 		})
 	}
 

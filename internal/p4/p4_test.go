@@ -575,3 +575,89 @@ func TestTableProgramReplacesAtomically(t *testing.T) {
 		t.Fatal("Program accepted more than MaxEntries rows")
 	}
 }
+
+// TestEntryDirectCounters checks the P4-style per-entry packets/bytes
+// direct counters: they track matched frames only, survive reindexing
+// from later Inserts, and surface through EntrySnapshots and Stats.
+func TestEntryDirectCounters(t *testing.T) {
+	tbl := NewTable("det", MatchRange, key1(), 0, Action{Type: ActionNop})
+	id, err := tbl.Insert(Entry{
+		Priority: 1, Lo: []byte{10}, Hi: []byte{20},
+		Action: Action{Type: ActionDrop, Class: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := [][]byte{{15, 1, 2}, {12}, {99}} // two hits (3B + 1B), one miss
+	for _, f := range frames {
+		tbl.Lookup(f)
+	}
+	// A later Insert rebuilds the lookup state; counters must persist.
+	if _, err := tbl.Insert(Entry{Priority: 0, Lo: []byte{40}, Hi: []byte{50}, Action: Action{Type: ActionAllow}}); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Lookup([]byte{18, 9}) // third hit, 2 bytes
+
+	snaps := tbl.EntrySnapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d entries, want 2", len(snaps))
+	}
+	var got *EntryCounters
+	for i := range snaps {
+		if snaps[i].ID == id {
+			got = &snaps[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("entry %d missing from snapshots %+v", id, snaps)
+	}
+	if got.Hits != 3 || got.Bytes != 6 {
+		t.Fatalf("entry counters hits=%d bytes=%d, want 3/6", got.Hits, got.Bytes)
+	}
+	if got.Action.Type != ActionDrop || got.Action.Class != 2 || got.Priority != 1 {
+		t.Fatalf("snapshot identity %+v", got)
+	}
+	st := tbl.Stats()
+	if st.Hits != 3 || st.Misses != 1 || st.HitBytes != 6 {
+		t.Fatalf("table stats %+v, want hits=3 misses=1 hitbytes=6", st)
+	}
+}
+
+// TestDigestQueueAccounting checks the drained-vs-dropped bookkeeping:
+// queued == drained + depth at every step, and overflow loss is counted
+// instead of silent.
+func TestDigestQueueAccounting(t *testing.T) {
+	p := NewPipeline(2)
+	tbl := NewTable("d", MatchExact, key1(), 0, Action{Type: ActionDigest})
+	if err := p.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	check := func(depth int, queued, drained, dropped uint64) {
+		t.Helper()
+		qs := p.DigestQueueStats()
+		if qs.Depth != depth || qs.Queued != queued || qs.Drained != drained || qs.Dropped != dropped {
+			t.Fatalf("queue stats %+v, want depth=%d queued=%d drained=%d dropped=%d",
+				qs, depth, queued, drained, dropped)
+		}
+		if qs.Queued != qs.Drained+uint64(qs.Depth) {
+			t.Fatalf("accounting broken: %+v", qs)
+		}
+		if qs.Capacity != 2 {
+			t.Fatalf("capacity = %d, want 2", qs.Capacity)
+		}
+	}
+	check(0, 0, 0, 0)
+	for i := 0; i < 5; i++ {
+		p.Process(&packet.Packet{Bytes: []byte{byte(i)}})
+	}
+	check(2, 2, 0, 3)
+	if got := len(p.DrainDigests(1)); got != 1 {
+		t.Fatalf("drained %d, want 1", got)
+	}
+	check(1, 2, 1, 3)
+	p.Process(&packet.Packet{Bytes: []byte{7}})
+	if got := len(p.DrainDigests(0)); got != 2 {
+		t.Fatalf("drained %d, want 2", got)
+	}
+	check(0, 3, 3, 3)
+}

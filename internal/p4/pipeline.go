@@ -35,6 +35,8 @@ type Pipeline struct {
 	byName  map[string]*Table
 	snap    atomic.Pointer[[]*Table] // published copy of tables for lock-free reads
 	digests []Digest
+	queued  uint64 // digests ever enqueued
+	drained uint64 // digests handed to DrainDigests callers
 	dropped uint64 // digests dropped due to a full queue
 	maxQ    int
 }
@@ -149,11 +151,14 @@ func (p *Pipeline) queueDigest(d Digest) {
 		p.dropped++
 		return
 	}
+	p.queued++
 	p.digests = append(p.digests, d)
 }
 
 // DrainDigests removes and returns up to max queued digests (all when
-// max <= 0).
+// max <= 0), crediting the drained counter so queue accounting balances:
+// queued == drained + depth at all times, and dropped records overflow
+// loss separately.
 func (p *Pipeline) DrainDigests(max int) []Digest {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -164,7 +169,34 @@ func (p *Pipeline) DrainDigests(max int) []Digest {
 	out := make([]Digest, n)
 	copy(out, p.digests[:n])
 	p.digests = p.digests[n:]
+	p.drained += uint64(n)
 	return out
+}
+
+// DigestQueueStats is a snapshot of digest-queue accounting.
+type DigestQueueStats struct {
+	// Depth is the current queue occupancy; Capacity its bound.
+	Depth    int
+	Capacity int
+	// Queued counts digests accepted into the queue; Drained those handed
+	// to the controller side; Dropped those lost to overflow. The
+	// invariant Queued == Drained + Depth always holds.
+	Queued  uint64
+	Drained uint64
+	Dropped uint64
+}
+
+// DigestQueueStats returns a consistent snapshot of the queue counters.
+func (p *Pipeline) DigestQueueStats() DigestQueueStats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return DigestQueueStats{
+		Depth:    len(p.digests),
+		Capacity: p.maxQ,
+		Queued:   p.queued,
+		Drained:  p.drained,
+		Dropped:  p.dropped,
+	}
 }
 
 // DroppedDigests reports digests lost to queue overflow.

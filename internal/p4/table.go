@@ -26,7 +26,11 @@ type Entry struct {
 	Hi        []byte
 	Action    Action
 
-	hits uint64 // accessed atomically
+	// P4-style direct counters, accessed atomically. Entry pointers are
+	// shared across lookup-state generations, so the counters survive
+	// reindexing (though not a full Program, which allocates new entries).
+	hits  uint64
+	bytes uint64
 }
 
 // Table is one match–action table. Mutations (insert/delete/program) are
@@ -351,7 +355,10 @@ func (t *Table) Lookup(frame []byte) (act Action, matched bool) {
 		atomic.AddUint64(&t.misses, 1)
 		return st.def, false
 	}
+	// Direct counters: hits and bytes share the entry's cache line, so the
+	// second add is nearly free once the first has claimed the line.
 	atomic.AddUint64(&hit.hits, 1)
+	atomic.AddUint64(&hit.bytes, uint64(len(frame)))
 	atomic.AddUint64(&t.hits, 1)
 	return hit.Action, true
 }
@@ -381,22 +388,56 @@ func rangeMatch(key, lo, hi []byte) bool {
 	return true
 }
 
-// Stats reports table hit/miss counters.
+// Stats reports table hit/miss counters. HitBytes totals the frame bytes
+// of matched packets (missed packets are not byte-counted).
 type Stats struct {
-	Name    string
-	Entries int
-	Hits    uint64
-	Misses  uint64
+	Name     string
+	Entries  int
+	Hits     uint64
+	Misses   uint64
+	HitBytes uint64
 }
 
 // Stats returns a snapshot of the table's counters.
 func (t *Table) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Name:    t.Name,
 		Entries: len(t.state.Load().entries),
 		Hits:    atomic.LoadUint64(&t.hits),
 		Misses:  atomic.LoadUint64(&t.misses),
 	}
+	for _, e := range t.state.Load().entries {
+		s.HitBytes += atomic.LoadUint64(&e.bytes)
+	}
+	return s
+}
+
+// EntryCounters is a snapshot of one entry's identity and direct
+// counters, the P4 `direct_counter(packets_and_bytes)` equivalent.
+type EntryCounters struct {
+	ID       uint64
+	Priority int
+	Action   Action
+	Hits     uint64
+	Bytes    uint64
+}
+
+// EntrySnapshots returns a counter snapshot for every installed entry in
+// current match order. It reads the lock-free lookup state, so it is safe
+// to call at scrape time under full forwarding load.
+func (t *Table) EntrySnapshots() []EntryCounters {
+	entries := t.state.Load().entries
+	out := make([]EntryCounters, len(entries))
+	for i, e := range entries {
+		out[i] = EntryCounters{
+			ID:       e.ID,
+			Priority: e.Priority,
+			Action:   e.Action,
+			Hits:     atomic.LoadUint64(&e.hits),
+			Bytes:    atomic.LoadUint64(&e.bytes),
+		}
+	}
+	return out
 }
 
 // EntryHits returns the hit counter for one entry.

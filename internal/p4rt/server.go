@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p4guard/internal/p4"
 	"p4guard/internal/switchsim"
+	"p4guard/internal/telemetry"
 )
 
 // Server is the switch-side agent: it exposes the detector table of one
@@ -21,6 +23,13 @@ type Server struct {
 	mu     sync.Mutex
 	conns  map[net.Conn]*connState
 	closed bool
+
+	// Control-plane counters, atomics so handlers never contend on mu.
+	programs      atomic.Uint64
+	writes        atomic.Uint64
+	counterReads  atomic.Uint64
+	digestBatches atomic.Uint64
+	digestPackets atomic.Uint64
 
 	wg   sync.WaitGroup
 	stop chan struct{}
@@ -56,6 +65,34 @@ func Serve(addr string, sw *switchsim.Switch, digestInterval time.Duration) (*Se
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// RegisterTelemetry exports the agent's control-plane counters.
+func (s *Server) RegisterTelemetry(reg *telemetry.Registry) {
+	sw := telemetry.Label{Key: "switch", Value: s.sw.Name}
+	reqs := []struct {
+		typ string
+		c   *atomic.Uint64
+	}{
+		{"program", &s.programs},
+		{"write", &s.writes},
+		{"counters", &s.counterReads},
+	}
+	for _, r := range reqs {
+		c := r.c
+		reg.CounterFunc("p4guard_p4rt_requests_total", "p4rt requests handled, by type.",
+			func() float64 { return float64(c.Load()) }, sw, telemetry.Label{Key: "type", Value: r.typ})
+	}
+	reg.CounterFunc("p4guard_p4rt_digest_batches_total", "Digest batches pushed to controllers.",
+		func() float64 { return float64(s.digestBatches.Load()) }, sw)
+	reg.CounterFunc("p4guard_p4rt_digest_packets_total", "Digested packets pushed to controllers.",
+		func() float64 { return float64(s.digestPackets.Load()) }, sw)
+	reg.GaugeFunc("p4guard_p4rt_connections", "Connected controllers.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.conns))
+		}, sw)
+}
 
 // Close stops the listener, closes every connection, and waits for all
 // server goroutines to exit.
@@ -121,6 +158,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			continue
 		case TypeProgram:
+			s.programs.Add(1)
 			var prog Program
 			if err := DecodeBody(env, &prog); err != nil {
 				resp = Response{Error: err.Error()}
@@ -128,6 +166,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			resp = s.applyProgram(prog)
 		case TypeWrite:
+			s.writes.Add(1)
 			var w Write
 			if err := DecodeBody(env, &w); err != nil {
 				resp = Response{Error: err.Error()}
@@ -135,6 +174,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			resp = s.applyWrite(w)
 		case TypeCounters:
+			s.counterReads.Add(1)
 			resp = s.readCounters()
 		case TypeHeartbeat:
 			resp = Response{OK: true}
@@ -218,6 +258,8 @@ func (s *Server) digestPump(interval time.Duration) {
 		if len(ds) == 0 {
 			continue
 		}
+		s.digestBatches.Add(1)
+		s.digestPackets.Add(uint64(len(ds)))
 		msg := DigestMsg{Packets: make([]WirePacket, 0, len(ds))}
 		for _, d := range ds {
 			msg.Packets = append(msg.Packets, FromPacket(d.Pkt))

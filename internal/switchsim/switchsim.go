@@ -13,6 +13,7 @@ package switchsim
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"p4guard/internal/p4"
 	"p4guard/internal/packet"
 	"p4guard/internal/rules"
+	"p4guard/internal/telemetry"
 )
 
 // DetectorTable is the name of the range-match table the two-stage
@@ -40,6 +42,13 @@ type Switch struct {
 	link     packet.LinkType
 
 	rateGuard atomic.Pointer[p4.RateGuard]
+
+	// latencyHist, when armed by RegisterTelemetry, receives sampled
+	// per-packet forwarding latencies: every multi-packet batch merge is
+	// observed (already amortized), single-packet merges 1 in
+	// latencySampleEvery. Nil means telemetry is off and the hot path pays
+	// only the pointer load.
+	latencyHist atomic.Pointer[telemetry.Histogram]
 
 	// Cumulative stats, updated with atomics (one merge per batch).
 	packets     atomic.Int64
@@ -76,6 +85,24 @@ func (s RunStats) PerPacket() time.Duration {
 		return 0
 	}
 	return s.Elapsed / time.Duration(s.Packets)
+}
+
+// String renders the stats in the key=value form the CLIs print — the
+// one formatting of a stats line, shared by p4guard-switch and tests.
+func (s RunStats) String() string {
+	return fmt.Sprintf("processed=%d allowed=%d dropped=%d rate_dropped=%d digested=%d parse_failed=%d",
+		s.Packets, s.Allowed, s.Dropped, s.RateDropped, s.Digested, s.ParseFailed)
+}
+
+// FormatPPS renders throughput as a whole-number string (table cells,
+// stats lines).
+func (s RunStats) FormatPPS() string {
+	return strconv.FormatFloat(s.PPS(), 'f', 0, 64)
+}
+
+// FormatPerPacket renders mean per-packet latency rounded to nanoseconds.
+func (s RunStats) FormatPerPacket() string {
+	return s.PerPacket().Round(time.Nanosecond).String()
 }
 
 // add accumulates one verdict into the stats (Packets and Elapsed are
@@ -341,8 +368,9 @@ func (s *Switch) RunParallel(pkts []*packet.Packet, workers int) RunStats {
 // fields are skipped: a branch is far cheaper than a contended atomic
 // read-modify-write, and per-packet deltas touch at most three counters.
 func (s *Switch) mergeStats(d RunStats) {
+	var total int64
 	if d.Packets != 0 {
-		s.packets.Add(int64(d.Packets))
+		total = s.packets.Add(int64(d.Packets))
 	}
 	if d.Allowed != 0 {
 		s.allowed.Add(int64(d.Allowed))
@@ -362,7 +390,22 @@ func (s *Switch) mergeStats(d RunStats) {
 	if d.Elapsed != 0 {
 		s.elapsedNs.Add(int64(d.Elapsed))
 	}
+	if h := s.latencyHist.Load(); h != nil && d.Packets > 0 {
+		// Sampling reuses the cumulative packet counter the merge just
+		// paid for, so the instrumented per-packet path adds no extra
+		// atomic — only the pointer load, a branch, and a modulo.
+		if d.Packets > 1 || total%latencySampleEvery == 0 {
+			h.Observe(d.Elapsed.Seconds() / float64(d.Packets))
+		}
+	}
 }
+
+// latencySampleEvery is the sampling period for single-packet latency
+// observations. Batch merges are always observed — they are already
+// amortized over the burst — but the per-packet Process path only records
+// 1 in latencySampleEvery calls so the instrumented hot path stays within
+// a few percent of uninstrumented.
+const latencySampleEvery = 64
 
 // Stats returns a snapshot of cumulative stats.
 func (s *Switch) Stats() RunStats {
@@ -377,9 +420,16 @@ func (s *Switch) Stats() RunStats {
 	}
 }
 
-// DrainDigests removes and returns up to max queued digests.
+// DrainDigests removes and returns up to max queued digests. Drained and
+// overflow-dropped digests are both counted; see DigestQueueStats.
 func (s *Switch) DrainDigests(max int) []p4.Digest {
 	return s.pipeline.DrainDigests(max)
+}
+
+// DigestQueueStats returns the digest queue's depth/drained/dropped
+// accounting (queued == drained + depth; dropped is overflow loss).
+func (s *Switch) DigestQueueStats() p4.DigestQueueStats {
+	return s.pipeline.DigestQueueStats()
 }
 
 // DetectorStats returns the detector table's counters.
@@ -389,4 +439,110 @@ func (s *Switch) DetectorStats() (p4.Stats, error) {
 		return p4.Stats{}, err
 	}
 	return det.Stats(), nil
+}
+
+// DetectorEntrySnapshots returns per-entry direct counters for the
+// detector table (nil when the table is missing).
+func (s *Switch) DetectorEntrySnapshots() []p4.EntryCounters {
+	det, err := s.pipeline.Table(DetectorTable)
+	if err != nil {
+		return nil
+	}
+	return det.EntrySnapshots()
+}
+
+// RegisterTelemetry wires the switch into a metrics registry and arms the
+// sampled forwarding-latency histogram. Cumulative verdict and parse
+// counters are exported through read-at-scrape-time callbacks over the
+// atomics the engine already maintains, so registration adds no hot-path
+// cost beyond the latency sampling documented on mergeStats.
+func (s *Switch) RegisterTelemetry(reg *telemetry.Registry) {
+	sw := telemetry.Label{Key: "switch", Value: s.Name}
+	s.latencyHist.Store(reg.Histogram("p4guard_switch_forward_latency_seconds",
+		"Sampled per-packet forwarding latency (every batch, 1/64 single packets).", nil, sw))
+
+	reg.CounterFunc("p4guard_switch_packets_total", "Packets processed by the data plane.",
+		func() float64 { return float64(s.packets.Load()) }, sw)
+	verdicts := []struct {
+		name string
+		fn   func() int64
+	}{
+		{"allowed", s.allowed.Load},
+		{"dropped", s.dropped.Load},
+		{"digested", s.digested.Load},
+		{"rate_dropped", s.rateDropped.Load},
+	}
+	for _, v := range verdicts {
+		fn := v.fn
+		reg.CounterFunc("p4guard_switch_verdicts_total", "Packets by forwarding verdict.",
+			func() float64 { return float64(fn()) }, sw, telemetry.Label{Key: "verdict", Value: v.name})
+	}
+	reg.CounterFunc("p4guard_switch_parse_total", "Packets by parse outcome.",
+		func() float64 { return float64(s.packets.Load() - s.parseFailed.Load()) },
+		sw, telemetry.Label{Key: "outcome", Value: "ok"})
+	reg.CounterFunc("p4guard_switch_parse_total", "Packets by parse outcome.",
+		func() float64 { return float64(s.parseFailed.Load()) },
+		sw, telemetry.Label{Key: "outcome", Value: "fail"})
+	reg.CounterFunc("p4guard_switch_busy_seconds_total", "Cumulative forwarding time.",
+		func() float64 { return time.Duration(s.elapsedNs.Load()).Seconds() }, sw)
+
+	reg.GaugeFunc("p4guard_switch_digest_queue_depth", "Digests waiting for the controller.",
+		func() float64 { return float64(s.DigestQueueStats().Depth) }, sw)
+	reg.CounterFunc("p4guard_switch_digests_drained_total", "Digests drained to the controller side.",
+		func() float64 { return float64(s.DigestQueueStats().Drained) }, sw)
+	reg.CounterFunc("p4guard_switch_digests_dropped_total", "Digests lost to queue overflow.",
+		func() float64 { return float64(s.DigestQueueStats().Dropped) }, sw)
+
+	tbl := telemetry.Label{Key: "table", Value: DetectorTable}
+	reg.GaugeFunc("p4guard_table_entries", "Installed entries.",
+		func() float64 {
+			st, err := s.DetectorStats()
+			if err != nil {
+				return 0
+			}
+			return float64(st.Entries)
+		}, sw, tbl)
+	for _, res := range []string{"hit", "miss"} {
+		res := res
+		reg.CounterFunc("p4guard_table_lookups_total", "Table lookups by result.",
+			func() float64 {
+				st, err := s.DetectorStats()
+				if err != nil {
+					return 0
+				}
+				if res == "hit" {
+					return float64(st.Hits)
+				}
+				return float64(st.Misses)
+			}, sw, tbl, telemetry.Label{Key: "result", Value: res})
+	}
+	entryLabels := func(e p4.EntryCounters) []telemetry.Label {
+		return []telemetry.Label{sw, tbl,
+			{Key: "entry", Value: strconv.FormatUint(e.ID, 10)},
+			{Key: "action", Value: e.Action.Type.String()},
+			{Key: "class", Value: strconv.Itoa(e.Action.Class)},
+		}
+	}
+	reg.CollectFunc("p4guard_table_entry_hits_total", "Per-entry direct packet counters.", "counter",
+		func(emit func([]telemetry.Label, float64)) {
+			for _, e := range s.DetectorEntrySnapshots() {
+				emit(entryLabels(e), float64(e.Hits))
+			}
+		})
+	reg.CollectFunc("p4guard_table_entry_bytes_total", "Per-entry direct byte counters.", "counter",
+		func(emit func([]telemetry.Label, float64)) {
+			for _, e := range s.DetectorEntrySnapshots() {
+				emit(entryLabels(e), float64(e.Bytes))
+			}
+		})
+}
+
+// LatencySnapshot returns the sampled forwarding-latency histogram
+// snapshot (zero value when telemetry is not registered).
+func (s *Switch) LatencySnapshot() telemetry.HistogramSnapshot {
+	h := s.latencyHist.Load()
+	if h == nil {
+		return telemetry.HistogramSnapshot{}
+	}
+	return h.Snapshot()
 }

@@ -1,13 +1,18 @@
 package switchsim
 
 import (
+	"fmt"
+	"io"
 	"math/rand"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"p4guard/internal/p4"
 	"p4guard/internal/packet"
 	"p4guard/internal/rules"
+	"p4guard/internal/telemetry"
 )
 
 func mkSwitch(t *testing.T) *Switch {
@@ -366,5 +371,159 @@ func TestRateGuardUnderParallelRun(t *testing.T) {
 	st := sw.RunParallel(pkts, 4)
 	if st.RateDropped != 95 {
 		t.Fatalf("RateDropped = %d, want 95", st.RateDropped)
+	}
+}
+
+// TestRegisterTelemetryExportsCounters: registered metrics must reflect
+// the switch's verdict, parse, table, and digest-queue accounting, and
+// the exposition must balance against Stats().
+func TestRegisterTelemetryExportsCounters(t *testing.T) {
+	sw := mkSwitch(t)
+	if _, err := sw.InstallRuleSet(dropHighByte0(), p4.Action{Type: p4.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	sw.RegisterTelemetry(reg)
+
+	sw.Run(tracePackets(500, 3))
+	st := sw.Stats()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		fmt.Sprintf(`p4guard_switch_packets_total{switch="gw0"} %d`, st.Packets),
+		fmt.Sprintf(`p4guard_switch_verdicts_total{switch="gw0",verdict="allowed"} %d`, st.Allowed),
+		fmt.Sprintf(`p4guard_switch_verdicts_total{switch="gw0",verdict="dropped"} %d`, st.Dropped),
+		`p4guard_switch_forward_latency_seconds_count`,
+		`p4guard_switch_digest_queue_depth{switch="gw0"} 0`,
+		`p4guard_table_entry_hits_total{switch="gw0",table="iot_detector"`,
+		`p4guard_table_lookups_total{switch="gw0",table="iot_detector",result="hit"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The batch merge always observes the latency histogram.
+	if hs := sw.LatencySnapshot(); hs.Count == 0 {
+		t.Fatal("latency histogram never observed")
+	}
+	// Per-entry hits must sum to the table's hit counter.
+	det, err := sw.DetectorStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entryHits uint64
+	for _, e := range sw.DetectorEntrySnapshots() {
+		entryHits += e.Hits
+	}
+	if entryHits != det.Hits {
+		t.Fatalf("per-entry hits %d != table hits %d", entryHits, det.Hits)
+	}
+}
+
+// TestTelemetryUnderParallelRunWithReprogram: histogram observation and
+// metric scrapes racing RunParallel workers and Program reprogramming
+// must stay memory-safe (-race) and keep snapshots monotonic.
+func TestTelemetryUnderParallelRunWithReprogram(t *testing.T) {
+	sw := mkSwitch(t)
+	if _, err := sw.InstallRuleSet(dropHighByte0(), p4.Action{Type: p4.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	sw.RegisterTelemetry(reg)
+	pkts := tracePackets(2000, 29)
+
+	stop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(2)
+	go func() { // reprogramming churn
+		defer scrapeWG.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := sw.InstallRuleSet(dropHighByte0(), p4.Action{Type: p4.ActionAllow}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() { // concurrent scraper
+		defer scrapeWG.Done()
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			hs := sw.LatencySnapshot()
+			var sum uint64
+			for _, c := range hs.Counts {
+				sum += c
+			}
+			if sum < hs.Count || hs.Count < last {
+				t.Errorf("snapshot not monotonic: count=%d bucketsum=%d last=%d", hs.Count, sum, last)
+				return
+			}
+			last = hs.Count
+			if err := reg.WritePrometheus(io.Discard); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var runWG sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		runWG.Add(1)
+		go func() {
+			defer runWG.Done()
+			sw.RunParallel(pkts, 4)
+		}()
+	}
+	runWG.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	st := sw.Stats()
+	if st.Packets != 4*len(pkts) || st.Allowed+st.Dropped != st.Packets {
+		t.Fatalf("stats lost packets under churn: %+v", st)
+	}
+	if sw.LatencySnapshot().Count == 0 {
+		t.Fatal("no latency observations recorded")
+	}
+}
+
+// TestProcessLatencySampling: single-packet merges observe 1 in 64; after
+// many Process calls the histogram must have roughly packets/64 samples.
+func TestProcessLatencySampling(t *testing.T) {
+	sw := mkSwitch(t)
+	if _, err := sw.InstallRuleSet(dropHighByte0(), p4.Action{Type: p4.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	sw.RegisterTelemetry(reg)
+	const n = 640
+	for _, p := range tracePackets(n, 31) {
+		sw.Process(p)
+	}
+	if got := sw.LatencySnapshot().Count; got != n/latencySampleEvery {
+		t.Fatalf("sampled %d observations from %d packets, want %d", got, n, n/latencySampleEvery)
+	}
+}
+
+// TestRunStatsString: the one shared formatting of a stats line.
+func TestRunStatsString(t *testing.T) {
+	st := RunStats{Packets: 5, Allowed: 3, Dropped: 2, RateDropped: 1, Digested: 4, ParseFailed: 0,
+		Elapsed: 5 * time.Microsecond}
+	want := "processed=5 allowed=3 dropped=2 rate_dropped=1 digested=4 parse_failed=0"
+	if st.String() != want {
+		t.Fatalf("String() = %q, want %q", st.String(), want)
+	}
+	if st.FormatPPS() != "1000000" {
+		t.Fatalf("FormatPPS() = %q", st.FormatPPS())
+	}
+	if st.FormatPerPacket() != "1µs" {
+		t.Fatalf("FormatPerPacket() = %q", st.FormatPerPacket())
 	}
 }

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured control-plane event in the flight recorder.
+// At is a wall-clock-free monotonic offset from the recorder's start, so
+// event timings are immune to clock steps and comparable across events.
+type Event struct {
+	Seq    uint64         `json:"seq"`
+	AtNs   int64          `json:"at_ns"`
+	Kind   string         `json:"kind"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// FlightRecorder is a bounded ring buffer of Events: writes never block
+// longer than a short mutex hold and never allocate beyond the fields map
+// the caller passes, and once the ring is full the oldest events are
+// overwritten. It is the control-plane black box — cheap enough to leave
+// on in production, dumped as JSON via /debug/vars when something goes
+// wrong.
+type FlightRecorder struct {
+	start time.Time
+
+	mu   sync.Mutex
+	ring []Event
+	next uint64 // total events ever recorded; ring slot is (seq-1)%cap
+}
+
+// NewFlightRecorder builds a recorder keeping the last capacity events
+// (1024 when capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &FlightRecorder{start: time.Now(), ring: make([]Event, capacity)}
+}
+
+// Now returns the monotonic offset since the recorder started; callers
+// use it to compute durations stored in event fields.
+func (f *FlightRecorder) Now() time.Duration { return time.Since(f.start) }
+
+// Record appends an event and returns its sequence number (1-based).
+// fields is retained by reference; callers must not mutate it afterwards.
+func (f *FlightRecorder) Record(kind string, fields map[string]any) uint64 {
+	at := f.Now().Nanoseconds()
+	f.mu.Lock()
+	f.next++
+	seq := f.next
+	f.ring[(seq-1)%uint64(len(f.ring))] = Event{Seq: seq, AtNs: at, Kind: kind, Fields: fields}
+	f.mu.Unlock()
+	return seq
+}
+
+// Total returns the number of events ever recorded (including ones the
+// ring has since overwritten).
+func (f *FlightRecorder) Total() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.next
+}
+
+// Events returns the retained events oldest-to-newest.
+func (f *FlightRecorder) Events() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	capN := uint64(len(f.ring))
+	n := f.next
+	if n > capN {
+		n = capN
+	}
+	out := make([]Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		seq := f.next - n + 1 + i
+		out = append(out, f.ring[(seq-1)%capN])
+	}
+	return out
+}
+
+// flightDump is the JSON shape of a recorder dump.
+type flightDump struct {
+	Total       uint64  `json:"total"`
+	Capacity    int     `json:"capacity"`
+	Overwritten uint64  `json:"overwritten"`
+	UptimeNs    int64   `json:"uptime_ns"`
+	Events      []Event `json:"events"`
+}
+
+// WriteJSON dumps the recorder state as one JSON object.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	events := f.Events()
+	total := f.Total()
+	over := uint64(0)
+	if total > uint64(len(events)) {
+		over = total - uint64(len(events))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(flightDump{
+		Total:       total,
+		Capacity:    cap(f.ring),
+		Overwritten: over,
+		UptimeNs:    f.Now().Nanoseconds(),
+		Events:      events,
+	})
+}

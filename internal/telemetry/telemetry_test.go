@@ -1,0 +1,264 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := reg.Gauge("test_depth", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le=1: {0.5, 1}; le=10: {2, 10}; le=100: {11}; +Inf: {1000}
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if math.Abs(s.Sum-1024.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 1024.5", s.Sum)
+	}
+	if math.Abs(s.Mean()-1024.5/6) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+}
+
+// TestHistogramConcurrentSnapshot hammers one histogram from writer
+// goroutines while snapshotting concurrently: every snapshot must be
+// monotonic (bucket sum >= count, since count is incremented last and
+// read first), and the final state must balance exactly. Run with -race.
+func TestHistogramConcurrentSnapshot(t *testing.T) {
+	h := NewHistogram([]float64{1e-6, 1e-3, 1})
+	const writers, perWriter = 8, 5000
+	stop := make(chan struct{})
+	var snaps atomic.Int64
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var sum uint64
+			for _, c := range s.Counts {
+				sum += c
+			}
+			if sum < s.Count {
+				t.Errorf("snapshot bucket sum %d < count %d", sum, s.Count)
+				return
+			}
+			snaps.Add(1)
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(i%4) * 1e-4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	s := h.Snapshot()
+	var sum uint64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if s.Count != writers*perWriter || sum != s.Count {
+		t.Fatalf("final count=%d bucketsum=%d, want %d", s.Count, sum, writers*perWriter)
+	}
+	if snaps.Load() == 0 {
+		t.Fatal("snapshotter never ran")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("app_requests_total", "Total requests.", Label{"code", "200"})
+	c.Add(3)
+	reg.CounterFunc("app_requests_total", "Total requests.", func() float64 { return 9 }, Label{"code", "500"})
+	g := reg.Gauge("app_queue_depth", "Queue depth.")
+	g.Set(4)
+	h := reg.Histogram("app_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	reg.CollectFunc("app_entry_hits_total", "Per-entry hits.", "counter", func(emit func([]Label, float64)) {
+		emit([]Label{{"entry", "1"}}, 11)
+		emit([]Label{{"entry", `quo"te`}}, 2)
+	})
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP app_requests_total Total requests.\n# TYPE app_requests_total counter\n",
+		`app_requests_total{code="200"} 3`,
+		`app_requests_total{code="500"} 9`,
+		"app_queue_depth 4",
+		`app_latency_seconds_bucket{le="0.1"} 1`,
+		`app_latency_seconds_bucket{le="1"} 2`,
+		`app_latency_seconds_bucket{le="+Inf"} 3`,
+		"app_latency_seconds_sum 5.55",
+		"app_latency_seconds_count 3",
+		`app_entry_hits_total{entry="1"} 11`,
+		`app_entry_hits_total{entry="quo\"te"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE emitted once per family even with two instruments.
+	if n := strings.Count(out, "# TYPE app_requests_total counter"); n != 1 {
+		t.Fatalf("TYPE emitted %d times, want 1:\n%s", n, out)
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	for i := 0; i < 20; i++ {
+		seq := fr.Record("tick", map[string]any{"i": i})
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if fr.Total() != 20 {
+		t.Fatalf("total = %d, want 20", fr.Total())
+	}
+	events := fr.Events()
+	if len(events) != 8 {
+		t.Fatalf("retained %d events, want 8", len(events))
+	}
+	for i, e := range events {
+		if want := uint64(13 + i); e.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+		if i > 0 && e.AtNs < events[i-1].AtNs {
+			t.Fatalf("non-monotonic timestamps: %d then %d", events[i-1].AtNs, e.AtNs)
+		}
+	}
+
+	var b strings.Builder
+	if err := fr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Total       uint64  `json:"total"`
+		Capacity    int     `json:"capacity"`
+		Overwritten uint64  `json:"overwritten"`
+		Events      []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &dump); err != nil {
+		t.Fatalf("dump not valid JSON: %v\n%s", err, b.String())
+	}
+	if dump.Total != 20 || dump.Capacity != 8 || dump.Overwritten != 12 || len(dump.Events) != 8 {
+		t.Fatalf("dump = %+v", dump)
+	}
+}
+
+// TestFlightRecorderConcurrent records from many goroutines under -race;
+// sequence numbers must come out unique and dense.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	fr := NewFlightRecorder(64)
+	const writers, per = 8, 500
+	var wg sync.WaitGroup
+	seqs := make([][]uint64, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seqs[w] = append(seqs[w], fr.Record("ev", nil))
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for _, s := range seqs {
+		for _, q := range s {
+			if seen[q] {
+				t.Fatalf("duplicate seq %d", q)
+			}
+			seen[q] = true
+		}
+	}
+	if fr.Total() != writers*per || len(seen) != writers*per {
+		t.Fatalf("total=%d unique=%d, want %d", fr.Total(), len(seen), writers*per)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("srv_up_total", "Up.").Inc()
+	fr := NewFlightRecorder(16)
+	fr.Record("boot", map[string]any{"ok": true})
+	srv, err := NewServer("127.0.0.1:0", reg, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "srv_up_total 1") {
+		t.Fatalf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/debug/vars"); !strings.Contains(out, `"kind": "boot"`) {
+		t.Fatalf("/debug/vars missing event:\n%s", out)
+	}
+	if out := get("/debug/pprof/cmdline"); len(out) == 0 {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}

@@ -21,4 +21,23 @@ go test -run '^$' \
     -benchtime "${CI_BENCHTIME:-1s}" \
     ./... 2>&1 | grep -v '^ok\|no test files'
 
+echo "==> telemetry overhead guard"
+# The instrumented lookup (telemetry registered: sampled latency
+# histogram, per-entry byte counters, scrape callbacks) must stay within
+# CI_GUARD_PCT percent of the uninstrumented hot path. Best-of-N runs so
+# scheduler noise doesn't flake the gate.
+guard_out=$(go test -run '^$' \
+    -bench 'BenchmarkDataPlaneLookup$|BenchmarkDataPlaneLookupInstrumented$' \
+    -benchtime "${CI_GUARD_BENCHTIME:-0.5s}" -count "${CI_GUARD_COUNT:-3}" . 2>&1)
+printf '%s\n' "$guard_out"
+printf '%s\n' "$guard_out" | awk -v pct="${CI_GUARD_PCT:-10}" '
+    /^BenchmarkDataPlaneLookupInstrumented/ { if (inst == 0 || $3 < inst) inst = $3; next }
+    /^BenchmarkDataPlaneLookup/             { if (base == 0 || $3 < base) base = $3 }
+    END {
+        if (base == 0 || inst == 0) { print "guard: benchmarks missing from output"; exit 1 }
+        ratio = inst / base
+        printf "guard: uninstrumented %.1f ns/op, instrumented %.1f ns/op (%.1f%%)\n", base, inst, (ratio - 1) * 100
+        if (ratio > 1 + pct / 100) { printf "guard: FAIL, instrumented lookup regresses more than %d%%\n", pct; exit 1 }
+    }'
+
 echo "==> ci green"
