@@ -114,6 +114,32 @@ func BenchmarkDataPlaneLookupInstrumented(b *testing.B) {
 	}
 }
 
+// BenchmarkDataPlaneLookupInstrumentedExplainOff is the instrumented
+// lookup with the explain sampler exercised and then disarmed — the
+// state a production switch sits in when nobody is collecting
+// explanations. scripts/ci.sh fails if this costs more than
+// CI_GUARD_EXPLAIN_PCT (default 1%) over the plain instrumented lookup:
+// disarmed explain must stay one pointer load per batch and one nil
+// check per packet, nothing more.
+func BenchmarkDataPlaneLookupInstrumentedExplainOff(b *testing.B) {
+	pipe, pkts := benchPipelineAndTrace(b)
+	sw, err := switchsim.New("bench", packet.LinkEthernet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sw.InstallRuleSet(pipe.RuleSet(), p4.Action{Type: p4.ActionAllow}); err != nil {
+		b.Fatal(err)
+	}
+	sw.RegisterTelemetry(telemetry.NewRegistry())
+	sw.EnableExplainSampling(1, telemetry.NewFlightRecorder(16), nil)
+	sw.Process(pkts[0])
+	sw.DisableExplainSampling()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.Process(pkts[i%len(pkts)])
+	}
+}
+
 // BenchmarkSlowPathClassify measures per-packet MLP classification — the
 // controller path a digested packet takes.
 func BenchmarkSlowPathClassify(b *testing.B) {

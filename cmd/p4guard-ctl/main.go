@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +38,7 @@ func run() int {
 		duration = flag.Duration("duration", 0, "exit after this long (0 = until signal)")
 		stats    = flag.Duration("stats", 2*time.Second, "stats print interval")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (empty = off)")
+		jsonOut  = flag.Bool("json", false, "print stats as JSON instead of the key=value line")
 	)
 	flag.Parse()
 
@@ -62,7 +65,11 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "p4guard-ctl:", err)
 			return 1
 		}
-		defer func() { _ = ts.Close() }()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = ts.Shutdown(ctx)
+		}()
 		fmt.Printf("telemetry on http://%s/metrics (flight recorder: /debug/vars, profiles: /debug/pprof)\n", ts.Addr())
 	}
 	for _, addr := range strings.Split(*connect, ",") {
@@ -97,13 +104,13 @@ func run() int {
 	for {
 		select {
 		case <-stop:
-			printStats(ctl)
+			printStats(ctl, *jsonOut)
 			return 0
 		case <-timeout:
-			printStats(ctl)
+			printStats(ctl, *jsonOut)
 			return 0
 		case <-ticker.C:
-			printStats(ctl)
+			printStats(ctl, *jsonOut)
 		}
 	}
 }
@@ -124,6 +131,12 @@ func loadOrTrain(path, scenario string, packets int, seed int64, k int) (*p4guar
 	return p4guard.Train(ds, p4guard.Config{Seed: seed, NumFields: k})
 }
 
-func printStats(ctl *controller.Controller) {
+func printStats(ctl *controller.Controller, asJSON bool) {
+	if asJSON {
+		if line, err := json.Marshal(ctl.Stats()); err == nil {
+			fmt.Println(string(line))
+		}
+		return
+	}
 	fmt.Println(ctl.Stats())
 }

@@ -1,0 +1,82 @@
+// Command p4guard-obs is the offline observability analyzer: it replays
+// run journals written by p4guard-train and cmd/experiments and explain
+// dumps written by p4guard-switch -explain, and prints per-run summaries
+// — seed, dataset fingerprint, epoch-loss curves, final accuracy,
+// per-experiment manifests, and explain-vs-lookup agreement.
+//
+// Usage:
+//
+//	p4guard-obs -journal train.jsonl [-journal more.jsonl]
+//	p4guard-obs -explain explains.jsonl [-top 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"p4guard/internal/obs"
+	"p4guard/internal/telemetry"
+)
+
+// multiFlag collects repeated -journal / -explain flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return fmt.Sprint(*m) }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var journals, explains multiFlag
+	flag.Var(&journals, "journal", "run journal JSONL to summarize (repeatable)")
+	flag.Var(&explains, "explain", "explain dump JSONL to summarize (repeatable)")
+	top := flag.Int("top", 10, "winning entries to list per explain dump")
+	flag.Parse()
+
+	if len(journals) == 0 && len(explains) == 0 {
+		fmt.Fprintln(os.Stderr, "p4guard-obs: need at least one -journal or -explain file")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, path := range journals {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4guard-obs: %v\n", err)
+			exit = 1
+			continue
+		}
+		recs, err := telemetry.ReadJournal(f)
+		f.Close()
+		if err != nil {
+			// A trailing partial line (crashed writer) still yields the
+			// clean prefix; report and keep going.
+			fmt.Fprintf(os.Stderr, "p4guard-obs: %s: %v (summarizing %d clean records)\n",
+				path, err, len(recs))
+		}
+		fmt.Printf("== journal %s ==\n", path)
+		obs.RenderRuns(os.Stdout, obs.SummarizeJournal(recs))
+		fmt.Println()
+	}
+	for _, path := range explains {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4guard-obs: %v\n", err)
+			exit = 1
+			continue
+		}
+		rep, err := obs.ReadExplainDump(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4guard-obs: %s: %v\n", path, err)
+			exit = 1
+		}
+		fmt.Printf("== explain dump %s ==\n", path)
+		obs.RenderExplainReport(os.Stdout, rep, *top)
+		if rep.AgreementRate() < 1 {
+			exit = 1
+		}
+		fmt.Println()
+	}
+	os.Exit(exit)
+}

@@ -1,13 +1,21 @@
 // Command p4guard-switch runs the behavioural gateway switch as a p4rt
 // server. With -replay it continuously feeds a generated workload through
 // the data plane so a connected controller sees live digests and counters.
+// With -explain it samples forwarded packets, re-runs each through the
+// side-effect-free Explain path, and appends one JSON line per sample —
+// the dump cmd/p4guard-obs summarizes (verdict distribution, winning
+// entries, explain-vs-lookup agreement).
 package main
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -36,6 +44,9 @@ func run() int {
 		rateWin  = flag.Duration("rate-window", time.Second, "rate-guard window")
 		workers  = flag.Int("workers", 1, "forwarding workers per replay round (<=0 = GOMAXPROCS)")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (empty = off)")
+		explain  = flag.String("explain", "", "dump sampled per-packet explanations as JSONL to this path")
+		explainN = flag.Int("explain-every", 64, "sample one explanation per this many forwarded packets")
+		jsonOut  = flag.Bool("json", false, "print stats as JSON instead of the key=value line")
 	)
 	flag.Parse()
 
@@ -64,9 +75,10 @@ func run() int {
 	defer func() { _ = srv.Close() }()
 	fmt.Printf("switch %s (%s) listening on %s\n", *name, lt, srv.Addr())
 
+	var fr *telemetry.FlightRecorder
 	if *metrics != "" {
 		reg := telemetry.NewRegistry()
-		fr := telemetry.NewFlightRecorder(4096)
+		fr = telemetry.NewFlightRecorder(4096)
 		sw.RegisterTelemetry(reg)
 		srv.RegisterTelemetry(reg)
 		ts, err := telemetry.NewServer(*metrics, reg, fr)
@@ -74,9 +86,28 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "p4guard-switch:", err)
 			return 1
 		}
-		defer func() { _ = ts.Close() }()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = ts.Shutdown(ctx)
+		}()
 		fr.Record("boot", map[string]any{"switch": *name, "link": lt.String()})
 		fmt.Printf("telemetry on http://%s/metrics (flight recorder: /debug/vars, profiles: /debug/pprof)\n", ts.Addr())
+	}
+
+	if *explain != "" {
+		dump, err := newExplainDump(*explain)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4guard-switch:", err)
+			return 1
+		}
+		defer func() {
+			if err := dump.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "p4guard-switch: explain dump:", err)
+			}
+		}()
+		sw.EnableExplainSampling(*explainN, fr, dump.write)
+		fmt.Printf("explain sampling armed: 1/%d packets to %s\n", *explainN, *explain)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -101,10 +132,10 @@ func run() int {
 	for {
 		select {
 		case <-stop:
-			printStats(sw)
+			printStats(sw, *jsonOut)
 			return 0
 		case <-timeout:
-			printStats(sw)
+			printStats(sw, *jsonOut)
 			return 0
 		case <-replayTick:
 			round++
@@ -112,9 +143,46 @@ func run() int {
 				fmt.Fprintln(os.Stderr, "p4guard-switch:", err)
 				return 1
 			}
-			printStats(sw)
+			printStats(sw, *jsonOut)
 		}
 	}
+}
+
+// explainDump serializes sampled explanations to a JSONL file. The
+// sampler may fire from concurrent forwarding workers, so writes are
+// mutex-guarded.
+type explainDump struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+func newExplainDump(path string) (*explainDump, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &explainDump{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (d *explainDump) write(sample switchsim.ExplainSample) {
+	line, err := switchsim.ExplainJSON(sample)
+	if err != nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, _ = d.w.Write(append(line, '\n'))
+}
+
+func (d *explainDump) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := d.w.Flush()
+	if cerr := d.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func parseLink(s string) (packet.LinkType, error) {
@@ -143,6 +211,12 @@ func replayOnce(sw *switchsim.Switch, scenario string, packets int, seed int64, 
 	return nil
 }
 
-func printStats(sw *switchsim.Switch) {
+func printStats(sw *switchsim.Switch, asJSON bool) {
+	if asJSON {
+		if line, err := json.Marshal(sw.Stats()); err == nil {
+			fmt.Println(string(line))
+		}
+		return
+	}
 	fmt.Println(sw.Stats())
 }

@@ -2,18 +2,29 @@
 // scenario (or a pcap + labels pair produced by tracegen), prints the
 // selected fields, rule summary, and held-out quality, and optionally
 // saves the model.
+//
+// With -journal it writes a run journal (JSONL): run_start with the
+// seed, config, and dataset fingerprint, one epoch event per training
+// epoch of each stage, and run_end with the held-out result — the
+// artifact cmd/p4guard-obs replays. With -metrics-addr it additionally
+// serves live training gauges (loss, accuracy, gradient norm, epoch) on
+// /metrics while the run is in flight.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"p4guard"
 	"p4guard/internal/metrics"
+	"p4guard/internal/nn"
 	"p4guard/internal/pcap"
+	"p4guard/internal/telemetry"
 	"p4guard/internal/trace"
 )
 
@@ -32,8 +43,43 @@ func run() int {
 		depth    = flag.Int("depth", 6, "distilled tree depth")
 		out      = flag.String("out", "", "save trained model to this path")
 		emitP4   = flag.String("emit-p4", "", "write generated P4-16 source to this path")
+		jpath    = flag.String("journal", "", "write a run journal (JSONL) to this path")
+		runID    = flag.String("run-id", "", "run identifier for the journal (default: generated)")
+		maddr    = flag.String("metrics-addr", "", "serve live training gauges on /metrics at this address (empty = off)")
 	)
 	flag.Parse()
+
+	var journal *telemetry.Journal
+	if *jpath != "" {
+		var err error
+		journal, err = telemetry.OpenJournal(*jpath, *runID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4guard-train:", err)
+			return 1
+		}
+		defer func() {
+			if err := journal.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "p4guard-train: journal:", err)
+			}
+		}()
+		fmt.Printf("journal %s (run %s)\n", *jpath, journal.RunID())
+	}
+	var gauges *telemetry.TrainGauges
+	if *maddr != "" {
+		reg := telemetry.NewRegistry()
+		gauges = telemetry.NewTrainGauges(reg)
+		ts, err := telemetry.NewServer(*maddr, reg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4guard-train:", err)
+			return 1
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = ts.Shutdown(ctx)
+		}()
+		fmt.Printf("training gauges on http://%s/metrics\n", ts.Addr())
+	}
 
 	ds, err := loadDataset(*scenario, *inPcap, *labels, *packets, *seed)
 	if err != nil {
@@ -45,7 +91,36 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "p4guard-train:", err)
 		return 1
 	}
-	pipe, err := p4guard.Train(train, p4guard.Config{Seed: *seed, NumFields: *k, TreeDepth: *depth})
+
+	cfg := p4guard.Config{Seed: *seed, NumFields: *k, TreeDepth: *depth}
+	if journal != nil || gauges != nil {
+		cfg.OnEpoch = func(stage string, es nn.EpochStats) {
+			if gauges != nil {
+				gauges.Observe(stage, es.Epoch, es.Loss, es.Accuracy, es.GradNorm)
+			}
+			if journal != nil {
+				_ = journal.Event("epoch", struct {
+					Stage string `json:"stage"`
+					nn.EpochStats
+				}{stage, es})
+			}
+		}
+	}
+	if journal != nil {
+		_ = journal.Event("run_start", map[string]any{
+			"seed":        *seed,
+			"dataset":     ds.Name,
+			"fingerprint": ds.Fingerprint(),
+			"samples":     ds.Len(),
+			"train":       train.Len(),
+			"test":        test.Len(),
+			"k":           *k,
+			"depth":       *depth,
+		})
+	}
+
+	started := time.Now()
+	pipe, err := p4guard.Train(train, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p4guard-train:", err)
 		return 1
@@ -70,6 +145,23 @@ func run() int {
 	fmt.Printf("timings: select=%s mlp=%s distill=%s compile=%s\n",
 		tm.FieldSelection.Round(1e6), tm.Classifier.Round(1e6),
 		tm.Distillation.Round(1e6), tm.RuleCompile.Round(1e6))
+	if journal != nil {
+		_ = journal.Event("run_end", map[string]any{
+			"final_accuracy": conf.Accuracy(),
+			"precision":      conf.Precision(),
+			"recall":         conf.Recall(),
+			"f1":             conf.F1(),
+			"rules":          len(pipe.RuleSet().Rules),
+			"tcam_entries":   entries,
+			"key_bytes":      keyBytes,
+			"fidelity":       pipe.Fidelity(test),
+			"dur_ns":         time.Since(started).Nanoseconds(),
+			"select_ns":      tm.FieldSelection.Nanoseconds(),
+			"mlp_ns":         tm.Classifier.Nanoseconds(),
+			"distill_ns":     tm.Distillation.Nanoseconds(),
+			"compile_ns":     tm.RuleCompile.Nanoseconds(),
+		})
+	}
 
 	if *emitP4 != "" {
 		src, err := pipe.EmitP4(false)

@@ -48,20 +48,20 @@ type Config struct {
 
 // Stats counts controller activity.
 type Stats struct {
-	DigestsProcessed int
-	SlowPathAttacks  int
-	SlowPathBenign   int
-	ReactiveInstalls int
+	DigestsProcessed int `json:"digests_processed"`
+	SlowPathAttacks  int `json:"slow_path_attacks"`
+	SlowPathBenign   int `json:"slow_path_benign"`
+	ReactiveInstalls int `json:"reactive_installs"`
 	// MirrorSuppressed counts reactive installs skipped because the
 	// deployment mirror proved the data plane already drops the key.
-	MirrorSuppressed int
+	MirrorSuppressed int `json:"mirror_suppressed"`
 	// Deploys counts successful DeployRuleSet calls; DeployedRules the
 	// rows shipped by the most recent one.
-	Deploys       int
-	DeployedRules int
+	Deploys       int `json:"deploys"`
+	DeployedRules int `json:"deployed_rules"`
 	// DroppedBatches counts digest batches discarded because the work
 	// queue was full (backpressure on the p4rt read loop).
-	DroppedBatches int
+	DroppedBatches int `json:"dropped_batches"`
 }
 
 // String renders the stats in the key=value form p4guard-ctl prints.

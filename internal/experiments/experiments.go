@@ -10,8 +10,10 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"p4guard/internal/iotgen"
+	"p4guard/internal/telemetry"
 	"p4guard/internal/trace"
 )
 
@@ -23,6 +25,11 @@ type Config struct {
 	Packets int
 	// Quick shrinks workloads for smoke tests and benchmarks.
 	Quick bool
+	// Journal, when non-nil, receives a per-experiment manifest:
+	// experiment_start (id, title, inputs) and experiment_end (emitted
+	// artifact lines, duration, error) events the offline analyzer
+	// summarizes per run.
+	Journal *telemetry.Journal
 }
 
 func (c Config) withDefaults() Config {
@@ -80,12 +87,39 @@ func All() []Experiment {
 	}
 }
 
-// Run executes the experiment with the given ID.
+// Run executes the experiment with the given ID, writing a manifest to
+// cfg.Journal when one is installed: what ran, with which inputs, what
+// it emitted, and how long it took — enough for the analyzer to audit a
+// whole evaluation run after the fact.
 func Run(id string, cfg Config) (*Result, error) {
 	for _, e := range All() {
-		if e.ID == id {
-			return e.Run(cfg.withDefaults())
+		if e.ID != id {
+			continue
 		}
+		c := cfg.withDefaults()
+		if c.Journal != nil {
+			_ = c.Journal.Event("experiment_start", map[string]any{
+				"id": e.ID, "title": e.Title,
+				"seed": c.Seed, "packets": c.Packets, "quick": c.Quick,
+			})
+		}
+		start := time.Now()
+		res, err := e.Run(c)
+		if c.Journal != nil {
+			fields := map[string]any{
+				"id":     e.ID,
+				"dur_ns": time.Since(start).Nanoseconds(),
+				"ok":     err == nil,
+			}
+			if err != nil {
+				fields["error"] = err.Error()
+			} else {
+				fields["artifact_lines"] = len(res.Lines)
+				fields["artifacts"] = res.Lines
+			}
+			_ = c.Journal.Event("experiment_end", fields)
+		}
+		return res, err
 	}
 	return nil, fmt.Errorf("experiments: unknown id %q", id)
 }

@@ -124,6 +124,9 @@ type SaliencySelector struct {
 	Epochs int
 	// Seed drives initialization and shuffling.
 	Seed int64
+	// OnEpoch, when non-nil, receives per-epoch statistics of the
+	// attribution MLP's training — the stage-1 half of the run journal.
+	OnEpoch func(nn.EpochStats)
 }
 
 var _ Selector = (*SaliencySelector)(nil)
@@ -154,9 +157,12 @@ func (s *SaliencySelector) Select(ds *trace.Dataset, k int) ([]int, error) {
 		return nil, err
 	}
 	net := nn.NewMLP(rng, x.Cols, hidden, 2)
-	if _, err := nn.Train(net, nn.NewAdam(0.005), x, target, nn.TrainConfig{
-		Epochs: epochs, BatchSize: 64, Shuffle: rng,
-	}); err != nil {
+	tc := nn.TrainConfig{Epochs: epochs, BatchSize: 64, Shuffle: rng}
+	if s.OnEpoch != nil {
+		hook := s.OnEpoch
+		tc.OnEpochEnd = func(es nn.EpochStats) bool { hook(es); return true }
+	}
+	if _, err := nn.Train(net, nn.NewAdam(0.005), x, target, tc); err != nil {
 		return nil, err
 	}
 	// SmoothGrad-style attribution: confident predictions saturate the

@@ -1,0 +1,128 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"p4guard/internal/packet"
+)
+
+func TestBitsOfRange(t *testing.T) {
+	cases := []struct {
+		lo, hi      byte
+		value, mask byte
+	}{
+		{0, 255, 0, 0},  // full wildcard
+		{7, 7, 7, 0xff}, // point range is exact
+		{0x80, 0xff, 0x80, 0x80},
+		{0x10, 0x1f, 0x10, 0xf0},
+		{0x10, 0x17, 0x10, 0xf8},
+		{0, 1, 0, 0xfe},
+		{0xfe, 0xff, 0xfe, 0xfe},
+	}
+	for _, c := range cases {
+		v, m := BitsOfRange(c.lo, c.hi)
+		if v != c.value || m != c.mask {
+			t.Errorf("BitsOfRange(%#02x, %#02x) = (%#02x, %#02x), want (%#02x, %#02x)",
+				c.lo, c.hi, v, m, c.value, c.mask)
+		}
+	}
+	// Property: the fixed bits really are fixed across the range, and
+	// every in-range byte agrees with value on the mask bits.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		lo, hi := byte(rng.Intn(256)), byte(rng.Intn(256))
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		v, m := BitsOfRange(lo, hi)
+		for b := int(lo); b <= int(hi); b++ {
+			if byte(b)&m != v {
+				t.Fatalf("[%#02x,%#02x]: in-range byte %#02x disagrees with value %#02x mask %#02x",
+					lo, hi, b, v, m)
+			}
+		}
+	}
+}
+
+// TestExplainAgreesWithClassify: on random rule sets and random packets,
+// Explain must return exactly Classify's verdict, the winner's evidence
+// must be self-consistent (every byte in range), and each beaten row
+// must carry a disqualifying byte.
+func TestExplainAgreesWithClassify(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	offsets := []int{0, 2, 5, 9}
+	for _, n := range []int{0, 1, 5, 64, 130} {
+		rs := randomRuleSet(rng, offsets, n, 3)
+		m, err := Compile(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 1000; trial++ {
+			body := make([]byte, 12)
+			rng.Read(body)
+			pkt := &packet.Packet{Bytes: body}
+			wantC, wantM := m.Classify(pkt)
+			ex := m.Explain(pkt)
+			if ex.Class != wantC || ex.Matched != wantM {
+				t.Fatalf("n=%d trial %d: Explain (%d,%v) != Classify (%d,%v)",
+					n, trial, ex.Class, ex.Matched, wantC, wantM)
+			}
+			if wantM {
+				if ex.Winner == nil {
+					t.Fatalf("n=%d trial %d: matched but no winner", n, trial)
+				}
+				if !ex.Winner.Matched {
+					t.Fatalf("n=%d trial %d: winner marked unmatched", n, trial)
+				}
+				if ex.Winner.Class != wantC {
+					t.Fatalf("n=%d trial %d: winner class %d != verdict %d",
+						n, trial, ex.Winner.Class, wantC)
+				}
+				for _, be := range ex.Winner.Bytes {
+					if !be.InRange {
+						t.Fatalf("n=%d trial %d: winner byte pos %d out of range", n, trial, be.Pos)
+					}
+					if be.Key&be.Mask != be.Value {
+						t.Fatalf("n=%d trial %d: winner ternary view disagrees at pos %d", n, trial, be.Pos)
+					}
+					if be.MatchedBits != be.Mask {
+						t.Fatalf("n=%d trial %d: winner MatchedBits %#02x != mask %#02x at pos %d",
+							n, trial, be.MatchedBits, be.Mask, be.Pos)
+					}
+				}
+				if ex.BeatenTotal != ex.Winner.Row {
+					t.Fatalf("n=%d trial %d: BeatenTotal %d != winner row %d",
+						n, trial, ex.BeatenTotal, ex.Winner.Row)
+				}
+			} else {
+				if ex.Winner != nil {
+					t.Fatalf("n=%d trial %d: miss carries a winner", n, trial)
+				}
+				if ex.BeatenTotal != n {
+					t.Fatalf("n=%d trial %d: miss BeatenTotal %d != %d rules", n, trial, ex.BeatenTotal, n)
+				}
+			}
+			if len(ex.Beaten) > MaxBeaten {
+				t.Fatalf("n=%d trial %d: %d beaten rows exceeds cap %d",
+					n, trial, len(ex.Beaten), MaxBeaten)
+			}
+			for _, lost := range ex.Beaten {
+				if lost.Matched {
+					t.Fatalf("n=%d trial %d: beaten row %d claims to match", n, trial, lost.Row)
+				}
+				found := false
+				for _, be := range lost.Bytes {
+					if !be.InRange {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("n=%d trial %d: beaten row %d has no disqualifying byte",
+						n, trial, lost.Row)
+				}
+			}
+		}
+	}
+}

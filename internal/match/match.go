@@ -136,6 +136,10 @@ type Compiled struct {
 	classes      []int
 	defaultClass int
 	idx          *KeyIndex
+	// rows and priorities are retained (beyond what Classify needs) so
+	// Explain can reconstruct per-byte evidence for any row.
+	rows       []RangeRow
+	priorities []int
 }
 
 var _ Matcher = (*Compiled)(nil)
@@ -157,6 +161,7 @@ func Compile(rs *rules.RuleSet) (*Compiled, error) {
 	}
 	rows := make([]RangeRow, len(rs.Rules))
 	classes := make([]int, len(rs.Rules))
+	priorities := make([]int, len(rs.Rules))
 	for r := range rs.Rules {
 		rule := &rs.Rules[r]
 		row := RangeRow{Lo: make([]byte, width), Hi: make([]byte, width)}
@@ -177,6 +182,7 @@ func Compile(rs *rules.RuleSet) (*Compiled, error) {
 		}
 		rows[r] = row
 		classes[r] = rule.Class
+		priorities[r] = rule.Priority
 	}
 	idx, err := CompileRanges(width, rows)
 	if err != nil {
@@ -187,6 +193,8 @@ func Compile(rs *rules.RuleSet) (*Compiled, error) {
 		classes:      classes,
 		defaultClass: rs.DefaultClass,
 		idx:          idx,
+		rows:         rows,
+		priorities:   priorities,
 	}, nil
 }
 

@@ -2,10 +2,34 @@ package nn
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"time"
 
 	"p4guard/internal/tensor"
 )
+
+// EpochStats is the structured per-epoch signal the training loop emits
+// to observers: the run journal, live training gauges, and experiment
+// manifests all consume it.
+type EpochStats struct {
+	// Epoch is the zero-based epoch index.
+	Epoch int `json:"epoch"`
+	// Loss is the mean minibatch loss over the epoch.
+	Loss float64 `json:"loss"`
+	// Accuracy is the training-set accuracy measured with a forward
+	// pass after the epoch's updates. It is only computed when an
+	// OnEpochEnd observer is installed, so unobserved training pays
+	// nothing for it.
+	Accuracy float64 `json:"accuracy"`
+	// GradNorm is the global L2 norm of the parameter gradients after
+	// the epoch's final minibatch — the signal that catches exploding
+	// and vanishing gradients in a journal replay.
+	GradNorm float64 `json:"grad_norm"`
+	// Duration is the wall time of the epoch (batching, forward,
+	// backward, and optimizer updates; not the observer itself).
+	Duration time.Duration `json:"duration_ns"`
+}
 
 // TrainConfig controls the minibatch training loop.
 type TrainConfig struct {
@@ -16,6 +40,11 @@ type TrainConfig struct {
 	// OnEpoch, when non-nil, receives (epoch, meanLoss) after each epoch;
 	// returning false stops training early.
 	OnEpoch func(epoch int, loss float64) bool
+	// OnEpochEnd, when non-nil, receives full epoch statistics (loss,
+	// training accuracy, gradient norm, duration) after each epoch;
+	// returning false stops training early. Installing it adds one
+	// forward pass per epoch for the accuracy measurement.
+	OnEpochEnd func(EpochStats) bool
 }
 
 // Train runs minibatch gradient descent over (x, target) with the given
@@ -43,6 +72,7 @@ func Train(net *Network, opt Optimizer, x, target *tensor.Matrix, cfg TrainConfi
 
 	var lastLoss float64
 	for e := 0; e < epochs; e++ {
+		epochStart := time.Now()
 		if cfg.Shuffle != nil {
 			cfg.Shuffle.Shuffle(len(order), func(i, j int) {
 				order[i], order[j] = order[j], order[i]
@@ -72,11 +102,58 @@ func Train(net *Network, opt Optimizer, x, target *tensor.Matrix, cfg TrainConfi
 			batches++
 		}
 		lastLoss = epochLoss / float64(batches)
+		if cfg.OnEpochEnd != nil {
+			es := EpochStats{
+				Epoch:    e,
+				Loss:     lastLoss,
+				GradNorm: GradNorm(net),
+				Duration: time.Since(epochStart),
+			}
+			acc, err := trainAccuracy(net, x, target)
+			if err != nil {
+				return 0, fmt.Errorf("epoch %d accuracy: %w", e, err)
+			}
+			es.Accuracy = acc
+			if !cfg.OnEpochEnd(es) {
+				break
+			}
+		}
 		if cfg.OnEpoch != nil && !cfg.OnEpoch(e, lastLoss) {
 			break
 		}
 	}
 	return lastLoss, nil
+}
+
+// GradNorm returns the global L2 norm of the network's current
+// parameter gradients (the accumulators left by the last Step).
+func GradNorm(net *Network) float64 {
+	var sum float64
+	for _, g := range net.Grads() {
+		for _, v := range g.Data {
+			sum += v * v
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// trainAccuracy measures argmax accuracy of the network against one-hot
+// targets with a single forward pass.
+func trainAccuracy(net *Network, x, target *tensor.Matrix) (float64, error) {
+	preds, err := net.Predict(x)
+	if err != nil {
+		return 0, err
+	}
+	if len(preds) == 0 {
+		return 0, nil
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == tensor.Argmax(target.Row(i)) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds)), nil
 }
 
 // OneHot encodes integer labels into an n×classes one-hot matrix.

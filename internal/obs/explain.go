@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"p4guard/internal/switchsim"
+)
+
+// WinnerCount aggregates how often one table entry won a sampled lookup.
+type WinnerCount struct {
+	Table    string
+	EntryID  uint64
+	Priority int
+	Action   string
+	Count    int
+}
+
+// ExplainReport aggregates an explain dump (the -explain JSONL of
+// p4guard-switch): verdict distribution, per-entry win counts, and the
+// explain-vs-lookup agreement the sampler measured on live traffic.
+type ExplainReport struct {
+	Total       int
+	ParseErrors int
+	// Agree counts samples whose reconstructed verdict equals the live
+	// engine's verdict. The differential suite enforces 100% offline;
+	// anything below that here is a bug worth the disagreement list.
+	Agree         int
+	Allowed       int
+	Dropped       int
+	DefaultUsed   int
+	ByClass       map[int]int
+	Winners       []WinnerCount
+	Disagreements []switchsim.ExplainSample
+}
+
+// maxDisagreements bounds how many mismatched samples a report retains
+// verbatim; the count is always exact.
+const maxDisagreements = 8
+
+// AgreementRate returns Agree/Total (1 when the dump is empty: no
+// evidence of disagreement).
+func (r *ExplainReport) AgreementRate() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(r.Agree) / float64(r.Total)
+}
+
+// ReadExplainDump parses a JSONL explain dump and aggregates it.
+// Unparsable lines are counted, not fatal — a dump truncated by a
+// killed switch still analyzes.
+func ReadExplainDump(rd io.Reader) (*ExplainReport, error) {
+	rep := &ExplainReport{ByClass: make(map[int]int)}
+	type winnerKey struct {
+		table string
+		id    uint64
+	}
+	winners := make(map[winnerKey]*WinnerCount)
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var sample switchsim.ExplainSample
+		if err := json.Unmarshal(line, &sample); err != nil {
+			rep.ParseErrors++
+			continue
+		}
+		rep.Total++
+		if sample.Agrees {
+			rep.Agree++
+		} else if len(rep.Disagreements) < maxDisagreements {
+			rep.Disagreements = append(rep.Disagreements, sample)
+		}
+		if sample.Verdict.Allowed {
+			rep.Allowed++
+		} else {
+			rep.Dropped++
+		}
+		rep.ByClass[sample.Verdict.Class]++
+		for _, te := range sample.Tables {
+			if te.DefaultUsed {
+				rep.DefaultUsed++
+			}
+			if te.Winner == nil {
+				continue
+			}
+			k := winnerKey{te.Table, te.Winner.ID}
+			wc := winners[k]
+			if wc == nil {
+				wc = &WinnerCount{
+					Table: te.Table, EntryID: te.Winner.ID,
+					Priority: te.Winner.Priority, Action: te.Winner.Action,
+				}
+				winners[k] = wc
+			}
+			wc.Count++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, fmt.Errorf("obs: explain dump: %w", err)
+	}
+	for _, wc := range winners {
+		rep.Winners = append(rep.Winners, *wc)
+	}
+	sort.Slice(rep.Winners, func(a, b int) bool {
+		wa, wb := rep.Winners[a], rep.Winners[b]
+		if wa.Count != wb.Count {
+			return wa.Count > wb.Count
+		}
+		if wa.Table != wb.Table {
+			return wa.Table < wb.Table
+		}
+		return wa.EntryID < wb.EntryID
+	})
+	return rep, nil
+}
+
+// RenderExplainReport writes the human-readable explain-dump summary,
+// listing at most topN winning entries (all when topN <= 0).
+func RenderExplainReport(w io.Writer, rep *ExplainReport, topN int) {
+	fmt.Fprintf(w, "explain samples: %d  (parse errors: %d)\n", rep.Total, rep.ParseErrors)
+	fmt.Fprintf(w, "  agreement with lookup: %d/%d (%.2f%%)\n",
+		rep.Agree, rep.Total, rep.AgreementRate()*100)
+	fmt.Fprintf(w, "  verdicts: allowed=%d dropped=%d default_used=%d\n",
+		rep.Allowed, rep.Dropped, rep.DefaultUsed)
+	classes := make([]int, 0, len(rep.ByClass))
+	for c := range rep.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		fmt.Fprintf(w, "    class %d: %d\n", c, rep.ByClass[c])
+	}
+	n := len(rep.Winners)
+	if topN > 0 && topN < n {
+		n = topN
+	}
+	if n > 0 {
+		fmt.Fprintf(w, "  top winning entries (%d of %d):\n", n, len(rep.Winners))
+		for _, wc := range rep.Winners[:n] {
+			fmt.Fprintf(w, "    %-12s entry=%-6d prio=%-5d %-10s wins=%d\n",
+				wc.Table, wc.EntryID, wc.Priority, wc.Action, wc.Count)
+		}
+	}
+	for _, d := range rep.Disagreements {
+		fmt.Fprintf(w, "  DISAGREEMENT: explain=%+v lookup=%+v switch=%s\n",
+			d.Verdict, d.LookupVerdict, d.Switch)
+	}
+	if miss := rep.Total - rep.Agree - len(rep.Disagreements); miss > 0 && len(rep.Disagreements) == maxDisagreements {
+		fmt.Fprintf(w, "  ... and %d more disagreements\n", miss)
+	}
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"p4guard/internal/telemetry"
+)
+
+// journalFor writes a synthetic training journal and returns its parsed
+// records.
+func journalFor(t *testing.T, runID string, losses []float64, finalAcc float64) []telemetry.JournalRecord {
+	t.Helper()
+	var buf bytes.Buffer
+	j := telemetry.NewJournal(&buf, runID)
+	if err := j.Event("run_start", map[string]any{
+		"seed": 7, "dataset": "wifi-mqtt", "fingerprint": "cafe", "samples": 900,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range losses {
+		if err := j.Event("epoch", map[string]any{
+			"stage": "stage2-classifier", "epoch": i, "loss": l,
+			"accuracy": 1 - l, "grad_norm": l * 2, "duration_ns": 1000,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Event("run_end", map[string]any{"final_accuracy": finalAcc}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := telemetry.ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestSummarizeJournalReplaysRun: the analyzer must reproduce the
+// epoch-loss curve and final accuracy exactly as journalled.
+func TestSummarizeJournalReplaysRun(t *testing.T) {
+	losses := []float64{0.9, 0.5, 0.25, 0.125, 0.0625}
+	runs := SummarizeJournal(journalFor(t, "run-a", losses, 0.9875))
+	if len(runs) != 1 {
+		t.Fatalf("%d runs", len(runs))
+	}
+	s := runs[0]
+	if s.RunID != "run-a" || s.Records != len(losses)+2 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Seed == nil || *s.Seed != 7 || s.Dataset != "wifi-mqtt" || s.Fingerprint != "cafe" {
+		t.Fatalf("run_start fields: %+v", s)
+	}
+	curve := s.LossCurve("stage2-classifier")
+	if len(curve) != len(losses) {
+		t.Fatalf("curve has %d points, want %d", len(curve), len(losses))
+	}
+	for i, l := range losses {
+		if curve[i] != l {
+			t.Fatalf("curve[%d] = %v, want %v", i, curve[i], l)
+		}
+	}
+	if s.FinalAccuracy == nil || *s.FinalAccuracy != 0.9875 {
+		t.Fatalf("final accuracy %+v", s.FinalAccuracy)
+	}
+	eps := s.StageEpochs("stage2-classifier")
+	for i, e := range eps {
+		if e.Epoch != i || e.GradNorm != losses[i]*2 {
+			t.Fatalf("epoch %d: %+v", i, e)
+		}
+	}
+}
+
+func TestSummarizeJournalGroupsRuns(t *testing.T) {
+	recs := append(journalFor(t, "run-a", []float64{0.5}, 1),
+		journalFor(t, "run-b", []float64{0.75, 0.25}, 0.5)...)
+	runs := SummarizeJournal(recs)
+	if len(runs) != 2 || runs[0].RunID != "run-a" || runs[1].RunID != "run-b" {
+		t.Fatalf("runs = %+v", runs)
+	}
+	if len(runs[1].Epochs) != 2 {
+		t.Fatalf("run-b epochs = %d", len(runs[1].Epochs))
+	}
+}
+
+func TestSummarizeJournalExperimentManifests(t *testing.T) {
+	var buf bytes.Buffer
+	j := telemetry.NewJournal(&buf, "run-exp")
+	events := []struct {
+		kind   string
+		fields map[string]any
+	}{
+		{"experiment_start", map[string]any{"id": "R-T1", "title": "Datasets", "seed": 1, "packets": 600, "quick": true}},
+		{"experiment_end", map[string]any{"id": "R-T1", "dur_ns": 5000000, "ok": true, "artifact_lines": 12}},
+		{"experiment_start", map[string]any{"id": "R-T2", "title": "Quality", "seed": 1, "packets": 600, "quick": true}},
+		{"experiment_end", map[string]any{"id": "R-T2", "dur_ns": 1000, "ok": false, "error": "boom"}},
+	}
+	for _, e := range events {
+		if err := j.Event(e.kind, e.fields); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := telemetry.ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := SummarizeJournal(recs)
+	if len(runs) != 1 || len(runs[0].Experiments) != 2 {
+		t.Fatalf("runs = %+v", runs)
+	}
+	a, b := runs[0].Experiments[0], runs[0].Experiments[1]
+	if a.ID != "R-T1" || !a.Ended || !a.OK || a.ArtifactLines != 12 || a.DurNs != 5000000 {
+		t.Fatalf("R-T1 manifest %+v", a)
+	}
+	if b.ID != "R-T2" || !b.Ended || b.OK || b.Error != "boom" {
+		t.Fatalf("R-T2 manifest %+v", b)
+	}
+	var out bytes.Buffer
+	RenderRuns(&out, runs)
+	for _, want := range []string{"R-T1", "FAILED boom", "1 ok, 1 failed"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRenderRunShowsCurveAndAccuracy(t *testing.T) {
+	runs := SummarizeJournal(journalFor(t, "run-a", []float64{0.9, 0.1}, 0.75))
+	var out bytes.Buffer
+	RenderRun(&out, runs[0])
+	for _, want := range []string{
+		"run run-a", "seed=7", "dataset=wifi-mqtt", "fingerprint=cafe",
+		"stage2-classifier", "loss 0.9000 → 0.1000", "final accuracy 0.7500",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if s := sparkline(nil, 10); s != "" {
+		t.Fatalf("empty input -> %q", s)
+	}
+	s := sparkline([]float64{0, 1, 2, 3}, 10)
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline %q", s)
+	}
+	if down := sparkline(make([]float64, 100), 10); len([]rune(down)) != 10 {
+		t.Fatalf("downsampled sparkline %q", down)
+	}
+}

@@ -1,0 +1,292 @@
+package p4
+
+import (
+	"p4guard/internal/match"
+	"p4guard/internal/packet"
+)
+
+// Explainability for the behavioural data plane: Table.Explain
+// reconstructs one lookup with full evidence — the winning entry, the
+// per-byte value/mask comparison that made it win, and the
+// higher-priority entries it beat — and Pipeline.Explain runs a packet
+// through the staged pipeline the same way RunTables does, collecting
+// one table explanation per stage.
+//
+// Explain is side-effect-free: it never bumps hit/miss or direct
+// counters and never queues digests, so it can be called on live
+// traffic (sampled or on demand) without distorting the accounting the
+// telemetry layer exports. Winner selection replicates each match
+// kind's Lookup algorithm exactly — including the tuple-space-search
+// tie-breaking for ternary tables — so Explain and Lookup can never
+// disagree on the verdict.
+
+// EntryByteExplain compares one key byte against one entry.
+type EntryByteExplain struct {
+	// Pos is the key byte position; Field/Offset identify the header
+	// byte it was extracted from.
+	Pos    int    `json:"pos"`
+	Field  string `json:"field"`
+	Offset int    `json:"offset"`
+	// Key is the packet's byte at that position.
+	Key byte `json:"key"`
+	// Value and Mask are the entry's ternary view at this byte: for
+	// ternary entries they are the stored value/mask, for exact entries
+	// mask is 0xff, for LPM the prefix bits, and for range entries the
+	// fixed-prefix bits shared across [Lo, Hi].
+	Value byte `json:"value"`
+	Mask  byte `json:"mask"`
+	// MatchedBits marks the mask bits where the key agrees with Value
+	// (MSB first) — the bit-expanded positions that matched.
+	MatchedBits byte `json:"matched_bits"`
+	// Lo and Hi bound the admitted range (value..value for exact and
+	// ternary-on-full-mask bytes; only meaningful as a range for range
+	// entries).
+	Lo byte `json:"lo"`
+	Hi byte `json:"hi"`
+	// Matched reports whether this byte admitted the key.
+	Matched bool `json:"matched"`
+}
+
+// EntryExplain annotates one entry's comparison against the key.
+type EntryExplain struct {
+	ID       uint64 `json:"id"`
+	Priority int    `json:"priority"`
+	// MatchOrder is the entry's position in the table's internal match
+	// order (0 first).
+	MatchOrder int    `json:"match_order"`
+	Action     string `json:"action"`
+	Class      int    `json:"class"`
+	// Matched reports whether every byte admitted the key.
+	Matched bool `json:"matched"`
+	// Bytes holds per-byte comparisons; for a losing entry the first
+	// one with Matched == false is the disqualifying byte.
+	Bytes []EntryByteExplain `json:"bytes"`
+}
+
+// TableExplain is the full evidence for one table lookup.
+type TableExplain struct {
+	Table string    `json:"table"`
+	Kind  MatchKind `json:"-"`
+	// KindName is Kind rendered for JSON consumers.
+	KindName string `json:"kind"`
+	// Key is the extracted match key.
+	Key []byte `json:"key"`
+	// Winner is the entry Lookup would fire; nil when the default
+	// action applies.
+	Winner *EntryExplain `json:"winner,omitempty"`
+	// Beaten lists higher-match-order entries the winner beat (each
+	// failed to match), capped at match.MaxBeaten; BeatenTotal is the
+	// uncapped count.
+	Beaten      []EntryExplain `json:"beaten,omitempty"`
+	BeatenTotal int            `json:"beaten_total"`
+	// Action is the action the lookup resolves to (the winner's, or the
+	// table default); Matched mirrors Lookup's second return.
+	Action  Action `json:"-"`
+	Matched bool   `json:"matched"`
+	// ActionName and Class render Action for JSON consumers.
+	ActionName string `json:"action"`
+	Class      int    `json:"class"`
+	// DefaultUsed reports that the table's default action applied.
+	DefaultUsed bool `json:"default_used"`
+}
+
+// explainEntryBytes builds the per-byte comparison of key against e for
+// the given match kind.
+func explainEntryBytes(kind MatchKind, key []byte, specs []FieldSpec, e *Entry) ([]EntryByteExplain, bool) {
+	out := make([]EntryByteExplain, len(key))
+	all := true
+	pos := 0
+	for _, s := range specs {
+		for i := 0; i < s.Width && pos < len(key); i++ {
+			k := key[pos]
+			var value, mask, lo, hi byte
+			switch kind {
+			case MatchExact:
+				value, mask = e.Value[pos], 0xff
+				lo, hi = value, value
+			case MatchTernary:
+				value, mask = e.Value[pos], e.Mask[pos]
+				lo, hi = value, value|^mask
+			case MatchLPM:
+				mask = prefixMaskByte(e.PrefixLen, pos)
+				value = e.Value[pos] & mask
+				lo, hi = value, value|^mask
+			case MatchRange:
+				lo, hi = e.Lo[pos], e.Hi[pos]
+				value, mask = match.BitsOfRange(lo, hi)
+			}
+			matched := k >= lo && k <= hi
+			if kind != MatchRange {
+				matched = k&mask == value
+			}
+			out[pos] = EntryByteExplain{
+				Pos: pos, Field: s.Name, Offset: s.Offset + i,
+				Key: k, Value: value, Mask: mask,
+				MatchedBits: ^(k ^ value) & mask,
+				Lo:          lo, Hi: hi,
+				Matched: matched,
+			}
+			if !matched {
+				all = false
+			}
+			pos++
+		}
+	}
+	return out, all
+}
+
+// prefixMaskByte returns the mask byte at position pos of a prefixLen-bit
+// LPM prefix.
+func prefixMaskByte(prefixLen, pos int) byte {
+	bits := prefixLen - pos*8
+	switch {
+	case bits >= 8:
+		return 0xff
+	case bits <= 0:
+		return 0
+	default:
+		return byte(0xff << (8 - bits))
+	}
+}
+
+// explainEntry builds an EntryExplain for entry e at match order mo.
+func explainEntry(st *lookupState, key []byte, e *Entry, mo int) EntryExplain {
+	bytes, all := explainEntryBytes(st.kind, key, st.key, e)
+	return EntryExplain{
+		ID: e.ID, Priority: e.Priority, MatchOrder: mo,
+		Action: e.Action.Type.String(), Class: e.Action.Class,
+		Matched: all, Bytes: bytes,
+	}
+}
+
+// winnerEntry replicates Lookup's winner selection on a snapshot,
+// returning the winning entry and its match-order index (-1 on miss).
+// It must stay in lockstep with Table.Lookup — in particular the
+// ternary arm repeats the tuple-space search (group order, first-wins
+// priority ties) rather than a naive priority scan, because the two
+// differ on equal-priority entries in different mask groups.
+func winnerEntry(st *lookupState, key []byte) (*Entry, int) {
+	var hit *Entry
+	switch st.kind {
+	case MatchExact:
+		hit = st.exact[string(key)]
+	case MatchTernary:
+		masked := make([]byte, len(key))
+		for _, g := range st.tuples {
+			for i, m := range g.mask {
+				masked[i] = key[i] & m
+			}
+			if e, ok := g.byValu[string(masked)]; ok && (hit == nil || e.Priority > hit.Priority) {
+				hit = e
+			}
+		}
+	case MatchLPM:
+		for _, e := range st.entries {
+			if prefixMatch(key, e.Value, e.PrefixLen) {
+				return e, matchOrderOf(st, e)
+			}
+		}
+	case MatchRange:
+		if st.rangeIdx != nil {
+			if row, ok := st.rangeIdx.Find(key); ok {
+				return st.entries[row], row
+			}
+			return nil, -1
+		}
+		for _, e := range st.entries {
+			if rangeMatch(key, e.Lo, e.Hi) {
+				return e, matchOrderOf(st, e)
+			}
+		}
+	}
+	if hit == nil {
+		return nil, -1
+	}
+	return hit, matchOrderOf(st, hit)
+}
+
+// matchOrderOf returns e's index in the snapshot's entry order.
+func matchOrderOf(st *lookupState, e *Entry) int {
+	for i, cand := range st.entries {
+		if cand == e {
+			return i
+		}
+	}
+	return -1
+}
+
+// Explain reconstructs the lookup of frame with full evidence and no
+// side effects. Explain(frame).Action and .Matched always equal what
+// Lookup(frame) returns for the same table generation.
+func (t *Table) Explain(frame []byte) TableExplain {
+	st := t.state.Load()
+	key := ExtractKey(frame, st.key)
+	ex := TableExplain{
+		Table: t.Name, Kind: st.kind, KindName: st.kind.String(),
+		Key: key,
+	}
+	hit, mo := winnerEntry(st, key)
+	if hit == nil {
+		ex.Action, ex.Matched, ex.DefaultUsed = st.def, false, true
+		ex.BeatenTotal = len(st.entries)
+		for i := 0; i < len(st.entries) && len(ex.Beaten) < match.MaxBeaten; i++ {
+			ex.Beaten = append(ex.Beaten, explainEntry(st, key, st.entries[i], i))
+		}
+	} else {
+		ex.Action, ex.Matched = hit.Action, true
+		w := explainEntry(st, key, hit, mo)
+		ex.Winner = &w
+		// Entries ahead of the winner in match order lost by failing to
+		// match (exact tables keep no order; mo is -1 there and the map
+		// admits exactly one candidate, so nothing was beaten).
+		if mo > 0 {
+			ex.BeatenTotal = mo
+			for i := 0; i < mo && len(ex.Beaten) < match.MaxBeaten; i++ {
+				ex.Beaten = append(ex.Beaten, explainEntry(st, key, st.entries[i], i))
+			}
+		}
+	}
+	ex.ActionName = ex.Action.Type.String()
+	ex.Class = ex.Action.Class
+	return ex
+}
+
+// PacketExplain is the pipeline-level explanation of one packet: the
+// verdict RunTables would return plus one TableExplain per table the
+// packet traversed (stages after a terminal allow/drop are not
+// consulted, mirroring the forwarding path).
+type PacketExplain struct {
+	Verdict Verdict        `json:"verdict"`
+	Tables  []TableExplain `json:"tables"`
+}
+
+// Explain runs the packet through the pipeline's current table snapshot
+// exactly as Process does, but side-effect-free: no counters move and
+// ActionDigest marks the verdict without enqueueing a digest. The
+// control flow mirrors RunTables statement for statement, so
+// Explain(pkt).Verdict equals Process(pkt)'s verdict for the same table
+// generation.
+func (p *Pipeline) Explain(pkt *packet.Packet) PacketExplain {
+	ex := PacketExplain{Verdict: Verdict{Allowed: true}}
+	for _, t := range p.TableSnapshot() {
+		te := t.Explain(pkt.Bytes)
+		ex.Tables = append(ex.Tables, te)
+		ex.Verdict.Matched = ex.Verdict.Matched || te.Matched
+		switch te.Action.Type {
+		case ActionAllow:
+			ex.Verdict.Allowed = true
+			ex.Verdict.Class = te.Action.Class
+			return ex
+		case ActionDrop:
+			ex.Verdict.Allowed = false
+			ex.Verdict.Class = te.Action.Class
+			return ex
+		case ActionDigest:
+			ex.Verdict.Digested = true
+		case ActionSetClass:
+			ex.Verdict.Class = te.Action.Class
+		case ActionNop:
+		}
+	}
+	return ex
+}

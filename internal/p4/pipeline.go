@@ -11,14 +11,14 @@ import (
 // Verdict is a pipeline's final decision on a packet.
 type Verdict struct {
 	// Allowed reports whether the packet is forwarded.
-	Allowed bool
+	Allowed bool `json:"allowed"`
 	// Class is the last class metadata written by ActionSetClass, or the
 	// class carried by the terminal action.
-	Class int
+	Class int `json:"class"`
 	// Matched reports whether any non-default entry fired.
-	Matched bool
+	Matched bool `json:"matched"`
 	// Digested reports whether a digest was queued for the controller.
-	Digested bool
+	Digested bool `json:"digested"`
 }
 
 // Digest is a packet sample queued for the controller.

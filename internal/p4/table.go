@@ -391,11 +391,11 @@ func rangeMatch(key, lo, hi []byte) bool {
 // Stats reports table hit/miss counters. HitBytes totals the frame bytes
 // of matched packets (missed packets are not byte-counted).
 type Stats struct {
-	Name     string
-	Entries  int
-	Hits     uint64
-	Misses   uint64
-	HitBytes uint64
+	Name     string `json:"name"`
+	Entries  int    `json:"entries"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	HitBytes uint64 `json:"hit_bytes"`
 }
 
 // Stats returns a snapshot of the table's counters.

@@ -43,6 +43,13 @@ type Switch struct {
 
 	rateGuard atomic.Pointer[p4.RateGuard]
 
+	// explain, when armed by EnableExplainSampling, re-runs 1/N packets
+	// through the side-effect-free Explain path and ships the evidence
+	// to the flight recorder / JSONL sink. Nil means off: the forwarding
+	// paths load the pointer once per batch and pay one predictable nil
+	// check per packet.
+	explain atomic.Pointer[explainSampler]
+
 	// latencyHist, when armed by RegisterTelemetry, receives sampled
 	// per-packet forwarding latencies: every multi-packet batch merge is
 	// observed (already amortized), single-packet merges 1 in
@@ -62,13 +69,13 @@ type Switch struct {
 
 // RunStats aggregates processing outcomes.
 type RunStats struct {
-	Packets     int
-	Allowed     int
-	Dropped     int
-	Digested    int
-	ParseFailed int
-	RateDropped int
-	Elapsed     time.Duration
+	Packets     int           `json:"packets"`
+	Allowed     int           `json:"allowed"`
+	Dropped     int           `json:"dropped"`
+	Digested    int           `json:"digested"`
+	ParseFailed int           `json:"parse_failed"`
+	RateDropped int           `json:"rate_dropped"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
 }
 
 // PPS returns packets per second over the measured elapsed time.
@@ -271,6 +278,9 @@ func (s *Switch) classify(tables []*p4.Table, pkt *packet.Packet) (v p4.Verdict,
 func (s *Switch) Process(pkt *packet.Packet) p4.Verdict {
 	start := time.Now()
 	v, parsedOK, rateDropped := s.classify(s.pipeline.TableSnapshot(), pkt)
+	if sp := s.explain.Load(); sp != nil && !rateDropped {
+		sp.maybeSample(s, pkt, v)
+	}
 	var d RunStats
 	d.add(v, parsedOK, rateDropped)
 	d.Packets = 1
@@ -285,9 +295,13 @@ func (s *Switch) Process(pkt *packet.Packet) p4.Verdict {
 func (s *Switch) processBatch(pkts []*packet.Packet, out []p4.Verdict) RunStats {
 	start := time.Now()
 	tables := s.pipeline.TableSnapshot()
+	sampler := s.explain.Load()
 	var d RunStats
 	for i, pkt := range pkts {
 		v, parsedOK, rateDropped := s.classify(tables, pkt)
+		if sampler != nil && !rateDropped {
+			sampler.maybeSample(s, pkt, v)
+		}
 		if out != nil {
 			out[i] = v
 		}
@@ -332,6 +346,7 @@ func (s *Switch) RunParallel(pkts []*packet.Packet, workers int) RunStats {
 	}
 	start := time.Now()
 	tables := s.pipeline.TableSnapshot()
+	sampler := s.explain.Load()
 	deltas := make([]RunStats, workers)
 	var wg sync.WaitGroup
 	chunk := (len(pkts) + workers - 1) / workers
@@ -349,6 +364,9 @@ func (s *Switch) RunParallel(pkts []*packet.Packet, workers int) RunStats {
 			defer wg.Done()
 			for _, pkt := range shard {
 				v, parsedOK, rateDropped := s.classify(tables, pkt)
+				if sampler != nil && !rateDropped {
+					sampler.maybeSample(s, pkt, v)
+				}
 				d.add(v, parsedOK, rateDropped)
 			}
 			d.Packets = len(shard)

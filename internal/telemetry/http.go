@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -62,5 +64,20 @@ func NewServer(addr string, reg *Registry, fr *FlightRecorder) (*Server, error) 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and its listener.
+// Shutdown stops accepting new connections and waits for in-flight
+// requests (a /metrics scrape mid-exposition, a pprof profile being
+// written) to complete, up to the context deadline. The CLIs call this
+// on exit so a scraper never sees a half-written exposition.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		// Drain window elapsed: hard-close whatever is left so the
+		// process can exit.
+		_ = s.srv.Close()
+	}
+	return err
+}
+
+// Close stops the server and its listener immediately, aborting
+// in-flight requests. Prefer Shutdown on orderly exits.
 func (s *Server) Close() error { return s.srv.Close() }

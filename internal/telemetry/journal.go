@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+// Journal is a structured JSONL event sink for run-level observability:
+// every record carries the run ID, a per-journal sequence number, a
+// wall-clock timestamp (for correlating runs across machines), and a
+// monotonic offset from journal creation (for durations immune to clock
+// steps). Writes are serialized by a mutex and each record is exactly
+// one line, so a journal written by concurrent goroutines is always
+// well-formed line-by-line JSON.
+//
+// The journal is the durable counterpart of the FlightRecorder: the
+// recorder is a bounded in-memory black box, the journal an append-only
+// audit trail the offline analyzer (cmd/p4guard-obs) replays.
+type Journal struct {
+	runID string
+	start time.Time
+
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closer io.Closer // nil when the caller owns the writer
+	seq    uint64
+	err    error // first write error, sticky
+}
+
+// JournalRecord is the JSON shape of one journal line.
+type JournalRecord struct {
+	RunID string `json:"run_id"`
+	Seq   uint64 `json:"seq"`
+	// Wall is the wall-clock time the event was recorded, RFC3339Nano.
+	Wall time.Time `json:"wall"`
+	// MonoNs is the monotonic offset since the journal was opened.
+	MonoNs int64  `json:"mono_ns"`
+	Kind   string `json:"kind"`
+	// Fields is the event payload; any JSON-marshalable value.
+	Fields json.RawMessage `json:"fields,omitempty"`
+}
+
+// NewRunID returns a fresh run identifier: UTC timestamp plus random
+// suffix, unique enough to correlate journals, metrics, and artifacts
+// of one run.
+func NewRunID() string {
+	return fmt.Sprintf("run-%s-%04x",
+		time.Now().UTC().Format("20060102T150405"), rand.Intn(1<<16))
+}
+
+// NewJournal builds a journal writing to w under the given run ID (a
+// fresh NewRunID when empty). The caller retains ownership of w.
+func NewJournal(w io.Writer, runID string) *Journal {
+	if runID == "" {
+		runID = NewRunID()
+	}
+	return &Journal{runID: runID, start: time.Now(), w: bufio.NewWriter(w)}
+}
+
+// OpenJournal creates (or truncates) a journal file at path. Close
+// flushes and closes the file.
+func OpenJournal(path, runID string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: journal %s: %w", path, err)
+	}
+	j := NewJournal(f, runID)
+	j.closer = f
+	return j, nil
+}
+
+// RunID returns the journal's run identifier.
+func (j *Journal) RunID() string { return j.runID }
+
+// Event appends one record. fields may be any JSON-marshalable value
+// (typically a map or a struct); nil omits the payload. The first
+// marshal or write error is returned and retained — subsequent Events
+// keep failing with it, so callers may check once at Close.
+func (j *Journal) Event(kind string, fields any) error {
+	var raw json.RawMessage
+	if fields != nil {
+		b, err := json.Marshal(fields)
+		if err != nil {
+			return fmt.Errorf("telemetry: journal event %s: %w", kind, err)
+		}
+		raw = b
+	}
+	now := time.Now()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.seq++
+	rec := JournalRecord{
+		RunID:  j.runID,
+		Seq:    j.seq,
+		Wall:   now,
+		MonoNs: time.Since(j.start).Nanoseconds(),
+		Kind:   kind,
+		Fields: raw,
+	}
+	line, err := json.Marshal(rec)
+	if err == nil {
+		_, err = j.w.Write(append(line, '\n'))
+	}
+	if err != nil {
+		j.err = fmt.Errorf("telemetry: journal write: %w", err)
+		return j.err
+	}
+	return nil
+}
+
+// Flush pushes buffered records to the underlying writer.
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+// Close flushes and, when the journal owns its file, closes it. It
+// returns the first error the journal encountered.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ferr := j.w.Flush()
+	if j.closer != nil {
+		if cerr := j.closer.Close(); ferr == nil {
+			ferr = cerr
+		}
+		j.closer = nil
+	}
+	if j.err != nil {
+		return j.err
+	}
+	return ferr
+}
+
+// ReadJournal parses a JSONL journal stream into records, tolerating a
+// trailing partial line (a crashed writer) by returning what parsed
+// cleanly along with the error.
+func ReadJournal(r io.Reader) ([]JournalRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []JournalRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var rec JournalRecord
+		if err := json.Unmarshal(text, &rec); err != nil {
+			return out, fmt.Errorf("telemetry: journal line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("telemetry: journal read: %w", err)
+	}
+	return out, nil
+}

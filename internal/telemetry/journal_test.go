@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestJournalConcurrentWritersWellFormed hammers one journal from many
+// goroutines and asserts the resulting stream is line-by-line valid
+// JSON with a dense, strictly increasing sequence — the property the
+// offline analyzer depends on.
+func TestJournalConcurrentWritersWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf, "run-test")
+	const writers, events = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				if err := j.Event("tick", map[string]any{"writer": w, "i": i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != writers*events {
+		t.Fatalf("%d records, want %d", len(recs), writers*events)
+	}
+	seen := make(map[uint64]bool, len(recs))
+	for i, rec := range recs {
+		if rec.RunID != "run-test" {
+			t.Fatalf("record %d: run id %q", i, rec.RunID)
+		}
+		if rec.Seq == 0 || rec.Seq > uint64(len(recs)) || seen[rec.Seq] {
+			t.Fatalf("record %d: bad or duplicate seq %d", i, rec.Seq)
+		}
+		seen[rec.Seq] = true
+		if rec.Kind != "tick" {
+			t.Fatalf("record %d: kind %q", i, rec.Kind)
+		}
+		var f struct {
+			Writer int `json:"writer"`
+			I      int `json:"i"`
+		}
+		if err := json.Unmarshal(rec.Fields, &f); err != nil {
+			t.Fatalf("record %d: fields: %v", i, err)
+		}
+	}
+	// Records must appear in seq order: one mutex serializes assignment
+	// and write, so interleaving cannot reorder lines.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq <= recs[i-1].Seq {
+			t.Fatalf("record %d: seq %d after %d", i, recs[i].Seq, recs[i-1].Seq)
+		}
+	}
+}
+
+func TestJournalFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/run.jsonl"
+	j, err := OpenJournal(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.RunID() == "" {
+		t.Fatal("empty generated run id")
+	}
+	if err := j.Event("run_start", map[string]any{"seed": 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Event("run_end", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := ReadJournal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Kind != "run_start" || recs[1].Kind != "run_end" {
+		t.Fatalf("records = %+v", recs)
+	}
+	if recs[1].MonoNs < recs[0].MonoNs {
+		t.Fatalf("monotonic offsets went backwards: %d then %d", recs[0].MonoNs, recs[1].MonoNs)
+	}
+	if recs[1].Fields != nil {
+		t.Fatalf("nil fields serialized as %s", recs[1].Fields)
+	}
+}
+
+// TestReadJournalToleratesPartialTrailingLine simulates a writer killed
+// mid-record: the clean prefix must still parse, with the error
+// reported.
+func TestReadJournalToleratesPartialTrailingLine(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf, "run-crash")
+	for i := 0; i < 3; i++ {
+		if err := j.Event("tick", map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.String()
+	trunc = trunc[:len(trunc)-10] // chop mid-way through the last record
+	recs, err := ReadJournal(strings.NewReader(trunc))
+	if err == nil {
+		t.Fatal("truncated journal parsed without error")
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d clean records recovered, want 2", len(recs))
+	}
+}
+
+func TestNewRunIDUnique(t *testing.T) {
+	a, b := NewRunID(), NewRunID()
+	if a == b {
+		t.Fatalf("duplicate run ids %q", a)
+	}
+	if !strings.HasPrefix(a, "run-") {
+		t.Fatalf("run id %q", a)
+	}
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// FloatGauge is a float-valued gauge (Gauge holds int64 counters; losses
+// and accuracies need the full float range). The value is stored as
+// atomic bits so Set/Value are lock-free.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// FloatGauge registers a float gauge and returns it.
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	g := &FloatGauge{}
+	r.GaugeFunc(name, help, g.Value, labels...)
+	return g
+}
+
+// TrainGauges exports live training progress on /metrics: per-stage
+// epoch counter, loss, accuracy, and gradient norm, updated from the
+// training loop's epoch callback so a scrape mid-run shows where
+// training is right now. Stages register lazily on first observation.
+type TrainGauges struct {
+	reg *Registry
+
+	mu     sync.Mutex
+	stages map[string]*stageGauges
+}
+
+type stageGauges struct {
+	epoch    *Gauge
+	loss     *FloatGauge
+	accuracy *FloatGauge
+	gradNorm *FloatGauge
+}
+
+// NewTrainGauges builds the gauge set on reg.
+func NewTrainGauges(reg *Registry) *TrainGauges {
+	return &TrainGauges{reg: reg, stages: make(map[string]*stageGauges)}
+}
+
+// Observe publishes one epoch's statistics for a stage.
+func (t *TrainGauges) Observe(stage string, epoch int, loss, accuracy, gradNorm float64) {
+	t.mu.Lock()
+	sg := t.stages[stage]
+	if sg == nil {
+		lbl := Label{Key: "stage", Value: stage}
+		sg = &stageGauges{
+			epoch:    t.reg.Gauge("p4guard_train_epoch", "Last completed training epoch.", lbl),
+			loss:     t.reg.FloatGauge("p4guard_train_loss", "Mean minibatch loss of the last epoch.", lbl),
+			accuracy: t.reg.FloatGauge("p4guard_train_accuracy", "Training-set accuracy after the last epoch.", lbl),
+			gradNorm: t.reg.FloatGauge("p4guard_train_grad_norm", "Global L2 gradient norm after the last epoch.", lbl),
+		}
+		t.stages[stage] = sg
+	}
+	t.mu.Unlock()
+	sg.epoch.Set(int64(epoch))
+	sg.loss.Set(loss)
+	sg.accuracy.Set(accuracy)
+	sg.gradNorm.Set(gradNorm)
+}

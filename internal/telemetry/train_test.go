@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func scrape(t *testing.T, addr string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestTrainGaugesLiveScrape simulates a training run feeding the gauges
+// and scrapes /metrics between epochs: the exposition must reflect the
+// most recent observation for each stage while the run is in flight.
+func TestTrainGaugesLiveScrape(t *testing.T) {
+	reg := NewRegistry()
+	g := NewTrainGauges(reg)
+	ts, err := NewServer("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	g.Observe("stage1", 0, 2.5, 0.5, 1.25)
+	body := scrape(t, ts.Addr())
+	for _, want := range []string{
+		`p4guard_train_epoch{stage="stage1"} 0`,
+		`p4guard_train_loss{stage="stage1"} 2.5`,
+		`p4guard_train_accuracy{stage="stage1"} 0.5`,
+		`p4guard_train_grad_norm{stage="stage1"} 1.25`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, body)
+		}
+	}
+
+	// Mid-run: later epochs and a second stage overwrite/extend.
+	g.Observe("stage1", 7, 0.125, 0.875, 0.5)
+	g.Observe("stage2", 1, 1.5, 0.75, 2)
+	body = scrape(t, ts.Addr())
+	for _, want := range []string{
+		`p4guard_train_epoch{stage="stage1"} 7`,
+		`p4guard_train_loss{stage="stage1"} 0.125`,
+		`p4guard_train_epoch{stage="stage2"} 1`,
+		`p4guard_train_loss{stage="stage2"} 1.5`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, `p4guard_train_loss{stage="stage1"} 2.5`) {
+		t.Fatal("stale loss value still exposed")
+	}
+}
+
+func TestFloatGauge(t *testing.T) {
+	var g FloatGauge
+	if g.Value() != 0 {
+		t.Fatalf("zero value = %v", g.Value())
+	}
+	g.Set(-3.75)
+	if g.Value() != -3.75 {
+		t.Fatalf("Value = %v", g.Value())
+	}
+}
+
+// TestServerShutdownGraceful: Shutdown must wait for an in-flight scrape
+// and then refuse new connections.
+func TestServerShutdownGraceful(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("g", "help").Set(1)
+	ts, err := NewServer("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ts.Addr()
+	// A scrape completes fine before shutdown.
+	_ = scrape(t, addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := ts.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still accepting connections after Shutdown")
+	}
+}

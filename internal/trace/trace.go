@@ -3,6 +3,9 @@
 package trace
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -72,6 +75,29 @@ func (d *Dataset) Split(trainFrac float64) (train, test *Dataset, err error) {
 	train = &Dataset{Name: d.Name + "/train", Link: d.Link, Samples: d.Samples[:n]}
 	test = &Dataset{Name: d.Name + "/test", Link: d.Link, Samples: d.Samples[n:]}
 	return train, test, nil
+}
+
+// Fingerprint returns a content hash of the dataset: link type, sample
+// order, and every sample's frame bytes, label, and attack kind. Two
+// datasets with the same fingerprint train identical models under the
+// same seed, so the run journal records it to make training runs
+// auditable — a replay can prove it saw the same data. The name is
+// deliberately excluded (splits rename subsets without changing
+// content).
+func (d *Dataset) Fingerprint() string {
+	h := sha256.New()
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], uint64(d.Link))
+	h.Write(scratch[:])
+	for _, s := range d.Samples {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(len(s.Pkt.Bytes)))
+		h.Write(scratch[:])
+		h.Write(s.Pkt.Bytes)
+		binary.LittleEndian.PutUint64(scratch[:], uint64(s.Label))
+		h.Write(scratch[:])
+		h.Write([]byte(s.Attack))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // ClassCounts returns per-label sample counts.

@@ -61,6 +61,13 @@ type Config struct {
 	// set's attack kinds; compiled rules then carry the kind, enabling
 	// per-attack actions at the data plane.
 	MultiClass bool
+	// OnEpoch, when non-nil, receives per-epoch statistics from every
+	// MLP trained inside the pipeline, tagged with the stage that
+	// trained it ("stage1-saliency" for the default selector's
+	// attribution network, "stage2-classifier" for the match-key MLP).
+	// It feeds the run journal and live training gauges; leaving it nil
+	// keeps training completely unobserved (no extra forward passes).
+	OnEpoch func(stage string, es nn.EpochStats)
 }
 
 func (c Config) withDefaults() Config {
@@ -132,7 +139,15 @@ func Train(train *trace.Dataset, cfg Config) (*Pipeline, error) {
 	cfg = cfg.withDefaults()
 	p := &Pipeline{Link: train.Link}
 
-	// Stage 1: field selection.
+	// Stage 1: field selection. When the caller observes epochs and the
+	// selector is the saliency MLP, thread the hook through so stage-1
+	// training lands in the journal too.
+	if cfg.OnEpoch != nil {
+		if sal, ok := cfg.Selector.(*fieldsel.SaliencySelector); ok && sal.OnEpoch == nil {
+			hook := cfg.OnEpoch
+			sal.OnEpoch = func(es nn.EpochStats) { hook("stage1-saliency", es) }
+		}
+	}
 	start := time.Now()
 	offsets, err := cfg.Selector.Select(train, cfg.NumFields)
 	if err != nil {
@@ -162,9 +177,12 @@ func Train(train *trace.Dataset, cfg Config) (*Pipeline, error) {
 		return nil, err
 	}
 	net := nn.NewMLP(rng, len(offsets)*8, cfg.MLPHidden, numClasses)
-	if _, err := nn.Train(net, nn.NewAdam(0.004), x, target, nn.TrainConfig{
-		Epochs: cfg.MLPEpochs, BatchSize: 64, Shuffle: rng,
-	}); err != nil {
+	tc := nn.TrainConfig{Epochs: cfg.MLPEpochs, BatchSize: 64, Shuffle: rng}
+	if cfg.OnEpoch != nil {
+		hook := cfg.OnEpoch
+		tc.OnEpochEnd = func(es nn.EpochStats) bool { hook("stage2-classifier", es); return true }
+	}
+	if _, err := nn.Train(net, nn.NewAdam(0.004), x, target, tc); err != nil {
 		return nil, fmt.Errorf("p4guard: stage 2 classifier: %w", err)
 	}
 	p.net = net
@@ -271,6 +289,17 @@ func (p *Pipeline) PredictMulti(test *trace.Dataset) ([]int, error) {
 		out[i], _ = p.matcher.Classify(s.Pkt)
 	}
 	return out, nil
+}
+
+// Explain returns the full matching evidence for one packet against the
+// compiled rule set: the winning rule, its per-byte/per-bit comparison,
+// and the higher-priority rules it beat. Explain(pkt).Class always
+// equals ClassifyPacket(pkt). Nil before training.
+func (p *Pipeline) Explain(pkt *packet.Packet) *match.Explanation {
+	if p.matcher == nil {
+		return nil
+	}
+	return p.matcher.Explain(pkt)
 }
 
 // ClassifyPacket returns the rule-set class of one packet — the exact

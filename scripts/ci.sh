@@ -24,20 +24,27 @@ go test -run '^$' \
 echo "==> telemetry overhead guard"
 # The instrumented lookup (telemetry registered: sampled latency
 # histogram, per-entry byte counters, scrape callbacks) must stay within
-# CI_GUARD_PCT percent of the uninstrumented hot path. Best-of-N runs so
-# scheduler noise doesn't flake the gate.
+# CI_GUARD_PCT percent of the uninstrumented hot path, and the
+# explain-sampling-disarmed lookup within CI_GUARD_EXPLAIN_PCT percent
+# of the instrumented one (disarmed explain is one pointer load per
+# batch and one nil check per packet — effectively free). Best-of-N runs
+# so scheduler noise doesn't flake the gate.
 guard_out=$(go test -run '^$' \
-    -bench 'BenchmarkDataPlaneLookup$|BenchmarkDataPlaneLookupInstrumented$' \
+    -bench 'BenchmarkDataPlaneLookup$|BenchmarkDataPlaneLookupInstrumented$|BenchmarkDataPlaneLookupInstrumentedExplainOff$' \
     -benchtime "${CI_GUARD_BENCHTIME:-0.5s}" -count "${CI_GUARD_COUNT:-3}" . 2>&1)
 printf '%s\n' "$guard_out"
-printf '%s\n' "$guard_out" | awk -v pct="${CI_GUARD_PCT:-10}" '
-    /^BenchmarkDataPlaneLookupInstrumented/ { if (inst == 0 || $3 < inst) inst = $3; next }
-    /^BenchmarkDataPlaneLookup/             { if (base == 0 || $3 < base) base = $3 }
+printf '%s\n' "$guard_out" | awk -v pct="${CI_GUARD_PCT:-10}" -v epct="${CI_GUARD_EXPLAIN_PCT:-1}" '
+    /^BenchmarkDataPlaneLookupInstrumentedExplainOff/ { if (eoff == 0 || $3 < eoff) eoff = $3; next }
+    /^BenchmarkDataPlaneLookupInstrumented/           { if (inst == 0 || $3 < inst) inst = $3; next }
+    /^BenchmarkDataPlaneLookup/                       { if (base == 0 || $3 < base) base = $3 }
     END {
-        if (base == 0 || inst == 0) { print "guard: benchmarks missing from output"; exit 1 }
+        if (base == 0 || inst == 0 || eoff == 0) { print "guard: benchmarks missing from output"; exit 1 }
         ratio = inst / base
         printf "guard: uninstrumented %.1f ns/op, instrumented %.1f ns/op (%.1f%%)\n", base, inst, (ratio - 1) * 100
         if (ratio > 1 + pct / 100) { printf "guard: FAIL, instrumented lookup regresses more than %d%%\n", pct; exit 1 }
+        eratio = eoff / inst
+        printf "guard: explain-off %.1f ns/op vs instrumented %.1f ns/op (%.1f%%)\n", eoff, inst, (eratio - 1) * 100
+        if (eratio > 1 + epct / 100) { printf "guard: FAIL, disarmed explain sampling costs more than %s%%\n", epct; exit 1 }
     }'
 
 echo "==> ci green"
