@@ -16,10 +16,12 @@ import (
 	"p4guard"
 
 	"p4guard/internal/experiments"
+	"p4guard/internal/fieldsel"
 	"p4guard/internal/p4"
 	"p4guard/internal/packet"
 	"p4guard/internal/switchsim"
 	"p4guard/internal/telemetry"
+	"p4guard/internal/tensor"
 )
 
 // benchExperiment runs one registered experiment end to end per iteration.
@@ -165,7 +167,10 @@ func BenchmarkRuleCompile(b *testing.B) {
 	}
 }
 
-// BenchmarkTwoStageTrain measures full pipeline training on a small trace.
+// BenchmarkTwoStageTrain measures full pipeline training on a small trace,
+// once fully serial and once on all cores; the ratio is the training
+// speedup the CI gate checks on multi-core hosts. Both runs produce
+// bit-identical pipelines for a given seed.
 func BenchmarkTwoStageTrain(b *testing.B) {
 	ds, err := p4guard.GenerateTrace("wifi-mqtt", p4guard.TraceConfig{Seed: 5, Packets: 600})
 	if err != nil {
@@ -175,11 +180,47 @@ func BenchmarkTwoStageTrain(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := p4guard.Train(train, p4guard.Config{Seed: int64(i), NumFields: 6, MLPEpochs: 10}); err != nil {
-			b.Fatal(err)
-		}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p4guard.Train(train, p4guard.Config{
+					Seed: int64(i), NumFields: 6, MLPEpochs: 10, TrainWorkers: bc.workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSmoothGradSelect measures stage-1 saliency attribution (MLP
+// training plus five SmoothGrad passes) serial vs parallel.
+func BenchmarkSmoothGradSelect(b *testing.B) {
+	ds, err := p4guard.GenerateTrace("wifi-mqtt", p4guard.TraceConfig{Seed: 7, Packets: 600})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			old := tensor.Workers()
+			tensor.SetWorkers(bc.workers)
+			defer tensor.SetWorkers(old)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sel := &fieldsel.SaliencySelector{Seed: int64(i), Epochs: 10}
+				if _, err := sel.Select(ds, 6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -46,6 +46,7 @@ func run() int {
 		jpath    = flag.String("journal", "", "write a run journal (JSONL) to this path")
 		runID    = flag.String("run-id", "", "run identifier for the journal (default: generated)")
 		maddr    = flag.String("metrics-addr", "", "serve live training gauges on /metrics at this address (empty = off)")
+		workers  = flag.Int("train-workers", 0, "CPU workers for training (0 = all cores; the trained model is identical for any value)")
 	)
 	flag.Parse()
 
@@ -92,7 +93,7 @@ func run() int {
 		return 1
 	}
 
-	cfg := p4guard.Config{Seed: *seed, NumFields: *k, TreeDepth: *depth}
+	cfg := p4guard.Config{Seed: *seed, NumFields: *k, TreeDepth: *depth, TrainWorkers: *workers}
 	if journal != nil || gauges != nil {
 		cfg.OnEpoch = func(stage string, es nn.EpochStats) {
 			if gauges != nil {

@@ -1,0 +1,52 @@
+package p4guard_test
+
+import (
+	"bytes"
+	"testing"
+
+	"p4guard"
+
+	"p4guard/internal/tensor"
+)
+
+// TestTrainBitIdenticalAcrossWorkerCounts is the end-to-end determinism
+// gate for the parallel training substrate: with a fixed seed, the whole
+// two-stage pipeline (saliency selection, classifier, distilled tree,
+// compiled rules) must serialize to byte-identical form whether training
+// ran serially or across several workers.
+func TestTrainBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	ds, err := p4guard.GenerateTrace("wifi-mqtt", p4guard.TraceConfig{Seed: 5, Packets: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _, err := ds.Split(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	old := tensor.Workers()
+	defer tensor.SetWorkers(old)
+
+	saved := func(workers int) []byte {
+		t.Helper()
+		pipe, err := p4guard.Train(train, p4guard.Config{
+			Seed: 5, NumFields: 5, MLPEpochs: 6, TrainWorkers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := pipe.Save(&buf); err != nil {
+			t.Fatalf("workers=%d save: %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+
+	want := saved(1)
+	for _, w := range []int{2, 4} {
+		if got := saved(w); !bytes.Equal(got, want) {
+			t.Fatalf("pipeline trained with %d workers differs from serial training (%d vs %d bytes)",
+				w, len(got), len(want))
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"p4guard/internal/nn"
 	"p4guard/internal/tensor"
@@ -82,26 +83,98 @@ func Train(x *tensor.Matrix, cfg Config) (*Autoencoder, error) {
 	return &Autoencoder{net: net, width: x.Cols}, nil
 }
 
-// Reconstruct returns the autoencoder's reconstruction of x.
+// Reconstruct returns the autoencoder's reconstruction of x. The result
+// is freshly allocated and safe to retain.
 func (a *Autoencoder) Reconstruct(x *tensor.Matrix) (*tensor.Matrix, error) {
 	if x.Cols != a.width {
 		return nil, fmt.Errorf("autoenc: width %d != %d: %w", x.Cols, a.width, tensor.ErrShape)
 	}
-	return a.net.Forward(x, false)
+	out, err := a.net.Forward(x, false)
+	if err != nil {
+		return nil, err
+	}
+	return out.Clone(), nil
+}
+
+// evalChunk is the row-block size the batch reductions split inference
+// into: chunks run concurrently (one workspace per worker) and their
+// partial results combine in ascending chunk order, so totals are
+// identical at every worker count — the chunk structure, not the worker
+// schedule, fixes the floating-point association.
+const evalChunk = 256
+
+// forEachChunk reconstructs x in fixed row chunks — in parallel when the
+// kernel worker setting allows — and hands each chunk's input view and
+// reconstruction to fn. fn must only write state owned by its chunk index.
+func (a *Autoencoder) forEachChunk(x *tensor.Matrix, fn func(chunk, lo int, xv, recon *tensor.Matrix)) error {
+	nchunks := (x.Rows + evalChunk - 1) / evalChunk
+	w := tensor.Workers()
+	if w > nchunks {
+		w = nchunks
+	}
+	run := func(g, stride int) error {
+		ws := nn.NewWorkspace()
+		for c := g; c < nchunks; c += stride {
+			lo := c * evalChunk
+			hi := lo + evalChunk
+			if hi > x.Rows {
+				hi = x.Rows
+			}
+			xv := x.RowView(lo, hi)
+			recon, err := a.net.Infer(ws, xv)
+			if err != nil {
+				return err
+			}
+			fn(c, lo, xv, recon)
+		}
+		return nil
+	}
+	if w <= 1 {
+		return run(0, 1)
+	}
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = run(g, w)
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Residuals returns per-column mean absolute reconstruction error over the
 // batch: how badly each input byte fits the learned manifold.
 func (a *Autoencoder) Residuals(x *tensor.Matrix) ([]float64, error) {
-	recon, err := a.Reconstruct(x)
+	if x.Cols != a.width {
+		return nil, fmt.Errorf("autoenc: width %d != %d: %w", x.Cols, a.width, tensor.ErrShape)
+	}
+	nchunks := (x.Rows + evalChunk - 1) / evalChunk
+	partials := make([][]float64, nchunks)
+	err := a.forEachChunk(x, func(c, lo int, xv, recon *tensor.Matrix) {
+		part := make([]float64, a.width)
+		for i := 0; i < xv.Rows; i++ {
+			xrow, rrow := xv.Row(i), recon.Row(i)
+			for j := range part {
+				part[j] += math.Abs(xrow[j] - rrow[j])
+			}
+		}
+		partials[c] = part
+	})
 	if err != nil {
 		return nil, err
 	}
 	res := make([]float64, a.width)
-	for i := 0; i < x.Rows; i++ {
-		xrow, rrow := x.Row(i), recon.Row(i)
-		for j := range res {
-			res[j] += math.Abs(xrow[j] - rrow[j])
+	for _, part := range partials {
+		for j, v := range part {
+			res[j] += v
 		}
 	}
 	if x.Rows > 0 {
@@ -114,21 +187,27 @@ func (a *Autoencoder) Residuals(x *tensor.Matrix) ([]float64, error) {
 }
 
 // SampleError returns the mean reconstruction error of each row — an
-// anomaly score usable directly for detection.
+// anomaly score usable directly for detection. Rows are scored in
+// parallel chunks; each score depends only on its own row, so results are
+// identical at every worker count.
 func (a *Autoencoder) SampleError(x *tensor.Matrix) ([]float64, error) {
-	recon, err := a.Reconstruct(x)
-	if err != nil {
-		return nil, err
+	if x.Cols != a.width {
+		return nil, fmt.Errorf("autoenc: width %d != %d: %w", x.Cols, a.width, tensor.ErrShape)
 	}
 	out := make([]float64, x.Rows)
-	for i := 0; i < x.Rows; i++ {
-		xrow, rrow := x.Row(i), recon.Row(i)
-		var sum float64
-		for j := range xrow {
-			d := xrow[j] - rrow[j]
-			sum += d * d
+	err := a.forEachChunk(x, func(c, lo int, xv, recon *tensor.Matrix) {
+		for i := 0; i < xv.Rows; i++ {
+			xrow, rrow := xv.Row(i), recon.Row(i)
+			var sum float64
+			for j := range xrow {
+				d := xrow[j] - rrow[j]
+				sum += d * d
+			}
+			out[lo+i] = sum / float64(x.Cols)
 		}
-		out[i] = sum / float64(x.Cols)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,62 @@
+package autoenc
+
+import (
+	"math/rand"
+	"testing"
+
+	"p4guard/internal/tensor"
+)
+
+// TestChunkedReductionsBitIdenticalAcrossWorkers pins the determinism
+// contract of the parallel batch reductions: Residuals and SampleError
+// must produce byte-identical floats at every worker count, on a batch
+// spanning several eval chunks including a ragged tail.
+func TestChunkedReductionsBitIdenticalAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	train := tensor.New(60, 12)
+	for i := range train.Data {
+		train.Data[i] = rng.Float64()
+	}
+	ae, err := Train(train, Config{Hidden: []int{8, 4}, Epochs: 3, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2*evalChunk+37, 12)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+
+	old := tensor.Workers()
+	defer tensor.SetWorkers(old)
+
+	tensor.SetWorkers(1)
+	wantRes, err := ae.Residuals(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSE, err := ae.SampleError(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8} {
+		tensor.SetWorkers(w)
+		gotRes, err := ae.Residuals(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSE, err := ae.SampleError(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range wantRes {
+			if gotRes[j] != wantRes[j] {
+				t.Fatalf("workers=%d: residual[%d] = %v, serial %v", w, j, gotRes[j], wantRes[j])
+			}
+		}
+		for i := range wantSE {
+			if gotSE[i] != wantSE[i] {
+				t.Fatalf("workers=%d: sampleErr[%d] = %v, serial %v", w, i, gotSE[i], wantSE[i])
+			}
+		}
+	}
+}

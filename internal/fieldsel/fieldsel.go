@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"p4guard/internal/autoenc"
 	"p4guard/internal/nn"
@@ -169,11 +170,31 @@ func (s *SaliencySelector) Select(ds *trace.Dataset, k int) ([]int, error) {
 	// softmax and zero out input gradients, hiding exactly the bytes that
 	// made the class easy. Averaging |gradient| over noise-perturbed
 	// copies of the inputs restores signal at those bytes.
+	//
+	// The clean pass and the noisy passes are independent, so they run
+	// concurrently on AttributionClones of the trained net (shared weights,
+	// private gradients and workspaces). Noise is drawn up front on this
+	// goroutine in pass order, each pass accumulates into its own partial
+	// score vector, and partials combine in ascending pass order — the same
+	// structure the one-worker path uses, so scores are bit-identical at
+	// every worker count.
 	const noisyPasses = 4
 	const noiseScale = 0.15
-	scores := make([]float64, x.Cols)
-	accumulate := func(batch *tensor.Matrix) error {
-		grad, err := net.InputGradient(batch, target)
+	passes := make([]*tensor.Matrix, noisyPasses+1)
+	passes[0] = x
+	for p := 1; p <= noisyPasses; p++ {
+		noisy := x.Clone()
+		for i := range noisy.Data {
+			noisy.Data[i] += rng.NormFloat64() * noiseScale
+		}
+		passes[p] = noisy
+	}
+	partials := make([][]float64, len(passes))
+	for p := range partials {
+		partials[p] = make([]float64, x.Cols)
+	}
+	accumulate := func(worker *nn.Network, batch *tensor.Matrix, scores []float64) error {
+		grad, err := worker.InputGradient(batch, target)
 		if err != nil {
 			return err
 		}
@@ -196,16 +217,50 @@ func (s *SaliencySelector) Select(ds *trace.Dataset, k int) ([]int, error) {
 		}
 		return nil
 	}
-	if err := accumulate(x); err != nil {
-		return nil, err
+	w := tensor.Workers()
+	if w > len(passes) {
+		w = len(passes)
 	}
-	for pass := 0; pass < noisyPasses; pass++ {
-		noisy := x.Clone()
-		for i := range noisy.Data {
-			noisy.Data[i] += rng.NormFloat64() * noiseScale
+	if w <= 1 {
+		for p, batch := range passes {
+			if err := accumulate(net, batch, partials[p]); err != nil {
+				return nil, err
+			}
 		}
-		if err := accumulate(noisy); err != nil {
-			return nil, err
+	} else {
+		errs := make([]error, w)
+		var wg sync.WaitGroup
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				worker := net
+				if g > 0 {
+					var err error
+					if worker, err = net.AttributionClone(); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+				for p := g; p < len(passes); p += w {
+					if err := accumulate(worker, passes[p], partials[p]); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	scores := make([]float64, x.Cols)
+	for _, part := range partials {
+		for j, v := range part {
+			scores[j] += v
 		}
 	}
 	// Aggregate bit scores back to byte offsets.

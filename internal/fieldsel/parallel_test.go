@@ -1,0 +1,36 @@
+package fieldsel
+
+import (
+	"testing"
+
+	"p4guard/internal/tensor"
+)
+
+// TestSaliencySelectorDeterministicAcrossWorkers pins the SmoothGrad
+// parallelization: with a fixed seed, the selected offsets must be
+// identical whether the attribution passes run serially or concurrently.
+func TestSaliencySelectorDeterministicAcrossWorkers(t *testing.T) {
+	ds := plantedDataset(t, 240)
+	old := tensor.Workers()
+	defer tensor.SetWorkers(old)
+
+	sel := func() []int {
+		s := &SaliencySelector{Seed: 3, Epochs: 6, Hidden: []int{16}}
+		offs, err := s.Select(ds, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return offs
+	}
+	tensor.SetWorkers(1)
+	want := sel()
+	for _, w := range []int{2, 4, 9} {
+		tensor.SetWorkers(w)
+		got := sel()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: offsets %v, serial %v", w, got, want)
+			}
+		}
+	}
+}

@@ -3,6 +3,10 @@
 // SGD and Adam optimizers, and a deterministic minibatch trainer. It replaces
 // the deep-learning framework the paper used (TensorFlow-class) as a substrate
 // for the two-stage detection pipeline.
+//
+// All intermediate buffers come from a Workspace arena threaded through the
+// layer and loss interfaces, so a steady-state training step allocates
+// nothing; see workspace.go.
 package nn
 
 import (
@@ -16,12 +20,14 @@ import (
 // Layer is one differentiable stage of a network. Forward consumes a batch
 // (rows are samples) and caches whatever Backward needs; Backward consumes
 // dL/dOutput and returns dL/dInput, accumulating parameter gradients.
+// Returned matrices (and cached state) live in ws and are only valid until
+// the workspace is next Reset; ws may be nil, at the cost of allocations.
 type Layer interface {
 	// Forward computes the layer output for the batch x.
-	Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error)
+	Forward(ws *Workspace, x *tensor.Matrix, train bool) (*tensor.Matrix, error)
 	// Backward computes dL/dInput given dL/dOutput for the most recent
 	// Forward call with train=true.
-	Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error)
+	Backward(ws *Workspace, gradOut *tensor.Matrix) (*tensor.Matrix, error)
 	// Params returns the layer's trainable parameters; may be empty.
 	Params() []*tensor.Matrix
 	// Grads returns gradient accumulators aligned with Params.
@@ -57,8 +63,8 @@ func (d *Dense) In() int { return d.W.Rows }
 func (d *Dense) Out() int { return d.W.Cols }
 
 // Forward implements Layer.
-func (d *Dense) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
-	out := tensor.New(x.Rows, d.W.Cols)
+func (d *Dense) Forward(ws *Workspace, x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
+	out := ws.Take(x.Rows, d.W.Cols)
 	if err := tensor.MatMul(out, x, d.W); err != nil {
 		return nil, fmt.Errorf("dense forward: %w", err)
 	}
@@ -66,21 +72,28 @@ func (d *Dense) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
 		return nil, fmt.Errorf("dense bias: %w", err)
 	}
 	if train {
-		d.lastIn = x
+		// Copy the batch instead of retaining the caller's matrix: a
+		// retained reference let callers mutate x between Forward and
+		// Backward and silently corrupt dW.
+		in := ws.Take(x.Rows, x.Cols)
+		copy(in.Data, x.Data)
+		d.lastIn = in
 	}
 	return out, nil
 }
 
 // Backward implements Layer.
-func (d *Dense) Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error) {
+func (d *Dense) Backward(ws *Workspace, gradOut *tensor.Matrix) (*tensor.Matrix, error) {
 	if d.lastIn == nil {
 		return nil, fmt.Errorf("dense backward before forward(train)")
 	}
 	if err := tensor.MatMulATB(d.dW, d.lastIn, gradOut); err != nil {
 		return nil, fmt.Errorf("dense dW: %w", err)
 	}
-	d.dB.SetRow(0, gradOut.ColSums())
-	gradIn := tensor.New(gradOut.Rows, d.W.Rows)
+	if err := gradOut.ColSumsInto(d.dB.Row(0)); err != nil {
+		return nil, fmt.Errorf("dense dB: %w", err)
+	}
+	gradIn := ws.Take(gradOut.Rows, d.W.Rows)
 	if err := tensor.MatMulABT(gradIn, gradOut, d.W); err != nil {
 		return nil, fmt.Errorf("dense gradIn: %w", err)
 	}
@@ -101,16 +114,24 @@ type ReLU struct {
 var _ Layer = (*ReLU)(nil)
 
 // Forward implements Layer.
-func (r *ReLU) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
-	out := x.Clone()
+func (r *ReLU) Forward(ws *Workspace, x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
+	out := ws.Take(x.Rows, x.Cols)
 	if train {
-		r.mask = tensor.New(x.Rows, x.Cols)
-	}
-	for i, v := range out.Data {
-		if v > 0 {
-			if train {
+		r.mask = ws.Take(x.Rows, x.Cols)
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
 				r.mask.Data[i] = 1
+			} else {
+				out.Data[i] = 0
+				r.mask.Data[i] = 0
 			}
+		}
+		return out, nil
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
 		} else {
 			out.Data[i] = 0
 		}
@@ -119,13 +140,17 @@ func (r *ReLU) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
 }
 
 // Backward implements Layer.
-func (r *ReLU) Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error) {
+func (r *ReLU) Backward(ws *Workspace, gradOut *tensor.Matrix) (*tensor.Matrix, error) {
 	if r.mask == nil {
 		return nil, fmt.Errorf("relu backward before forward(train)")
 	}
-	gradIn := gradOut.Clone()
-	if err := gradIn.Hadamard(r.mask); err != nil {
-		return nil, fmt.Errorf("relu backward: %w", err)
+	if gradOut.Rows != r.mask.Rows || gradOut.Cols != r.mask.Cols {
+		return nil, fmt.Errorf("relu backward: grad %dx%d vs mask %dx%d: %w",
+			gradOut.Rows, gradOut.Cols, r.mask.Rows, r.mask.Cols, tensor.ErrShape)
+	}
+	gradIn := ws.Take(gradOut.Rows, gradOut.Cols)
+	for i, g := range gradOut.Data {
+		gradIn.Data[i] = g * r.mask.Data[i]
 	}
 	return gradIn, nil
 }
@@ -144,9 +169,11 @@ type Sigmoid struct {
 var _ Layer = (*Sigmoid)(nil)
 
 // Forward implements Layer.
-func (s *Sigmoid) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
-	out := x.Clone()
-	out.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+func (s *Sigmoid) Forward(ws *Workspace, x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
+	out := ws.Take(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
 	if train {
 		s.lastOut = out
 	}
@@ -154,13 +181,17 @@ func (s *Sigmoid) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) 
 }
 
 // Backward implements Layer.
-func (s *Sigmoid) Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error) {
+func (s *Sigmoid) Backward(ws *Workspace, gradOut *tensor.Matrix) (*tensor.Matrix, error) {
 	if s.lastOut == nil {
 		return nil, fmt.Errorf("sigmoid backward before forward(train)")
 	}
-	gradIn := gradOut.Clone()
+	if gradOut.Rows != s.lastOut.Rows || gradOut.Cols != s.lastOut.Cols {
+		return nil, fmt.Errorf("sigmoid backward: grad %dx%d vs cache %dx%d: %w",
+			gradOut.Rows, gradOut.Cols, s.lastOut.Rows, s.lastOut.Cols, tensor.ErrShape)
+	}
+	gradIn := ws.Take(gradOut.Rows, gradOut.Cols)
 	for i, y := range s.lastOut.Data {
-		gradIn.Data[i] *= y * (1 - y)
+		gradIn.Data[i] = gradOut.Data[i] * y * (1 - y)
 	}
 	return gradIn, nil
 }
@@ -179,9 +210,11 @@ type Tanh struct {
 var _ Layer = (*Tanh)(nil)
 
 // Forward implements Layer.
-func (t *Tanh) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
-	out := x.Clone()
-	out.Apply(math.Tanh)
+func (t *Tanh) Forward(ws *Workspace, x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
+	out := ws.Take(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = math.Tanh(v)
+	}
 	if train {
 		t.lastOut = out
 	}
@@ -189,13 +222,17 @@ func (t *Tanh) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
 }
 
 // Backward implements Layer.
-func (t *Tanh) Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error) {
+func (t *Tanh) Backward(ws *Workspace, gradOut *tensor.Matrix) (*tensor.Matrix, error) {
 	if t.lastOut == nil {
 		return nil, fmt.Errorf("tanh backward before forward(train)")
 	}
-	gradIn := gradOut.Clone()
+	if gradOut.Rows != t.lastOut.Rows || gradOut.Cols != t.lastOut.Cols {
+		return nil, fmt.Errorf("tanh backward: grad %dx%d vs cache %dx%d: %w",
+			gradOut.Rows, gradOut.Cols, t.lastOut.Rows, t.lastOut.Cols, tensor.ErrShape)
+	}
+	gradIn := ws.Take(gradOut.Rows, gradOut.Cols)
 	for i, y := range t.lastOut.Data {
-		gradIn.Data[i] *= 1 - y*y
+		gradIn.Data[i] = gradOut.Data[i] * (1 - y*y)
 	}
 	return gradIn, nil
 }
@@ -208,7 +245,7 @@ func (t *Tanh) Grads() []*tensor.Matrix { return nil }
 
 // Dropout randomly zeroes activations during training with probability Rate
 // and rescales survivors by 1/(1-Rate) (inverted dropout). It is the identity
-// at inference time.
+// at inference time (Forward returns x itself, no copy).
 type Dropout struct {
 	Rate float64
 	rng  *rand.Rand
@@ -226,19 +263,20 @@ func NewDropout(rng *rand.Rand, rate float64) *Dropout {
 }
 
 // Forward implements Layer.
-func (d *Dropout) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
+func (d *Dropout) Forward(ws *Workspace, x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
 	if !train || d.Rate == 0 {
-		return x.Clone(), nil
+		return x, nil
 	}
-	out := x.Clone()
-	d.mask = tensor.New(x.Rows, x.Cols)
+	out := ws.Take(x.Rows, x.Cols)
+	d.mask = ws.Take(x.Rows, x.Cols)
 	keep := 1 - d.Rate
 	scale := 1 / keep
-	for i := range out.Data {
+	for i, v := range x.Data {
 		if d.rng.Float64() < keep {
 			d.mask.Data[i] = scale
-			out.Data[i] *= scale
+			out.Data[i] = v * scale
 		} else {
+			d.mask.Data[i] = 0
 			out.Data[i] = 0
 		}
 	}
@@ -246,14 +284,18 @@ func (d *Dropout) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) 
 }
 
 // Backward implements Layer.
-func (d *Dropout) Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error) {
+func (d *Dropout) Backward(ws *Workspace, gradOut *tensor.Matrix) (*tensor.Matrix, error) {
 	if d.mask == nil {
 		// Rate==0 or inference; pass through.
-		return gradOut.Clone(), nil
+		return gradOut, nil
 	}
-	gradIn := gradOut.Clone()
-	if err := gradIn.Hadamard(d.mask); err != nil {
-		return nil, fmt.Errorf("dropout backward: %w", err)
+	if gradOut.Rows != d.mask.Rows || gradOut.Cols != d.mask.Cols {
+		return nil, fmt.Errorf("dropout backward: grad %dx%d vs mask %dx%d: %w",
+			gradOut.Rows, gradOut.Cols, d.mask.Rows, d.mask.Cols, tensor.ErrShape)
+	}
+	gradIn := ws.Take(gradOut.Rows, gradOut.Cols)
+	for i, g := range gradOut.Data {
+		gradIn.Data[i] = g * d.mask.Data[i]
 	}
 	return gradIn, nil
 }

@@ -8,12 +8,13 @@ import (
 )
 
 // Loss maps a network output batch and targets to a scalar loss and the
-// gradient dL/dOutput.
+// gradient dL/dOutput. Scratch and gradient buffers come from ws (valid
+// until its next Reset); ws may be nil, at the cost of allocations.
 type Loss interface {
 	// Value returns the mean loss over the batch.
-	Value(out, target *tensor.Matrix) (float64, error)
+	Value(ws *Workspace, out, target *tensor.Matrix) (float64, error)
 	// Grad returns dL/dOutput (same shape as out).
-	Grad(out, target *tensor.Matrix) (*tensor.Matrix, error)
+	Grad(ws *Workspace, out, target *tensor.Matrix) (*tensor.Matrix, error)
 }
 
 // SoftmaxCE is softmax followed by cross-entropy against one-hot targets.
@@ -23,8 +24,8 @@ type SoftmaxCE struct{}
 
 var _ Loss = SoftmaxCE{}
 
-func (SoftmaxCE) probs(out *tensor.Matrix) *tensor.Matrix {
-	p := tensor.New(out.Rows, out.Cols)
+func (SoftmaxCE) probs(ws *Workspace, out *tensor.Matrix) *tensor.Matrix {
+	p := ws.Take(out.Rows, out.Cols)
 	for i := 0; i < out.Rows; i++ {
 		tensor.Softmax(p.Row(i), out.Row(i))
 	}
@@ -32,12 +33,12 @@ func (SoftmaxCE) probs(out *tensor.Matrix) *tensor.Matrix {
 }
 
 // Value implements Loss.
-func (l SoftmaxCE) Value(out, target *tensor.Matrix) (float64, error) {
+func (l SoftmaxCE) Value(ws *Workspace, out, target *tensor.Matrix) (float64, error) {
 	if out.Rows != target.Rows || out.Cols != target.Cols {
 		return 0, fmt.Errorf("softmaxCE: out %dx%d vs target %dx%d: %w",
 			out.Rows, out.Cols, target.Rows, target.Cols, tensor.ErrShape)
 	}
-	p := l.probs(out)
+	p := l.probs(ws, out)
 	var sum float64
 	for i := 0; i < out.Rows; i++ {
 		prow, trow := p.Row(i), target.Row(i)
@@ -51,12 +52,12 @@ func (l SoftmaxCE) Value(out, target *tensor.Matrix) (float64, error) {
 }
 
 // Grad implements Loss.
-func (l SoftmaxCE) Grad(out, target *tensor.Matrix) (*tensor.Matrix, error) {
+func (l SoftmaxCE) Grad(ws *Workspace, out, target *tensor.Matrix) (*tensor.Matrix, error) {
 	if out.Rows != target.Rows || out.Cols != target.Cols {
 		return nil, fmt.Errorf("softmaxCE grad: out %dx%d vs target %dx%d: %w",
 			out.Rows, out.Cols, target.Rows, target.Cols, tensor.ErrShape)
 	}
-	g := l.probs(out)
+	g := l.probs(ws, out)
 	if err := g.AddScaled(target, -1); err != nil {
 		return nil, err
 	}
@@ -70,7 +71,7 @@ type MSE struct{}
 var _ Loss = MSE{}
 
 // Value implements Loss.
-func (MSE) Value(out, target *tensor.Matrix) (float64, error) {
+func (MSE) Value(_ *Workspace, out, target *tensor.Matrix) (float64, error) {
 	if out.Rows != target.Rows || out.Cols != target.Cols {
 		return 0, fmt.Errorf("mse: out %dx%d vs target %dx%d: %w",
 			out.Rows, out.Cols, target.Rows, target.Cols, tensor.ErrShape)
@@ -84,12 +85,13 @@ func (MSE) Value(out, target *tensor.Matrix) (float64, error) {
 }
 
 // Grad implements Loss.
-func (MSE) Grad(out, target *tensor.Matrix) (*tensor.Matrix, error) {
+func (MSE) Grad(ws *Workspace, out, target *tensor.Matrix) (*tensor.Matrix, error) {
 	if out.Rows != target.Rows || out.Cols != target.Cols {
 		return nil, fmt.Errorf("mse grad: out %dx%d vs target %dx%d: %w",
 			out.Rows, out.Cols, target.Rows, target.Cols, tensor.ErrShape)
 	}
-	g := out.Clone()
+	g := ws.Take(out.Rows, out.Cols)
+	copy(g.Data, out.Data)
 	if err := g.AddScaled(target, -1); err != nil {
 		return nil, err
 	}

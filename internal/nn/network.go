@@ -2,27 +2,43 @@ package nn
 
 import (
 	"fmt"
+	"sync"
 
 	"p4guard/internal/tensor"
 )
 
-// Network is an ordered stack of layers with a loss head.
+// Network is an ordered stack of layers with a loss head. It owns a
+// Workspace that backs every intermediate buffer of its passes, so matrices
+// returned by Forward, Backward, and Step are only valid until the
+// network's next pass; copy what must outlive it.
 type Network struct {
 	Layers []Layer
 	Loss   Loss
+
+	ws         *Workspace
+	cacheBuilt bool
+	params     []*tensor.Matrix
+	grads      []*tensor.Matrix
+	inGrad     *tensor.Matrix
 }
 
 // NewNetwork builds a network from the given layers and loss.
 func NewNetwork(loss Loss, layers ...Layer) *Network {
-	return &Network{Layers: layers, Loss: loss}
+	return &Network{Layers: layers, Loss: loss, ws: NewWorkspace()}
 }
 
-// Forward runs the batch through every layer. train controls caching for
-// backprop and stochastic layers such as dropout.
-func (n *Network) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
+func (n *Network) workspace() *Workspace {
+	if n.ws == nil {
+		n.ws = NewWorkspace()
+	}
+	return n.ws
+}
+
+// forward runs the batch through every layer using the given workspace.
+func (n *Network) forward(ws *Workspace, x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
 	cur := x
 	for i, l := range n.Layers {
-		out, err := l.Forward(cur, train)
+		out, err := l.Forward(ws, cur, train)
 		if err != nil {
 			return nil, fmt.Errorf("layer %d: %w", i, err)
 		}
@@ -31,12 +47,12 @@ func (n *Network) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) 
 	return cur, nil
 }
 
-// Backward propagates dL/dOutput back through every layer, accumulating
-// parameter gradients, and returns dL/dInput.
-func (n *Network) Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error) {
+// backward propagates dL/dOutput back through every layer using the given
+// workspace, accumulating parameter gradients.
+func (n *Network) backward(ws *Workspace, gradOut *tensor.Matrix) (*tensor.Matrix, error) {
 	cur := gradOut
 	for i := len(n.Layers) - 1; i >= 0; i-- {
-		g, err := n.Layers[i].Backward(cur)
+		g, err := n.Layers[i].Backward(ws, cur)
 		if err != nil {
 			return nil, fmt.Errorf("layer %d backward: %w", i, err)
 		}
@@ -45,61 +61,139 @@ func (n *Network) Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error) {
 	return cur, nil
 }
 
+// Forward runs the batch through every layer. train controls caching for
+// backprop and stochastic layers such as dropout. The returned matrix is
+// workspace-backed: valid until the network's next forward/backward pass.
+func (n *Network) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
+	ws := n.workspace()
+	ws.Reset()
+	return n.forward(ws, x, train)
+}
+
+// Backward propagates dL/dOutput back through every layer, accumulating
+// parameter gradients, and returns dL/dInput. It must follow a
+// Forward(train=true) pass and does not reset the workspace (the layer
+// caches from that pass live there).
+func (n *Network) Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error) {
+	return n.backward(n.workspace(), gradOut)
+}
+
 // Step runs one forward/backward pass over the batch and returns the loss
 // value; parameter gradients are left in the layers for the optimizer. It
-// also returns dL/dInput, which stage-1 saliency attribution consumes.
+// also returns dL/dInput, which stage-1 saliency attribution consumes
+// (workspace-backed; valid until the next pass).
 func (n *Network) Step(x, target *tensor.Matrix) (float64, *tensor.Matrix, error) {
-	out, err := n.Forward(x, true)
+	ws := n.workspace()
+	ws.Reset()
+	out, err := n.forward(ws, x, true)
 	if err != nil {
 		return 0, nil, err
 	}
-	loss, err := n.Loss.Value(out, target)
+	loss, err := n.Loss.Value(ws, out, target)
 	if err != nil {
 		return 0, nil, err
 	}
-	grad, err := n.Loss.Grad(out, target)
+	grad, err := n.Loss.Grad(ws, out, target)
 	if err != nil {
 		return 0, nil, err
 	}
-	gradIn, err := n.Backward(grad)
+	gradIn, err := n.backward(ws, grad)
 	if err != nil {
 		return 0, nil, err
 	}
 	return loss, gradIn, nil
 }
 
-// Params returns all trainable parameters in layer order.
+func (n *Network) buildParamCache() {
+	n.params = n.params[:0]
+	n.grads = n.grads[:0]
+	for _, l := range n.Layers {
+		n.params = append(n.params, l.Params()...)
+		n.grads = append(n.grads, l.Grads()...)
+	}
+	n.cacheBuilt = true
+}
+
+// Params returns all trainable parameters in layer order. The slice is
+// cached and must not be mutated by callers.
 func (n *Network) Params() []*tensor.Matrix {
-	var ps []*tensor.Matrix
-	for _, l := range n.Layers {
-		ps = append(ps, l.Params()...)
+	if !n.cacheBuilt {
+		n.buildParamCache()
 	}
-	return ps
+	return n.params
 }
 
-// Grads returns gradient accumulators aligned with Params.
+// Grads returns gradient accumulators aligned with Params. The slice is
+// cached and must not be mutated by callers.
 func (n *Network) Grads() []*tensor.Matrix {
-	var gs []*tensor.Matrix
-	for _, l := range n.Layers {
-		gs = append(gs, l.Grads()...)
+	if !n.cacheBuilt {
+		n.buildParamCache()
 	}
-	return gs
+	return n.grads
 }
 
-// Predict returns the argmax class for each row of x.
+// predictChunk is the row-block size for parallel batch evaluation: big
+// enough that each chunk's GEMM amortizes goroutine hand-off, small enough
+// to spread eval sets across cores.
+const predictChunk = 256
+
+// Predict returns the argmax class for each row of x. Large batches are
+// split into fixed row chunks evaluated concurrently (each worker carries
+// its own workspace); per-row results are independent, so predictions are
+// identical at every worker count.
 func (n *Network) Predict(x *tensor.Matrix) ([]int, error) {
-	out, err := n.Forward(x, false)
-	if err != nil {
-		return nil, err
+	preds := make([]int, x.Rows)
+	nchunks := (x.Rows + predictChunk - 1) / predictChunk
+	w := tensor.Workers()
+	if w > nchunks {
+		w = nchunks
 	}
-	preds := make([]int, out.Rows)
-	for i := range preds {
-		preds[i] = tensor.Argmax(out.Row(i))
+	if w <= 1 {
+		out, err := n.Forward(x, false)
+		if err != nil {
+			return nil, err
+		}
+		for i := range preds {
+			preds[i] = tensor.Argmax(out.Row(i))
+		}
+		return preds, nil
+	}
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ws := NewWorkspace()
+			for c := g; c < nchunks; c += w {
+				lo := c * predictChunk
+				hi := lo + predictChunk
+				if hi > x.Rows {
+					hi = x.Rows
+				}
+				ws.Reset()
+				out, err := n.forward(ws, x.RowView(lo, hi), false)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				for i := 0; i < out.Rows; i++ {
+					preds[lo+i] = tensor.Argmax(out.Row(i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return preds, nil
 }
 
-// PredictProba returns softmax class probabilities for each row of x.
+// PredictProba returns softmax class probabilities for each row of x. The
+// result is freshly allocated and safe to retain.
 func (n *Network) PredictProba(x *tensor.Matrix) (*tensor.Matrix, error) {
 	out, err := n.Forward(x, false)
 	if err != nil {
@@ -112,12 +206,55 @@ func (n *Network) PredictProba(x *tensor.Matrix) (*tensor.Matrix, error) {
 	return p, nil
 }
 
+// Infer runs an inference-mode forward pass backed by the caller's
+// workspace (reset on entry; the result is valid until ws is next used).
+// Inference writes no layer state, so concurrent Infer calls on one
+// network are safe as long as each goroutine brings its own workspace.
+// A nil ws is valid and allocates per call.
+func (n *Network) Infer(ws *Workspace, x *tensor.Matrix) (*tensor.Matrix, error) {
+	ws.Reset()
+	return n.forward(ws, x, false)
+}
+
 // InputGradient returns dLoss/dInput for the batch without updating any
-// parameters — used for saliency-based field attribution.
+// parameters — used for saliency-based field attribution. The result is a
+// buffer owned by the network that stays valid across later passes but is
+// overwritten by the next InputGradient call.
 func (n *Network) InputGradient(x, target *tensor.Matrix) (*tensor.Matrix, error) {
 	_, gradIn, err := n.Step(x, target)
 	if err != nil {
 		return nil, err
 	}
-	return gradIn, nil
+	n.inGrad = ensureShape(n.inGrad, gradIn.Rows, gradIn.Cols)
+	copy(n.inGrad.Data, gradIn.Data)
+	return n.inGrad, nil
+}
+
+// AttributionClone returns a network sharing this network's parameter
+// matrices but owning private gradient accumulators, layer caches, and
+// workspace, so clones can run Step/InputGradient (which never write
+// parameters) concurrently — the substrate for parallel SmoothGrad passes.
+// Stochastic layers are rejected: dropout would need an RNG draw order
+// that concurrent attribution cannot reproduce.
+func (n *Network) AttributionClone() (*Network, error) {
+	layers := make([]Layer, len(n.Layers))
+	for i, l := range n.Layers {
+		switch v := l.(type) {
+		case *Dense:
+			layers[i] = &Dense{
+				W: v.W, B: v.B,
+				dW: tensor.New(v.W.Rows, v.W.Cols),
+				dB: tensor.New(1, v.W.Cols),
+			}
+		case *ReLU:
+			layers[i] = &ReLU{}
+		case *Sigmoid:
+			layers[i] = &Sigmoid{}
+		case *Tanh:
+			layers[i] = &Tanh{}
+		default:
+			return nil, fmt.Errorf("nn: attribution clone: unsupported layer %T", l)
+		}
+	}
+	return NewNetwork(n.Loss, layers...), nil
 }

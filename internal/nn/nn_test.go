@@ -23,7 +23,7 @@ func numericalGrad(t *testing.T, net *Network, x, target *tensor.Matrix, pi, j i
 		if err != nil {
 			t.Fatal(err)
 		}
-		l, err := net.Loss.Value(out, target)
+		l, err := net.Loss.Value(nil, out, target)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,10 +111,10 @@ func TestInputGradientMatchesNumeric(t *testing.T) {
 		orig := x.Data[j]
 		x.Data[j] = orig + h
 		out, _ := net.Forward(x, false)
-		plus, _ := net.Loss.Value(out, target)
+		plus, _ := net.Loss.Value(nil, out, target)
 		x.Data[j] = orig - h
 		out, _ = net.Forward(x, false)
-		minus, _ := net.Loss.Value(out, target)
+		minus, _ := net.Loss.Value(nil, out, target)
 		x.Data[j] = orig
 		want := (plus - minus) / (2 * h)
 		if math.Abs(gradIn.Data[j]-want) > 1e-4*(1+math.Abs(want)) {
@@ -168,7 +168,7 @@ func TestDropoutInferenceIdentity(t *testing.T) {
 	d := NewDropout(rng, 0.5)
 	x := tensor.New(3, 4)
 	x.Randomize(rng, 1)
-	out, err := d.Forward(x, false)
+	out, err := d.Forward(nil, x, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestDropoutTrainZeroesAndScales(t *testing.T) {
 	d := NewDropout(rng, 0.5)
 	x := tensor.New(1, 1000)
 	x.Fill(1)
-	out, err := d.Forward(x, true)
+	out, err := d.Forward(nil, x, true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -70,6 +70,11 @@ func Train(net *Network, opt Optimizer, x, target *tensor.Matrix, cfg TrainConfi
 		order[i] = i
 	}
 
+	// Persistent batch buffers, resliced per minibatch so the steady-state
+	// step allocates nothing.
+	bx := tensor.New(batch, x.Cols)
+	bt := tensor.New(batch, target.Cols)
+
 	var lastLoss float64
 	for e := 0; e < epochs; e++ {
 		epochStart := time.Now()
@@ -85,8 +90,9 @@ func Train(net *Network, opt Optimizer, x, target *tensor.Matrix, cfg TrainConfi
 			if end > len(order) {
 				end = len(order)
 			}
-			bx := tensor.New(end-start, x.Cols)
-			bt := tensor.New(end-start, target.Cols)
+			nb := end - start
+			bx.Rows, bx.Data = nb, bx.Data[:nb*x.Cols]
+			bt.Rows, bt.Data = nb, bt.Data[:nb*target.Cols]
 			for bi, idx := range order[start:end] {
 				bx.SetRow(bi, x.Row(idx))
 				bt.SetRow(bi, target.Row(idx))
@@ -138,7 +144,7 @@ func GradNorm(net *Network) float64 {
 }
 
 // trainAccuracy measures argmax accuracy of the network against one-hot
-// targets with a single forward pass.
+// targets; Predict evaluates the set in parallel row chunks.
 func trainAccuracy(net *Network, x, target *tensor.Matrix) (float64, error) {
 	preds, err := net.Predict(x)
 	if err != nil {

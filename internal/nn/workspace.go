@@ -1,0 +1,82 @@
+package nn
+
+import "p4guard/internal/tensor"
+
+// Workspace is an arena of reusable matrices that backs every intermediate
+// buffer of a forward/backward pass: layer outputs, activation caches, loss
+// scratch, and input gradients. Layers Take buffers instead of allocating,
+// and the owner Resets the arena at the top of each pass, so a steady-state
+// training step performs zero heap allocations.
+//
+// A workspace is single-goroutine state. Concurrent passes over one network
+// (inference only — train=false writes no layer state) are safe when each
+// goroutine brings its own workspace; see Network.Infer.
+type Workspace struct {
+	free []*tensor.Matrix
+	used []*tensor.Matrix
+}
+
+// NewWorkspace returns an empty workspace. It grows to the high-water
+// buffer demand of whatever passes run on it and then stops allocating.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Take returns a rows×cols matrix backed by the workspace, choosing the
+// smallest recycled buffer with enough capacity and allocating only when
+// none fits. Contents are unspecified: every caller must fully overwrite
+// the elements it takes. A nil workspace is valid and degrades to a fresh
+// allocation per call.
+func (w *Workspace) Take(rows, cols int) *tensor.Matrix {
+	if w == nil {
+		return tensor.New(rows, cols)
+	}
+	need := rows * cols
+	best := -1
+	for i, m := range w.free {
+		if cap(m.Data) < need {
+			continue
+		}
+		if best < 0 || cap(m.Data) < cap(w.free[best].Data) {
+			best = i
+		}
+	}
+	var m *tensor.Matrix
+	if best >= 0 {
+		last := len(w.free) - 1
+		m = w.free[best]
+		w.free[best] = w.free[last]
+		w.free[last] = nil
+		w.free = w.free[:last]
+		m.Rows, m.Cols = rows, cols
+		m.Data = m.Data[:need]
+	} else {
+		m = tensor.New(rows, cols)
+	}
+	w.used = append(w.used, m)
+	return m
+}
+
+// Reset recycles every buffer handed out since the last Reset. Matrices
+// previously returned by Take (and anything built on them, such as layer
+// outputs) are invalidated: the next pass will overwrite their storage.
+func (w *Workspace) Reset() {
+	if w == nil {
+		return
+	}
+	w.free = append(w.free, w.used...)
+	for i := range w.used {
+		w.used[i] = nil
+	}
+	w.used = w.used[:0]
+}
+
+// ensureShape returns m resized to rows×cols, reusing its backing array
+// when capacity allows, so long-lived result buffers (such as a network's
+// detached input-gradient) stay allocation-free across calls.
+func ensureShape(m *tensor.Matrix, rows, cols int) *tensor.Matrix {
+	if m != nil && cap(m.Data) >= rows*cols {
+		m.Rows, m.Cols = rows, cols
+		m.Data = m.Data[:rows*cols]
+		return m
+	}
+	return tensor.New(rows, cols)
+}

@@ -1,0 +1,159 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The shared worker pool behind the parallel GEMM kernels. Kernels shard
+// their output into row bands and dispatch all but the first band here; the
+// calling goroutine computes band 0 itself and then helps drain the queue
+// while waiting, so the pool can never deadlock and a saturated queue only
+// degrades to inline execution.
+//
+// Tasks are plain structs sent by value and completion groups are pooled,
+// so a parallel kernel call performs no steady-state heap allocations.
+//
+// Determinism: a band is a contiguous, disjoint range of output rows and
+// every output element is computed by exactly one goroutine in the same
+// floating-point order as the serial kernel, so results are bit-identical
+// for any worker count — including 1.
+
+// workerCount is the configured shard count for parallel kernels; 0 means
+// "not set yet" and resolves to runtime.NumCPU().
+var workerCount atomic.Int32
+
+// Workers returns the current kernel parallelism (defaults to the number
+// of CPU cores).
+func Workers() int {
+	if w := workerCount.Load(); w > 0 {
+		return int(w)
+	}
+	return runtime.NumCPU()
+}
+
+// SetWorkers configures how many row bands parallel kernels shard into
+// (and thus their maximum parallelism). n <= 0 resets to the number of
+// CPU cores; 1 forces every kernel onto the calling goroutine. Results
+// are bit-identical across settings.
+func SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	workerCount.Store(int32(n))
+}
+
+// kernelKind selects the band kernel a pooled task runs.
+type kernelKind uint8
+
+const (
+	kernelMatMul kernelKind = iota
+	kernelMatMulATB
+	kernelMatMulABT
+)
+
+// bandTask is one row band of a kernel dispatched to the pool.
+type bandTask struct {
+	kind   kernelKind
+	dst    *Matrix
+	a, b   *Matrix
+	lo, hi int
+	group  *bandGroup
+}
+
+// bandGroup tracks completion of one kernel call's dispatched bands. It is
+// pooled so dispatch stays allocation-free in steady state.
+type bandGroup struct {
+	wg sync.WaitGroup
+}
+
+var bandGroups = sync.Pool{New: func() any { return new(bandGroup) }}
+
+var (
+	poolOnce  sync.Once
+	bandQueue chan bandTask
+)
+
+// startPool launches the persistent pool goroutines, one per CPU core.
+// Workers only ever run leaf band kernels, so they never block on the
+// queue themselves.
+func startPool() {
+	n := runtime.NumCPU()
+	bandQueue = make(chan bandTask, 4*n+8)
+	for i := 0; i < n; i++ {
+		go func() {
+			for t := range bandQueue {
+				runBand(t.kind, t.dst, t.a, t.b, t.lo, t.hi)
+				t.group.wg.Done()
+			}
+		}()
+	}
+}
+
+func runBand(kind kernelKind, dst, a, b *Matrix, lo, hi int) {
+	switch kind {
+	case kernelMatMul:
+		matMulBand(dst, a, b, lo, hi)
+	case kernelMatMulATB:
+		matMulATBBand(dst, a, b, lo, hi)
+	case kernelMatMulABT:
+		matMulABTBand(dst, a, b, lo, hi)
+	}
+}
+
+// dispatchBands shards rows [0, rows) of the kernel's output into w
+// contiguous bands: bands 1..w-1 go to the pool (or run inline when the
+// queue is full), band 0 runs on the caller, and the caller helps drain
+// the queue while waiting for its own bands to finish.
+func dispatchBands(kind kernelKind, dst, a, b *Matrix, rows, w int) {
+	poolOnce.Do(startPool)
+	band := (rows + w - 1) / w
+	g := bandGroups.Get().(*bandGroup)
+	for lo := band; lo < rows; lo += band {
+		hi := lo + band
+		if hi > rows {
+			hi = rows
+		}
+		g.wg.Add(1)
+		select {
+		case bandQueue <- bandTask{kind: kind, dst: dst, a: a, b: b, lo: lo, hi: hi, group: g}:
+		default:
+			runBand(kind, dst, a, b, lo, hi)
+			g.wg.Done()
+		}
+	}
+	if band > rows {
+		band = rows
+	}
+	runBand(kind, dst, a, b, 0, band)
+	for {
+		select {
+		case t := <-bandQueue:
+			runBand(t.kind, t.dst, t.a, t.b, t.lo, t.hi)
+			t.group.wg.Done()
+		default:
+			g.wg.Wait()
+			bandGroups.Put(g)
+			return
+		}
+	}
+}
+
+// bandParallelism decides the shard count for a kernel producing rows
+// output rows at flopsPerRow multiply-adds each: 1 below the cutoff
+// (where goroutine hand-off would dominate), otherwise the configured
+// worker count clamped to the row count.
+func bandParallelism(rows, flopsPerRow int) int {
+	w := Workers()
+	if w <= 1 || rows < 2 {
+		return 1
+	}
+	if rows*flopsPerRow < parCutoff {
+		return 1
+	}
+	if w > rows {
+		w = rows
+	}
+	return w
+}

@@ -70,6 +70,15 @@ func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 // Row returns a view (not a copy) of row i.
 func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
+// RowView returns a view of rows [lo, hi) sharing m's backing storage —
+// mutations through the view are visible in m.
+func (m *Matrix) RowView(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic(fmt.Sprintf("tensor: RowView [%d,%d) of %d rows", lo, hi, m.Rows))
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
 // SetRow copies v into row i.
 func (m *Matrix) SetRow(i int, v []float64) {
 	if len(v) != m.Cols {
@@ -102,74 +111,6 @@ func (m *Matrix) GlorotInit(rng *rand.Rand, fanIn, fanOut int) {
 	m.Randomize(rng, limit)
 }
 
-// MatMul computes dst = a × b. dst must be a.Rows×b.Cols and may not alias
-// a or b.
-func MatMul(dst, a, b *Matrix) error {
-	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
-		return fmt.Errorf("tensor: matmul (%dx%d)·(%dx%d)->(%dx%d): %w",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols, ErrShape)
-	}
-	dst.Zero()
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
-	return nil
-}
-
-// MatMulATB computes dst = aᵀ × b.
-func MatMulATB(dst, a, b *Matrix) error {
-	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
-		return fmt.Errorf("tensor: matmulATB (%dx%d)ᵀ·(%dx%d)->(%dx%d): %w",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols, ErrShape)
-	}
-	dst.Zero()
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
-		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
-	return nil
-}
-
-// MatMulABT computes dst = a × bᵀ.
-func MatMulABT(dst, a, b *Matrix) error {
-	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
-		return fmt.Errorf("tensor: matmulABT (%dx%d)·(%dx%d)ᵀ->(%dx%d): %w",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols, ErrShape)
-	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-			var sum float64
-			for k, av := range arow {
-				sum += av * brow[k]
-			}
-			drow[j] = sum
-		}
-	}
-	return nil
-}
-
 // AddRowVector adds vector v to every row of m in place.
 func (m *Matrix) AddRowVector(v []float64) error {
 	if len(v) != m.Cols {
@@ -187,13 +128,26 @@ func (m *Matrix) AddRowVector(v []float64) error {
 // ColSums returns the per-column sums of m.
 func (m *Matrix) ColSums() []float64 {
 	sums := make([]float64, m.Cols)
+	_ = m.ColSumsInto(sums)
+	return sums
+}
+
+// ColSumsInto writes the per-column sums of m into dst, which must have
+// length m.Cols. It is the allocation-free form of ColSums.
+func (m *Matrix) ColSumsInto(dst []float64) error {
+	if len(dst) != m.Cols {
+		return fmt.Errorf("tensor: ColSumsInto len %d != cols %d: %w", len(dst), m.Cols, ErrShape)
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
-			sums[j] += v
+			dst[j] += v
 		}
 	}
-	return sums
+	return nil
 }
 
 // Apply replaces every element x with f(x).
@@ -234,8 +188,12 @@ func (m *Matrix) Hadamard(other *Matrix) error {
 	return nil
 }
 
-// Argmax returns the index of the largest value in v (first on ties).
+// Argmax returns the index of the largest value in v (first on ties), or
+// -1 when v is empty — callers must treat a negative index as "no class".
 func Argmax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
 	best := 0
 	for i := 1; i < len(v); i++ {
 		if v[i] > v[best] {
@@ -267,10 +225,14 @@ func L2Norm(v []float64) float64 {
 }
 
 // Softmax writes the softmax of src into dst (may alias). It is numerically
-// stabilized by max subtraction.
+// stabilized by max subtraction. Empty input is the explicit degenerate
+// case: the empty distribution, written as no output at all.
 func Softmax(dst, src []float64) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("tensor: softmax len %d != %d", len(dst), len(src)))
+	}
+	if len(src) == 0 {
+		return
 	}
 	maxv := src[0]
 	for _, v := range src[1:] {

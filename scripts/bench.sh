@@ -1,0 +1,32 @@
+#!/bin/sh
+# Benchmark snapshot of the training substrate: blocked GEMM kernels vs
+# the serial oracles, the zero-alloc training step, SmoothGrad attribution
+# serial vs parallel, and end-to-end two-stage training serial vs
+# parallel. Prints the raw output and writes machine-readable results to
+# BENCH_4.json (override with BENCH_OUT).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${BENCH_OUT:-BENCH_4.json}"
+benchtime="${BENCH_TIME:-1s}"
+
+raw=$(go test -run '^$' \
+    -bench 'BenchmarkMatMul|BenchmarkTrainStep|BenchmarkSmoothGradSelect|BenchmarkTwoStageTrain' \
+    -benchtime "$benchtime" \
+    ./internal/tensor/ ./internal/nn/ . 2>&1 | grep -v 'no test files')
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1
+    nsop = $3
+    allocs = "null"
+    for (i = 4; i < NF; i++) if ($(i + 1) == "allocs/op") allocs = $i
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, allocs
+}
+END { print "\n}" }' > "$out"
+echo "wrote $out"

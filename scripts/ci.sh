@@ -15,9 +15,14 @@ go build ./...
 echo "==> go test -race"
 go test -race ./...
 
+echo "==> focused race pass (parallel kernels, workspaces, attribution)"
+# The full -race suite above already covers these; this focused pass keeps
+# the parallel-training packages raced even when CI trims the full suite.
+go test -race -count 1 ./internal/tensor/ ./internal/nn/ ./internal/fieldsel/ ./internal/autoenc/
+
 echo "==> hot-path benchmarks"
 go test -run '^$' \
-    -bench 'BenchmarkKeyIndexFind|BenchmarkCompiledMatcherClassify|BenchmarkRuleSetClassify|BenchmarkDataPlaneLookup$|BenchmarkSwitchRunSequential|BenchmarkSwitchRunParallel' \
+    -bench 'BenchmarkKeyIndexFind|BenchmarkCompiledMatcherClassify|BenchmarkRuleSetClassify|BenchmarkDataPlaneLookup$|BenchmarkSwitchRunSequential|BenchmarkSwitchRunParallel|BenchmarkMatMulMLP|BenchmarkTrainStep' \
     -benchtime "${CI_BENCHTIME:-1s}" \
     ./... 2>&1 | grep -v '^ok\|no test files'
 
@@ -46,5 +51,30 @@ printf '%s\n' "$guard_out" | awk -v pct="${CI_GUARD_PCT:-10}" -v epct="${CI_GUAR
         printf "guard: explain-off %.1f ns/op vs instrumented %.1f ns/op (%.1f%%)\n", eoff, inst, (eratio - 1) * 100
         if (eratio > 1 + epct / 100) { printf "guard: FAIL, disarmed explain sampling costs more than %s%%\n", epct; exit 1 }
     }'
+
+echo "==> training speedup guard"
+# Parallel two-stage training must beat fully serial training by at least
+# CI_GUARD_TRAIN_SPEEDUP on multi-core hosts (the trained pipelines are
+# bit-identical either way — only wall clock may differ). Best-of-N runs
+# so scheduler noise doesn't flake the gate; single-core hosts skip it
+# because serial and parallel are the same schedule there.
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "$cores" -lt 2 ]; then
+    echo "guard: single-core host ($cores), skipping parallel training speedup gate"
+else
+    train_out=$(go test -run '^$' \
+        -bench 'BenchmarkTwoStageTrain' \
+        -benchtime "${CI_GUARD_BENCHTIME:-0.5s}" -count "${CI_GUARD_COUNT:-3}" . 2>&1)
+    printf '%s\n' "$train_out"
+    printf '%s\n' "$train_out" | awk -v min="${CI_GUARD_TRAIN_SPEEDUP:-1.5}" '
+        /^BenchmarkTwoStageTrain\/serial/   { if (ser == 0 || $3 < ser) ser = $3; next }
+        /^BenchmarkTwoStageTrain\/parallel/ { if (par == 0 || $3 < par) par = $3 }
+        END {
+            if (ser == 0 || par == 0) { print "guard: benchmarks missing from output"; exit 1 }
+            speedup = ser / par
+            printf "guard: serial %.0f ns/op, parallel %.0f ns/op (%.2fx)\n", ser, par, speedup
+            if (speedup < min) { printf "guard: FAIL, parallel training speedup %.2fx below %sx\n", speedup, min; exit 1 }
+        }'
+fi
 
 echo "==> ci green"
