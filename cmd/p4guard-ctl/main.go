@@ -39,6 +39,8 @@ func run() int {
 		stats    = flag.Duration("stats", 2*time.Second, "stats print interval")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (empty = off)")
 		jsonOut  = flag.Bool("json", false, "print stats as JSON instead of the key=value line")
+		rpcTO    = flag.Duration("rpc-timeout", 5*time.Second, "per-RPC deadline on switch calls")
+		backoff  = flag.Duration("reconnect-backoff", 50*time.Millisecond, "initial reconnect backoff (doubles with jitter up to 60x)")
 	)
 	flag.Parse()
 
@@ -56,7 +58,10 @@ func run() int {
 		reg = telemetry.NewRegistry()
 		fr = telemetry.NewFlightRecorder(4096)
 	}
-	ctl := controller.New(pipe, controller.Config{Name: "p4guard-ctl", Reactive: *reactive, FlightRecorder: fr})
+	ctl := controller.New(pipe, controller.Config{Name: "p4guard-ctl", Reactive: *reactive},
+		controller.WithFlightRecorder(fr),
+		controller.WithRPCTimeout(*rpcTO),
+		controller.WithReconnectBackoff(*backoff, 60*(*backoff)))
 	defer func() { _ = ctl.Close() }()
 	if reg != nil {
 		ctl.RegisterTelemetry(reg)
@@ -72,12 +77,14 @@ func run() int {
 		}()
 		fmt.Printf("telemetry on http://%s/metrics (flight recorder: /debug/vars, profiles: /debug/pprof)\n", ts.Addr())
 	}
+	ctx, cancelCtx := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelCtx()
 	for _, addr := range strings.Split(*connect, ",") {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
 			continue
 		}
-		if err := ctl.Connect(addr); err != nil {
+		if err := ctl.Connect(ctx, addr); err != nil {
 			fmt.Fprintln(os.Stderr, "p4guard-ctl:", err)
 			return 1
 		}
@@ -87,7 +94,7 @@ func run() int {
 	if *missOpen {
 		miss = p4.Action{Type: p4.ActionAllow}
 	}
-	if err := ctl.DeployRuleSet(pipe.RuleSet(), miss); err != nil {
+	if err := ctl.DeployRuleSet(ctx, pipe.RuleSet(), miss); err != nil {
 		fmt.Fprintln(os.Stderr, "p4guard-ctl:", err)
 		return 1
 	}

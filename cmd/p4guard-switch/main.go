@@ -47,6 +47,8 @@ func run() int {
 		explain  = flag.String("explain", "", "dump sampled per-packet explanations as JSONL to this path")
 		explainN = flag.Int("explain-every", 64, "sample one explanation per this many forwarded packets")
 		jsonOut  = flag.Bool("json", false, "print stats as JSON instead of the key=value line")
+		rpcTO    = flag.Duration("rpc-timeout", 5*time.Second, "write deadline on controller connections (stuck peers are dropped, not waited on)")
+		digestQ  = flag.Int("digest-queue", 4096, "bounded digest queue capacity; overflow drops with accounting")
 	)
 	flag.Parse()
 
@@ -55,7 +57,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "p4guard-switch:", err)
 		return 1
 	}
-	sw, err := switchsim.New(*name, lt)
+	sw, err := switchsim.NewWithDigestCapacity(*name, lt, *digestQ)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p4guard-switch:", err)
 		return 1
@@ -67,7 +69,7 @@ func run() int {
 		}
 		fmt.Printf("rate guard armed: >%d pkts per %s per source\n", *rateThr, *rateWin)
 	}
-	srv, err := p4rt.Serve(*listen, sw, 0)
+	srv, err := p4rt.Serve(*listen, sw, 0, p4rt.WithSendTimeout(*rpcTO))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p4guard-switch:", err)
 		return 1

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -55,10 +56,10 @@ func run() error {
 	}
 	ctl := controller.New(pipe, controller.Config{Name: "live-ctl", Reactive: true})
 	defer func() { _ = ctl.Close() }()
-	if err := ctl.Connect(srv.Addr()); err != nil {
+	if err := ctl.Connect(context.Background(), srv.Addr()); err != nil {
 		return err
 	}
-	if err := ctl.DeployRuleSet(pipe.RuleSet(), p4.Action{Type: p4.ActionDigest}); err != nil {
+	if err := ctl.DeployRuleSet(context.Background(), pipe.RuleSet(), p4.Action{Type: p4.ActionDigest}); err != nil {
 		return err
 	}
 	fmt.Printf("controller connected to %v, %d rules deployed (key: %s)\n",

@@ -7,6 +7,7 @@ package p4guard_test
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net/http"
 	"strconv"
@@ -55,10 +56,10 @@ func TestEndToEndDistributedGateway(t *testing.T) {
 
 	ctl := controller.New(pipe, controller.Config{Name: "int-ctl", Reactive: true})
 	t.Cleanup(func() { _ = ctl.Close() })
-	if err := ctl.Connect(srv.Addr()); err != nil {
+	if err := ctl.Connect(context.Background(), srv.Addr()); err != nil {
 		t.Fatal(err)
 	}
-	if err := ctl.DeployRuleSet(pipe.RuleSet(), p4.Action{Type: p4.ActionDigest}); err != nil {
+	if err := ctl.DeployRuleSet(context.Background(), pipe.RuleSet(), p4.Action{Type: p4.ActionDigest}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -227,10 +228,10 @@ func TestMetricsEndpointEndToEnd(t *testing.T) {
 	ctl := controller.New(pipe, controller.Config{Name: "metrics-ctl", Reactive: true, FlightRecorder: fr})
 	t.Cleanup(func() { _ = ctl.Close() })
 	ctl.RegisterTelemetry(reg)
-	if err := ctl.Connect(srv.Addr()); err != nil {
+	if err := ctl.Connect(context.Background(), srv.Addr()); err != nil {
 		t.Fatal(err)
 	}
-	if err := ctl.DeployRuleSet(pipe.RuleSet(), p4.Action{Type: p4.ActionDigest}); err != nil {
+	if err := ctl.DeployRuleSet(context.Background(), pipe.RuleSet(), p4.Action{Type: p4.ActionDigest}); err != nil {
 		t.Fatal(err)
 	}
 

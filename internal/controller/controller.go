@@ -8,11 +8,30 @@
 // predict the data plane's verdict for any digested packet: reactive
 // installs are suppressed when the deployed rules already drop the key,
 // keeping controller and switch provably in agreement.
+//
+// # Fault tolerance
+//
+// Every switch connection is owned by a supervisor goroutine running a
+// four-state machine (Connecting → Ready ⇄ Degraded → Closed). The
+// controller holds the desired rule state — a program epoch (bumped by
+// each DeployRuleSet) plus the per-switch reactive entry log — and the
+// supervisor reconciles the switch against it: when a connection dies it
+// redials with jittered exponential backoff and replays the full program
+// and every reactive entry, so a switch restart converges back to the
+// exact desired rule set instead of silently running empty. DeployRuleSet
+// therefore converges rather than errors when some switches are away:
+// Ready switches are programmed synchronously, Degraded ones catch up on
+// reconnect.
 package controller
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"p4guard/internal/match"
 	"p4guard/internal/p4"
@@ -29,6 +48,40 @@ type SlowPath interface {
 	MatchOffsets() []int
 }
 
+// ConnState is one switch connection's position in the state machine.
+type ConnState int32
+
+// Connection states. Transitions: Connecting → Ready on a successful
+// dial+reconcile; Ready → Degraded when the connection dies or an RPC
+// fails; Degraded → Connecting on each redial attempt; anything → Closed
+// on controller shutdown.
+const (
+	StateConnecting ConnState = iota
+	StateReady
+	StateDegraded
+	StateClosed
+)
+
+// String names the state for logs, metrics labels, and flight events.
+func (s ConnState) String() string {
+	switch s {
+	case StateConnecting:
+		return "connecting"
+	case StateReady:
+		return "ready"
+	case StateDegraded:
+		return "degraded"
+	case StateClosed:
+		return "closed"
+	default:
+		return "unknown"
+	}
+}
+
+// ConnStates lists every state, in order, for exporters that emit one
+// series per state.
+var ConnStates = []ConnState{StateConnecting, StateReady, StateDegraded, StateClosed}
+
 // Config controls controller behaviour.
 type Config struct {
 	// Name identifies the controller in handshakes.
@@ -42,8 +95,55 @@ type Config struct {
 	QueueDepth int
 	// FlightRecorder, when non-nil, receives structured events for every
 	// digest round trip (classify outcome, monotonic duration), rule-set
-	// deploy, and switch connection.
+	// deploy, connection state change, and reconciliation.
 	FlightRecorder *telemetry.FlightRecorder
+	// RPCTimeout bounds each p4rt call when the caller's context carries
+	// no deadline (default p4rt.DefaultRPCTimeout).
+	RPCTimeout time.Duration
+	// ReconnectMin/ReconnectMax bound the jittered exponential backoff
+	// between redial attempts (defaults 50ms and 3s).
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// Seed drives backoff jitter (default 1); fixed seeds keep soak runs
+	// reproducible.
+	Seed int64
+	// Dialer overrides the transport dialer (fault injection in tests).
+	Dialer p4rt.Dialer
+}
+
+// Option mutates a Config before the controller starts; the functional-
+// options surface of New.
+type Option func(*Config)
+
+// WithFlightRecorder wires the control-plane black box.
+func WithFlightRecorder(fr *telemetry.FlightRecorder) Option {
+	return func(c *Config) { c.FlightRecorder = fr }
+}
+
+// WithReactive toggles reactive exact-drop installation.
+func WithReactive(on bool) Option {
+	return func(c *Config) { c.Reactive = on }
+}
+
+// WithRPCTimeout sets the per-RPC deadline used when a call context has
+// none.
+func WithRPCTimeout(d time.Duration) Option {
+	return func(c *Config) { c.RPCTimeout = d }
+}
+
+// WithReconnectBackoff bounds the jittered exponential redial backoff.
+func WithReconnectBackoff(min, max time.Duration) Option {
+	return func(c *Config) { c.ReconnectMin, c.ReconnectMax = min, max }
+}
+
+// WithSeed fixes the backoff-jitter RNG seed.
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithDialer substitutes the transport dialer (internal/faultnet).
+func WithDialer(d p4rt.Dialer) Option {
+	return func(c *Config) { c.Dialer = d }
 }
 
 // Stats counts controller activity.
@@ -62,12 +162,29 @@ type Stats struct {
 	// DroppedBatches counts digest batches discarded because the work
 	// queue was full (backpressure on the p4rt read loop).
 	DroppedBatches int `json:"dropped_batches"`
+	// Reconnects counts successful redials after a connection died;
+	// Reconciles counts desired-state replays onto a switch (initial
+	// connect included); ReplayedEntries the reactive entries re-installed
+	// by those replays.
+	Reconnects      int `json:"reconnects"`
+	Reconciles      int `json:"reconciles"`
+	ReplayedEntries int `json:"replayed_entries"`
 }
 
 // String renders the stats in the key=value form p4guard-ctl prints.
 func (s Stats) String() string {
-	return fmt.Sprintf("digests=%d slow_benign=%d slow_attack=%d reactive_installs=%d suppressed=%d deploys=%d",
-		s.DigestsProcessed, s.SlowPathBenign, s.SlowPathAttacks, s.ReactiveInstalls, s.MirrorSuppressed, s.Deploys)
+	return fmt.Sprintf("digests=%d slow_benign=%d slow_attack=%d reactive_installs=%d suppressed=%d deploys=%d reconnects=%d reconciles=%d",
+		s.DigestsProcessed, s.SlowPathBenign, s.SlowPathAttacks, s.ReactiveInstalls, s.MirrorSuppressed, s.Deploys, s.Reconnects, s.Reconciles)
+}
+
+// desired is the controller's intended rule state: what every switch
+// should be running. The epoch increments on each DeployRuleSet; the
+// reconciler compares a switch's applied epoch (and reactive watermark)
+// against it and replays the difference.
+type desired struct {
+	valid bool
+	epoch uint64
+	prog  p4rt.Program
 }
 
 // Controller manages one or more switch connections.
@@ -75,15 +192,20 @@ type Controller struct {
 	cfg   Config
 	model SlowPath
 
+	ctx    context.Context // cancelled by Close; gates every supervisor
+	cancel context.CancelFunc
+
 	mu      sync.Mutex
-	clients map[string]*p4rt.Client
+	conns   map[string]*swConn
+	desired desired
 	seen    map[string]bool // reactive keys already installed
 	mirror  *match.Compiled // compiled copy of the last deployed rule set
 	stats   Stats
 	closed  bool
 
-	work chan work
-	wg   sync.WaitGroup
+	work     chan work
+	workerWg sync.WaitGroup // digest worker
+	superWg  sync.WaitGroup // connection supervisors
 }
 
 type work struct {
@@ -91,8 +213,37 @@ type work struct {
 	pkts []p4rt.WirePacket
 }
 
-// New builds a controller around a trained slow-path model.
-func New(model SlowPath, cfg Config) *Controller {
+// swConn is one supervised switch connection. opMu serializes RPC-bearing
+// operations (reconcile, deploy push, reactive install) against the
+// supervisor's replay, so the desired-state log is applied in order.
+type swConn struct {
+	addr  string
+	state atomic.Int32
+
+	opMu            sync.Mutex
+	client          *p4rt.Client // nil while down
+	name            string       // switch name from the last handshake
+	reactive        []p4rt.WireEntry
+	appliedEpoch    uint64
+	appliedReactive int
+
+	reconnects atomic.Uint64
+	reconciles atomic.Uint64
+	replayed   atomic.Uint64
+	rng        *rand.Rand // jitter; supervisor goroutine only
+}
+
+func (sc *swConn) setState(s ConnState) { sc.state.Store(int32(s)) }
+
+// State returns the connection's current position in the state machine.
+func (sc *swConn) State() ConnState { return ConnState(sc.state.Load()) }
+
+// New builds a controller around a trained slow-path model. Options are
+// applied over cfg, so callers mix the struct and functional styles.
+func New(model SlowPath, cfg Config, opts ...Option) *Controller {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	if cfg.Name == "" {
 		cfg.Name = "p4guard-controller"
 	}
@@ -102,46 +253,255 @@ func New(model SlowPath, cfg Config) *Controller {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024
 	}
-	c := &Controller{
-		cfg:     cfg,
-		model:   model,
-		clients: make(map[string]*p4rt.Client),
-		seen:    make(map[string]bool),
-		work:    make(chan work, cfg.QueueDepth),
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = p4rt.DefaultRPCTimeout
 	}
-	c.wg.Add(1)
+	if cfg.ReconnectMin <= 0 {
+		cfg.ReconnectMin = 50 * time.Millisecond
+	}
+	if cfg.ReconnectMax < cfg.ReconnectMin {
+		cfg.ReconnectMax = 3 * time.Second
+		if cfg.ReconnectMax < cfg.ReconnectMin {
+			cfg.ReconnectMax = cfg.ReconnectMin
+		}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Controller{
+		cfg:    cfg,
+		model:  model,
+		ctx:    ctx,
+		cancel: cancel,
+		conns:  make(map[string]*swConn),
+		seen:   make(map[string]bool),
+		work:   make(chan work, cfg.QueueDepth),
+	}
+	c.workerWg.Add(1)
 	go func() {
-		defer c.wg.Done()
+		defer c.workerWg.Done()
 		c.worker()
 	}()
 	return c
 }
 
-// Connect dials a switch agent. Digest handling runs on the controller's
-// worker goroutine, so the p4rt read loop is never blocked by reactive
-// RPCs.
-func (c *Controller) Connect(addr string) error {
-	cl, err := p4rt.Dial(addr, c.cfg.Name, func(pkts []p4rt.WirePacket) {
-		c.enqueue(addr, pkts)
-	})
-	if err != nil {
-		return fmt.Errorf("controller: connect %s: %w", addr, err)
+// dialOpts builds the client options every dial uses.
+func (c *Controller) dialOpts() []p4rt.ClientOption {
+	opts := []p4rt.ClientOption{p4rt.WithRPCTimeout(c.cfg.RPCTimeout)}
+	if c.cfg.Dialer != nil {
+		opts = append(opts, p4rt.WithDialer(c.cfg.Dialer))
 	}
+	return opts
+}
+
+// recordState logs a state transition to the flight recorder.
+func (c *Controller) recordState(sc *swConn, s ConnState, extra map[string]any) {
+	sc.setState(s)
+	if fr := c.cfg.FlightRecorder; fr != nil {
+		fields := map[string]any{"switch": sc.addr, "state": s.String()}
+		for k, v := range extra {
+			fields[k] = v
+		}
+		fr.Record("conn_state", fields)
+	}
+}
+
+// Connect dials a switch agent and brings it to Ready (reconciling any
+// already-deployed rule state) before returning. The initial dial is
+// bounded by ctx and fails fast — no background retry — so callers learn
+// about bad addresses immediately; after the first success a supervisor
+// owns the connection and redials on every failure until Close. Digest
+// handling runs on the controller's worker goroutine, so the p4rt read
+// loop is never blocked by reactive RPCs.
+func (c *Controller) Connect(ctx context.Context, addr string) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
-		_ = cl.Close()
+		c.mu.Unlock()
 		return fmt.Errorf("controller: closed")
 	}
-	if _, dup := c.clients[addr]; dup {
-		_ = cl.Close()
+	if _, dup := c.conns[addr]; dup {
+		c.mu.Unlock()
 		return fmt.Errorf("controller: already connected to %s", addr)
 	}
-	c.clients[addr] = cl
+	sc := &swConn{
+		addr: addr,
+		rng:  rand.New(rand.NewSource(c.cfg.Seed ^ int64(len(c.conns)+1)*0x9E3779B9)),
+	}
+	sc.setState(StateConnecting)
+	c.conns[addr] = sc
+	c.mu.Unlock()
+
+	cl, err := p4rt.DialContext(ctx, addr, c.cfg.Name, func(pkts []p4rt.WirePacket) {
+		c.enqueue(addr, pkts)
+	}, c.dialOpts()...)
+	if err != nil {
+		c.dropConn(addr)
+		return fmt.Errorf("controller: connect %s: %w", addr, err)
+	}
+	sc.opMu.Lock()
+	sc.client = cl
+	sc.name = cl.ServerName()
+	if err := c.reconcileLocked(ctx, sc); err != nil {
+		sc.client = nil
+		sc.opMu.Unlock()
+		_ = cl.Close()
+		c.dropConn(addr)
+		return fmt.Errorf("controller: connect %s: %w", addr, err)
+	}
+	sc.opMu.Unlock()
+	c.recordState(sc, StateReady, map[string]any{"name": cl.ServerName()})
 	if fr := c.cfg.FlightRecorder; fr != nil {
 		fr.Record("connect", map[string]any{"switch": addr, "name": cl.ServerName()})
 	}
+	c.superWg.Add(1)
+	go func() {
+		defer c.superWg.Done()
+		c.supervise(sc, cl)
+	}()
 	return nil
+}
+
+func (c *Controller) dropConn(addr string) {
+	c.mu.Lock()
+	delete(c.conns, addr)
+	c.mu.Unlock()
+}
+
+// supervise owns one connection after its initial success: it waits for
+// the connection to die, then runs the redial/reconcile loop until the
+// controller closes.
+func (c *Controller) supervise(sc *swConn, cl *p4rt.Client) {
+	for {
+		select {
+		case <-c.ctx.Done():
+			if cl != nil {
+				_ = cl.Close()
+			}
+			c.recordState(sc, StateClosed, nil)
+			return
+		case <-cl.Done():
+			_ = cl.Close()
+			sc.opMu.Lock()
+			sc.client = nil
+			sc.opMu.Unlock()
+			c.recordState(sc, StateDegraded, nil)
+		}
+		next, err := c.redial(sc)
+		if err != nil {
+			c.recordState(sc, StateClosed, nil)
+			return
+		}
+		cl = next
+	}
+}
+
+// redial reconnects with jittered exponential backoff until dial AND
+// reconcile both succeed, or the controller closes. A restarted switch
+// comes back empty, so the applied watermarks are reset before the
+// reconcile: the full program and every reactive entry are replayed.
+func (c *Controller) redial(sc *swConn) (*p4rt.Client, error) {
+	backoff := c.cfg.ReconnectMin
+	for attempt := 1; ; attempt++ {
+		select {
+		case <-c.ctx.Done():
+			return nil, c.ctx.Err()
+		default:
+		}
+		c.recordState(sc, StateConnecting, map[string]any{"attempt": attempt})
+		dctx, cancel := context.WithTimeout(c.ctx, c.cfg.RPCTimeout)
+		cl, err := p4rt.DialContext(dctx, sc.addr, c.cfg.Name, func(pkts []p4rt.WirePacket) {
+			c.enqueue(sc.addr, pkts)
+		}, c.dialOpts()...)
+		cancel()
+		if err == nil {
+			sc.opMu.Lock()
+			sc.client = cl
+			sc.name = cl.ServerName()
+			// The peer may be a fresh process: assume nothing survived.
+			sc.appliedEpoch = 0
+			sc.appliedReactive = 0
+			rerr := c.reconcileLocked(c.ctx, sc)
+			if rerr != nil {
+				sc.client = nil
+			}
+			sc.opMu.Unlock()
+			if rerr == nil {
+				sc.reconnects.Add(1)
+				c.bumpStat(func(s *Stats) { s.Reconnects++ })
+				c.recordState(sc, StateReady, map[string]any{"attempt": attempt, "name": cl.ServerName()})
+				return cl, nil
+			}
+			_ = cl.Close()
+			if errors.Is(rerr, context.Canceled) {
+				return nil, rerr
+			}
+		}
+		c.recordState(sc, StateDegraded, map[string]any{"attempt": attempt})
+		// Full jitter over [backoff/2, backoff): desynchronizes herds of
+		// controllers hammering a rebooting switch.
+		d := backoff/2 + time.Duration(sc.rng.Int63n(int64(backoff/2)+1))
+		select {
+		case <-c.ctx.Done():
+			return nil, c.ctx.Err()
+		case <-time.After(d):
+		}
+		backoff *= 2
+		if backoff > c.cfg.ReconnectMax {
+			backoff = c.cfg.ReconnectMax
+		}
+	}
+}
+
+// reconcileLocked replays the desired state the switch is missing: the
+// current program when its epoch is stale (which wipes the table, so all
+// reactive entries follow), otherwise just the un-replayed reactive tail.
+// Callers hold sc.opMu and have sc.client non-nil.
+func (c *Controller) reconcileLocked(ctx context.Context, sc *swConn) error {
+	c.mu.Lock()
+	want := c.desired
+	c.mu.Unlock()
+
+	cl := sc.client
+	replayedProg := false
+	var replayedEntries int
+	if want.valid && sc.appliedEpoch < want.epoch {
+		if _, err := cl.ProgramDetector(ctx, want.prog); err != nil {
+			return fmt.Errorf("reconcile %s: program epoch %d: %w", sc.addr, want.epoch, err)
+		}
+		sc.appliedEpoch = want.epoch
+		sc.appliedReactive = 0 // Program replaced the table: replay all
+		replayedProg = true
+	}
+	for sc.appliedReactive < len(sc.reactive) {
+		e := sc.reactive[sc.appliedReactive]
+		if _, err := cl.WriteEntry(ctx, e); err != nil {
+			return fmt.Errorf("reconcile %s: reactive entry %d/%d: %w", sc.addr, sc.appliedReactive+1, len(sc.reactive), err)
+		}
+		sc.appliedReactive++
+		replayedEntries++
+	}
+	sc.reconciles.Add(1)
+	c.bumpStat(func(s *Stats) {
+		s.Reconciles++
+		s.ReplayedEntries += replayedEntries
+	})
+	sc.replayed.Add(uint64(replayedEntries))
+	if fr := c.cfg.FlightRecorder; fr != nil {
+		fr.Record("reconcile", map[string]any{
+			"switch":   sc.addr,
+			"epoch":    want.epoch,
+			"program":  replayedProg,
+			"reactive": replayedEntries,
+		})
+	}
+	return nil
+}
+
+func (c *Controller) bumpStat(fn func(*Stats)) {
+	c.mu.Lock()
+	fn(&c.stats)
+	c.mu.Unlock()
 }
 
 func (c *Controller) enqueue(addr string, pkts []p4rt.WirePacket) {
@@ -150,9 +510,7 @@ func (c *Controller) enqueue(addr string, pkts []p4rt.WirePacket) {
 	default:
 		// Queue full: drop the batch rather than block the read loop —
 		// and count the loss, it is the controller's overload signal.
-		c.mu.Lock()
-		c.stats.DroppedBatches++
-		c.mu.Unlock()
+		c.bumpStat(func(s *Stats) { s.DroppedBatches++ })
 	}
 }
 
@@ -182,7 +540,7 @@ func (c *Controller) handleDigest(addr string, wp p4rt.WirePacket) {
 
 	c.mu.Lock()
 	c.stats.DigestsProcessed++
-	var cl *p4rt.Client
+	var sc *swConn
 	var install bool
 	var key []byte
 	switch {
@@ -209,28 +567,43 @@ func (c *Controller) handleDigest(addr string, wp p4rt.WirePacket) {
 				break
 			}
 			c.seen[string(key)] = true
-			cl = c.clients[addr]
-			install = cl != nil
+			sc = c.conns[addr]
+			install = sc != nil
 		}
 	}
 	c.mu.Unlock()
 
 	if install {
-		// Exact match expressed as a degenerate range (lo==hi).
-		_, err := cl.WriteEntry(p4rt.WireEntry{
+		// Exact match expressed as a degenerate range (lo==hi). The entry
+		// joins the switch's desired reactive log first, so even if the
+		// write races a connection failure the reconciler replays it.
+		entry := p4rt.WireEntry{
 			Priority: c.cfg.ReactivePriority,
 			Lo:       key,
 			Hi:       append([]byte(nil), key...),
 			Action:   p4rt.FormatAction(p4.ActionDrop),
 			Class:    class,
-		})
+		}
+		sc.opMu.Lock()
+		sc.reactive = append(sc.reactive, entry)
+		cl := sc.client
+		var err error
+		if cl == nil {
+			err = p4rt.ErrConnClosed
+		} else {
+			_, err = cl.WriteEntry(c.ctx, entry)
+			if err == nil {
+				sc.appliedReactive++
+			}
+		}
+		sc.opMu.Unlock()
 		if err == nil {
 			decision = "install"
-			c.mu.Lock()
-			c.stats.ReactiveInstalls++
-			c.mu.Unlock()
+			c.bumpStat(func(s *Stats) { s.ReactiveInstalls++ })
 		} else {
-			decision = "install_failed"
+			// The entry stays in the desired log; the supervisor replays
+			// it once the switch is back.
+			decision = "install_deferred"
 		}
 	}
 	if fr != nil {
@@ -243,10 +616,19 @@ func (c *Controller) handleDigest(addr string, wp p4rt.WirePacket) {
 	}
 }
 
-// DeployRuleSet programs every connected switch with the compiled rules.
-// missAction is the detector's default (digest to keep the slow path in
-// the loop, or allow to run open-loop).
-func (c *Controller) DeployRuleSet(rs *rules.RuleSet, missAction p4.Action) error {
+// DeployRuleSet records the compiled rules as the controller's desired
+// state (bumping the program epoch) and programs every Ready switch
+// synchronously; missAction is the detector's default (digest to keep the
+// slow path in the loop, or allow to run open-loop). Switches that are
+// Degraded or mid-reconnect are not an error: their supervisors replay
+// the new epoch on reconnect, so the fleet converges to this rule set.
+// The call fails only on a rule set the matcher rejects, a cancelled or
+// expired ctx (typed: context.Canceled / p4rt.ErrTimeout), or when no
+// switch was ever connected.
+func (c *Controller) DeployRuleSet(ctx context.Context, rs *rules.RuleSet, missAction p4.Action) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// Compile first: a rule set the unified matcher rejects must never
 	// reach a switch, and the compiled mirror is what the reactive path
 	// consults for deployed coverage.
@@ -259,40 +641,86 @@ func (c *Controller) DeployRuleSet(rs *rules.RuleSet, missAction p4.Action) erro
 		return err
 	}
 	c.mu.Lock()
-	clients := make([]*p4rt.Client, 0, len(c.clients))
-	for _, cl := range c.clients {
-		clients = append(clients, cl)
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("controller: closed")
 	}
+	c.desired.valid = true
+	c.desired.epoch++
+	c.desired.prog = prog
+	epoch := c.desired.epoch
+	conns := make([]*swConn, 0, len(c.conns))
+	for _, sc := range c.conns {
+		conns = append(conns, sc)
+	}
+	c.mirror = mirror
 	c.mu.Unlock()
-	if len(clients) == 0 {
+	if len(conns) == 0 {
 		return fmt.Errorf("controller: no connected switches")
 	}
+
 	var start int64
 	if fr := c.cfg.FlightRecorder; fr != nil {
 		start = fr.Now().Nanoseconds()
 	}
-	for _, cl := range clients {
-		if _, err := cl.ProgramDetector(prog); err != nil {
-			return fmt.Errorf("controller: deploy to %s: %w", cl.ServerName(), err)
+	applied := 0
+	for _, sc := range conns {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("controller: deploy epoch %d: %w", epoch, err)
+		}
+		sc.opMu.Lock()
+		if sc.client == nil || sc.appliedEpoch >= epoch {
+			// Down (the supervisor will replay this epoch on reconnect)
+			// or already converged past us by a concurrent deploy.
+			sc.opMu.Unlock()
+			continue
+		}
+		err := c.reconcileLocked(ctx, sc)
+		sc.opMu.Unlock()
+		switch {
+		case err == nil:
+			applied++
+		case errors.Is(err, context.Canceled) || errors.Is(err, p4rt.ErrTimeout) || errors.Is(err, context.DeadlineExceeded):
+			return fmt.Errorf("controller: deploy to %s: %w", sc.addr, err)
+		case errors.Is(err, p4rt.ErrRejected):
+			// The switch refused the program: converging is impossible,
+			// and retrying would loop. Surface it.
+			return fmt.Errorf("controller: deploy to %s: %w", sc.addr, err)
+		default:
+			// Transport failure mid-deploy: close the client so the
+			// supervisor notices and replays once the switch returns.
+			if cl := sc.clientSnapshot(); cl != nil {
+				_ = cl.Close()
+			}
 		}
 	}
-	c.mu.Lock()
-	c.mirror = mirror
-	c.stats.Deploys++
-	c.stats.DeployedRules = len(prog.Entries)
-	c.mu.Unlock()
+	c.bumpStat(func(s *Stats) {
+		s.Deploys++
+		s.DeployedRules = len(prog.Entries)
+	})
 	if fr := c.cfg.FlightRecorder; fr != nil {
 		fr.Record("deploy", map[string]any{
 			"rules":    len(prog.Entries),
-			"switches": len(clients),
+			"epoch":    epoch,
+			"switches": len(conns),
+			"applied":  applied,
 			"dur_ns":   fr.Now().Nanoseconds() - start,
 		})
 	}
 	return nil
 }
 
+func (sc *swConn) clientSnapshot() *p4rt.Client {
+	sc.opMu.Lock()
+	defer sc.opMu.Unlock()
+	return sc.client
+}
+
 // RegisterTelemetry exports the controller's counters through a metrics
-// registry; values are read from the stats snapshot at scrape time.
+// registry; values are read from the stats snapshot at scrape time. Per-
+// switch connection state is exported one-hot as
+// p4guard_ctl_conn_state{switch,state}, so dashboards alert on any switch
+// leaving ready.
 func (c *Controller) RegisterTelemetry(reg *telemetry.Registry) {
 	ctl := telemetry.Label{Key: "controller", Value: c.cfg.Name}
 	stat := func(pick func(Stats) int) func() float64 {
@@ -314,6 +742,27 @@ func (c *Controller) RegisterTelemetry(reg *telemetry.Registry) {
 		stat(func(s Stats) int { return s.DeployedRules }), ctl)
 	reg.CounterFunc("p4guard_ctl_dropped_batches_total", "Digest batches dropped by work-queue backpressure.",
 		stat(func(s Stats) int { return s.DroppedBatches }), ctl)
+	reg.CounterFunc("p4guard_ctl_reconnects_total", "Successful switch redials after a connection died.",
+		stat(func(s Stats) int { return s.Reconnects }), ctl)
+	reg.CounterFunc("p4guard_ctl_reconciles_total", "Desired-state replays onto a switch.",
+		stat(func(s Stats) int { return s.Reconciles }), ctl)
+	reg.CounterFunc("p4guard_ctl_replayed_entries_total", "Reactive entries re-installed by reconciliation.",
+		stat(func(s Stats) int { return s.ReplayedEntries }), ctl)
+	reg.CollectFunc("p4guard_ctl_conn_state", "Per-switch connection state (one-hot).", "gauge",
+		func(emit func([]telemetry.Label, float64)) {
+			for addr, st := range c.States() {
+				for _, s := range ConnStates {
+					v := 0.0
+					if s == st {
+						v = 1
+					}
+					emit([]telemetry.Label{ctl,
+						{Key: "switch", Value: addr},
+						{Key: "state", Value: s.String()},
+					}, v)
+				}
+			}
+		})
 }
 
 // Stats returns a snapshot of controller counters.
@@ -323,18 +772,33 @@ func (c *Controller) Stats() Stats {
 	return c.stats
 }
 
+// States returns each connected switch's current connection state, keyed
+// by address.
+func (c *Controller) States() map[string]ConnState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]ConnState, len(c.conns))
+	for addr, sc := range c.conns {
+		out[addr] = sc.State()
+	}
+	return out
+}
+
 // Switches returns the names of connected switches.
 func (c *Controller) Switches() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	names := make([]string, 0, len(c.clients))
-	for _, cl := range c.clients {
-		names = append(names, cl.ServerName())
+	names := make([]string, 0, len(c.conns))
+	for _, sc := range c.conns {
+		if n := sc.name; n != "" {
+			names = append(names, n)
+		}
 	}
 	return names
 }
 
-// Close disconnects every switch and stops the worker.
+// Close disconnects every switch, stops the supervisors, and drains the
+// worker. It is idempotent and leaves no goroutines behind.
 func (c *Controller) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -342,20 +806,27 @@ func (c *Controller) Close() error {
 		return nil
 	}
 	c.closed = true
-	clients := make([]*p4rt.Client, 0, len(c.clients))
-	for _, cl := range c.clients {
-		clients = append(clients, cl)
+	conns := make([]*swConn, 0, len(c.conns))
+	for _, sc := range c.conns {
+		conns = append(conns, sc)
 	}
-	c.clients = make(map[string]*p4rt.Client)
 	c.mu.Unlock()
 
+	// Order matters: cancel (stops redials), close live clients (their
+	// read loops exit, so no new digests), wait for supervisors (who may
+	// hold freshly-dialed clients), and only then close the work channel
+	// the read loops feed.
+	c.cancel()
 	var firstErr error
-	for _, cl := range clients {
-		if err := cl.Close(); err != nil && firstErr == nil {
-			firstErr = err
+	for _, sc := range conns {
+		if cl := sc.clientSnapshot(); cl != nil {
+			if err := cl.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
+	c.superWg.Wait()
 	close(c.work)
-	c.wg.Wait()
+	c.workerWg.Wait()
 	return firstErr
 }

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -55,10 +56,10 @@ func TestConnectAndDeploy(t *testing.T) {
 	sw, addr := startSwitch(t)
 	c := New(fakeModel{}, Config{Name: "test-ctl"})
 	t.Cleanup(func() { _ = c.Close() })
-	if err := c.Connect(addr); err != nil {
+	if err := c.Connect(context.Background(), addr); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Connect(addr); err == nil {
+	if err := c.Connect(context.Background(), addr); err == nil {
 		t.Fatal("duplicate connect accepted")
 	}
 	if names := c.Switches(); len(names) != 1 || names[0] != "gw-ctl" {
@@ -67,7 +68,7 @@ func TestConnectAndDeploy(t *testing.T) {
 
 	rs := rules.NewRuleSet([]int{0, 1}, 0)
 	rs.Add(rules.Rule{Priority: 1, Class: 1, Preds: []rules.BytePredicate{{Offset: 0, Lo: 200, Hi: 255}}})
-	if err := c.DeployRuleSet(rs, p4.Action{Type: p4.ActionAllow}); err != nil {
+	if err := c.DeployRuleSet(context.Background(), rs, p4.Action{Type: p4.ActionAllow}); err != nil {
 		t.Fatal(err)
 	}
 	if v := sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{210, 0}}); v.Allowed {
@@ -79,7 +80,7 @@ func TestDeployWithoutSwitches(t *testing.T) {
 	c := New(fakeModel{}, Config{})
 	t.Cleanup(func() { _ = c.Close() })
 	rs := rules.NewRuleSet([]int{0}, 0)
-	if err := c.DeployRuleSet(rs, p4.Action{Type: p4.ActionAllow}); err == nil {
+	if err := c.DeployRuleSet(context.Background(), rs, p4.Action{Type: p4.ActionAllow}); err == nil {
 		t.Fatal("deploy with no switches succeeded")
 	}
 }
@@ -88,12 +89,12 @@ func TestSlowPathStats(t *testing.T) {
 	sw, addr := startSwitch(t)
 	c := New(fakeModel{}, Config{})
 	t.Cleanup(func() { _ = c.Close() })
-	if err := c.Connect(addr); err != nil {
+	if err := c.Connect(context.Background(), addr); err != nil {
 		t.Fatal(err)
 	}
 	// Empty rules with digest-on-miss: everything goes to the slow path.
 	rs := rules.NewRuleSet([]int{0, 1}, 0)
-	if err := c.DeployRuleSet(rs, p4.Action{Type: p4.ActionDigest}); err != nil {
+	if err := c.DeployRuleSet(context.Background(), rs, p4.Action{Type: p4.ActionDigest}); err != nil {
 		t.Fatal(err)
 	}
 	sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{10, 0}})  // benign
@@ -113,11 +114,11 @@ func TestReactiveInstallBlocksRepeat(t *testing.T) {
 	sw, addr := startSwitch(t)
 	c := New(fakeModel{}, Config{Reactive: true})
 	t.Cleanup(func() { _ = c.Close() })
-	if err := c.Connect(addr); err != nil {
+	if err := c.Connect(context.Background(), addr); err != nil {
 		t.Fatal(err)
 	}
 	rs := rules.NewRuleSet([]int{0, 1}, 0)
-	if err := c.DeployRuleSet(rs, p4.Action{Type: p4.ActionDigest}); err != nil {
+	if err := c.DeployRuleSet(context.Background(), rs, p4.Action{Type: p4.ActionDigest}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -150,7 +151,7 @@ func TestReactiveInstallBlocksRepeat(t *testing.T) {
 func TestCloseIdempotent(t *testing.T) {
 	_, addr := startSwitch(t)
 	c := New(fakeModel{}, Config{})
-	if err := c.Connect(addr); err != nil {
+	if err := c.Connect(context.Background(), addr); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Close(); err != nil {
@@ -159,7 +160,7 @@ func TestCloseIdempotent(t *testing.T) {
 	if err := c.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Connect(addr); err == nil {
+	if err := c.Connect(context.Background(), addr); err == nil {
 		t.Fatal("connect after close succeeded")
 	}
 }
@@ -172,11 +173,11 @@ func TestFlightRecorderTracesControlLoop(t *testing.T) {
 	fr := telemetry.NewFlightRecorder(256)
 	c := New(fakeModel{}, Config{Reactive: true, FlightRecorder: fr})
 	t.Cleanup(func() { _ = c.Close() })
-	if err := c.Connect(addr); err != nil {
+	if err := c.Connect(context.Background(), addr); err != nil {
 		t.Fatal(err)
 	}
 	rs := rules.NewRuleSet([]int{0, 1}, 0)
-	if err := c.DeployRuleSet(rs, p4.Action{Type: p4.ActionDigest}); err != nil {
+	if err := c.DeployRuleSet(context.Background(), rs, p4.Action{Type: p4.ActionDigest}); err != nil {
 		t.Fatal(err)
 	}
 	sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{10, 0}})  // benign
@@ -225,11 +226,11 @@ func TestRegisterTelemetryExportsControllerCounters(t *testing.T) {
 	t.Cleanup(func() { _ = c.Close() })
 	reg := telemetry.NewRegistry()
 	c.RegisterTelemetry(reg)
-	if err := c.Connect(addr); err != nil {
+	if err := c.Connect(context.Background(), addr); err != nil {
 		t.Fatal(err)
 	}
 	rs := rules.NewRuleSet([]int{0, 1}, 0)
-	if err := c.DeployRuleSet(rs, p4.Action{Type: p4.ActionDigest}); err != nil {
+	if err := c.DeployRuleSet(context.Background(), rs, p4.Action{Type: p4.ActionDigest}); err != nil {
 		t.Fatal(err)
 	}
 	sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{210, 3}})

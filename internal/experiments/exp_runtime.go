@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -108,7 +109,7 @@ func runRF4(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer func() { _ = rttSrv.Close() }()
-	rttCl, err := p4rt.Dial(rttSrv.Addr(), "rtt-probe", nil)
+	rttCl, err := p4rt.DialContext(context.Background(), rttSrv.Addr(), "rtt-probe", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +117,7 @@ func runRF4(cfg Config) (*Result, error) {
 	const rttProbes = 200
 	start = time.Now()
 	for i := 0; i < rttProbes; i++ {
-		if err := rttCl.Heartbeat(); err != nil {
+		if err := rttCl.Heartbeat(context.Background()); err != nil {
 			return nil, err
 		}
 	}
@@ -207,10 +208,10 @@ func reactivePass(cfg Config, train, test *trace.Dataset, budget int) ([]string,
 
 	ctl := controller.New(pipe, controller.Config{Reactive: true})
 	defer func() { _ = ctl.Close() }()
-	if err := ctl.Connect(srv.Addr()); err != nil {
+	if err := ctl.Connect(context.Background(), srv.Addr()); err != nil {
 		return nil, err
 	}
-	if err := ctl.DeployRuleSet(pipe.RuleSet(), p4.Action{Type: p4.ActionDigest}); err != nil {
+	if err := ctl.DeployRuleSet(context.Background(), pipe.RuleSet(), p4.Action{Type: p4.ActionDigest}); err != nil {
 		return nil, err
 	}
 	_, entries := pipe.TableCost()

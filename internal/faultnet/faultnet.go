@@ -1,0 +1,214 @@
+// Package faultnet is a deterministic fault-injection harness for the
+// control plane: net.Conn / net.Listener / dialer wrappers that inject
+// connection resets, partial writes, and latency according to a seeded
+// RNG. Soak tests wrap the p4rt transport in a Network, let the
+// controller fight through a reproducible fault schedule, then Heal the
+// network and assert the rule state converges.
+//
+// Determinism: every wrapped connection draws its faults from a private
+// RNG seeded from (Network seed, connection ordinal), so a connection's
+// fault schedule depends only on the seed and its own operation sequence,
+// not on how goroutines interleave across connections.
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks a failure manufactured by the harness; test helpers
+// use errors.Is to tell injected faults from real ones.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Config tunes the fault mix. All probabilities are per I/O operation and
+// independent; zero values inject nothing.
+type Config struct {
+	// Seed drives every random decision. Same seed, same schedule.
+	Seed int64
+	// ResetProb is the chance an operation tears the connection down
+	// before transferring anything (models a peer RST / switch reboot).
+	ResetProb float64
+	// PartialWriteProb is the chance a write delivers only a prefix of the
+	// buffer and then resets — the frame on the wire is torn, so the peer
+	// must treat the stream as corrupt.
+	PartialWriteProb float64
+	// LatencyMin/LatencyMax bound a uniform delay injected before each
+	// operation (both zero = no added latency).
+	LatencyMin, LatencyMax time.Duration
+}
+
+// Stats counts injected faults across all connections of a Network.
+type Stats struct {
+	Conns         uint64 // connections wrapped
+	Resets        uint64 // operations that injected a reset
+	PartialWrites uint64 // writes cut short
+	Delays        uint64 // operations that slept
+}
+
+// Network applies one fault Config to every connection it wraps. It
+// starts enabled; Heal disables injection (existing and future
+// connections pass traffic cleanly), Break re-enables it.
+type Network struct {
+	cfg     Config
+	enabled atomic.Bool
+	ordinal atomic.Uint64
+
+	conns         atomic.Uint64
+	resets        atomic.Uint64
+	partialWrites atomic.Uint64
+	delays        atomic.Uint64
+}
+
+// New builds a network harness for the config.
+func New(cfg Config) *Network {
+	n := &Network{cfg: cfg}
+	n.enabled.Store(true)
+	return n
+}
+
+// Heal stops injecting faults; in-flight and future connections behave
+// like clean TCP from the next operation on.
+func (n *Network) Heal() { n.enabled.Store(false) }
+
+// Break resumes fault injection after a Heal.
+func (n *Network) Break() { n.enabled.Store(true) }
+
+// Stats returns cumulative injection counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Conns:         n.conns.Load(),
+		Resets:        n.resets.Load(),
+		PartialWrites: n.partialWrites.Load(),
+		Delays:        n.delays.Load(),
+	}
+}
+
+// Wrap returns c with fault injection applied.
+func (n *Network) Wrap(c net.Conn) net.Conn {
+	n.conns.Add(1)
+	ord := n.ordinal.Add(1)
+	return &conn{
+		Conn: c,
+		net:  n,
+		rng:  rand.New(rand.NewSource(n.cfg.Seed*1000003 + int64(ord))),
+	}
+}
+
+// Listener wraps ln so every accepted connection is fault-injected.
+func (n *Network) Listener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, net: n}
+}
+
+// Dialer wraps a dial function (nil means plain TCP) so every outbound
+// connection is fault-injected. The dial itself is never faulted — only
+// the established connection — so tests separate "cannot reach" from
+// "link is flaky".
+func (n *Network) Dialer(base func(ctx context.Context, addr string) (net.Conn, error)) func(ctx context.Context, addr string) (net.Conn, error) {
+	if base == nil {
+		base = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		c, err := base(ctx, addr)
+		if err != nil {
+			return nil, err
+		}
+		return n.Wrap(c), nil
+	}
+}
+
+type listener struct {
+	net.Listener
+	net *Network
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.net.Wrap(c), nil
+}
+
+// conn injects faults around a real connection. mu serializes RNG draws
+// so each connection's decision sequence is reproducible for a given
+// per-connection operation order.
+type conn struct {
+	net.Conn
+	net *Network
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// plan draws this operation's fate: an injected delay, and whether to
+// reset. partial is the byte count to deliver before failing a write
+// (0 = deliver everything).
+func (c *conn) plan(isWrite bool, n int) (delay time.Duration, reset bool, partial int) {
+	if !c.net.enabled.Load() {
+		return 0, false, 0
+	}
+	cfg := c.net.cfg
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cfg.LatencyMax > cfg.LatencyMin {
+		delay = cfg.LatencyMin + time.Duration(c.rng.Int63n(int64(cfg.LatencyMax-cfg.LatencyMin)))
+	} else {
+		delay = cfg.LatencyMin
+	}
+	if cfg.ResetProb > 0 && c.rng.Float64() < cfg.ResetProb {
+		return delay, true, 0
+	}
+	if isWrite && n > 1 && cfg.PartialWriteProb > 0 && c.rng.Float64() < cfg.PartialWriteProb {
+		return delay, false, 1 + c.rng.Intn(n-1)
+	}
+	return delay, false, 0
+}
+
+func (c *conn) sleep(d time.Duration) {
+	if d > 0 {
+		c.net.delays.Add(1)
+		time.Sleep(d)
+	}
+}
+
+// inject tears the connection down and reports the fault.
+func (c *conn) inject() error {
+	c.net.resets.Add(1)
+	_ = c.Conn.Close()
+	return ErrInjected
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	delay, reset, _ := c.plan(false, len(p))
+	c.sleep(delay)
+	if reset {
+		return 0, c.inject()
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	delay, reset, partial := c.plan(true, len(p))
+	c.sleep(delay)
+	if reset {
+		return 0, c.inject()
+	}
+	if partial > 0 {
+		c.net.partialWrites.Add(1)
+		wn, err := c.Conn.Write(p[:partial])
+		_ = c.Conn.Close()
+		if err != nil {
+			return wn, err
+		}
+		return wn, ErrInjected
+	}
+	return c.Conn.Write(p)
+}

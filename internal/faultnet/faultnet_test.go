@@ -1,0 +1,208 @@
+package faultnet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns two ends of an in-memory connection, the first wrapped
+// by the network under test.
+func pipePair(n *Network) (net.Conn, net.Conn) {
+	a, b := net.Pipe()
+	return n.Wrap(a), b
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	n := New(Config{Seed: 1}) // zero probabilities: no faults
+	a, b := pipePair(n)
+	defer func() { _ = a.Close() }()
+	defer func() { _ = b.Close() }()
+
+	want := []byte("hello switch")
+	go func() { _, _ = a.Write(want) }()
+	got := make([]byte, len(want))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q", got)
+	}
+	if st := n.Stats(); st.Resets != 0 || st.PartialWrites != 0 {
+		t.Fatalf("clean config injected faults: %+v", st)
+	}
+}
+
+func TestResetInjection(t *testing.T) {
+	n := New(Config{Seed: 7, ResetProb: 1})
+	a, b := pipePair(n)
+	defer func() { _ = b.Close() }()
+
+	if _, err := a.Write([]byte("doomed")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	// The underlying conn must actually be dead, not just the error faked.
+	if _, err := b.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read succeeded after injected reset")
+	}
+	if st := n.Stats(); st.Resets != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPartialWriteDeliversPrefixThenDies(t *testing.T) {
+	n := New(Config{Seed: 3, PartialWriteProb: 1})
+	a, b := pipePair(n)
+	defer func() { _ = b.Close() }()
+
+	payload := bytes.Repeat([]byte{0xAB}, 64)
+	var wn int
+	var werr error
+	done := make(chan struct{})
+	go func() {
+		wn, werr = a.Write(payload)
+		close(done)
+	}()
+	// The prefix arrives, then the stream ends.
+	got, _ := io.ReadAll(b)
+	<-done
+	if !errors.Is(werr, ErrInjected) {
+		t.Fatalf("write err = %v, want ErrInjected", werr)
+	}
+	if wn == 0 || wn >= len(payload) {
+		t.Fatalf("partial write wrote %d of %d", wn, len(payload))
+	}
+	if len(got) != wn || !bytes.Equal(got, payload[:wn]) {
+		t.Fatalf("peer saw %d bytes, writer claims %d", len(got), wn)
+	}
+	if st := n.Stats(); st.PartialWrites != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHealStopsInjection(t *testing.T) {
+	n := New(Config{Seed: 9, ResetProb: 1})
+	n.Heal()
+	a, b := pipePair(n)
+	defer func() { _ = a.Close() }()
+	defer func() { _ = b.Close() }()
+
+	go func() { _, _ = a.Write([]byte("ok")) }()
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatalf("healed network still faulting: %v", err)
+	}
+	n.Break()
+	if _, err := a.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Break did not resume injection: %v", err)
+	}
+}
+
+// TestDeterministicSchedule: two networks with the same seed must make
+// identical fault decisions for the same per-connection operation
+// sequence.
+func TestDeterministicSchedule(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		n := New(Config{Seed: seed, ResetProb: 0.3, PartialWriteProb: 0.3})
+		c := n.Wrap(nopConn{}).(*conn)
+		out := make([]bool, 0, 64)
+		for i := 0; i < 64; i++ {
+			_, reset, partial := c.plan(i%2 == 0, 32)
+			out = append(out, reset, partial > 0)
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d", i)
+		}
+	}
+	diff := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != diff[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	n := New(Config{Seed: 5, LatencyMin: 20 * time.Millisecond, LatencyMax: 30 * time.Millisecond})
+	a, b := pipePair(n)
+	defer func() { _ = a.Close() }()
+	defer func() { _ = b.Close() }()
+
+	go func() {
+		buf := make([]byte, 1)
+		_, _ = b.Read(buf)
+	}()
+	start := time.Now()
+	if _, err := a.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("write returned in %v, want >= 20ms injected latency", d)
+	}
+	if n.Stats().Delays == 0 {
+		t.Fatal("no delay recorded")
+	}
+}
+
+func TestDialerAndListenerWrap(t *testing.T) {
+	n := New(Config{Seed: 11})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln := n.Listener(ln)
+	defer func() { _ = fln.Close() }()
+
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := fln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	dial := n.Dialer(nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	cl, err := dial(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+	srv := <-accepted
+	defer func() { _ = srv.Close() }()
+
+	if _, ok := cl.(*conn); !ok {
+		t.Fatal("dialer did not wrap the connection")
+	}
+	if _, ok := srv.(*conn); !ok {
+		t.Fatal("listener did not wrap the connection")
+	}
+	if n.Stats().Conns != 2 {
+		t.Fatalf("conns = %d, want 2", n.Stats().Conns)
+	}
+}
+
+// nopConn satisfies net.Conn for schedule probing without real I/O.
+type nopConn struct{}
+
+func (nopConn) Read([]byte) (int, error)         { return 0, io.EOF }
+func (nopConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (nopConn) Close() error                     { return nil }
+func (nopConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (nopConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (nopConn) SetDeadline(time.Time) error      { return nil }
+func (nopConn) SetReadDeadline(time.Time) error  { return nil }
+func (nopConn) SetWriteDeadline(time.Time) error { return nil }

@@ -35,6 +35,7 @@ type Pipeline struct {
 	byName  map[string]*Table
 	snap    atomic.Pointer[[]*Table] // published copy of tables for lock-free reads
 	digests []Digest
+	offered uint64 // digests ever presented to the queue (accepted + dropped)
 	queued  uint64 // digests ever enqueued
 	drained uint64 // digests handed to DrainDigests callers
 	dropped uint64 // digests dropped due to a full queue
@@ -147,6 +148,7 @@ func (p *Pipeline) RunTables(tables []*Table, pkt *packet.Packet) Verdict {
 func (p *Pipeline) queueDigest(d Digest) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.offered++
 	if len(p.digests) >= p.maxQ {
 		p.dropped++
 		return
@@ -178,9 +180,12 @@ type DigestQueueStats struct {
 	// Depth is the current queue occupancy; Capacity its bound.
 	Depth    int
 	Capacity int
-	// Queued counts digests accepted into the queue; Drained those handed
-	// to the controller side; Dropped those lost to overflow. The
-	// invariant Queued == Drained + Depth always holds.
+	// Offered counts every digest presented to the queue; Queued those
+	// accepted; Drained those handed to the controller side; Dropped those
+	// lost to overflow. Two invariants always hold:
+	//   Queued  == Drained + Depth
+	//   Offered == Drained + Dropped + Depth
+	Offered uint64
 	Queued  uint64
 	Drained uint64
 	Dropped uint64
@@ -193,6 +198,7 @@ func (p *Pipeline) DigestQueueStats() DigestQueueStats {
 	return DigestQueueStats{
 		Depth:    len(p.digests),
 		Capacity: p.maxQ,
+		Offered:  p.offered,
 		Queued:   p.queued,
 		Drained:  p.drained,
 		Dropped:  p.dropped,

@@ -290,6 +290,29 @@ func (t *Table) Len() int {
 	return len(t.state.Load().entries)
 }
 
+// Entries returns a deep copy of the installed entries in the current
+// lookup generation's (priority-sorted) order, counters excluded. The
+// control plane uses it to prove two tables converged to the same state
+// byte for byte (reconciliation tests, audit dumps); mutating the copies
+// never touches the live table.
+func (t *Table) Entries() []Entry {
+	st := t.state.Load()
+	out := make([]Entry, len(st.entries))
+	for i, e := range st.entries {
+		out[i] = Entry{
+			ID:        e.ID,
+			Priority:  e.Priority,
+			Value:     append([]byte(nil), e.Value...),
+			Mask:      append([]byte(nil), e.Mask...),
+			PrefixLen: e.PrefixLen,
+			Lo:        append([]byte(nil), e.Lo...),
+			Hi:        append([]byte(nil), e.Hi...),
+			Action:    e.Action,
+		}
+	}
+	return out
+}
+
 // Lookup matches the frame against the table and returns the action.
 // matched reports whether an entry (vs the default action) fired. The
 // hot path is lock-free — one atomic load of the current index

@@ -1,8 +1,11 @@
 package p4rt
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"time"
 )
@@ -11,6 +14,7 @@ import (
 type Client struct {
 	conn       net.Conn
 	serverName string
+	rpcTimeout time.Duration
 
 	writeMu sync.Mutex // serializes frame writes
 	mu      sync.Mutex // guards nextID/pending/closed
@@ -18,46 +22,127 @@ type Client struct {
 	pending map[uint64]chan Envelope
 	closed  bool
 
+	// done is closed when the read loop exits — the single signal that the
+	// connection is dead. Every in-flight call selects on it, so no waiter
+	// can hang on a connection that will never answer.
+	done chan struct{}
+
 	onDigest func([]WirePacket)
 	wg       sync.WaitGroup
 }
 
-// DialTimeout bounds connection establishment and each RPC.
+// DialTimeout bounds connection establishment (and the handshake) when the
+// caller's context carries no deadline of its own.
 const DialTimeout = 5 * time.Second
 
-// Dial connects to a switch agent, performs the hello handshake, and
-// starts the read loop. onDigest (may be nil) receives asynchronous packet
-// samples; it is called from the read loop, so it must not block on RPCs
-// issued over the same client.
+// DefaultRPCTimeout bounds each RPC when neither the call context nor a
+// WithRPCTimeout option supplies a deadline.
+const DefaultRPCTimeout = 5 * time.Second
+
+// Dialer opens the transport connection; tests substitute fault-injecting
+// implementations (internal/faultnet).
+type Dialer func(ctx context.Context, addr string) (net.Conn, error)
+
+// ClientOption customizes DialContext.
+type ClientOption func(*clientOptions)
+
+type clientOptions struct {
+	rpcTimeout time.Duration
+	dialer     Dialer
+}
+
+// WithRPCTimeout sets the per-call deadline applied when a call's context
+// has none (<=0 keeps DefaultRPCTimeout).
+func WithRPCTimeout(d time.Duration) ClientOption {
+	return func(o *clientOptions) {
+		if d > 0 {
+			o.rpcTimeout = d
+		}
+	}
+}
+
+// WithDialer substitutes the transport dialer (fault injection, proxies).
+func WithDialer(d Dialer) ClientOption {
+	return func(o *clientOptions) {
+		if d != nil {
+			o.dialer = d
+		}
+	}
+}
+
+// Dial connects with background context and default timeouts.
+//
+// Deprecated: use DialContext, which honors cancellation and deadlines.
 func Dial(addr, clientName string, onDigest func([]WirePacket)) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	return DialContext(context.Background(), addr, clientName, onDigest)
+}
+
+// DialContext connects to a switch agent, performs the hello handshake,
+// and starts the read loop. Establishment and handshake are bounded by
+// ctx (or DialTimeout when ctx has no deadline). onDigest (may be nil)
+// receives asynchronous packet samples; it is called from the read loop,
+// so it must not block on RPCs issued over the same client.
+func DialContext(ctx context.Context, addr, clientName string, onDigest func([]WirePacket), opts ...ClientOption) (*Client, error) {
+	o := clientOptions{
+		rpcTimeout: DefaultRPCTimeout,
+		dialer: func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		},
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if _, has := ctx.Deadline(); !has {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, DialTimeout)
+		defer cancel()
+	}
+	conn, err := o.dialer(ctx, addr)
 	if err != nil {
-		return nil, fmt.Errorf("p4rt: dial %s: %w", addr, err)
+		return nil, fmt.Errorf("p4rt: dial %s: %w", addr, dialCause(ctx, err))
 	}
 	c := &Client{
-		conn:     conn,
-		pending:  make(map[uint64]chan Envelope),
-		onDigest: onDigest,
+		conn:       conn,
+		rpcTimeout: o.rpcTimeout,
+		pending:    make(map[uint64]chan Envelope),
+		done:       make(chan struct{}),
+		onDigest:   onDigest,
 	}
-	// Handshake happens before the read loop starts, synchronously.
+	// Handshake happens before the read loop starts, synchronously, under
+	// the context deadline (cleared afterwards for the long-lived loop).
+	// Cancellation mid-handshake poisons the conn deadline so the blocked
+	// I/O returns immediately instead of riding out the full deadline.
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	}
+	watchStop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Unix(1, 0)) })
+	defer watchStop()
 	if err := WriteMsg(conn, TypeHello, 1, Hello{SwitchName: clientName}); err != nil {
 		_ = conn.Close()
-		return nil, err
+		return nil, fmt.Errorf("p4rt: handshake: %w", dialCause(ctx, err))
 	}
 	env, err := ReadMsg(conn)
 	if err != nil {
 		_ = conn.Close()
-		return nil, fmt.Errorf("p4rt: handshake: %w", err)
+		return nil, fmt.Errorf("p4rt: handshake: %w", dialCause(ctx, err))
 	}
 	if env.Type != TypeHelloAck {
 		_ = conn.Close()
-		return nil, fmt.Errorf("p4rt: handshake got %q, want hello_ack", env.Type)
+		return nil, &RejectError{Op: TypeHello, Reason: fmt.Sprintf("got %q, want hello_ack", env.Type)}
 	}
 	var ack HelloAck
 	if err := DecodeBody(env, &ack); err != nil {
 		_ = conn.Close()
 		return nil, err
 	}
+	if !watchStop() {
+		// ctx fired during the handshake tail: the conn deadline is already
+		// poisoned, so don't hand out a client born dead.
+		_ = conn.Close()
+		return nil, fmt.Errorf("p4rt: dial %s: %w", addr, dialCause(ctx, errors.New("handshake interrupted")))
+	}
+	_ = conn.SetDeadline(time.Time{})
 	c.serverName = ack.ServerName
 	c.mu.Lock()
 	c.nextID = 1
@@ -71,38 +156,64 @@ func Dial(addr, clientName string, onDigest func([]WirePacket)) (*Client, error)
 	return c, nil
 }
 
+// dialCause maps context expiry during dial/handshake onto the typed
+// taxonomy: deadline → ErrTimeout, cancellation → ctx.Err(). The conn
+// deadline mirrors the ctx deadline, so an I/O timeout is the same event
+// even when the poller fires a moment before ctx.Err() flips.
+func dialCause(ctx context.Context, err error) error {
+	switch {
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
+	case ctx.Err() != nil:
+		return fmt.Errorf("%w: %w", ctx.Err(), err)
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
+	default:
+		return err
+	}
+}
+
 // ServerName returns the switch name from the handshake.
 func (c *Client) ServerName() string { return c.serverName }
 
-// Close shuts the connection and waits for the read loop.
+// Done returns a channel closed when the connection dies (read loop
+// exits): peer reset, transport error, or local Close. The controller's
+// reconnect supervisor watches it.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// Close shuts the connection and waits for the read loop, which fails
+// every pending call with ErrConnClosed on its way out.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		c.wg.Wait()
 		return nil
 	}
 	c.closed = true
-	for id, ch := range c.pending {
-		close(ch)
-		delete(c.pending, id)
-	}
 	c.mu.Unlock()
 	err := c.conn.Close()
 	c.wg.Wait()
 	return err
 }
 
+// readLoop pumps frames until the connection dies, then fails every
+// pending call and closes done. It is the only goroutine that completes
+// pending channels, so there is no completer/closer race: a call either
+// receives its response or observes done.
 func (c *Client) readLoop() {
+	defer func() {
+		c.mu.Lock()
+		for id, ch := range c.pending {
+			close(ch)
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		close(c.done)
+	}()
 	for {
 		env, err := ReadMsg(c.conn)
 		if err != nil {
-			// Connection closed: fail all pending calls.
-			c.mu.Lock()
-			for id, ch := range c.pending {
-				close(ch)
-				delete(c.pending, id)
-			}
-			c.mu.Unlock()
 			return
 		}
 		switch env.Type {
@@ -125,12 +236,30 @@ func (c *Client) readLoop() {
 	}
 }
 
-// call issues one request and waits for its response.
-func (c *Client) call(typ MsgType, body any) (Response, error) {
+// forget drops a pending call registration (timeout/cancel paths).
+func (c *Client) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// call issues one request and waits for its response, the context, or
+// connection death — whichever comes first. When ctx carries no deadline
+// the client's RPC timeout applies, so a dead socket can never block a
+// caller forever.
+func (c *Client) call(ctx context.Context, typ MsgType, body any) (Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, has := ctx.Deadline(); !has && c.rpcTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.rpcTimeout)
+		defer cancel()
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return Response{}, net.ErrClosed
+		return Response{}, fmt.Errorf("%w: %s on closed client", ErrConnClosed, typ)
 	}
 	c.nextID++
 	id := c.nextID
@@ -142,49 +271,57 @@ func (c *Client) call(typ MsgType, body any) (Response, error) {
 	err := WriteMsg(c.conn, typ, id, body)
 	c.writeMu.Unlock()
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return Response{}, err
+		c.forget(id)
+		if errors.Is(err, ErrOversized) {
+			return Response{}, err
+		}
+		// A failed frame write leaves the stream unframed; the connection
+		// is unusable. Close it so the read loop (and Done) observe death.
+		_ = c.conn.Close()
+		return Response{}, fmt.Errorf("%w: %s write: %w", ErrConnClosed, typ, err)
 	}
 	select {
 	case env, ok := <-ch:
 		if !ok {
-			return Response{}, fmt.Errorf("p4rt: connection closed awaiting %s response", typ)
+			return Response{}, fmt.Errorf("%w: awaiting %s response", ErrConnClosed, typ)
 		}
 		var resp Response
 		if err := DecodeBody(env, &resp); err != nil {
 			return Response{}, err
 		}
 		if resp.Error != "" {
-			return resp, fmt.Errorf("p4rt: %s: %s", typ, resp.Error)
+			return resp, &RejectError{Op: typ, Reason: resp.Error}
 		}
 		return resp, nil
-	case <-time.After(DialTimeout):
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return Response{}, fmt.Errorf("p4rt: %s timed out", typ)
+	case <-c.done:
+		c.forget(id)
+		return Response{}, fmt.Errorf("%w: awaiting %s response", ErrConnClosed, typ)
+	case <-ctx.Done():
+		c.forget(id)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return Response{}, fmt.Errorf("%w: %s", ErrTimeout, typ)
+		}
+		return Response{}, fmt.Errorf("p4rt: %s: %w", typ, ctx.Err())
 	}
 }
 
 // ProgramDetector reprograms the switch's detector table.
-func (c *Client) ProgramDetector(prog Program) (Response, error) {
-	return c.call(TypeProgram, prog)
+func (c *Client) ProgramDetector(ctx context.Context, prog Program) (Response, error) {
+	return c.call(ctx, TypeProgram, prog)
 }
 
 // WriteEntry inserts one reactive entry.
-func (c *Client) WriteEntry(e WireEntry) (Response, error) {
-	return c.call(TypeWrite, Write{Entry: e})
+func (c *Client) WriteEntry(ctx context.Context, e WireEntry) (Response, error) {
+	return c.call(ctx, TypeWrite, Write{Entry: e})
 }
 
 // Counters reads the detector table counters.
-func (c *Client) Counters() (Response, error) {
-	return c.call(TypeCounters, CountersRequest{})
+func (c *Client) Counters(ctx context.Context) (Response, error) {
+	return c.call(ctx, TypeCounters, CountersRequest{})
 }
 
 // Heartbeat checks liveness.
-func (c *Client) Heartbeat() error {
-	_, err := c.call(TypeHeartbeat, struct{}{})
+func (c *Client) Heartbeat(ctx context.Context) error {
+	_, err := c.call(ctx, TypeHeartbeat, struct{}{})
 	return err
 }

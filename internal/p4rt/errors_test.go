@@ -1,0 +1,218 @@
+package p4rt
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// silentServer accepts connections, completes the hello handshake, then
+// swallows every subsequent frame without answering — the shape of a
+// switch agent that wedged after boot. Tests use it to exercise the
+// timeout and shutdown paths deterministically.
+func silentServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer func() { _ = c.Close() }()
+				env, err := ReadMsg(c)
+				if err != nil || env.Type != TypeHello {
+					return
+				}
+				if err := WriteMsg(c, TypeHelloAck, env.ID, HelloAck{ServerName: "silent"}); err != nil {
+					return
+				}
+				for {
+					if _, err := ReadMsg(c); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// muteListener accepts connections and never speaks — not even the
+// handshake — so DialContext blocks until its context fires.
+func muteListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer func() { _ = conn.Close() }()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestCallTimeoutIsTyped(t *testing.T) {
+	addr := silentServer(t)
+	cl, err := DialContext(context.Background(), addr, "t", nil, WithRPCTimeout(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	start := time.Now()
+	err = cl.Heartbeat(context.Background())
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("timeout took %v, want ~50ms", d)
+	}
+	// A per-call deadline must override the client default.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := cl.Heartbeat(ctx); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("ctx deadline err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestCallCancelIsTyped(t *testing.T) {
+	addr := silentServer(t)
+	cl, err := DialContext(context.Background(), addr, "t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if err := cl.Heartbeat(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRejectedIsTyped(t *testing.T) {
+	_, _, cl := startPair(t, nil)
+	_, err := cl.ProgramDetector(context.Background(), Program{Offsets: []int{0}, DefaultAction: "bogus"})
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	var rej *RejectError
+	if !errors.As(err, &rej) {
+		t.Fatalf("err %v is not a *RejectError", err)
+	}
+	if rej.Op != TypeProgram || rej.Reason == "" {
+		t.Fatalf("reject = %+v", rej)
+	}
+	// The switch refused the request but the connection is fine.
+	if err := cl.Heartbeat(context.Background()); err != nil {
+		t.Fatalf("connection dead after rejection: %v", err)
+	}
+}
+
+func TestOversizedIsTypedAndNonFatal(t *testing.T) {
+	_, _, cl := startPair(t, nil)
+	huge := make([]byte, MaxFrame)
+	_, err := cl.WriteEntry(context.Background(), WireEntry{Lo: huge, Hi: huge, Action: "drop"})
+	if !errors.Is(err, ErrOversized) {
+		t.Fatalf("err = %v, want ErrOversized", err)
+	}
+	// Nothing hit the wire, so the stream is still framed and usable.
+	if err := cl.Heartbeat(context.Background()); err != nil {
+		t.Fatalf("connection dead after oversized reject: %v", err)
+	}
+}
+
+// TestCloseUnblocksPendingCalls is the shutdown-race regression test: a
+// call in flight when Close runs must fail promptly with ErrConnClosed,
+// never hang on a response that will not come. Run under -race.
+func TestCloseUnblocksPendingCalls(t *testing.T) {
+	addr := silentServer(t)
+	cl, err := DialContext(context.Background(), addr, "t", nil, WithRPCTimeout(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- cl.Heartbeat(context.Background()) }()
+	time.Sleep(20 * time.Millisecond) // let the call register and write
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrConnClosed) {
+			t.Fatalf("pending call err = %v, want ErrConnClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending call still blocked after Close")
+	}
+}
+
+func TestPeerDeathClosesDoneAndFailsCalls(t *testing.T) {
+	_, srv, cl := startPair(t, nil)
+	if err := cl.Heartbeat(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv.Close()
+	select {
+	case <-cl.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("Done not closed after server death")
+	}
+	if err := cl.Heartbeat(context.Background()); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("err = %v, want ErrConnClosed", err)
+	}
+}
+
+func TestDialContextDeadlineIsTyped(t *testing.T) {
+	addr := muteListener(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := DialContext(ctx, addr, "t", nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("dial timeout took %v", d)
+	}
+}
+
+func TestDialContextCancelIsTyped(t *testing.T) {
+	addr := muteListener(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := DialContext(ctx, addr, "t", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCallOnClosedClientIsTyped(t *testing.T) {
+	_, _, cl := startPair(t, nil)
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Heartbeat(context.Background()); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("err = %v, want ErrConnClosed", err)
+	}
+}

@@ -2,6 +2,7 @@ package p4rt
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -118,7 +119,7 @@ func TestHandshake(t *testing.T) {
 	if cl.ServerName() != "gw-test" {
 		t.Fatalf("server name %q", cl.ServerName())
 	}
-	if err := cl.Heartbeat(); err != nil {
+	if err := cl.Heartbeat(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -132,7 +133,7 @@ func TestProgramAndCountersOverWire(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := cl.ProgramDetector(prog)
+	resp, err := cl.ProgramDetector(context.Background(), prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestProgramAndCountersOverWire(t *testing.T) {
 		t.Fatal("benign packet dropped after remote program")
 	}
 
-	counters, err := cl.Counters()
+	counters, err := cl.Counters(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,10 +161,10 @@ func TestProgramAndCountersOverWire(t *testing.T) {
 func TestWriteEntryOverWire(t *testing.T) {
 	sw, _, cl := startPair(t, nil)
 	prog := Program{Offsets: []int{0}, DefaultAction: "allow"}
-	if _, err := cl.ProgramDetector(prog); err != nil {
+	if _, err := cl.ProgramDetector(context.Background(), prog); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := cl.WriteEntry(WireEntry{
+	resp, err := cl.WriteEntry(context.Background(), WireEntry{
 		Priority: 5, Lo: []byte{42}, Hi: []byte{42}, Action: "drop", Class: 1,
 	})
 	if err != nil || !resp.OK {
@@ -176,12 +177,12 @@ func TestWriteEntryOverWire(t *testing.T) {
 
 func TestProgramErrorsPropagate(t *testing.T) {
 	_, _, cl := startPair(t, nil)
-	_, err := cl.ProgramDetector(Program{Offsets: []int{0}, DefaultAction: "bogus"})
+	_, err := cl.ProgramDetector(context.Background(), Program{Offsets: []int{0}, DefaultAction: "bogus"})
 	if err == nil {
 		t.Fatal("bogus default action accepted")
 	}
 	// Range entry with lo>hi must be rejected remotely.
-	if _, err := cl.ProgramDetector(Program{
+	if _, err := cl.ProgramDetector(context.Background(), Program{
 		Offsets:       []int{0},
 		DefaultAction: "allow",
 		Entries:       []WireEntry{{Lo: []byte{5}, Hi: []byte{4}, Action: "drop"}},
@@ -228,7 +229,7 @@ func TestClientCloseIdempotent(t *testing.T) {
 	if err := cl.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Heartbeat(); err == nil {
+	if err := cl.Heartbeat(context.Background()); err == nil {
 		t.Fatal("heartbeat succeeded on closed client")
 	}
 }
@@ -258,10 +259,10 @@ func TestMultipleClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = cl2.Close() }()
-	if err := cl1.Heartbeat(); err != nil {
+	if err := cl1.Heartbeat(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl2.Heartbeat(); err != nil {
+	if err := cl2.Heartbeat(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -17,8 +17,9 @@ import (
 // behavioural switch over the p4rt protocol and pushes digests to every
 // connected controller.
 type Server struct {
-	sw *switchsim.Switch
-	ln net.Listener
+	sw          *switchsim.Switch
+	ln          net.Listener
+	sendTimeout time.Duration
 
 	mu     sync.Mutex
 	conns  map[net.Conn]*connState
@@ -35,21 +36,46 @@ type Server struct {
 	stop chan struct{}
 }
 
+// ServerOption customizes Serve/ServeListener.
+type ServerOption func(*Server)
+
+// WithSendTimeout bounds each frame write to a controller connection
+// (default 5s). A controller that stops reading — or a black-holed link —
+// trips the deadline and the connection is dropped, so one stuck peer can
+// never wedge the digest pump or a request handler. <=0 keeps the default.
+func WithSendTimeout(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d > 0 {
+			s.sendTimeout = d
+		}
+	}
+}
+
 // Serve starts listening on addr ("127.0.0.1:0" picks a free port) and
 // pumping digests every interval (<=0 means 10ms).
-func Serve(addr string, sw *switchsim.Switch, digestInterval time.Duration) (*Server, error) {
+func Serve(addr string, sw *switchsim.Switch, digestInterval time.Duration, opts ...ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("p4rt: listen: %w", err)
 	}
+	return ServeListener(ln, sw, digestInterval, opts...)
+}
+
+// ServeListener serves the agent on an already-bound listener; tests wrap
+// it with fault injection (internal/faultnet) before handing it over.
+func ServeListener(ln net.Listener, sw *switchsim.Switch, digestInterval time.Duration, opts ...ServerOption) (*Server, error) {
 	if digestInterval <= 0 {
 		digestInterval = 10 * time.Millisecond
 	}
 	s := &Server{
-		sw:    sw,
-		ln:    ln,
-		conns: make(map[net.Conn]*connState),
-		stop:  make(chan struct{}),
+		sw:          sw,
+		ln:          ln,
+		sendTimeout: 5 * time.Second,
+		conns:       make(map[net.Conn]*connState),
+		stop:        make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.wg.Add(2)
 	go func() {
@@ -202,6 +228,10 @@ func (s *Server) send(conn net.Conn, typ MsgType, id uint64, body any) error {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if s.sendTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.sendTimeout))
+		defer func() { _ = conn.SetWriteDeadline(time.Time{}) }()
+	}
 	return WriteMsg(conn, typ, id, body)
 }
 
@@ -253,6 +283,17 @@ func (s *Server) digestPump(interval time.Duration) {
 		case <-s.stop:
 			return
 		case <-ticker.C:
+		}
+		// Graceful degradation while the controller is away: leave digests
+		// queued instead of draining them into the void. The data plane
+		// keeps forwarding on its configured miss action, the bounded queue
+		// absorbs the burst, and overflow is dropped with accounting
+		// (Offered == Drained + Dropped + Depth) rather than silently.
+		s.mu.Lock()
+		nconns := len(s.conns)
+		s.mu.Unlock()
+		if nconns == 0 {
+			continue
 		}
 		ds := s.sw.DrainDigests(256)
 		if len(ds) == 0 {

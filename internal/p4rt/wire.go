@@ -128,7 +128,7 @@ func WriteMsg(w io.Writer, typ MsgType, id uint64, body any) error {
 		return fmt.Errorf("p4rt: marshal envelope: %w", err)
 	}
 	if len(env) > MaxFrame {
-		return fmt.Errorf("p4rt: frame %d exceeds max %d", len(env), MaxFrame)
+		return fmt.Errorf("%w: frame %d exceeds max %d", ErrOversized, len(env), MaxFrame)
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(env)))
@@ -149,7 +149,7 @@ func ReadMsg(r io.Reader) (Envelope, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return Envelope{}, fmt.Errorf("p4rt: frame %d exceeds max %d", n, MaxFrame)
+		return Envelope{}, fmt.Errorf("%w: frame %d exceeds max %d", ErrOversized, n, MaxFrame)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {

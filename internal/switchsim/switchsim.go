@@ -147,11 +147,21 @@ func (s *RunStats) merge(d RunStats) {
 // New builds a switch for the link type with an empty detector table whose
 // miss action sends a digest to the controller (fail-open with sampling).
 func New(name string, link packet.LinkType) (*Switch, error) {
+	return NewWithDigestCapacity(name, link, 4096)
+}
+
+// NewWithDigestCapacity builds a switch with an explicit digest-queue
+// bound (<=0 means the pipeline default). The queue is the switch's
+// controller-loss buffer: while no controller is connected the data plane
+// keeps forwarding on the detector's configured miss action, digests
+// accumulate up to this bound, and overflow is dropped with accounting
+// (Offered == Drained + Dropped + Depth) instead of growing without limit.
+func NewWithDigestCapacity(name string, link packet.LinkType, digestCap int) (*Switch, error) {
 	parser, err := p4.StandardParser(link)
 	if err != nil {
 		return nil, fmt.Errorf("switchsim: %w", err)
 	}
-	pipe := p4.NewPipeline(4096)
+	pipe := p4.NewPipeline(digestCap)
 	det := p4.NewTable(DetectorTable, p4.MatchRange, nil, 0, p4.Action{Type: p4.ActionDigest})
 	if err := pipe.AddTable(det); err != nil {
 		return nil, err

@@ -20,6 +20,16 @@ echo "==> focused race pass (parallel kernels, workspaces, attribution)"
 # the parallel-training packages raced even when CI trims the full suite.
 go test -race -count 1 ./internal/tensor/ ./internal/nn/ ./internal/fieldsel/ ./internal/autoenc/
 
+echo "==> fault-injection soak (seeded, race-enabled)"
+# The control plane must fight through a reproducible storm of connection
+# resets, torn frames, and injected latency (internal/faultnet, fixed
+# seed) and still converge the switch to the exact desired rule set with
+# no goroutine leaks. Repeated runs catch interleavings a single pass
+# misses; the seed keeps every run's fault schedule identical.
+go test -race -count "${CI_SOAK_COUNT:-3}" \
+    -run 'TestFaultInjectionSoak|TestReconnectConvergesAfterSwitchRestart|TestCloseUnblocksPendingCalls|TestDeterministicSchedule' \
+    ./internal/controller/ ./internal/p4rt/ ./internal/faultnet/
+
 echo "==> hot-path benchmarks"
 go test -run '^$' \
     -bench 'BenchmarkKeyIndexFind|BenchmarkCompiledMatcherClassify|BenchmarkRuleSetClassify|BenchmarkDataPlaneLookup$|BenchmarkSwitchRunSequential|BenchmarkSwitchRunParallel|BenchmarkMatMulMLP|BenchmarkTrainStep' \
