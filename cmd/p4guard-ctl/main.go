@@ -1,7 +1,8 @@
 // Command p4guard-ctl runs the SDN controller: it loads (or trains) a
-// two-stage model, connects to one or more switches, deploys the compiled
-// rules, and services digests on the slow path, optionally installing
-// reactive drop entries.
+// two-stage model, connects to a fleet of switches — optionally through an
+// emulated fabric topology — shards and deploys the compiled rules, and
+// services digests on the slow path, optionally installing reactive drop
+// entries.
 package main
 
 import (
@@ -11,12 +12,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
 
 	"p4guard"
 	"p4guard/internal/controller"
+	"p4guard/internal/netsim"
 	"p4guard/internal/p4"
 	"p4guard/internal/telemetry"
 )
@@ -27,7 +30,10 @@ func main() {
 
 func run() int {
 	var (
-		connect  = flag.String("connect", "127.0.0.1:9559", "comma-separated switch addresses")
+		connect  = flag.String("connect", "", "comma-separated switch addresses (default 127.0.0.1:9559; with -topology, every switch bound in the spec)")
+		topoPath = flag.String("topology", "", "netsim topology spec (JSON); switch connections are dialed through the emulated fabric")
+		shards   = flag.Int("shards", 1, "rule shards the fleet is partitioned into")
+		shardPol = flag.String("shard-policy", "replicate", "rule partitioning across shards: replicate|by-class")
 		model    = flag.String("model", "", "load a model saved by p4guard-train")
 		scenario = flag.String("scenario", "wifi-mqtt", "train on this scenario when -model is empty")
 		packets  = flag.Int("packets", 3000, "training packets when -model is empty")
@@ -44,6 +50,12 @@ func run() int {
 	)
 	flag.Parse()
 
+	policy, err := controller.ParseShardPolicy(*shardPol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4guard-ctl:", err)
+		return 1
+	}
+
 	pipe, err := loadOrTrain(*model, *scenario, *packets, *seed, *k)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p4guard-ctl:", err)
@@ -52,6 +64,35 @@ func run() int {
 	fmt.Printf("model: k=%d fields [%s], %d rules\n",
 		len(pipe.Offsets), pipe.DescribeFields(), len(pipe.RuleSet().Rules))
 
+	// With -topology, the controller dials every switch through the
+	// emulated fabric from the spec's controller node, and an empty
+	// -connect defaults to the spec's bound switches (node-sorted, so
+	// auto shard assignment is deterministic).
+	addrs := splitAddrs(*connect)
+	var fleetOpts []controller.Option
+	if *topoPath != "" {
+		spec, topo, err := netsim.LoadSpec(*topoPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4guard-ctl:", err)
+			return 1
+		}
+		fleetOpts = append(fleetOpts, controller.WithDialer(topo.Dialer(spec.Controller, nil)))
+		if len(addrs) == 0 {
+			nodes := make([]string, 0, len(spec.Binds))
+			for n := range spec.Binds {
+				nodes = append(nodes, n)
+			}
+			sort.Strings(nodes)
+			for _, n := range nodes {
+				addrs = append(addrs, spec.Binds[n])
+			}
+		}
+		fmt.Printf("fabric: %s, dialing from node %s\n", *topoPath, spec.Controller)
+	}
+	if len(addrs) == 0 {
+		addrs = []string{"127.0.0.1:9559"}
+	}
+
 	var fr *telemetry.FlightRecorder
 	var reg *telemetry.Registry
 	if *metrics != "" {
@@ -59,9 +100,12 @@ func run() int {
 		fr = telemetry.NewFlightRecorder(4096)
 	}
 	ctl := controller.New(pipe, controller.Config{Name: "p4guard-ctl", Reactive: *reactive},
-		controller.WithFlightRecorder(fr),
-		controller.WithRPCTimeout(*rpcTO),
-		controller.WithReconnectBackoff(*backoff, 60*(*backoff)))
+		append(fleetOpts,
+			controller.WithFlightRecorder(fr),
+			controller.WithRPCTimeout(*rpcTO),
+			controller.WithReconnectBackoff(*backoff, 60*(*backoff)),
+			controller.WithShards(*shards),
+			controller.WithShardPolicy(policy))...)
 	defer func() { _ = ctl.Close() }()
 	if reg != nil {
 		ctl.RegisterTelemetry(reg)
@@ -79,11 +123,7 @@ func run() int {
 	}
 	ctx, cancelCtx := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancelCtx()
-	for _, addr := range strings.Split(*connect, ",") {
-		addr = strings.TrimSpace(addr)
-		if addr == "" {
-			continue
-		}
+	for _, addr := range addrs {
 		if err := ctl.Connect(ctx, addr); err != nil {
 			fmt.Fprintln(os.Stderr, "p4guard-ctl:", err)
 			return 1
@@ -98,7 +138,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "p4guard-ctl:", err)
 		return 1
 	}
-	fmt.Printf("deployed rules to %v\n", ctl.Switches())
+	fmt.Printf("deployed rules to %v (%d shard(s), policy %s)\n", ctl.Switches(), *shards, policy)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -138,9 +178,27 @@ func loadOrTrain(path, scenario string, packets int, seed int64, k int) (*p4guar
 	return p4guard.Train(ds, p4guard.Config{Seed: seed, NumFields: k})
 }
 
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// statsLine is the -json stats document: aggregate counters plus the
+// per-switch fleet view (connection state, shard, reconcile watermarks,
+// fan-in accounting).
+type statsLine struct {
+	Stats    controller.Stats          `json:"stats"`
+	Switches []controller.SwitchStatus `json:"switches"`
+}
+
 func printStats(ctl *controller.Controller, asJSON bool) {
 	if asJSON {
-		if line, err := json.Marshal(ctl.Stats()); err == nil {
+		if line, err := json.Marshal(statsLine{Stats: ctl.Stats(), Switches: ctl.FleetStatus()}); err == nil {
 			fmt.Println(string(line))
 		}
 		return

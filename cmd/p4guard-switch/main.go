@@ -34,6 +34,7 @@ func run() int {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:9559", "p4rt listen address")
 		name     = flag.String("name", "gw0", "switch name")
+		node     = flag.String("node", "", "fabric node identity reported to controllers (matches a netsim topology node)")
 		link     = flag.String("link", "ethernet", "link type: ethernet|ieee802.15.4|ble")
 		replay   = flag.String("replay", "", "scenario to replay through the data plane")
 		packetsN = flag.Int("packets", 2000, "packets per replay round")
@@ -61,6 +62,9 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p4guard-switch:", err)
 		return 1
+	}
+	if *node != "" {
+		sw.SetNode(*node)
 	}
 	if *rateThr > 0 {
 		if err := sw.EnableRateGuard(nil, *rateThr, *rateWin); err != nil {

@@ -54,9 +54,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	ctl := controller.New(pipe, controller.Config{Name: "live-ctl", Reactive: true})
+	// A one-switch deployment is just the degenerate fleet: one shard,
+	// replicate policy, the switch explicitly assigned to shard 0.
+	ctl := controller.New(pipe, controller.Config{Name: "live-ctl", Reactive: true},
+		controller.WithShards(1),
+		controller.WithShardPolicy(controller.ShardReplicate))
 	defer func() { _ = ctl.Close() }()
-	if err := ctl.Connect(context.Background(), srv.Addr()); err != nil {
+	if err := ctl.ConnectShard(context.Background(), srv.Addr(), 0); err != nil {
 		return err
 	}
 	if err := ctl.DeployRuleSet(context.Background(), pipe.RuleSet(), p4.Action{Type: p4.ActionDigest}); err != nil {
@@ -105,5 +109,12 @@ func run() error {
 			cst.DigestsProcessed, cst.SlowPathAttacks, cst.ReactiveInstalls)
 	}
 	fmt.Println("\nwave 2 should drop more at the data plane: reactive entries from wave 1 now match.")
+
+	// Fleet view of the single gateway: state, shard, watermarks, fan-in.
+	for _, st := range ctl.FleetStatus() {
+		fmt.Printf("fleet: %s (%s) shard=%d state=%s epoch=%d/%d reactive=%d/%d fan-in offered=%d drained=%d dropped=%d\n",
+			st.Addr, st.Name, st.Shard, st.State, st.AppliedEpoch, st.DesiredEpoch,
+			st.AppliedReactive, st.ReactiveLog, st.FanIn.Offered, st.FanIn.Drained, st.FanIn.Dropped)
+	}
 	return nil
 }

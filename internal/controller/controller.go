@@ -1,27 +1,39 @@
 // Package controller implements the SDN controller side of the gateway:
-// it deploys compiled rule sets to switches over p4rt, classifies digested
-// (table-miss) packets with the full stage-2 model as a slow path, and can
-// reactively install exact-match drop entries for attacks the rules missed.
+// it deploys compiled rule sets to a fleet of switches over p4rt,
+// classifies digested (table-miss) packets with the full stage-2 model as
+// a slow path, and can reactively install exact-match drop entries for
+// attacks the rules missed.
 //
-// The controller keeps a compiled mirror of the last deployed rule set
+// The controller keeps a compiled mirror of each deployed rule shard
 // (the same internal/match engine the switch tables run), so it can
-// predict the data plane's verdict for any digested packet: reactive
-// installs are suppressed when the deployed rules already drop the key,
-// keeping controller and switch provably in agreement.
+// predict a given switch's verdict for any digested packet: reactive
+// installs are suppressed when that switch's deployed shard already drops
+// the key, keeping controller and switch provably in agreement.
+//
+// # Fleet sharding
+//
+// The controller owns a registry of N gateway switches, each assigned a
+// shard index. DeployRuleSet partitions the distilled rule set with
+// PlanShards (replicate or by-class) and programs every switch with its
+// shard's rule set; all shards share the match-key layout and miss
+// action, so the slow path is uniform. Digests fan in from every switch
+// through a per-switch bounded queue drained round-robin by one worker —
+// per switch and fleet-wide the accounting invariant
+// Offered == Drained + Dropped + Depth holds at any quiescent point.
 //
 // # Fault tolerance
 //
 // Every switch connection is owned by a supervisor goroutine running a
 // four-state machine (Connecting → Ready ⇄ Degraded → Closed). The
 // controller holds the desired rule state — a program epoch (bumped by
-// each DeployRuleSet) plus the per-switch reactive entry log — and the
-// supervisor reconciles the switch against it: when a connection dies it
-// redials with jittered exponential backoff and replays the full program
-// and every reactive entry, so a switch restart converges back to the
-// exact desired rule set instead of silently running empty. DeployRuleSet
-// therefore converges rather than errors when some switches are away:
-// Ready switches are programmed synchronously, Degraded ones catch up on
-// reconnect.
+// each DeployRuleSet) with one program per shard, plus the per-switch
+// reactive entry log — and the supervisor reconciles the switch against
+// it: when a connection dies it redials with jittered exponential backoff
+// and replays the shard program and every reactive entry, so a switch
+// restart converges back to the exact desired shard instead of silently
+// running empty. DeployRuleSet therefore converges rather than errors
+// when some switches are away: Ready switches are programmed
+// synchronously, Degraded ones catch up on reconnect.
 package controller
 
 import (
@@ -91,8 +103,17 @@ type Config struct {
 	// ReactivePriority is the priority reactive entries carry (must beat
 	// compiled rules to stick; default 1<<20).
 	ReactivePriority int
-	// QueueDepth bounds the pending reactive-work queue (default 1024).
+	// QueueDepth bounds each switch's digest fan-in queue, in batches
+	// (default 1024). One overloaded switch fills only its own queue;
+	// overflow is dropped with accounting, never blocking the p4rt read
+	// loop or starving the other switches' digests.
 	QueueDepth int
+	// Shards is the number of rule shards the fleet is partitioned into
+	// (default 1: every switch runs the same shard).
+	Shards int
+	// Policy selects how DeployRuleSet splits the rule set across shards
+	// (default ShardReplicate).
+	Policy ShardPolicy
 	// FlightRecorder, when non-nil, receives structured events for every
 	// digest round trip (classify outcome, monotonic duration), rule-set
 	// deploy, connection state change, and reconciliation.
@@ -107,7 +128,8 @@ type Config struct {
 	// Seed drives backoff jitter (default 1); fixed seeds keep soak runs
 	// reproducible.
 	Seed int64
-	// Dialer overrides the transport dialer (fault injection in tests).
+	// Dialer overrides the transport dialer (fault injection in tests,
+	// netsim topology dialing in emulated fabrics).
 	Dialer p4rt.Dialer
 }
 
@@ -141,9 +163,20 @@ func WithSeed(seed int64) Option {
 	return func(c *Config) { c.Seed = seed }
 }
 
-// WithDialer substitutes the transport dialer (internal/faultnet).
+// WithDialer substitutes the transport dialer (internal/faultnet,
+// internal/netsim).
 func WithDialer(d p4rt.Dialer) Option {
 	return func(c *Config) { c.Dialer = d }
+}
+
+// WithShards sets the fleet's shard count.
+func WithShards(n int) Option {
+	return func(c *Config) { c.Shards = n }
+}
+
+// WithShardPolicy sets the rule-partitioning policy.
+func WithShardPolicy(p ShardPolicy) Option {
+	return func(c *Config) { c.Policy = p }
 }
 
 // Stats counts controller activity.
@@ -156,11 +189,12 @@ type Stats struct {
 	// deployment mirror proved the data plane already drops the key.
 	MirrorSuppressed int `json:"mirror_suppressed"`
 	// Deploys counts successful DeployRuleSet calls; DeployedRules the
-	// rows shipped by the most recent one.
+	// rows shipped by the most recent one, summed across shards.
 	Deploys       int `json:"deploys"`
 	DeployedRules int `json:"deployed_rules"`
-	// DroppedBatches counts digest batches discarded because the work
-	// queue was full (backpressure on the p4rt read loop).
+	// DroppedBatches counts digest batches discarded because a switch's
+	// fan-in queue was full (backpressure on the p4rt read loop), summed
+	// across the fleet.
 	DroppedBatches int `json:"dropped_batches"`
 	// Reconnects counts successful redials after a connection died;
 	// Reconciles counts desired-state replays onto a switch (initial
@@ -177,17 +211,48 @@ func (s Stats) String() string {
 		s.DigestsProcessed, s.SlowPathBenign, s.SlowPathAttacks, s.ReactiveInstalls, s.MirrorSuppressed, s.Deploys, s.Reconnects, s.Reconciles)
 }
 
-// desired is the controller's intended rule state: what every switch
-// should be running. The epoch increments on each DeployRuleSet; the
-// reconciler compares a switch's applied epoch (and reactive watermark)
-// against it and replays the difference.
+// desired is the controller's intended rule state: one program per shard.
+// The epoch increments on each DeployRuleSet; the reconciler compares a
+// switch's applied epoch (and reactive watermark) against it and replays
+// the difference for that switch's shard.
 type desired struct {
-	valid bool
-	epoch uint64
-	prog  p4rt.Program
+	valid  bool
+	epoch  uint64
+	shards []p4rt.Program
 }
 
-// Controller manages one or more switch connections.
+// FanInStats is one switch's digest fan-in accounting. At any quiescent
+// point Offered == Drained + Dropped + Depth.
+type FanInStats struct {
+	Offered uint64 `json:"offered"`
+	Drained uint64 `json:"drained"`
+	Dropped uint64 `json:"dropped"`
+	Depth   int    `json:"depth"`
+}
+
+// SwitchStatus is one switch's position in the fleet: identity, shard
+// assignment, connection state, reconcile watermarks, and fan-in
+// accounting. Snapshots are lock-cheap — no RPC-bearing lock is taken —
+// so status stays responsive while a reconcile is replaying entries.
+type SwitchStatus struct {
+	Addr            string     `json:"addr"`
+	Name            string     `json:"name,omitempty"`
+	Node            string     `json:"node,omitempty"`
+	Shard           int        `json:"shard"`
+	State           string     `json:"state"`
+	DesiredEpoch    uint64     `json:"desired_epoch"`
+	AppliedEpoch    uint64     `json:"applied_epoch"`
+	ReactiveLog     int        `json:"reactive_log"`
+	AppliedReactive int        `json:"applied_reactive"`
+	Reconnects      uint64     `json:"reconnects"`
+	Reconciles      uint64     `json:"reconciles"`
+	Replayed        uint64     `json:"replayed"`
+	Digests         uint64     `json:"digests"`
+	Installs        uint64     `json:"installs"`
+	FanIn           FanInStats `json:"fan_in"`
+}
+
+// Controller manages a fleet of switch connections.
 type Controller struct {
 	cfg   Config
 	model SlowPath
@@ -197,20 +262,25 @@ type Controller struct {
 
 	mu      sync.Mutex
 	conns   map[string]*swConn
+	fleet   []*swConn // join order, for status and deterministic iteration
+	joined  int       // lifetime joins, drives auto shard assignment
 	desired desired
-	seen    map[string]bool // reactive keys already installed
-	mirror  *match.Compiled // compiled copy of the last deployed rule set
+	mirrors []*match.Compiled // per-shard compiled mirrors of last deploy
 	stats   Stats
 	closed  bool
 
-	work     chan work
+	// Digest fan-in: per-switch bounded queues drained round-robin by the
+	// worker. fanMu guards every queue plus its counters; it is never
+	// held while mu is held (and vice versa) — the two domains only meet
+	// in snapshot methods, which take them in sequence, not nested.
+	fanMu    sync.Mutex
+	fanCond  *sync.Cond
+	fanOpen  bool
+	fanConns []*swConn
+	rr       int // round-robin cursor into fanConns
+
 	workerWg sync.WaitGroup // digest worker
 	superWg  sync.WaitGroup // connection supervisors
-}
-
-type work struct {
-	addr string
-	pkts []p4rt.WirePacket
 }
 
 // swConn is one supervised switch connection. opMu serializes RPC-bearing
@@ -218,19 +288,35 @@ type work struct {
 // supervisor's replay, so the desired-state log is applied in order.
 type swConn struct {
 	addr  string
+	shard int
 	state atomic.Int32
 
-	opMu            sync.Mutex
-	client          *p4rt.Client // nil while down
-	name            string       // switch name from the last handshake
-	reactive        []p4rt.WireEntry
-	appliedEpoch    uint64
-	appliedReactive int
+	opMu     sync.Mutex
+	client   *p4rt.Client // nil while down
+	reactive []p4rt.WireEntry
+
+	// Watermarks are written under opMu but read lock-free by status
+	// snapshots, so a slow reconcile never blocks FleetStatus.
+	appliedEpoch    atomic.Uint64
+	appliedReactive atomic.Uint64
+	reactiveLen     atomic.Uint64
+
+	name string          // switch name from the last handshake; guarded by Controller.mu
+	node string          // fabric node from the last handshake; guarded by Controller.mu
+	seen map[string]bool // reactive keys installed on THIS switch; guarded by Controller.mu
 
 	reconnects atomic.Uint64
 	reconciles atomic.Uint64
 	replayed   atomic.Uint64
+	digests    atomic.Uint64
+	installs   atomic.Uint64
 	rng        *rand.Rand // jitter; supervisor goroutine only
+
+	// Fan-in queue; guarded by Controller.fanMu.
+	fanQ       [][]p4rt.WirePacket
+	fanOffered uint64
+	fanDrained uint64
+	fanDropped uint64
 }
 
 func (sc *swConn) setState(s ConnState) { sc.state.Store(int32(s)) }
@@ -253,6 +339,9 @@ func New(model SlowPath, cfg Config, opts ...Option) *Controller {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024
 	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
 	if cfg.RPCTimeout <= 0 {
 		cfg.RPCTimeout = p4rt.DefaultRPCTimeout
 	}
@@ -270,14 +359,14 @@ func New(model SlowPath, cfg Config, opts ...Option) *Controller {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Controller{
-		cfg:    cfg,
-		model:  model,
-		ctx:    ctx,
-		cancel: cancel,
-		conns:  make(map[string]*swConn),
-		seen:   make(map[string]bool),
-		work:   make(chan work, cfg.QueueDepth),
+		cfg:     cfg,
+		model:   model,
+		ctx:     ctx,
+		cancel:  cancel,
+		conns:   make(map[string]*swConn),
+		fanOpen: true,
 	}
+	c.fanCond = sync.NewCond(&c.fanMu)
 	c.workerWg.Add(1)
 	go func() {
 		defer c.workerWg.Done()
@@ -307,14 +396,26 @@ func (c *Controller) recordState(sc *swConn, s ConnState, extra map[string]any) 
 	}
 }
 
-// Connect dials a switch agent and brings it to Ready (reconciling any
-// already-deployed rule state) before returning. The initial dial is
+// shardCount returns the configured shard count (always >= 1).
+func (c *Controller) shardCount() int { return c.cfg.Shards }
+
+// Connect dials a switch agent with an automatically assigned shard
+// (join order modulo the shard count, so a homogeneous fleet balances
+// itself). See ConnectShard.
+func (c *Controller) Connect(ctx context.Context, addr string) error {
+	return c.ConnectShard(ctx, addr, -1)
+}
+
+// ConnectShard dials a switch agent, assigns it to a shard (shard < 0
+// auto-assigns by join order), and brings it to Ready — reconciling any
+// already-deployed shard program — before returning. The initial dial is
 // bounded by ctx and fails fast — no background retry — so callers learn
 // about bad addresses immediately; after the first success a supervisor
 // owns the connection and redials on every failure until Close. Digest
-// handling runs on the controller's worker goroutine, so the p4rt read
-// loop is never blocked by reactive RPCs.
-func (c *Controller) Connect(ctx context.Context, addr string) error {
+// handling runs on the controller's worker goroutine via the switch's
+// bounded fan-in queue, so the p4rt read loop is never blocked by
+// reactive RPCs.
+func (c *Controller) ConnectShard(ctx context.Context, addr string, shard int) error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -324,35 +425,49 @@ func (c *Controller) Connect(ctx context.Context, addr string) error {
 		c.mu.Unlock()
 		return fmt.Errorf("controller: already connected to %s", addr)
 	}
+	if shard < 0 {
+		shard = c.joined % c.shardCount()
+	} else {
+		shard = shard % c.shardCount()
+	}
+	c.joined++
 	sc := &swConn{
-		addr: addr,
-		rng:  rand.New(rand.NewSource(c.cfg.Seed ^ int64(len(c.conns)+1)*0x9E3779B9)),
+		addr:  addr,
+		shard: shard,
+		seen:  make(map[string]bool),
+		rng:   rand.New(rand.NewSource(c.cfg.Seed ^ int64(len(c.conns)+1)*0x9E3779B9)),
 	}
 	sc.setState(StateConnecting)
 	c.conns[addr] = sc
+	c.fleet = append(c.fleet, sc)
 	c.mu.Unlock()
+	c.fanMu.Lock()
+	c.fanConns = append(c.fanConns, sc)
+	c.fanMu.Unlock()
 
 	cl, err := p4rt.DialContext(ctx, addr, c.cfg.Name, func(pkts []p4rt.WirePacket) {
-		c.enqueue(addr, pkts)
+		c.enqueue(sc, pkts)
 	}, c.dialOpts()...)
 	if err != nil {
-		c.dropConn(addr)
+		c.unregister(sc)
 		return fmt.Errorf("controller: connect %s: %w", addr, err)
 	}
 	sc.opMu.Lock()
 	sc.client = cl
-	sc.name = cl.ServerName()
 	if err := c.reconcileLocked(ctx, sc); err != nil {
 		sc.client = nil
 		sc.opMu.Unlock()
 		_ = cl.Close()
-		c.dropConn(addr)
+		c.unregister(sc)
 		return fmt.Errorf("controller: connect %s: %w", addr, err)
 	}
 	sc.opMu.Unlock()
+	c.setIdentity(sc, cl)
 	c.recordState(sc, StateReady, map[string]any{"name": cl.ServerName()})
 	if fr := c.cfg.FlightRecorder; fr != nil {
-		fr.Record("connect", map[string]any{"switch": addr, "name": cl.ServerName()})
+		fr.Record("connect", map[string]any{
+			"switch": addr, "name": cl.ServerName(), "node": cl.ServerNode(), "shard": shard,
+		})
 	}
 	c.superWg.Add(1)
 	go func() {
@@ -362,10 +477,36 @@ func (c *Controller) Connect(ctx context.Context, addr string) error {
 	return nil
 }
 
-func (c *Controller) dropConn(addr string) {
+// setIdentity records the handshake identity under the registry lock.
+func (c *Controller) setIdentity(sc *swConn, cl *p4rt.Client) {
 	c.mu.Lock()
-	delete(c.conns, addr)
+	sc.name = cl.ServerName()
+	sc.node = cl.ServerNode()
 	c.mu.Unlock()
+}
+
+// unregister rolls back a failed initial connect: the switch leaves the
+// registry, the fleet, and the fan-in rotation, and its join is refunded
+// so the next auto-assignment lands on the same shard.
+func (c *Controller) unregister(sc *swConn) {
+	c.mu.Lock()
+	delete(c.conns, sc.addr)
+	for i, other := range c.fleet {
+		if other == sc {
+			c.fleet = append(c.fleet[:i], c.fleet[i+1:]...)
+			break
+		}
+	}
+	c.joined--
+	c.mu.Unlock()
+	c.fanMu.Lock()
+	for i, other := range c.fanConns {
+		if other == sc {
+			c.fanConns = append(c.fanConns[:i], c.fanConns[i+1:]...)
+			break
+		}
+	}
+	c.fanMu.Unlock()
 }
 
 // supervise owns one connection after its initial success: it waits for
@@ -399,7 +540,8 @@ func (c *Controller) supervise(sc *swConn, cl *p4rt.Client) {
 // redial reconnects with jittered exponential backoff until dial AND
 // reconcile both succeed, or the controller closes. A restarted switch
 // comes back empty, so the applied watermarks are reset before the
-// reconcile: the full program and every reactive entry are replayed.
+// reconcile: the full shard program and every reactive entry are
+// replayed.
 func (c *Controller) redial(sc *swConn) (*p4rt.Client, error) {
 	backoff := c.cfg.ReconnectMin
 	for attempt := 1; ; attempt++ {
@@ -411,22 +553,22 @@ func (c *Controller) redial(sc *swConn) (*p4rt.Client, error) {
 		c.recordState(sc, StateConnecting, map[string]any{"attempt": attempt})
 		dctx, cancel := context.WithTimeout(c.ctx, c.cfg.RPCTimeout)
 		cl, err := p4rt.DialContext(dctx, sc.addr, c.cfg.Name, func(pkts []p4rt.WirePacket) {
-			c.enqueue(sc.addr, pkts)
+			c.enqueue(sc, pkts)
 		}, c.dialOpts()...)
 		cancel()
 		if err == nil {
 			sc.opMu.Lock()
 			sc.client = cl
-			sc.name = cl.ServerName()
 			// The peer may be a fresh process: assume nothing survived.
-			sc.appliedEpoch = 0
-			sc.appliedReactive = 0
+			sc.appliedEpoch.Store(0)
+			sc.appliedReactive.Store(0)
 			rerr := c.reconcileLocked(c.ctx, sc)
 			if rerr != nil {
 				sc.client = nil
 			}
 			sc.opMu.Unlock()
 			if rerr == nil {
+				c.setIdentity(sc, cl)
 				sc.reconnects.Add(1)
 				c.bumpStat(func(s *Stats) { s.Reconnects++ })
 				c.recordState(sc, StateReady, map[string]any{"attempt": attempt, "name": cl.ServerName()})
@@ -453,10 +595,19 @@ func (c *Controller) redial(sc *swConn) (*p4rt.Client, error) {
 	}
 }
 
-// reconcileLocked replays the desired state the switch is missing: the
-// current program when its epoch is stale (which wipes the table, so all
-// reactive entries follow), otherwise just the un-replayed reactive tail.
-// Callers hold sc.opMu and have sc.client non-nil.
+// shardProgram picks the desired program for a switch's shard.
+func (d desired) shardProgram(shard int) p4rt.Program {
+	if len(d.shards) == 0 {
+		return p4rt.Program{}
+	}
+	return d.shards[shard%len(d.shards)]
+}
+
+// reconcileLocked replays the desired state the switch is missing: its
+// shard's current program when the switch's epoch is stale (which wipes
+// the table, so all reactive entries follow), otherwise just the
+// un-replayed reactive tail. Callers hold sc.opMu and have sc.client
+// non-nil.
 func (c *Controller) reconcileLocked(ctx context.Context, sc *swConn) error {
 	c.mu.Lock()
 	want := c.desired
@@ -465,20 +616,20 @@ func (c *Controller) reconcileLocked(ctx context.Context, sc *swConn) error {
 	cl := sc.client
 	replayedProg := false
 	var replayedEntries int
-	if want.valid && sc.appliedEpoch < want.epoch {
-		if _, err := cl.ProgramDetector(ctx, want.prog); err != nil {
-			return fmt.Errorf("reconcile %s: program epoch %d: %w", sc.addr, want.epoch, err)
+	if want.valid && sc.appliedEpoch.Load() < want.epoch {
+		if _, err := cl.ProgramDetector(ctx, want.shardProgram(sc.shard)); err != nil {
+			return fmt.Errorf("reconcile %s: program epoch %d shard %d: %w", sc.addr, want.epoch, sc.shard, err)
 		}
-		sc.appliedEpoch = want.epoch
-		sc.appliedReactive = 0 // Program replaced the table: replay all
+		sc.appliedEpoch.Store(want.epoch)
+		sc.appliedReactive.Store(0) // Program replaced the table: replay all
 		replayedProg = true
 	}
-	for sc.appliedReactive < len(sc.reactive) {
-		e := sc.reactive[sc.appliedReactive]
+	for int(sc.appliedReactive.Load()) < len(sc.reactive) {
+		e := sc.reactive[sc.appliedReactive.Load()]
 		if _, err := cl.WriteEntry(ctx, e); err != nil {
-			return fmt.Errorf("reconcile %s: reactive entry %d/%d: %w", sc.addr, sc.appliedReactive+1, len(sc.reactive), err)
+			return fmt.Errorf("reconcile %s: reactive entry %d/%d: %w", sc.addr, sc.appliedReactive.Load()+1, len(sc.reactive), err)
 		}
-		sc.appliedReactive++
+		sc.appliedReactive.Add(1)
 		replayedEntries++
 	}
 	sc.reconciles.Add(1)
@@ -491,6 +642,7 @@ func (c *Controller) reconcileLocked(ctx context.Context, sc *swConn) error {
 		fr.Record("reconcile", map[string]any{
 			"switch":   sc.addr,
 			"epoch":    want.epoch,
+			"shard":    sc.shard,
 			"program":  replayedProg,
 			"reactive": replayedEntries,
 		})
@@ -504,21 +656,67 @@ func (c *Controller) bumpStat(fn func(*Stats)) {
 	c.mu.Unlock()
 }
 
-func (c *Controller) enqueue(addr string, pkts []p4rt.WirePacket) {
-	select {
-	case c.work <- work{addr: addr, pkts: pkts}:
-	default:
-		// Queue full: drop the batch rather than block the read loop —
-		// and count the loss, it is the controller's overload signal.
-		c.bumpStat(func(s *Stats) { s.DroppedBatches++ })
+// enqueue appends one digest batch to the switch's fan-in queue, dropping
+// (with accounting) when the queue is at depth. Called from the p4rt read
+// loop, so it must never block: a stalled worker costs batches, not
+// connections. The invariant fanOffered == fanDrained + fanDropped +
+// len(fanQ) holds under fanMu at every return.
+func (c *Controller) enqueue(sc *swConn, pkts []p4rt.WirePacket) {
+	c.fanMu.Lock()
+	sc.fanOffered++
+	if !c.fanOpen || len(sc.fanQ) >= c.cfg.QueueDepth {
+		sc.fanDropped++
+		c.fanMu.Unlock()
+		return
+	}
+	sc.fanQ = append(sc.fanQ, pkts)
+	c.fanMu.Unlock()
+	c.fanCond.Signal()
+}
+
+// nextBatch blocks until some switch has a queued digest batch, then pops
+// one round-robin — the cursor advances past the serviced switch, so a
+// chatty gateway cannot starve the rest of the fleet. Returns ok=false
+// only when the fan-in is closed AND every queue is drained: pending
+// digests are processed, not abandoned, on shutdown.
+func (c *Controller) nextBatch() (*swConn, []p4rt.WirePacket, bool) {
+	c.fanMu.Lock()
+	defer c.fanMu.Unlock()
+	for {
+		if n := len(c.fanConns); n > 0 {
+			for i := 0; i < n; i++ {
+				sc := c.fanConns[(c.rr+i)%n]
+				if len(sc.fanQ) == 0 {
+					continue
+				}
+				batch := sc.fanQ[0]
+				sc.fanQ[0] = nil
+				sc.fanQ = sc.fanQ[1:]
+				if len(sc.fanQ) == 0 {
+					sc.fanQ = nil // release the drained backing array
+				}
+				sc.fanDrained++
+				c.rr = (c.rr + i + 1) % n
+				return sc, batch, true
+			}
+		}
+		if !c.fanOpen {
+			return nil, nil, false
+		}
+		c.fanCond.Wait()
 	}
 }
 
-// worker drains digest batches: slow-path classify, optionally react.
+// worker drains digest batches round-robin across the fleet: slow-path
+// classify, optionally react.
 func (c *Controller) worker() {
-	for w := range c.work {
-		for _, wp := range w.pkts {
-			c.handleDigest(w.addr, wp)
+	for {
+		sc, batch, ok := c.nextBatch()
+		if !ok {
+			return
+		}
+		for _, wp := range batch {
+			c.handleDigest(sc, wp)
 		}
 	}
 }
@@ -527,7 +725,10 @@ func (c *Controller) worker() {
 // decision, tracing the whole round trip as a flight-recorder event:
 // kind "digest" with the switch address, the slow-path class, the final
 // decision, and the monotonic duration of classify+decide+install.
-func (c *Controller) handleDigest(addr string, wp p4rt.WirePacket) {
+// Dedup and mirror suppression are per switch: two switches digesting the
+// same attack each get their own reactive entry, because each enforces
+// only its own shard.
+func (c *Controller) handleDigest(sc *swConn, wp p4rt.WirePacket) {
 	fr := c.cfg.FlightRecorder
 	var start int64
 	if fr != nil {
@@ -537,10 +738,10 @@ func (c *Controller) handleDigest(addr string, wp p4rt.WirePacket) {
 
 	pkt := wp.ToPacket()
 	class := c.model.ClassifySlowPath(pkt)
+	sc.digests.Add(1)
 
 	c.mu.Lock()
 	c.stats.DigestsProcessed++
-	var sc *swConn
 	var install bool
 	var key []byte
 	switch {
@@ -551,24 +752,23 @@ func (c *Controller) handleDigest(addr string, wp p4rt.WirePacket) {
 		c.stats.SlowPathAttacks++
 		if c.cfg.Reactive {
 			// The deployment mirror runs the same compiled engine as the
-			// switch table: when it already drops this packet the digest
-			// is stale (raced a deploy) and an exact-match entry would
-			// only waste TCAM.
-			if m := c.mirror; m != nil {
-				if mc, matched := m.Classify(pkt); matched && rules.ActionForClass(mc) == rules.ActionDrop {
+			// switch table — this switch's shard of it. When the shard
+			// already drops this packet the digest is stale (raced a
+			// deploy) and an exact-match entry would only waste TCAM.
+			if ms := c.mirrors; len(ms) > 0 {
+				if mc, matched := ms[sc.shard%len(ms)].Classify(pkt); matched && rules.ActionForClass(mc) == rules.ActionDrop {
 					c.stats.MirrorSuppressed++
 					decision = "suppressed"
 					break
 				}
 			}
 			key = rules.ExtractKey(pkt, c.model.MatchOffsets())
-			if c.seen[string(key)] {
+			if sc.seen[string(key)] {
 				decision = "duplicate"
 				break
 			}
-			c.seen[string(key)] = true
-			sc = c.conns[addr]
-			install = sc != nil
+			sc.seen[string(key)] = true
+			install = true
 		}
 	}
 	c.mu.Unlock()
@@ -586,6 +786,7 @@ func (c *Controller) handleDigest(addr string, wp p4rt.WirePacket) {
 		}
 		sc.opMu.Lock()
 		sc.reactive = append(sc.reactive, entry)
+		sc.reactiveLen.Store(uint64(len(sc.reactive)))
 		cl := sc.client
 		var err error
 		if cl == nil {
@@ -593,12 +794,13 @@ func (c *Controller) handleDigest(addr string, wp p4rt.WirePacket) {
 		} else {
 			_, err = cl.WriteEntry(c.ctx, entry)
 			if err == nil {
-				sc.appliedReactive++
+				sc.appliedReactive.Add(1)
 			}
 		}
 		sc.opMu.Unlock()
 		if err == nil {
 			decision = "install"
+			sc.installs.Add(1)
 			c.bumpStat(func(s *Stats) { s.ReactiveInstalls++ })
 		} else {
 			// The entry stays in the desired log; the supervisor replays
@@ -608,7 +810,7 @@ func (c *Controller) handleDigest(addr string, wp p4rt.WirePacket) {
 	}
 	if fr != nil {
 		fr.Record("digest", map[string]any{
-			"switch":   addr,
+			"switch":   sc.addr,
 			"class":    class,
 			"decision": decision,
 			"dur_ns":   fr.Now().Nanoseconds() - start,
@@ -616,29 +818,40 @@ func (c *Controller) handleDigest(addr string, wp p4rt.WirePacket) {
 	}
 }
 
-// DeployRuleSet records the compiled rules as the controller's desired
-// state (bumping the program epoch) and programs every Ready switch
-// synchronously; missAction is the detector's default (digest to keep the
-// slow path in the loop, or allow to run open-loop). Switches that are
-// Degraded or mid-reconnect are not an error: their supervisors replay
-// the new epoch on reconnect, so the fleet converges to this rule set.
-// The call fails only on a rule set the matcher rejects, a cancelled or
-// expired ctx (typed: context.Canceled / p4rt.ErrTimeout), or when no
-// switch was ever connected.
+// DeployRuleSet partitions the compiled rules into per-shard sets
+// (PlanShards under the configured policy), records them as the
+// controller's desired state (bumping the program epoch), and programs
+// every Ready switch with its shard synchronously; missAction is the
+// detector's default (digest to keep the slow path in the loop, or allow
+// to run open-loop). Switches that are Degraded or mid-reconnect are not
+// an error: their supervisors replay the new epoch on reconnect, so the
+// fleet converges to this rule set. The call fails only on a rule set
+// the matcher rejects, a cancelled or expired ctx (typed:
+// context.Canceled / p4rt.ErrTimeout), or when no switch was ever
+// connected.
 func (c *Controller) DeployRuleSet(ctx context.Context, rs *rules.RuleSet, missAction p4.Action) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	// Compile first: a rule set the unified matcher rejects must never
-	// reach a switch, and the compiled mirror is what the reactive path
-	// consults for deployed coverage.
-	mirror, err := match.Compile(rs)
-	if err != nil {
-		return fmt.Errorf("controller: %w", err)
-	}
-	prog, err := p4rt.ProgramFromRuleSet(rs, missAction)
-	if err != nil {
-		return err
+	// Compile every shard first: a rule set the unified matcher rejects
+	// must never reach a switch, and the compiled mirrors are what the
+	// reactive path consults for per-switch deployed coverage.
+	shardSets := PlanShards(rs, c.shardCount(), c.cfg.Policy)
+	mirrors := make([]*match.Compiled, len(shardSets))
+	progs := make([]p4rt.Program, len(shardSets))
+	total := 0
+	for i, srs := range shardSets {
+		m, err := match.Compile(srs)
+		if err != nil {
+			return fmt.Errorf("controller: shard %d: %w", i, err)
+		}
+		prog, err := p4rt.ProgramFromRuleSet(srs, missAction)
+		if err != nil {
+			return fmt.Errorf("controller: shard %d: %w", i, err)
+		}
+		mirrors[i] = m
+		progs[i] = prog
+		total += len(prog.Entries)
 	}
 	c.mu.Lock()
 	if c.closed {
@@ -647,13 +860,10 @@ func (c *Controller) DeployRuleSet(ctx context.Context, rs *rules.RuleSet, missA
 	}
 	c.desired.valid = true
 	c.desired.epoch++
-	c.desired.prog = prog
+	c.desired.shards = progs
 	epoch := c.desired.epoch
-	conns := make([]*swConn, 0, len(c.conns))
-	for _, sc := range c.conns {
-		conns = append(conns, sc)
-	}
-	c.mirror = mirror
+	conns := append([]*swConn(nil), c.fleet...)
+	c.mirrors = mirrors
 	c.mu.Unlock()
 	if len(conns) == 0 {
 		return fmt.Errorf("controller: no connected switches")
@@ -669,7 +879,7 @@ func (c *Controller) DeployRuleSet(ctx context.Context, rs *rules.RuleSet, missA
 			return fmt.Errorf("controller: deploy epoch %d: %w", epoch, err)
 		}
 		sc.opMu.Lock()
-		if sc.client == nil || sc.appliedEpoch >= epoch {
+		if sc.client == nil || sc.appliedEpoch.Load() >= epoch {
 			// Down (the supervisor will replay this epoch on reconnect)
 			// or already converged past us by a concurrent deploy.
 			sc.opMu.Unlock()
@@ -696,12 +906,13 @@ func (c *Controller) DeployRuleSet(ctx context.Context, rs *rules.RuleSet, missA
 	}
 	c.bumpStat(func(s *Stats) {
 		s.Deploys++
-		s.DeployedRules = len(prog.Entries)
+		s.DeployedRules = total
 	})
 	if fr := c.cfg.FlightRecorder; fr != nil {
 		fr.Record("deploy", map[string]any{
-			"rules":    len(prog.Entries),
+			"rules":    total,
 			"epoch":    epoch,
+			"shards":   len(progs),
 			"switches": len(conns),
 			"applied":  applied,
 			"dur_ns":   fr.Now().Nanoseconds() - start,
@@ -720,7 +931,9 @@ func (sc *swConn) clientSnapshot() *p4rt.Client {
 // registry; values are read from the stats snapshot at scrape time. Per-
 // switch connection state is exported one-hot as
 // p4guard_ctl_conn_state{switch,state}, so dashboards alert on any switch
-// leaving ready.
+// leaving ready; per-switch fleet series (shard, watermarks, digest and
+// fan-in counters) come from the same FleetStatus snapshot status
+// consumers read.
 func (c *Controller) RegisterTelemetry(reg *telemetry.Registry) {
 	ctl := telemetry.Label{Key: "controller", Value: c.cfg.Name}
 	stat := func(pick func(Stats) int) func() float64 {
@@ -738,9 +951,9 @@ func (c *Controller) RegisterTelemetry(reg *telemetry.Registry) {
 		stat(func(s Stats) int { return s.MirrorSuppressed }), ctl)
 	reg.CounterFunc("p4guard_ctl_deploys_total", "Successful rule-set deployments.",
 		stat(func(s Stats) int { return s.Deploys }), ctl)
-	reg.GaugeFunc("p4guard_ctl_deployed_rules", "Rules shipped by the most recent deployment.",
+	reg.GaugeFunc("p4guard_ctl_deployed_rules", "Rules shipped by the most recent deployment, all shards.",
 		stat(func(s Stats) int { return s.DeployedRules }), ctl)
-	reg.CounterFunc("p4guard_ctl_dropped_batches_total", "Digest batches dropped by work-queue backpressure.",
+	reg.CounterFunc("p4guard_ctl_dropped_batches_total", "Digest batches dropped by fan-in backpressure, fleet-wide.",
 		stat(func(s Stats) int { return s.DroppedBatches }), ctl)
 	reg.CounterFunc("p4guard_ctl_reconnects_total", "Successful switch redials after a connection died.",
 		stat(func(s Stats) int { return s.Reconnects }), ctl)
@@ -763,13 +976,93 @@ func (c *Controller) RegisterTelemetry(reg *telemetry.Registry) {
 				}
 			}
 		})
+	perSwitch := func(name, help, typ string, pick func(SwitchStatus) float64) {
+		reg.CollectFunc(name, help, typ, func(emit func([]telemetry.Label, float64)) {
+			for _, st := range c.FleetStatus() {
+				emit([]telemetry.Label{ctl, {Key: "switch", Value: st.Addr}}, pick(st))
+			}
+		})
+	}
+	perSwitch("p4guard_ctl_switch_shard", "Shard index each switch enforces.", "gauge",
+		func(s SwitchStatus) float64 { return float64(s.Shard) })
+	perSwitch("p4guard_ctl_switch_applied_epoch", "Program epoch each switch last applied.", "gauge",
+		func(s SwitchStatus) float64 { return float64(s.AppliedEpoch) })
+	perSwitch("p4guard_ctl_switch_digests_total", "Digests handled, by source switch.", "counter",
+		func(s SwitchStatus) float64 { return float64(s.Digests) })
+	perSwitch("p4guard_ctl_switch_installs_total", "Reactive installs, by target switch.", "counter",
+		func(s SwitchStatus) float64 { return float64(s.Installs) })
+	perSwitch("p4guard_ctl_fanin_offered_total", "Digest batches offered to a switch's fan-in queue.", "counter",
+		func(s SwitchStatus) float64 { return float64(s.FanIn.Offered) })
+	perSwitch("p4guard_ctl_fanin_drained_total", "Digest batches drained from a switch's fan-in queue.", "counter",
+		func(s SwitchStatus) float64 { return float64(s.FanIn.Drained) })
+	perSwitch("p4guard_ctl_fanin_dropped_total", "Digest batches dropped by a switch's fan-in backpressure.", "counter",
+		func(s SwitchStatus) float64 { return float64(s.FanIn.Dropped) })
+	perSwitch("p4guard_ctl_fanin_depth", "Digest batches currently queued per switch.", "gauge",
+		func(s SwitchStatus) float64 { return float64(s.FanIn.Depth) })
+	reg.GaugeFunc("p4guard_ctl_desired_epoch", "Current desired program epoch.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(c.desired.epoch)
+		}, ctl)
 }
 
-// Stats returns a snapshot of controller counters.
+// Stats returns a snapshot of controller counters. DroppedBatches is
+// summed from the per-switch fan-in accounting at snapshot time.
 func (c *Controller) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	st := c.stats
+	fleet := append([]*swConn(nil), c.fleet...)
+	c.mu.Unlock()
+	c.fanMu.Lock()
+	for _, sc := range fleet {
+		st.DroppedBatches += int(sc.fanDropped)
+	}
+	c.fanMu.Unlock()
+	return st
+}
+
+// FleetStatus snapshots every switch in join order: identity, shard,
+// state, reconcile watermarks, and fan-in accounting. It never takes an
+// RPC-bearing lock, so it stays responsive mid-reconcile. Within one
+// call each switch's FanIn satisfies Offered == Drained+Dropped+Depth
+// (all four are read under one hold of the fan-in lock), and so do the
+// fleet-wide sums.
+func (c *Controller) FleetStatus() []SwitchStatus {
+	c.mu.Lock()
+	fleet := append([]*swConn(nil), c.fleet...)
+	epoch := c.desired.epoch
+	out := make([]SwitchStatus, len(fleet))
+	for i, sc := range fleet {
+		out[i] = SwitchStatus{
+			Addr:            sc.addr,
+			Name:            sc.name,
+			Node:            sc.node,
+			Shard:           sc.shard,
+			State:           sc.State().String(),
+			DesiredEpoch:    epoch,
+			AppliedEpoch:    sc.appliedEpoch.Load(),
+			ReactiveLog:     int(sc.reactiveLen.Load()),
+			AppliedReactive: int(sc.appliedReactive.Load()),
+			Reconnects:      sc.reconnects.Load(),
+			Reconciles:      sc.reconciles.Load(),
+			Replayed:        sc.replayed.Load(),
+			Digests:         sc.digests.Load(),
+			Installs:        sc.installs.Load(),
+		}
+	}
+	c.mu.Unlock()
+	c.fanMu.Lock()
+	for i, sc := range fleet {
+		out[i].FanIn = FanInStats{
+			Offered: sc.fanOffered,
+			Drained: sc.fanDrained,
+			Dropped: sc.fanDropped,
+			Depth:   len(sc.fanQ),
+		}
+	}
+	c.fanMu.Unlock()
+	return out
 }
 
 // States returns each connected switch's current connection state, keyed
@@ -788,8 +1081,8 @@ func (c *Controller) States() map[string]ConnState {
 func (c *Controller) Switches() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	names := make([]string, 0, len(c.conns))
-	for _, sc := range c.conns {
+	names := make([]string, 0, len(c.fleet))
+	for _, sc := range c.fleet {
 		if n := sc.name; n != "" {
 			names = append(names, n)
 		}
@@ -806,16 +1099,13 @@ func (c *Controller) Close() error {
 		return nil
 	}
 	c.closed = true
-	conns := make([]*swConn, 0, len(c.conns))
-	for _, sc := range c.conns {
-		conns = append(conns, sc)
-	}
+	conns := append([]*swConn(nil), c.fleet...)
 	c.mu.Unlock()
 
 	// Order matters: cancel (stops redials), close live clients (their
 	// read loops exit, so no new digests), wait for supervisors (who may
-	// hold freshly-dialed clients), and only then close the work channel
-	// the read loops feed.
+	// hold freshly-dialed clients), and only then close the fan-in the
+	// read loops feed — the worker drains what is queued and exits.
 	c.cancel()
 	var firstErr error
 	for _, sc := range conns {
@@ -826,7 +1116,10 @@ func (c *Controller) Close() error {
 		}
 	}
 	c.superWg.Wait()
-	close(c.work)
+	c.fanMu.Lock()
+	c.fanOpen = false
+	c.fanMu.Unlock()
+	c.fanCond.Broadcast()
 	c.workerWg.Wait()
 	return firstErr
 }

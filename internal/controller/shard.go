@@ -1,0 +1,87 @@
+package controller
+
+import (
+	"fmt"
+
+	"p4guard/internal/rules"
+)
+
+// ShardPolicy selects how a distilled rule set is partitioned across the
+// gateway fleet before deployment. Every policy is deterministic: the same
+// rule set and shard count always produce the same per-shard sets, so a
+// restarted controller reconverges the fabric to byte-identical state.
+type ShardPolicy int
+
+const (
+	// ShardReplicate gives every shard the full rule set. This is the
+	// degenerate (and default) policy: every gateway enforces the whole
+	// model, and a one-switch fleet behaves exactly like the pre-fleet
+	// controller.
+	ShardReplicate ShardPolicy = iota
+	// ShardByClass partitions non-default rules by predicted class:
+	// rule → shard ((class mod n) + n) mod n. Gateways in front of a
+	// device-class/tenant partition carry only the verdicts for the
+	// classes routed through them, shrinking per-switch TCAM pressure.
+	// Default-class traffic still resolves via the shared miss action.
+	ShardByClass
+)
+
+// String names the policy (flag-friendly).
+func (p ShardPolicy) String() string {
+	switch p {
+	case ShardReplicate:
+		return "replicate"
+	case ShardByClass:
+		return "by-class"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParseShardPolicy parses a policy name as rendered by String.
+func ParseShardPolicy(s string) (ShardPolicy, error) {
+	switch s {
+	case "replicate", "":
+		return ShardReplicate, nil
+	case "by-class":
+		return ShardByClass, nil
+	default:
+		return 0, fmt.Errorf("controller: unknown shard policy %q (want replicate or by-class)", s)
+	}
+}
+
+// PlanShards partitions rs into n per-shard rule sets under policy. All
+// shards share the full match-key layout (rs.Offsets) and default class,
+// so slow-path key extraction and the miss action stay uniform across
+// the fleet; only the entry lists differ. Rule and offset slices are
+// copied — mutating a shard never aliases the source set. n <= 1 returns
+// a single full copy regardless of policy.
+func PlanShards(rs *rules.RuleSet, n int, policy ShardPolicy) []*rules.RuleSet {
+	if n < 1 {
+		n = 1
+	}
+	shards := make([]*rules.RuleSet, n)
+	for i := range shards {
+		s := rules.NewRuleSet(rs.Offsets, rs.DefaultClass)
+		s.SetLink(rs.Link())
+		shards[i] = s
+	}
+	for _, r := range rs.Rules {
+		target := -1 // -1 → all shards
+		if n > 1 && policy == ShardByClass {
+			target = ((r.Class % n) + n) % n
+		}
+		cp := r
+		cp.Preds = append([]rules.BytePredicate(nil), r.Preds...)
+		if target >= 0 {
+			shards[target].Rules = append(shards[target].Rules, cp)
+			continue
+		}
+		for i := range shards {
+			cpi := cp
+			cpi.Preds = append([]rules.BytePredicate(nil), r.Preds...)
+			shards[i].Rules = append(shards[i].Rules, cpi)
+		}
+	}
+	return shards
+}

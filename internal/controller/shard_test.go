@@ -1,0 +1,118 @@
+package controller
+
+import (
+	"reflect"
+	"testing"
+
+	"p4guard/internal/packet"
+	"p4guard/internal/rules"
+)
+
+// shardFixture builds a five-class rule set with disjoint byte-0 ranges,
+// one rule per class, priorities descending with class.
+func shardFixture() *rules.RuleSet {
+	rs := rules.NewRuleSet([]int{0, 1}, 0)
+	rs.SetLink(packet.LinkEthernet)
+	for cls := 1; cls <= 5; cls++ {
+		rs.Add(rules.Rule{
+			Priority: 10 - cls,
+			Class:    cls,
+			Preds:    []rules.BytePredicate{{Offset: 0, Lo: byte(cls * 10), Hi: byte(cls*10 + 5)}},
+		})
+	}
+	return rs
+}
+
+func TestPlanShardsReplicate(t *testing.T) {
+	rs := shardFixture()
+	shards := PlanShards(rs, 3, ShardReplicate)
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards, want 3", len(shards))
+	}
+	for i, s := range shards {
+		if !reflect.DeepEqual(s.Rules, rs.Rules) {
+			t.Fatalf("shard %d rules differ from source", i)
+		}
+		if !reflect.DeepEqual(s.Offsets, rs.Offsets) || s.DefaultClass != rs.DefaultClass || s.Link() != rs.Link() {
+			t.Fatalf("shard %d layout differs from source", i)
+		}
+	}
+	// Copies must not alias: mutating a shard leaves the source intact.
+	shards[0].Rules[0].Preds[0].Lo = 99
+	shards[0].Offsets[0] = 7
+	if rs.Rules[0].Preds[0].Lo == 99 || rs.Offsets[0] == 7 {
+		t.Fatal("shard mutation leaked into source rule set")
+	}
+}
+
+func TestPlanShardsByClassPartition(t *testing.T) {
+	rs := shardFixture()
+	shards := PlanShards(rs, 2, ShardByClass)
+	total := 0
+	for i, s := range shards {
+		total += len(s.Rules)
+		if !reflect.DeepEqual(s.Offsets, rs.Offsets) {
+			t.Fatalf("shard %d changed the key layout", i)
+		}
+		for _, r := range s.Rules {
+			if want := ((r.Class % 2) + 2) % 2; want != i {
+				t.Fatalf("class-%d rule landed in shard %d, want %d", r.Class, i, want)
+			}
+		}
+		// Priority order must survive the partition (each shard is a
+		// subsequence of the already-sorted source).
+		for j := 1; j < len(s.Rules); j++ {
+			if s.Rules[j-1].Priority < s.Rules[j].Priority {
+				t.Fatalf("shard %d lost priority order", i)
+			}
+		}
+	}
+	if total != len(rs.Rules) {
+		t.Fatalf("shards cover %d rules, want %d (partition must be exact)", total, len(rs.Rules))
+	}
+	// Classes 1,3,5 → shard 1; classes 2,4 → shard 0.
+	if len(shards[0].Rules) != 2 || len(shards[1].Rules) != 3 {
+		t.Fatalf("shard sizes = %d/%d, want 2/3", len(shards[0].Rules), len(shards[1].Rules))
+	}
+}
+
+func TestPlanShardsDeterministic(t *testing.T) {
+	rs := shardFixture()
+	for _, pol := range []ShardPolicy{ShardReplicate, ShardByClass} {
+		a := PlanShards(rs, 4, pol)
+		b := PlanShards(rs, 4, pol)
+		for i := range a {
+			if !reflect.DeepEqual(a[i].Rules, b[i].Rules) || !reflect.DeepEqual(a[i].Offsets, b[i].Offsets) {
+				t.Fatalf("policy %v shard %d not deterministic", pol, i)
+			}
+		}
+	}
+}
+
+func TestPlanShardsDegenerate(t *testing.T) {
+	rs := shardFixture()
+	for _, n := range []int{0, 1} {
+		shards := PlanShards(rs, n, ShardByClass)
+		if len(shards) != 1 {
+			t.Fatalf("n=%d: got %d shards, want 1", n, len(shards))
+		}
+		if !reflect.DeepEqual(shards[0].Rules, rs.Rules) {
+			t.Fatalf("n=%d: single shard must carry the full rule set", n)
+		}
+	}
+}
+
+func TestParseShardPolicy(t *testing.T) {
+	for _, pol := range []ShardPolicy{ShardReplicate, ShardByClass} {
+		got, err := ParseShardPolicy(pol.String())
+		if err != nil || got != pol {
+			t.Fatalf("round-trip %v: got %v, err %v", pol, got, err)
+		}
+	}
+	if got, err := ParseShardPolicy(""); err != nil || got != ShardReplicate {
+		t.Fatalf("empty policy: got %v, err %v, want replicate", got, err)
+	}
+	if _, err := ParseShardPolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}

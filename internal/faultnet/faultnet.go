@@ -148,6 +148,19 @@ type conn struct {
 	rng *rand.Rand
 }
 
+// Jitter draws one uniform delay in [min, max) from rng (min when the
+// interval is empty). It is the latency-injection primitive shared by
+// faultnet connections and the netsim link emulator: both draw their
+// per-operation delays through it from seeded per-connection RNGs, so a
+// fixed seed yields an identical delay sequence for an identical
+// operation sequence.
+func Jitter(rng *rand.Rand, min, max time.Duration) time.Duration {
+	if max > min {
+		return min + time.Duration(rng.Int63n(int64(max-min)))
+	}
+	return min
+}
+
 // plan draws this operation's fate: an injected delay, and whether to
 // reset. partial is the byte count to deliver before failing a write
 // (0 = deliver everything).
@@ -158,11 +171,7 @@ func (c *conn) plan(isWrite bool, n int) (delay time.Duration, reset bool, parti
 	cfg := c.net.cfg
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if cfg.LatencyMax > cfg.LatencyMin {
-		delay = cfg.LatencyMin + time.Duration(c.rng.Int63n(int64(cfg.LatencyMax-cfg.LatencyMin)))
-	} else {
-		delay = cfg.LatencyMin
-	}
+	delay = Jitter(c.rng, cfg.LatencyMin, cfg.LatencyMax)
 	if cfg.ResetProb > 0 && c.rng.Float64() < cfg.ResetProb {
 		return delay, true, 0
 	}

@@ -1,0 +1,480 @@
+// Package netsim emulates the network fabric between the controller and
+// a fleet of gateway switches: named nodes joined by point-to-point links
+// with configurable latency, loss, and bandwidth, multi-hop routing over
+// shortest paths, and deterministic (seeded) emulation.
+//
+// The topology is address-based so it composes with the real p4rt TCP
+// transport: a switch attaches its listen address to a node with Bind (or
+// Listen), and the controller dials through Dialer(from), which routes
+// the address to its node, aggregates the per-hop link profiles along the
+// path, and returns a connection that applies the path's latency jitter,
+// loss retransmission penalty, and serialization delay to every
+// operation. Cutting a link (SetLinkUp) resets every connection routed
+// across it, so reroute and redial behaviour is exercised exactly as a
+// fabric failure would.
+//
+// Determinism: every emulated connection draws its delays and losses from
+// a private RNG seeded from (topology seed, connection ordinal) via
+// faultnet.Jitter, so a connection's emulation schedule depends only on
+// the seed and its own operation sequence — the same contract the
+// fault-injection soak tests rely on.
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p4guard/internal/faultnet"
+)
+
+// ErrNoRoute reports that no up path joins two nodes (or a node or
+// address is unknown to the topology).
+var ErrNoRoute = errors.New("netsim: no route")
+
+// ErrLinkDown marks an operation failed because a link on the
+// connection's path was cut (SetLinkUp) or the loss process tore the
+// connection down after exhausting retransmissions.
+var ErrLinkDown = errors.New("netsim: link down")
+
+// maxRetransmits bounds consecutive per-write loss draws: each loss adds
+// one retransmission delay, and a write losing more than this many
+// transmissions in a row resets the connection (models a TCP give-up).
+const maxRetransmits = 8
+
+// LinkConfig is one point-to-point link's emulation profile. The zero
+// value is a perfect link: no delay, no loss, infinite bandwidth.
+type LinkConfig struct {
+	// LatencyMin/LatencyMax bound the uniform one-way delay injected per
+	// I/O operation crossing the link.
+	LatencyMin, LatencyMax time.Duration
+	// Loss is the per-transmission loss probability. Each lost
+	// transmission of a write adds one retransmission delay draw; more
+	// than maxRetransmits consecutive losses reset the connection.
+	Loss float64
+	// Bandwidth, in bytes per second, adds a serialization delay of
+	// len/Bandwidth per write. 0 means unlimited.
+	Bandwidth int64
+}
+
+// Config tunes a Topology.
+type Config struct {
+	// Seed drives every emulated connection's RNG. Same seed, same
+	// schedule (per connection, for its own operation sequence).
+	Seed int64
+}
+
+// Stats counts emulation activity across all connections of a topology.
+type Stats struct {
+	Dials  uint64 // connections opened through the topology
+	Delays uint64 // operations that slept (latency, serialization, or retransmit)
+	Losses uint64 // lost transmissions (each added a retransmission delay)
+	Resets uint64 // connections torn down (loss give-up or link cut)
+}
+
+// edge is a canonical (sorted) undirected node pair.
+type edge struct{ a, b string }
+
+func mkEdge(a, b string) edge {
+	if a > b {
+		a, b = b, a
+	}
+	return edge{a, b}
+}
+
+type link struct {
+	cfg LinkConfig
+	up  bool
+}
+
+// Topology is a mutable fabric graph plus the live connections emulated
+// over it.
+type Topology struct {
+	seed int64
+
+	mu      sync.Mutex
+	nodes   map[string]bool
+	links   map[edge]*link
+	binds   map[string]string // listen address -> owning node
+	conns   map[*conn]bool
+	ordinal uint64
+
+	dials  atomic.Uint64
+	delays atomic.Uint64
+	losses atomic.Uint64
+	resets atomic.Uint64
+}
+
+// New builds an empty topology.
+func New(cfg Config) *Topology {
+	return &Topology{
+		seed:  cfg.Seed,
+		nodes: make(map[string]bool),
+		links: make(map[edge]*link),
+		binds: make(map[string]string),
+		conns: make(map[*conn]bool),
+	}
+}
+
+// Stats returns cumulative emulation counters.
+func (t *Topology) Stats() Stats {
+	return Stats{
+		Dials:  t.dials.Load(),
+		Delays: t.delays.Load(),
+		Losses: t.losses.Load(),
+		Resets: t.resets.Load(),
+	}
+}
+
+// AddNode registers a node. Adding an existing node is a no-op.
+func (t *Topology) AddNode(name string) {
+	t.mu.Lock()
+	t.nodes[name] = true
+	t.mu.Unlock()
+}
+
+// AddLink joins two nodes with a point-to-point link (registering the
+// nodes if needed). The link starts up. Re-adding an existing link
+// replaces its profile.
+func (t *Topology) AddLink(a, b string, cfg LinkConfig) error {
+	if a == b {
+		return fmt.Errorf("netsim: self-link on %q", a)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodes[a], t.nodes[b] = true, true
+	t.links[mkEdge(a, b)] = &link{cfg: cfg, up: true}
+	return nil
+}
+
+// Bind attaches a listen address to a node: dials to addr through this
+// topology route to node. Rebinding an address moves it (a restarted
+// switch re-attaching its port).
+func (t *Topology) Bind(node, addr string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.nodes[node] {
+		return fmt.Errorf("netsim: bind %s: unknown node %q", addr, node)
+	}
+	t.binds[addr] = node
+	return nil
+}
+
+// Listen opens a real TCP listener on addr ("127.0.0.1:0" picks a free
+// port) and binds its resolved address to node — the one-call form of
+// attaching a switch port to the fabric. The returned listener is plain:
+// emulation is applied on the dialing side, where the path is known.
+func (t *Topology) Listen(node, addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: listen: %w", err)
+	}
+	if err := t.Bind(node, ln.Addr().String()); err != nil {
+		_ = ln.Close()
+		return nil, err
+	}
+	return ln, nil
+}
+
+// Binds returns a copy of the address→node attachment table.
+func (t *Topology) Binds() map[string]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]string, len(t.binds))
+	for a, n := range t.binds {
+		out[a] = n
+	}
+	return out
+}
+
+// NodeOf returns the node an address is bound to ("" when unbound).
+func (t *Topology) NodeOf(addr string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.binds[addr]
+}
+
+// SetLinkUp cuts or restores a link. Cutting resets every live
+// connection whose path crosses it (their next operation fails with
+// ErrLinkDown) and removes the link from routing until restored.
+func (t *Topology) SetLinkUp(a, b string, up bool) error {
+	e := mkEdge(a, b)
+	t.mu.Lock()
+	l := t.links[e]
+	if l == nil {
+		t.mu.Unlock()
+		return fmt.Errorf("netsim: no link %s—%s", a, b)
+	}
+	l.up = up
+	var cut []*conn
+	if !up {
+		for c := range t.conns {
+			for _, ce := range c.edges {
+				if ce == e {
+					cut = append(cut, c)
+					break
+				}
+			}
+		}
+	}
+	t.mu.Unlock()
+	for _, c := range cut {
+		c.cut()
+	}
+	return nil
+}
+
+// Path returns the node sequence of the shortest up path from one node to
+// another, ties broken lexicographically so routing is deterministic.
+func (t *Topology) Path(from, to string) ([]string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pathLocked(from, to)
+}
+
+func (t *Topology) pathLocked(from, to string) ([]string, error) {
+	if !t.nodes[from] || !t.nodes[to] {
+		return nil, fmt.Errorf("%w: %s -> %s (unknown node)", ErrNoRoute, from, to)
+	}
+	if from == to {
+		return []string{from}, nil
+	}
+	// Adjacency over up links, neighbors sorted for deterministic BFS.
+	adj := make(map[string][]string, len(t.nodes))
+	for e, l := range t.links {
+		if !l.up {
+			continue
+		}
+		adj[e.a] = append(adj[e.a], e.b)
+		adj[e.b] = append(adj[e.b], e.a)
+	}
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+	prev := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == to {
+			var path []string
+			for at := to; at != from; at = prev[at] {
+				path = append(path, at)
+			}
+			path = append(path, from)
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path, nil
+		}
+		for _, nb := range adj[n] {
+			if _, seen := prev[nb]; !seen {
+				prev[nb] = n
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: %s -> %s", ErrNoRoute, from, to)
+}
+
+// PathProfile is the end-to-end emulation profile of a multi-hop path:
+// latencies sum, losses compose (1 - Π(1-pᵢ)), bandwidth is the
+// narrowest hop.
+type PathProfile struct {
+	Hops                   int
+	LatencyMin, LatencyMax time.Duration
+	Loss                   float64
+	Bandwidth              int64
+}
+
+// profileLocked aggregates the link profiles along a node path.
+func (t *Topology) profileLocked(path []string) (PathProfile, []edge) {
+	var p PathProfile
+	edges := make([]edge, 0, len(path)-1)
+	survive := 1.0
+	for i := 0; i+1 < len(path); i++ {
+		e := mkEdge(path[i], path[i+1])
+		l := t.links[e]
+		edges = append(edges, e)
+		p.Hops++
+		p.LatencyMin += l.cfg.LatencyMin
+		p.LatencyMax += l.cfg.LatencyMax
+		survive *= 1 - l.cfg.Loss
+		if l.cfg.Bandwidth > 0 && (p.Bandwidth == 0 || l.cfg.Bandwidth < p.Bandwidth) {
+			p.Bandwidth = l.cfg.Bandwidth
+		}
+	}
+	p.Loss = 1 - survive
+	return p, edges
+}
+
+// Profile returns the aggregated emulation profile of the current route
+// between two nodes.
+func (t *Topology) Profile(from, to string) (PathProfile, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	path, err := t.pathLocked(from, to)
+	if err != nil {
+		return PathProfile{}, err
+	}
+	p, _ := t.profileLocked(path)
+	return p, nil
+}
+
+// Dialer returns a dial function that routes every outbound connection
+// through the topology from the given node: the target address must be
+// bound to a reachable node, and the returned connection applies the
+// path's aggregate profile. base (nil means plain TCP) opens the
+// underlying transport. The signature matches p4rt.Dialer, so the result
+// plugs straight into p4rt.WithDialer / controller.WithDialer.
+func (t *Topology) Dialer(from string, base func(ctx context.Context, addr string) (net.Conn, error)) func(ctx context.Context, addr string) (net.Conn, error) {
+	if base == nil {
+		base = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		t.mu.Lock()
+		node, bound := t.binds[addr]
+		if !bound {
+			t.mu.Unlock()
+			return nil, fmt.Errorf("%w: address %s not bound to any node", ErrNoRoute, addr)
+		}
+		path, err := t.pathLocked(from, node)
+		if err != nil {
+			t.mu.Unlock()
+			return nil, err
+		}
+		prof, edges := t.profileLocked(path)
+		t.ordinal++
+		ord := t.ordinal
+		t.mu.Unlock()
+
+		raw, err := base(ctx, addr)
+		if err != nil {
+			return nil, err
+		}
+		if prof.Hops == 0 {
+			// Loopback: both endpoints on one node, nothing to emulate.
+			t.dials.Add(1)
+			return raw, nil
+		}
+		c := &conn{
+			Conn:  raw,
+			topo:  t,
+			prof:  prof,
+			edges: edges,
+			rng:   rand.New(rand.NewSource(t.seed*1000003 + int64(ord))),
+		}
+		t.mu.Lock()
+		t.conns[c] = true
+		t.mu.Unlock()
+		t.dials.Add(1)
+		return c, nil
+	}
+}
+
+// drop unregisters a connection.
+func (t *Topology) drop(c *conn) {
+	t.mu.Lock()
+	delete(t.conns, c)
+	t.mu.Unlock()
+}
+
+// conn emulates one routed connection: every operation pays the path's
+// latency draw, writes additionally pay serialization and loss
+// retransmission penalties. mu serializes RNG draws so the schedule is
+// reproducible for a given per-connection operation order.
+type conn struct {
+	net.Conn
+	topo  *Topology
+	prof  PathProfile
+	edges []edge
+	down  atomic.Bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// cut tears the connection down because a link on its path went away.
+func (c *conn) cut() {
+	if c.down.CompareAndSwap(false, true) {
+		c.topo.resets.Add(1)
+		c.topo.drop(c)
+		_ = c.Conn.Close()
+	}
+}
+
+// plan draws one operation's emulation schedule under the connection
+// RNG: total sleep (latency + serialization + retransmissions) and
+// whether the loss process gave up and reset the connection.
+func (c *conn) plan(isWrite bool, n int) (sleep time.Duration, reset bool, losses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sleep = faultnet.Jitter(c.rng, c.prof.LatencyMin, c.prof.LatencyMax)
+	if !isWrite {
+		return sleep, false, 0
+	}
+	if c.prof.Bandwidth > 0 {
+		sleep += time.Duration(int64(n) * int64(time.Second) / c.prof.Bandwidth)
+	}
+	if c.prof.Loss > 0 {
+		for c.rng.Float64() < c.prof.Loss {
+			losses++
+			if losses > maxRetransmits {
+				return sleep, true, losses
+			}
+			// Each retransmission rides the path again.
+			sleep += faultnet.Jitter(c.rng, c.prof.LatencyMin, c.prof.LatencyMax)
+		}
+	}
+	return sleep, false, losses
+}
+
+func (c *conn) apply(isWrite bool, n int) error {
+	if c.down.Load() {
+		return ErrLinkDown
+	}
+	sleep, reset, losses := c.plan(isWrite, n)
+	if losses > 0 {
+		c.topo.losses.Add(uint64(losses))
+	}
+	if sleep > 0 {
+		c.topo.delays.Add(1)
+		time.Sleep(sleep)
+	}
+	if reset {
+		c.cut()
+		return ErrLinkDown
+	}
+	if c.down.Load() {
+		return ErrLinkDown
+	}
+	return nil
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if err := c.apply(false, len(p)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if err := c.apply(true, len(p)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *conn) Close() error {
+	c.topo.drop(c)
+	return c.Conn.Close()
+}

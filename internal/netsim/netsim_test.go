@@ -1,0 +1,321 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// diamond builds a four-node diamond: a—b—d and a—c—d, plus a long spur
+// a—e—f—d, so shortest-path and tie-break behaviour are observable.
+func diamond() *Topology {
+	t := New(Config{Seed: 7})
+	for _, e := range [][2]string{{"a", "b"}, {"b", "d"}, {"a", "c"}, {"c", "d"}, {"a", "e"}, {"e", "f"}, {"f", "d"}} {
+		if err := t.AddLink(e[0], e[1], LinkConfig{}); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+func TestRoutingShortestPathDeterministic(t *testing.T) {
+	topo := diamond()
+	// Two 2-hop paths exist (via b and via c); lexicographic BFS must pick
+	// b — and pick it on every call.
+	for i := 0; i < 10; i++ {
+		path, err := topo.Path("a", "d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := []string{"a", "b", "d"}; !reflect.DeepEqual(path, want) {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if path, _ := topo.Path("a", "a"); !reflect.DeepEqual(path, []string{"a"}) {
+		t.Fatalf("self path = %v", path)
+	}
+	if _, err := topo.Path("a", "zz"); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("unknown node err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestReroutesAroundDownLinks(t *testing.T) {
+	topo := diamond()
+	if err := topo.SetLinkUp("a", "b", false); err != nil {
+		t.Fatal(err)
+	}
+	path, err := topo.Path("a", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a", "c", "d"}; !reflect.DeepEqual(path, want) {
+		t.Fatalf("path after cut = %v, want %v", path, want)
+	}
+	// Cut the second 2-hop path too: the long spur is all that's left.
+	if err := topo.SetLinkUp("c", "d", false); err != nil {
+		t.Fatal(err)
+	}
+	path, err = topo.Path("a", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a", "e", "f", "d"}; !reflect.DeepEqual(path, want) {
+		t.Fatalf("path after second cut = %v, want %v", path, want)
+	}
+	// Isolate d entirely.
+	if err := topo.SetLinkUp("f", "d", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Path("a", "d"); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("isolated err = %v, want ErrNoRoute", err)
+	}
+	// Restore and the short path is back.
+	if err := topo.SetLinkUp("a", "b", true); err != nil {
+		t.Fatal(err)
+	}
+	path, err = topo.Path("a", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a", "b", "d"}; !reflect.DeepEqual(path, want) {
+		t.Fatalf("restored path = %v, want %v", path, want)
+	}
+}
+
+func TestProfileAggregatesAcrossHops(t *testing.T) {
+	topo := New(Config{Seed: 1})
+	_ = topo.AddLink("ctl", "core", LinkConfig{LatencyMin: 100 * time.Microsecond, LatencyMax: 200 * time.Microsecond, Loss: 0.1, Bandwidth: 1 << 20})
+	_ = topo.AddLink("core", "gw", LinkConfig{LatencyMin: 50 * time.Microsecond, LatencyMax: 100 * time.Microsecond, Loss: 0.1, Bandwidth: 1 << 10})
+	p, err := topo.Profile("ctl", "gw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops != 2 {
+		t.Fatalf("hops = %d", p.Hops)
+	}
+	if p.LatencyMin != 150*time.Microsecond || p.LatencyMax != 300*time.Microsecond {
+		t.Fatalf("latency = [%v, %v]", p.LatencyMin, p.LatencyMax)
+	}
+	if want := 1 - 0.9*0.9; p.Loss < want-1e-9 || p.Loss > want+1e-9 {
+		t.Fatalf("loss = %v, want %v", p.Loss, want)
+	}
+	if p.Bandwidth != 1<<10 {
+		t.Fatalf("bandwidth = %d, want narrowest hop", p.Bandwidth)
+	}
+}
+
+// TestDialThroughTopologyEndToEnd routes a real TCP connection through a
+// two-hop emulated path and checks bytes flow and delays are injected.
+func TestDialThroughTopologyEndToEnd(t *testing.T) {
+	topo := New(Config{Seed: 11})
+	_ = topo.AddLink("ctl", "core", LinkConfig{LatencyMin: 10 * time.Microsecond, LatencyMax: 50 * time.Microsecond})
+	_ = topo.AddLink("core", "gw", LinkConfig{LatencyMin: 10 * time.Microsecond, LatencyMax: 50 * time.Microsecond})
+	ln, err := topo.Listen("gw", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer func() { _ = c.Close() }()
+		buf := make([]byte, 5)
+		if _, err := c.Read(buf); err == nil {
+			_, _ = c.Write(buf)
+		}
+	}()
+
+	dial := topo.Dialer("ctl", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	c, err := dial(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("echo = %q", buf)
+	}
+	st := topo.Stats()
+	if st.Dials != 1 || st.Delays == 0 {
+		t.Fatalf("stats = %+v, want 1 dial and some delays", st)
+	}
+
+	// Unbound address: strict error, not silent pass-through.
+	if _, err := dial(ctx, "127.0.0.1:1"); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("unbound dial err = %v, want ErrNoRoute", err)
+	}
+}
+
+// pipeConn builds an emulated conn over an in-memory pipe with an
+// explicit seed, for white-box schedule probing.
+func pipeConn(seed int64, prof PathProfile) *conn {
+	a, _ := net.Pipe()
+	return &conn{Conn: a, topo: New(Config{}), prof: prof, rng: rand.New(rand.NewSource(seed))}
+}
+
+// TestSameSeedIdenticalDelaySequence: the link emulator draws delays via
+// faultnet.Jitter from a seeded per-connection RNG — same seed, same
+// operation sequence ⇒ identical (sleep, reset, losses) schedule. This is
+// the same determinism contract internal/faultnet tests for its own
+// injector.
+func TestSameSeedIdenticalDelaySequence(t *testing.T) {
+	prof := PathProfile{
+		Hops:       2,
+		LatencyMin: 20 * time.Microsecond,
+		LatencyMax: 400 * time.Microsecond,
+		Loss:       0.2,
+		Bandwidth:  1 << 20,
+	}
+	ca, cb := pipeConn(42, prof), pipeConn(42, prof)
+	for i := 0; i < 500; i++ {
+		isWrite := i%2 == 0
+		sa, ra, la := ca.plan(isWrite, 128)
+		sb, rb, lb := cb.plan(isWrite, 128)
+		if sa != sb || ra != rb || la != lb {
+			t.Fatalf("op %d diverged: (%v,%v,%d) vs (%v,%v,%d)", i, sa, ra, la, sb, rb, lb)
+		}
+		if isWrite && sa < prof.LatencyMin+time.Duration(128*int64(time.Second)/prof.Bandwidth) {
+			t.Fatalf("op %d sleep %v below latency+serialization floor", i, sa)
+		}
+	}
+	cc := pipeConn(43, prof)
+	cd := pipeConn(42, prof)
+	diverged := false
+	for i := 0; i < 500; i++ {
+		sc, rc, lc := cc.plan(true, 128)
+		sd, rd, ld := cd.plan(true, 128)
+		if sc != sd || rc != rd || lc != ld {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced the identical 500-op schedule")
+	}
+}
+
+func TestSerializationDelayFromBandwidth(t *testing.T) {
+	// 1 MiB/s and a 1024-byte write: ~1ms of serialization with zero
+	// latency configured.
+	c := pipeConn(5, PathProfile{Hops: 1, Bandwidth: 1 << 20})
+	sleep, reset, losses := c.plan(true, 1024)
+	if reset || losses != 0 {
+		t.Fatalf("unexpected reset/losses: %v/%d", reset, losses)
+	}
+	want := time.Duration(1024 * int64(time.Second) / (1 << 20))
+	if sleep != want {
+		t.Fatalf("serialization delay = %v, want %v", sleep, want)
+	}
+	// Reads pay no serialization.
+	if sleep, _, _ := c.plan(false, 1024); sleep != 0 {
+		t.Fatalf("read serialization delay = %v, want 0", sleep)
+	}
+}
+
+// TestTotalLossResetsConnection: Loss=0.95 makes the retransmission
+// process give up almost immediately; the write must fail with
+// ErrLinkDown, the connection must be dead for subsequent ops, and the
+// reset must be counted.
+func TestTotalLossResetsConnection(t *testing.T) {
+	topo := New(Config{Seed: 3})
+	_ = topo.AddLink("ctl", "gw", LinkConfig{Loss: 0.95})
+	ln, err := topo.Listen("gw", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = c
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	c, err := topo.Dialer("ctl", nil)(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var werr error
+	for i := 0; i < 100; i++ {
+		if _, werr = c.Write(make([]byte, 64)); werr != nil {
+			break
+		}
+	}
+	if !errors.Is(werr, ErrLinkDown) {
+		t.Fatalf("write err = %v, want ErrLinkDown", werr)
+	}
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("post-reset write err = %v, want ErrLinkDown", err)
+	}
+	if st := topo.Stats(); st.Resets == 0 || st.Losses == 0 {
+		t.Fatalf("stats = %+v, want resets and losses", st)
+	}
+}
+
+// TestSetLinkDownResetsRoutedConns: cutting a link must reset live
+// connections crossing it, while connections on disjoint paths survive.
+func TestSetLinkDownResetsRoutedConns(t *testing.T) {
+	topo := New(Config{Seed: 9})
+	_ = topo.AddLink("ctl", "gw0", LinkConfig{})
+	_ = topo.AddLink("ctl", "gw1", LinkConfig{})
+	mk := func(node string) (net.Conn, net.Listener) {
+		ln, err := topo.Listen(node, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func() {
+					buf := make([]byte, 16)
+					for {
+						if _, err := c.Read(buf); err != nil {
+							return
+						}
+					}
+				}()
+			}
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		c, err := topo.Dialer("ctl", nil)(ctx, ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, ln
+	}
+	c0, ln0 := mk("gw0")
+	c1, ln1 := mk("gw1")
+	defer func() { _ = ln0.Close(); _ = ln1.Close(); _ = c0.Close(); _ = c1.Close() }()
+
+	if err := topo.SetLinkUp("ctl", "gw0", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.Write([]byte("x")); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("cut-path write err = %v, want ErrLinkDown", err)
+	}
+	if _, err := c1.Write([]byte("x")); err != nil {
+		t.Fatalf("disjoint-path write err = %v, want nil", err)
+	}
+}

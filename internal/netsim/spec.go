@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Spec is the JSON topology description the CLIs load (-topology): the
+// fabric graph, static address attachments, and the node the controller
+// dials from. Durations are Go duration strings ("250us", "3ms").
+type Spec struct {
+	Seed int64 `json:"seed"`
+	// Controller names the node the controller dials from.
+	Controller string     `json:"controller"`
+	Nodes      []string   `json:"nodes,omitempty"`
+	Links      []LinkSpec `json:"links"`
+	// Binds statically attaches listen addresses to nodes (node → addr);
+	// switches started with matching -listen addresses become reachable
+	// through the fabric.
+	Binds map[string]string `json:"binds,omitempty"`
+}
+
+// LinkSpec is one link row of a Spec.
+type LinkSpec struct {
+	A string `json:"a"`
+	B string `json:"b"`
+	// Latency is shorthand for a fixed delay (min == max); LatencyMin/
+	// LatencyMax express jitter and win when set.
+	Latency    string  `json:"latency,omitempty"`
+	LatencyMin string  `json:"latency_min,omitempty"`
+	LatencyMax string  `json:"latency_max,omitempty"`
+	Loss       float64 `json:"loss,omitempty"`
+	Bandwidth  int64   `json:"bandwidth_bps,omitempty"`
+}
+
+func parseDur(s, field string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("netsim: spec %s: %w", field, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("netsim: spec %s: negative duration %s", field, s)
+	}
+	return d, nil
+}
+
+// Build materializes the spec into a topology: nodes (link endpoints are
+// registered implicitly), links, and static binds.
+func (s Spec) Build() (*Topology, error) {
+	if s.Controller == "" {
+		return nil, fmt.Errorf("netsim: spec: controller node not set")
+	}
+	t := New(Config{Seed: s.Seed})
+	t.AddNode(s.Controller)
+	for _, n := range s.Nodes {
+		t.AddNode(n)
+	}
+	for i, l := range s.Links {
+		if l.A == "" || l.B == "" {
+			return nil, fmt.Errorf("netsim: spec link %d: missing endpoint", i)
+		}
+		fixed, err := parseDur(l.Latency, fmt.Sprintf("link %d latency", i))
+		if err != nil {
+			return nil, err
+		}
+		lo, err := parseDur(l.LatencyMin, fmt.Sprintf("link %d latency_min", i))
+		if err != nil {
+			return nil, err
+		}
+		hi, err := parseDur(l.LatencyMax, fmt.Sprintf("link %d latency_max", i))
+		if err != nil {
+			return nil, err
+		}
+		if lo == 0 && hi == 0 {
+			lo, hi = fixed, fixed
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("netsim: spec link %d: latency_max %s < latency_min %s", i, hi, lo)
+		}
+		if l.Loss < 0 || l.Loss >= 1 {
+			return nil, fmt.Errorf("netsim: spec link %d: loss %v outside [0, 1)", i, l.Loss)
+		}
+		cfg := LinkConfig{LatencyMin: lo, LatencyMax: hi, Loss: l.Loss, Bandwidth: l.Bandwidth}
+		if err := t.AddLink(l.A, l.B, cfg); err != nil {
+			return nil, err
+		}
+	}
+	for node, addr := range s.Binds {
+		if err := t.Bind(node, addr); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// LoadSpec reads and builds a topology spec file.
+func LoadSpec(path string) (Spec, *Topology, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, nil, fmt.Errorf("netsim: %w", err)
+	}
+	var s Spec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return Spec{}, nil, fmt.Errorf("netsim: parse %s: %w", path, err)
+	}
+	t, err := s.Build()
+	if err != nil {
+		return Spec{}, nil, err
+	}
+	return s, t, nil
+}

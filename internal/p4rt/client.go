@@ -14,6 +14,7 @@ import (
 type Client struct {
 	conn       net.Conn
 	serverName string
+	serverNode string
 	rpcTimeout time.Duration
 
 	writeMu sync.Mutex // serializes frame writes
@@ -144,6 +145,7 @@ func DialContext(ctx context.Context, addr, clientName string, onDigest func([]W
 	}
 	_ = conn.SetDeadline(time.Time{})
 	c.serverName = ack.ServerName
+	c.serverNode = ack.Node
 	c.mu.Lock()
 	c.nextID = 1
 	c.mu.Unlock()
@@ -175,6 +177,10 @@ func dialCause(ctx context.Context, err error) error {
 
 // ServerName returns the switch name from the handshake.
 func (c *Client) ServerName() string { return c.serverName }
+
+// ServerNode returns the switch's fabric node identity from the
+// handshake ("" when the switch is not attached to a topology).
+func (c *Client) ServerNode() string { return c.serverNode }
 
 // Done returns a channel closed when the connection dies (read loop
 // exits): peer reset, transport error, or local Close. The controller's

@@ -3,6 +3,7 @@ package p4rt
 import (
 	"bytes"
 	"context"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -264,5 +265,73 @@ func TestMultipleClients(t *testing.T) {
 	}
 	if err := cl2.Heartbeat(context.Background()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A freshly accepted connection must see hello_ack as its very first
+// frame even when the switch already holds a digest backlog: the pump
+// may not broadcast to a conn whose handshake has not completed.
+// Regression test for the fleet scenario — controllers (re)connecting
+// to switches that were replaying traffic while no controller was
+// attached.
+func TestDigestBacklogNeverBeatsHelloAck(t *testing.T) {
+	sw, err := switchsim.New("gw-backlog", packet.LinkEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.ProgramDetector(nil, p4.Action{Type: p4.ActionDigest}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Queue a digest backlog before any controller exists.
+	for i := 0; i < 64; i++ {
+		sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{byte(i)}})
+	}
+	srv, err := Serve("127.0.0.1:0", sw, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+
+	// Linger mid-handshake across many pump ticks: nothing may arrive.
+	if err := conn.SetReadDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if env, err := ReadMsg(conn); err == nil {
+		t.Fatalf("got %q frame before hello completed", env.Type)
+	}
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Complete the handshake: the first frame must be our hello_ack.
+	if err := WriteMsg(conn, TypeHello, 1, Hello{SwitchName: "test-ctl"}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != TypeHelloAck {
+		t.Fatalf("first frame after hello is %q, want %q", env.Type, TypeHelloAck)
+	}
+	// And only now does the backlog flow.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := conn.SetReadDeadline(deadline); err != nil {
+			t.Fatal(err)
+		}
+		env, err := ReadMsg(conn)
+		if err != nil {
+			t.Fatal("backlog never delivered after handshake:", err)
+		}
+		if env.Type == TypeDigest {
+			return
+		}
 	}
 }

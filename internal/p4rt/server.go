@@ -178,10 +178,15 @@ func (s *Server) handleConn(conn net.Conn) {
 		var resp Response
 		switch env.Type {
 		case TypeHello:
-			ack := HelloAck{ServerName: s.sw.Name}
+			ack := HelloAck{ServerName: s.sw.Name, Node: s.sw.Node()}
 			if err := s.send(conn, TypeHelloAck, env.ID, ack); err != nil {
 				return
 			}
+			s.mu.Lock()
+			if st := s.conns[conn]; st != nil {
+				st.ready = true
+			}
+			s.mu.Unlock()
 			continue
 		case TypeProgram:
 			s.programs.Add(1)
@@ -215,8 +220,12 @@ func (s *Server) handleConn(conn net.Conn) {
 
 // connState carries per-connection server state; its mutex serializes
 // concurrent writers (request handler vs digest pump) on one connection.
+// ready (guarded by Server.mu) flips once the hello handshake completes:
+// the digest pump skips non-ready conns so a queued digest backlog can
+// never race ahead of the hello_ack on a fresh connection.
 type connState struct {
-	mu sync.Mutex
+	mu    sync.Mutex
+	ready bool
 }
 
 func (s *Server) send(conn net.Conn, typ MsgType, id uint64, body any) error {
@@ -289,10 +298,17 @@ func (s *Server) digestPump(interval time.Duration) {
 		// keeps forwarding on its configured miss action, the bounded queue
 		// absorbs the burst, and overflow is dropped with accounting
 		// (Offered == Drained + Dropped + Depth) rather than silently.
+		// Only hello-completed conns count: a connection mid-handshake
+		// must see hello_ack as its first frame, never a digest.
 		s.mu.Lock()
-		nconns := len(s.conns)
+		conns := make([]net.Conn, 0, len(s.conns))
+		for c, st := range s.conns {
+			if st.ready {
+				conns = append(conns, c)
+			}
+		}
 		s.mu.Unlock()
-		if nconns == 0 {
+		if len(conns) == 0 {
 			continue
 		}
 		ds := s.sw.DrainDigests(256)
@@ -305,12 +321,6 @@ func (s *Server) digestPump(interval time.Duration) {
 		for _, d := range ds {
 			msg.Packets = append(msg.Packets, FromPacket(d.Pkt))
 		}
-		s.mu.Lock()
-		conns := make([]net.Conn, 0, len(s.conns))
-		for c := range s.conns {
-			conns = append(conns, c)
-		}
-		s.mu.Unlock()
 		for _, c := range conns {
 			if err := s.send(c, TypeDigest, 0, msg); err != nil && !errors.Is(err, net.ErrClosed) {
 				s.dropConn(c)

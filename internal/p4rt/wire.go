@@ -47,9 +47,12 @@ type Hello struct {
 	Link       int    `json:"link"`
 }
 
-// HelloAck is the controller's (or server's) greeting response.
+// HelloAck is the controller's (or server's) greeting response. Node is
+// the switch's fabric identity (the netsim topology node its port is
+// attached to), empty for switches running outside an emulated fabric.
 type HelloAck struct {
 	ServerName string `json:"server_name"`
+	Node       string `json:"node,omitempty"`
 }
 
 // WireEntry is a table entry in wire form. Fields mirror p4.Entry.

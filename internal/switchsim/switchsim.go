@@ -36,6 +36,12 @@ const DetectorTable = "iot_detector"
 type Switch struct {
 	Name string
 
+	// node is the switch's fabric identity: the netsim topology node its
+	// p4rt port is attached to. Set once before serving; carried to
+	// controllers in the hello handshake so fleet status and shard
+	// placement can name positions in the fabric, not just addresses.
+	node string
+
 	mu       sync.Mutex // serializes table programming, not forwarding
 	pipeline *p4.Pipeline
 	parser   *p4.Parser
@@ -171,6 +177,14 @@ func NewWithDigestCapacity(name string, link packet.LinkType, digestCap int) (*S
 
 // Pipeline exposes the underlying pipeline (used by the p4rt server).
 func (s *Switch) Pipeline() *p4.Pipeline { return s.pipeline }
+
+// SetNode records the switch's fabric node identity (the netsim topology
+// node its p4rt port attaches to). Call before serving: the value rides
+// the hello handshake to controllers.
+func (s *Switch) SetNode(node string) { s.node = node }
+
+// Node returns the fabric node identity ("" when not attached).
+func (s *Switch) Node() string { return s.node }
 
 // Link returns the switch's link type.
 func (s *Switch) Link() packet.LinkType { return s.link }

@@ -30,6 +30,17 @@ go test -race -count "${CI_SOAK_COUNT:-3}" \
     -run 'TestFaultInjectionSoak|TestReconnectConvergesAfterSwitchRestart|TestCloseUnblocksPendingCalls|TestDeterministicSchedule' \
     ./internal/controller/ ./internal/p4rt/ ./internal/faultnet/
 
+echo "==> fleet soak (sharded fabric, seeded lossy links, race-enabled)"
+# The fabric gate: five gateways behind seeded lossy netsim links, three
+# killed and restarted mid-run — the sharding controller must reconverge
+# every switch to a byte-identical per-shard rule set (PR-5 reconciler),
+# keep the digest fan-in invariant Offered == Drained + Dropped + Depth
+# per switch and fleet-wide, and leak no goroutines. The determinism
+# tests pin the emulation schedule itself: same seed, same delays.
+go test -race -count "${CI_FLEET_COUNT:-2}" \
+    -run 'TestFleetShardedConvergenceUnderLossyNetsim|TestDigestFanInBoundedBackpressure|TestSameSeedIdenticalDelaySequence|TestJitterDeterministicSequence|TestLatencyInjectionDeterministic' \
+    ./internal/controller/ ./internal/netsim/ ./internal/faultnet/
+
 echo "==> hot-path benchmarks"
 go test -run '^$' \
     -bench 'BenchmarkKeyIndexFind|BenchmarkCompiledMatcherClassify|BenchmarkRuleSetClassify|BenchmarkDataPlaneLookup$|BenchmarkSwitchRunSequential|BenchmarkSwitchRunParallel|BenchmarkMatMulMLP|BenchmarkTrainStep' \
