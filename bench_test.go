@@ -15,6 +15,7 @@ import (
 
 	"p4guard"
 
+	"p4guard/internal/dtrace"
 	"p4guard/internal/experiments"
 	"p4guard/internal/fieldsel"
 	"p4guard/internal/p4"
@@ -136,6 +137,37 @@ func BenchmarkDataPlaneLookupInstrumentedExplainOff(b *testing.B) {
 	sw.EnableExplainSampling(1, telemetry.NewFlightRecorder(16), nil)
 	sw.Process(pkts[0])
 	sw.DisableExplainSampling()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.Process(pkts[i%len(pkts)])
+	}
+}
+
+// BenchmarkDataPlaneLookupInstrumentedTraceOff is the instrumented
+// lookup with distributed tracing armed, exercised, and then disarmed —
+// the state a production switch sits in when nobody is collecting
+// traces. scripts/ci.sh fails if this costs more than
+// CI_GUARD_TRACE_PCT (default 1%) over the plain instrumented lookup:
+// a disarmed tracer must leave the forwarding path untouched (the
+// tracer is only consulted on the digest pump and control RPCs, never
+// per packet).
+func BenchmarkDataPlaneLookupInstrumentedTraceOff(b *testing.B) {
+	pipe, pkts := benchPipelineAndTrace(b)
+	sw, err := switchsim.New("bench", packet.LinkEthernet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sw.InstallRuleSet(pipe.RuleSet(), p4.Action{Type: p4.ActionAllow}); err != nil {
+		b.Fatal(err)
+	}
+	sw.RegisterTelemetry(telemetry.NewRegistry())
+	tr := dtrace.NewTracer()
+	tr.Arm("bench", 1, 64)
+	sw.SetTracer(tr)
+	sp := tr.StartTrace(dtrace.StageDigestWait)
+	sp.End()
+	sw.Process(pkts[0])
+	tr.Disarm()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sw.Process(pkts[i%len(pkts)])

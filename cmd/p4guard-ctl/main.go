@@ -19,6 +19,7 @@ import (
 
 	"p4guard"
 	"p4guard/internal/controller"
+	"p4guard/internal/dtrace"
 	"p4guard/internal/netsim"
 	"p4guard/internal/p4"
 	"p4guard/internal/telemetry"
@@ -47,6 +48,8 @@ func run() int {
 		jsonOut  = flag.Bool("json", false, "print stats as JSON instead of the key=value line")
 		rpcTO    = flag.Duration("rpc-timeout", 5*time.Second, "per-RPC deadline on switch calls")
 		backoff  = flag.Duration("reconnect-backoff", 50*time.Millisecond, "initial reconnect backoff (doubles with jitter up to 60x)")
+		trace    = flag.Bool("trace", false, "arm distributed tracing: digest-path and deploy spans, trace context on the wire")
+		traceOut = flag.String("trace-export", "", "write recorded spans as JSONL to this path on exit (implies -trace)")
 	)
 	flag.Parse()
 
@@ -70,12 +73,14 @@ func run() int {
 	// auto shard assignment is deterministic).
 	addrs := splitAddrs(*connect)
 	var fleetOpts []controller.Option
+	var topo *netsim.Topology
 	if *topoPath != "" {
-		spec, topo, err := netsim.LoadSpec(*topoPath)
+		spec, loaded, err := netsim.LoadSpec(*topoPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "p4guard-ctl:", err)
 			return 1
 		}
+		topo = loaded
 		fleetOpts = append(fleetOpts, controller.WithDialer(topo.Dialer(spec.Controller, nil)))
 		if len(addrs) == 0 {
 			nodes := make([]string, 0, len(spec.Binds))
@@ -99,6 +104,16 @@ func run() int {
 		reg = telemetry.NewRegistry()
 		fr = telemetry.NewFlightRecorder(4096)
 	}
+	var tracer *dtrace.Tracer
+	if *trace || *traceOut != "" {
+		tracer = dtrace.NewTracer()
+		tracer.Arm("p4guard-ctl", *seed, 1<<16)
+		fleetOpts = append(fleetOpts, controller.WithTracer(tracer))
+		if *traceOut != "" {
+			defer exportTrace(*traceOut, tracer)
+		}
+		fmt.Println("tracing armed as proc \"p4guard-ctl\"")
+	}
 	ctl := controller.New(pipe, controller.Config{Name: "p4guard-ctl", Reactive: *reactive},
 		append(fleetOpts,
 			controller.WithFlightRecorder(fr),
@@ -108,7 +123,14 @@ func run() int {
 			controller.WithShardPolicy(policy))...)
 	defer func() { _ = ctl.Close() }()
 	if reg != nil {
+		// The fleet aggregate rides the same registry: per-switch stats
+		// scraped over the p4rt stats RPC, health scores, digest→install
+		// latency quantiles, and (with -topology) per-link fabric counters.
 		ctl.RegisterTelemetry(reg)
+		ctl.RegisterFleetTelemetry(reg)
+		if topo != nil {
+			topo.RegisterTelemetry(reg)
+		}
 		ts, err := telemetry.NewServer(*metrics, reg, fr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "p4guard-ctl:", err)
@@ -160,6 +182,26 @@ func run() int {
 			printStats(ctl, *jsonOut)
 		}
 	}
+}
+
+// exportTrace writes the tracer's recorded spans as JSONL; failures are
+// reported but never change the exit status (observability must not
+// fail the run it observed).
+func exportTrace(path string, tr *dtrace.Tracer) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4guard-ctl: trace export: %v\n", err)
+		return
+	}
+	err = tr.WriteJSONL(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4guard-ctl: trace export: %v\n", err)
+		return
+	}
+	fmt.Printf("trace export: %d spans to %s (%d dropped)\n", len(tr.Spans()), path, tr.Dropped())
 }
 
 func loadOrTrain(path, scenario string, packets int, seed int64, k int) (*p4guard.Pipeline, error) {

@@ -4,10 +4,16 @@
 // — seed, dataset fingerprint, epoch-loss curves, final accuracy,
 // per-experiment manifests, and explain-vs-lookup agreement.
 //
+// The trace subcommand analyzes distributed-trace exports written by
+// p4guard-ctl/p4guard-switch -trace-export: it assembles spans into
+// cross-process traces and prints the per-stage critical-path breakdown
+// and the slowest traces.
+//
 // Usage:
 //
 //	p4guard-obs -journal train.jsonl [-journal more.jsonl]
 //	p4guard-obs -explain explains.jsonl [-top 10]
+//	p4guard-obs trace -spans ctl.jsonl [-spans gw0.jsonl] [-slowest 5] [-check]
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"p4guard/internal/dtrace"
 	"p4guard/internal/obs"
 	"p4guard/internal/telemetry"
 )
@@ -25,7 +32,52 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return fmt.Sprint(*m) }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
+// runTrace implements the trace subcommand: merge span exports, report
+// the critical path, optionally fail on malformed traces.
+func runTrace(args []string) int {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	var spanFiles multiFlag
+	fs.Var(&spanFiles, "spans", "span export JSONL to merge (repeatable)")
+	slowest := fs.Int("slowest", 5, "slowest traces to list (0 disables)")
+	check := fs.Bool("check", false, "exit non-zero on incomplete traces or verification problems")
+	_ = fs.Parse(args)
+	if len(spanFiles) == 0 {
+		fmt.Fprintln(os.Stderr, "p4guard-obs trace: need at least one -spans file")
+		fs.Usage()
+		return 2
+	}
+
+	exit := 0
+	var spans []dtrace.Span
+	for _, path := range spanFiles {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4guard-obs: %v\n", err)
+			return 1
+		}
+		got, err := dtrace.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			// A trailing partial line (crashed writer) still yields the
+			// clean prefix; report and keep going.
+			fmt.Fprintf(os.Stderr, "p4guard-obs: %s: %v (keeping %d clean spans)\n", path, err, len(got))
+			exit = 1
+		}
+		spans = append(spans, got...)
+	}
+	rep := obs.SummarizeTraces(spans)
+	obs.RenderTraceReport(os.Stdout, rep, *slowest)
+	if *check && (rep.Incomplete > 0 || len(rep.Problems) > 0) {
+		exit = 1
+	}
+	return exit
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		os.Exit(runTrace(os.Args[2:]))
+	}
+
 	var journals, explains multiFlag
 	flag.Var(&journals, "journal", "run journal JSONL to summarize (repeatable)")
 	flag.Var(&explains, "explain", "explain dump JSONL to summarize (repeatable)")

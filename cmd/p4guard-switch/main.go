@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"p4guard"
+	"p4guard/internal/dtrace"
 	"p4guard/internal/p4rt"
 	"p4guard/internal/packet"
 	"p4guard/internal/switchsim"
@@ -50,6 +51,8 @@ func run() int {
 		jsonOut  = flag.Bool("json", false, "print stats as JSON instead of the key=value line")
 		rpcTO    = flag.Duration("rpc-timeout", 5*time.Second, "write deadline on controller connections (stuck peers are dropped, not waited on)")
 		digestQ  = flag.Int("digest-queue", 4096, "bounded digest queue capacity; overflow drops with accounting")
+		trace    = flag.Bool("trace", false, "arm distributed tracing: digest and program spans, trace context on the wire")
+		traceOut = flag.String("trace-export", "", "write recorded spans as JSONL to this path on exit (implies -trace)")
 	)
 	flag.Parse()
 
@@ -65,6 +68,19 @@ func run() int {
 	}
 	if *node != "" {
 		sw.SetNode(*node)
+	}
+	if *trace || *traceOut != "" {
+		proc := *name
+		if *node != "" {
+			proc = *node
+		}
+		tr := dtrace.NewTracer()
+		tr.Arm(proc, *seed, 1<<15)
+		sw.SetTracer(tr)
+		if *traceOut != "" {
+			defer exportTrace(*traceOut, tr, "p4guard-switch")
+		}
+		fmt.Printf("tracing armed as proc %q\n", proc)
 	}
 	if *rateThr > 0 {
 		if err := sw.EnableRateGuard(nil, *rateThr, *rateWin); err != nil {
@@ -189,6 +205,26 @@ func (d *explainDump) Close() error {
 		err = cerr
 	}
 	return err
+}
+
+// exportTrace writes the tracer's recorded spans as JSONL; failures are
+// reported but never change the exit status (observability must not
+// fail the run it observed).
+func exportTrace(path string, tr *dtrace.Tracer, prog string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: trace export: %v\n", prog, err)
+		return
+	}
+	err = tr.WriteJSONL(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: trace export: %v\n", prog, err)
+		return
+	}
+	fmt.Printf("trace export: %d spans to %s (%d dropped)\n", len(tr.Spans()), path, tr.Dropped())
 }
 
 func parseLink(s string) (packet.LinkType, error) {

@@ -251,6 +251,10 @@ func TestMetricsEndpointEndToEnd(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("/metrics status %d", resp.StatusCode)
 		}
+		// Prometheus scrapers key their parser off this exact version.
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+			t.Fatalf("/metrics Content-Type = %q, want text/plain; version=0.0.4", ct)
+		}
 		body, err := io.ReadAll(resp.Body)
 		if err != nil {
 			t.Fatal(err)

@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p4guard/internal/dtrace"
 	"p4guard/internal/match"
 	"p4guard/internal/p4"
 	"p4guard/internal/p4rt"
@@ -131,6 +132,12 @@ type Config struct {
 	// Dialer overrides the transport dialer (fault injection in tests,
 	// netsim topology dialing in emulated fabrics).
 	Dialer p4rt.Dialer
+	// Tracer, when non-nil and armed, records distributed-trace spans for
+	// the digest round trip (fan-in wait → classify → plan → install) and
+	// rule-set deploys, stitched to switch-side spans via the p4rt wire's
+	// trace context. A nil or disarmed tracer costs one atomic load per
+	// span site.
+	Tracer *dtrace.Tracer
 }
 
 // Option mutates a Config before the controller starts; the functional-
@@ -179,6 +186,12 @@ func WithShardPolicy(p ShardPolicy) Option {
 	return func(c *Config) { c.Policy = p }
 }
 
+// WithTracer attaches the distributed tracer the controller records
+// digest-round-trip and deploy spans into.
+func WithTracer(tr *dtrace.Tracer) Option {
+	return func(c *Config) { c.Tracer = tr }
+}
+
 // Stats counts controller activity.
 type Stats struct {
 	DigestsProcessed int `json:"digests_processed"`
@@ -219,6 +232,9 @@ type desired struct {
 	valid  bool
 	epoch  uint64
 	shards []p4rt.Program
+	// at is when the epoch was minted; the reconciler measures epoch
+	// propagation latency (deploy → applied on a given switch) against it.
+	at time.Time
 }
 
 // FanInStats is one switch's digest fan-in accounting. At any quiescent
@@ -249,7 +265,10 @@ type SwitchStatus struct {
 	Replayed        uint64     `json:"replayed"`
 	Digests         uint64     `json:"digests"`
 	Installs        uint64     `json:"installs"`
-	FanIn           FanInStats `json:"fan_in"`
+	// EpochLatencyNs is how long the most recent program epoch took to
+	// propagate from DeployRuleSet to this switch (0 until measured).
+	EpochLatencyNs int64      `json:"epoch_latency_ns"`
+	FanIn          FanInStats `json:"fan_in"`
 }
 
 // Controller manages a fleet of switch connections.
@@ -281,6 +300,17 @@ type Controller struct {
 
 	workerWg sync.WaitGroup // digest worker
 	superWg  sync.WaitGroup // connection supervisors
+
+	// digestHist accumulates digest→install latency (fan-in enqueue to
+	// install ack) for fleet health quantiles; always on — one observation
+	// per reactive install, far off the per-packet path.
+	digestHist *telemetry.Histogram
+
+	// Cached remote stats scrape (see RemoteSwitchStats), so one /metrics
+	// render fanning out over several CollectFuncs costs one RPC sweep.
+	remoteMu    sync.Mutex
+	remoteAt    time.Time
+	remoteStats []RemoteSwitchStats
 }
 
 // swConn is one supervised switch connection. opMu serializes RPC-bearing
@@ -305,18 +335,27 @@ type swConn struct {
 	node string          // fabric node from the last handshake; guarded by Controller.mu
 	seen map[string]bool // reactive keys installed on THIS switch; guarded by Controller.mu
 
-	reconnects atomic.Uint64
-	reconciles atomic.Uint64
-	replayed   atomic.Uint64
-	digests    atomic.Uint64
-	installs   atomic.Uint64
-	rng        *rand.Rand // jitter; supervisor goroutine only
+	reconnects     atomic.Uint64
+	reconciles     atomic.Uint64
+	replayed       atomic.Uint64
+	digests        atomic.Uint64
+	installs       atomic.Uint64
+	epochLatencyNs atomic.Int64 // last epoch's deploy→applied latency
+	rng            *rand.Rand   // jitter; supervisor goroutine only
 
 	// Fan-in queue; guarded by Controller.fanMu.
-	fanQ       [][]p4rt.WirePacket
+	fanQ       []fanBatch
 	fanOffered uint64
 	fanDrained uint64
 	fanDropped uint64
+}
+
+// fanBatch is one queued digest batch plus its fan-in arrival time — the
+// start of the fanin_wait trace stage and of the digest→install latency
+// measurement.
+type fanBatch struct {
+	pkts []p4rt.WirePacket
+	at   time.Time
 }
 
 func (sc *swConn) setState(s ConnState) { sc.state.Store(int32(s)) }
@@ -359,12 +398,13 @@ func New(model SlowPath, cfg Config, opts ...Option) *Controller {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Controller{
-		cfg:     cfg,
-		model:   model,
-		ctx:     ctx,
-		cancel:  cancel,
-		conns:   make(map[string]*swConn),
-		fanOpen: true,
+		cfg:        cfg,
+		model:      model,
+		ctx:        ctx,
+		cancel:     cancel,
+		conns:      make(map[string]*swConn),
+		fanOpen:    true,
+		digestHist: telemetry.NewHistogram(digestInstallBuckets),
 	}
 	c.fanCond = sync.NewCond(&c.fanMu)
 	c.workerWg.Add(1)
@@ -621,6 +661,9 @@ func (c *Controller) reconcileLocked(ctx context.Context, sc *swConn) error {
 			return fmt.Errorf("reconcile %s: program epoch %d shard %d: %w", sc.addr, want.epoch, sc.shard, err)
 		}
 		sc.appliedEpoch.Store(want.epoch)
+		if !want.at.IsZero() {
+			sc.epochLatencyNs.Store(time.Since(want.at).Nanoseconds())
+		}
 		sc.appliedReactive.Store(0) // Program replaced the table: replay all
 		replayedProg = true
 	}
@@ -662,6 +705,7 @@ func (c *Controller) bumpStat(fn func(*Stats)) {
 // connections. The invariant fanOffered == fanDrained + fanDropped +
 // len(fanQ) holds under fanMu at every return.
 func (c *Controller) enqueue(sc *swConn, pkts []p4rt.WirePacket) {
+	now := time.Now()
 	c.fanMu.Lock()
 	sc.fanOffered++
 	if !c.fanOpen || len(sc.fanQ) >= c.cfg.QueueDepth {
@@ -669,7 +713,7 @@ func (c *Controller) enqueue(sc *swConn, pkts []p4rt.WirePacket) {
 		c.fanMu.Unlock()
 		return
 	}
-	sc.fanQ = append(sc.fanQ, pkts)
+	sc.fanQ = append(sc.fanQ, fanBatch{pkts: pkts, at: now})
 	c.fanMu.Unlock()
 	c.fanCond.Signal()
 }
@@ -679,7 +723,7 @@ func (c *Controller) enqueue(sc *swConn, pkts []p4rt.WirePacket) {
 // chatty gateway cannot starve the rest of the fleet. Returns ok=false
 // only when the fan-in is closed AND every queue is drained: pending
 // digests are processed, not abandoned, on shutdown.
-func (c *Controller) nextBatch() (*swConn, []p4rt.WirePacket, bool) {
+func (c *Controller) nextBatch() (*swConn, fanBatch, bool) {
 	c.fanMu.Lock()
 	defer c.fanMu.Unlock()
 	for {
@@ -690,7 +734,7 @@ func (c *Controller) nextBatch() (*swConn, []p4rt.WirePacket, bool) {
 					continue
 				}
 				batch := sc.fanQ[0]
-				sc.fanQ[0] = nil
+				sc.fanQ[0] = fanBatch{}
 				sc.fanQ = sc.fanQ[1:]
 				if len(sc.fanQ) == 0 {
 					sc.fanQ = nil // release the drained backing array
@@ -701,7 +745,7 @@ func (c *Controller) nextBatch() (*swConn, []p4rt.WirePacket, bool) {
 			}
 		}
 		if !c.fanOpen {
-			return nil, nil, false
+			return nil, fanBatch{}, false
 		}
 		c.fanCond.Wait()
 	}
@@ -715,20 +759,35 @@ func (c *Controller) worker() {
 		if !ok {
 			return
 		}
-		for _, wp := range batch {
-			c.handleDigest(sc, wp)
+		for _, wp := range batch.pkts {
+			c.handleDigest(sc, wp, batch.at)
 		}
 	}
+}
+
+// chainCtx advances a trace chain: the finished span's context when it
+// was recorded, else the previous context (so a disarmed local tracer
+// still forwards the wire context downstream).
+func chainCtx(prev dtrace.SpanContext, sp dtrace.ActiveSpan) dtrace.SpanContext {
+	if sp.Active() {
+		return sp.Context()
+	}
+	return prev
 }
 
 // handleDigest runs one digest through the slow path and the reactive
 // decision, tracing the whole round trip as a flight-recorder event:
 // kind "digest" with the switch address, the slow-path class, the final
 // decision, and the monotonic duration of classify+decide+install.
+// When the digest carries wire trace context and the controller tracer
+// is armed, the round trip is also recorded as chained trace stages —
+// fanin_wait (fan-in enqueue → here) → classify → plan → install — each
+// parented to its predecessor so the whole digest path assembles into
+// one critical-path chain with the switch-side digest_wait root.
 // Dedup and mirror suppression are per switch: two switches digesting the
 // same attack each get their own reactive entry, because each enforces
 // only its own shard.
-func (c *Controller) handleDigest(sc *swConn, wp p4rt.WirePacket) {
+func (c *Controller) handleDigest(sc *swConn, wp p4rt.WirePacket, arrived time.Time) {
 	fr := c.cfg.FlightRecorder
 	var start int64
 	if fr != nil {
@@ -736,10 +795,20 @@ func (c *Controller) handleDigest(sc *swConn, wp p4rt.WirePacket) {
 	}
 	decision := "attack"
 
+	tr := c.cfg.Tracer
+	ctx := dtrace.SpanContext{Trace: dtrace.TraceID(wp.TraceID), Span: dtrace.SpanID(wp.SpanID)}
+	fanSpan := tr.StartSpanAt(ctx, dtrace.StageFanInWait, arrived)
+	fanSpan.End() // fan-in wait ended the moment handling started
+	ctx = chainCtx(ctx, fanSpan)
+
+	clsSpan := tr.StartSpan(ctx, dtrace.StageClassify)
 	pkt := wp.ToPacket()
 	class := c.model.ClassifySlowPath(pkt)
+	clsSpan.End()
+	ctx = chainCtx(ctx, clsSpan)
 	sc.digests.Add(1)
 
+	planSpan := tr.StartSpan(ctx, dtrace.StagePlan)
 	c.mu.Lock()
 	c.stats.DigestsProcessed++
 	var install bool
@@ -772,8 +841,13 @@ func (c *Controller) handleDigest(sc *swConn, wp p4rt.WirePacket) {
 		}
 	}
 	c.mu.Unlock()
+	planSpan.End()
+	ctx = chainCtx(ctx, planSpan)
 
 	if install {
+		instSpan := tr.StartSpan(ctx, dtrace.StageInstall)
+		instSpan.SetAttr("switch", sc.addr)
+		ctx = chainCtx(ctx, instSpan)
 		// Exact match expressed as a degenerate range (lo==hi). The entry
 		// joins the switch's desired reactive log first, so even if the
 		// write races a connection failure the reconciler replays it.
@@ -792,16 +866,22 @@ func (c *Controller) handleDigest(sc *swConn, wp p4rt.WirePacket) {
 		if cl == nil {
 			err = p4rt.ErrConnClosed
 		} else {
-			_, err = cl.WriteEntry(c.ctx, entry)
+			// The traced write carries the install span's context so the
+			// switch records its apply span nested under it.
+			_, err = cl.WriteEntryTraced(c.ctx, entry, uint64(ctx.Trace), uint64(ctx.Span))
 			if err == nil {
 				sc.appliedReactive.Add(1)
 			}
 		}
 		sc.opMu.Unlock()
+		instSpan.End()
 		if err == nil {
 			decision = "install"
 			sc.installs.Add(1)
 			c.bumpStat(func(s *Stats) { s.ReactiveInstalls++ })
+			if !arrived.IsZero() {
+				c.digestHist.Observe(time.Since(arrived).Seconds())
+			}
 		} else {
 			// The entry stays in the desired log; the supervisor replays
 			// it once the switch is back.
@@ -853,6 +933,16 @@ func (c *Controller) DeployRuleSet(ctx context.Context, rs *rules.RuleSet, missA
 		progs[i] = prog
 		total += len(prog.Entries)
 	}
+	// One deploy trace spans the whole call; its context is stamped onto
+	// every shard program so each switch's program_apply span — including
+	// later replays by the reconciler — nests under this deploy.
+	root := c.cfg.Tracer.StartTrace(dtrace.StageDeploy)
+	if root.Active() {
+		rctx := root.Context()
+		for i := range progs {
+			progs[i].TraceID, progs[i].SpanID = uint64(rctx.Trace), uint64(rctx.Span)
+		}
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -861,6 +951,7 @@ func (c *Controller) DeployRuleSet(ctx context.Context, rs *rules.RuleSet, missA
 	c.desired.valid = true
 	c.desired.epoch++
 	c.desired.shards = progs
+	c.desired.at = time.Now()
 	epoch := c.desired.epoch
 	conns := append([]*swConn(nil), c.fleet...)
 	c.mirrors = mirrors
@@ -918,6 +1009,8 @@ func (c *Controller) DeployRuleSet(ctx context.Context, rs *rules.RuleSet, missA
 			"dur_ns":   fr.Now().Nanoseconds() - start,
 		})
 	}
+	root.SetAttr("epoch", fmt.Sprintf("%d", epoch))
+	root.End()
 	return nil
 }
 
@@ -1049,6 +1142,7 @@ func (c *Controller) FleetStatus() []SwitchStatus {
 			Replayed:        sc.replayed.Load(),
 			Digests:         sc.digests.Load(),
 			Installs:        sc.installs.Load(),
+			EpochLatencyNs:  sc.epochLatencyNs.Load(),
 		}
 	}
 	c.mu.Unlock()

@@ -40,7 +40,7 @@ func startSwitch(t *testing.T) (*switchsim.Switch, string) {
 	return sw, srv.Addr()
 }
 
-func waitFor(t *testing.T, cond func() bool) {
+func waitFor(t testing.TB, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(3 * time.Second)
 	for time.Now().Before(deadline) {

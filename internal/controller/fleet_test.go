@@ -39,7 +39,7 @@ type fleetGW struct {
 	srv  *p4rt.Server
 }
 
-func startFleetGW(t *testing.T, topo *netsim.Topology, node, addr string, gen int) *fleetGW {
+func startFleetGW(t testing.TB, topo *netsim.Topology, node, addr string, gen int) *fleetGW {
 	t.Helper()
 	var ln net.Listener
 	var err error

@@ -91,6 +91,26 @@ func mkEdge(a, b string) edge {
 type link struct {
 	cfg LinkConfig
 	up  bool
+
+	// Per-link emulation counters. Every operation on a connection is
+	// attributed to each link along its path. Atomics, not t.mu: they are
+	// bumped from conn.apply on the data path where taking the topology
+	// lock would serialize all connections.
+	ops     atomic.Uint64 // operations that crossed this link
+	delayed atomic.Uint64 // operations that slept
+	losses  atomic.Uint64 // lost transmissions attributed to this link's path
+	resets  atomic.Uint64 // connection resets whose path crossed this link
+}
+
+// LinkStats is one link's cumulative emulation counters, identified by
+// its canonical (sorted) endpoint pair.
+type LinkStats struct {
+	A, B    string
+	Up      bool
+	Ops     uint64 // operations whose path crossed the link
+	Delayed uint64 // of those, operations that slept
+	Losses  uint64 // lost transmissions attributed to the link
+	Resets  uint64 // connection resets whose path crossed the link
 }
 
 // Topology is a mutable fabric graph plus the live connections emulated
@@ -130,6 +150,32 @@ func (t *Topology) Stats() Stats {
 		Losses: t.losses.Load(),
 		Resets: t.resets.Load(),
 	}
+}
+
+// LinkStats returns per-link emulation counters, sorted by endpoint
+// pair for a stable render order.
+func (t *Topology) LinkStats() []LinkStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]LinkStats, 0, len(t.links))
+	for e, l := range t.links {
+		out = append(out, LinkStats{
+			A:       e.a,
+			B:       e.b,
+			Up:      l.up,
+			Ops:     l.ops.Load(),
+			Delayed: l.delayed.Load(),
+			Losses:  l.losses.Load(),
+			Resets:  l.resets.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
 }
 
 // AddNode registers a node. Adding an existing node is a no-op.
@@ -353,6 +399,10 @@ func (t *Topology) Dialer(from string, base func(ctx context.Context, addr strin
 			return nil, err
 		}
 		prof, edges := t.profileLocked(path)
+		pathLinks := make([]*link, len(edges))
+		for i, e := range edges {
+			pathLinks[i] = t.links[e]
+		}
 		t.ordinal++
 		ord := t.ordinal
 		t.mu.Unlock()
@@ -371,6 +421,7 @@ func (t *Topology) Dialer(from string, base func(ctx context.Context, addr strin
 			topo:  t,
 			prof:  prof,
 			edges: edges,
+			links: pathLinks,
 			rng:   rand.New(rand.NewSource(t.seed*1000003 + int64(ord))),
 		}
 		t.mu.Lock()
@@ -397,6 +448,7 @@ type conn struct {
 	topo  *Topology
 	prof  PathProfile
 	edges []edge
+	links []*link // same order as edges; counter attribution targets
 	down  atomic.Bool
 
 	mu  sync.Mutex
@@ -407,6 +459,9 @@ type conn struct {
 func (c *conn) cut() {
 	if c.down.CompareAndSwap(false, true) {
 		c.topo.resets.Add(1)
+		for _, l := range c.links {
+			l.resets.Add(1)
+		}
 		c.topo.drop(c)
 		_ = c.Conn.Close()
 	}
@@ -443,6 +498,15 @@ func (c *conn) apply(isWrite bool, n int) error {
 		return ErrLinkDown
 	}
 	sleep, reset, losses := c.plan(isWrite, n)
+	for _, l := range c.links {
+		l.ops.Add(1)
+		if sleep > 0 {
+			l.delayed.Add(1)
+		}
+		if losses > 0 {
+			l.losses.Add(uint64(losses))
+		}
+	}
 	if losses > 0 {
 		c.topo.losses.Add(uint64(losses))
 	}

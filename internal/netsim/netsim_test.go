@@ -319,3 +319,99 @@ func TestSetLinkDownResetsRoutedConns(t *testing.T) {
 		t.Fatalf("disjoint-path write err = %v, want nil", err)
 	}
 }
+
+// TestLinkStatsAttribution: per-link counters attribute every operation
+// to each link on the connection's path, losses land on lossy links, and
+// cutting a link counts a reset on every link the dead connection
+// crossed.
+func TestLinkStatsAttribution(t *testing.T) {
+	topo := New(Config{Seed: 7})
+	_ = topo.AddLink("ctl", "core", LinkConfig{LatencyMin: time.Microsecond, LatencyMax: 5 * time.Microsecond})
+	_ = topo.AddLink("core", "gw", LinkConfig{LatencyMin: time.Microsecond, LatencyMax: 5 * time.Microsecond, Loss: 0.3})
+	_ = topo.AddLink("ctl", "idle", LinkConfig{})
+	ln, err := topo.Listen("gw", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 16)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	c, err := topo.Dialer("ctl", nil)(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	const writes = 50
+	for i := 0; i < writes; i++ {
+		if _, err := c.Write(make([]byte, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stats := topo.LinkStats()
+	if len(stats) != 3 {
+		t.Fatalf("LinkStats len = %d, want 3", len(stats))
+	}
+	byPair := map[[2]string]LinkStats{}
+	for _, ls := range stats {
+		byPair[[2]string{ls.A, ls.B}] = ls
+	}
+	hop1 := byPair[[2]string{"core", "ctl"}]
+	hop2 := byPair[[2]string{"core", "gw"}]
+	idle := byPair[[2]string{"ctl", "idle"}]
+	if hop1.Ops != writes || hop2.Ops != writes {
+		t.Fatalf("path link ops = %d/%d, want %d each", hop1.Ops, hop2.Ops, writes)
+	}
+	// Loss draws happen per connection against the aggregate path profile,
+	// so both path links see the attributed losses; with Loss=0.3 and 50
+	// writes some losses are overwhelmingly likely under any seed that
+	// yields them — assert against the topology aggregate for robustness.
+	if agg := topo.Stats().Losses; hop1.Losses != agg || hop2.Losses != agg {
+		t.Fatalf("path link losses = %d/%d, want aggregate %d on each", hop1.Losses, hop2.Losses, agg)
+	}
+	if idle.Ops != 0 || idle.Losses != 0 || idle.Resets != 0 {
+		t.Fatalf("idle link counters = %+v, want all zero", idle)
+	}
+	if !idle.Up || !hop1.Up {
+		t.Fatal("links should report up")
+	}
+
+	// Cutting one path link resets the connection and attributes the reset
+	// to every link on its path.
+	if err := topo.SetLinkUp("core", "gw", false); err != nil {
+		t.Fatal(err)
+	}
+	stats = topo.LinkStats()
+	for _, ls := range stats {
+		switch [2]string{ls.A, ls.B} {
+		case [2]string{"core", "ctl"}:
+			if ls.Resets != 1 {
+				t.Fatalf("hop1 resets = %d, want 1", ls.Resets)
+			}
+		case [2]string{"core", "gw"}:
+			if ls.Resets != 1 || ls.Up {
+				t.Fatalf("hop2 = %+v, want 1 reset and down", ls)
+			}
+		case [2]string{"ctl", "idle"}:
+			if ls.Resets != 0 {
+				t.Fatalf("idle resets = %d, want 0", ls.Resets)
+			}
+		}
+	}
+}

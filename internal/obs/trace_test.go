@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"p4guard/internal/dtrace"
+)
+
+// traceSpans builds one complete digest trace with the canonical stage
+// chain; base offsets the trace's timestamps and IDs.
+func traceSpans(base uint64, durs [5]int64) []dtrace.Span {
+	names := []string{
+		dtrace.StageDigestWait, dtrace.StageFanInWait,
+		dtrace.StageClassify, dtrace.StagePlan, dtrace.StageInstall,
+	}
+	procs := []string{"gw0", "ctl", "ctl", "ctl", "ctl"}
+	spans := make([]dtrace.Span, 0, len(names))
+	var at int64
+	var parent dtrace.SpanID
+	for i, name := range names {
+		sp := dtrace.Span{
+			Trace:   dtrace.TraceID(base),
+			ID:      dtrace.SpanID(base*10 + uint64(i) + 1),
+			Parent:  parent,
+			Name:    name,
+			Kind:    dtrace.KindStage,
+			Proc:    procs[i],
+			StartNs: at,
+			EndNs:   at + durs[i],
+		}
+		at += durs[i]
+		parent = sp.ID
+		spans = append(spans, sp)
+	}
+	return spans
+}
+
+func TestSummarizeTracesCriticalPath(t *testing.T) {
+	var spans []dtrace.Span
+	spans = append(spans, traceSpans(1, [5]int64{100, 50, 20, 10, 220})...) // e2e 400
+	spans = append(spans, traceSpans(2, [5]int64{200, 50, 20, 10, 320})...) // e2e 600
+	// One orphaned span: its trace must count as incomplete, not poison
+	// the rest.
+	spans = append(spans, dtrace.Span{
+		Trace: 9, ID: 91, Parent: 77, Name: dtrace.StageInstall,
+		Kind: dtrace.KindStage, Proc: "ctl", StartNs: 5, EndNs: 9,
+	})
+
+	rep := SummarizeTraces(spans)
+	if rep.Complete != 2 || rep.Incomplete != 1 {
+		t.Fatalf("complete/incomplete = %d/%d, want 2/1", rep.Complete, rep.Incomplete)
+	}
+	if len(rep.Problems) == 0 {
+		t.Fatal("orphan span produced no verification problem")
+	}
+	if rep.E2EMax != 600 || rep.E2EP99 != 600 {
+		t.Fatalf("e2e max/p99 = %v/%v, want 600/600", rep.E2EMax, rep.E2EP99)
+	}
+
+	// Per-stage shares must cover the full critical path: stage totals sum
+	// to the summed e2e by construction, so shares sum to 1.
+	var share float64
+	for _, name := range rep.StageOrder {
+		share += rep.Stages[name].Share
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("stage shares sum to %v, want 1", share)
+	}
+	if got := rep.Stages[dtrace.StageInstall].Total; got != 540 {
+		t.Fatalf("install total = %v, want 540", got)
+	}
+	if rep.StageOrder[0] != dtrace.StageDigestWait {
+		t.Fatalf("stage order starts with %s", rep.StageOrder[0])
+	}
+	if rep.Slowest[0].Trace != 2 {
+		t.Fatalf("slowest trace = %d, want 2", rep.Slowest[0].Trace)
+	}
+
+	var sb strings.Builder
+	RenderTraceReport(&sb, rep, 1)
+	out := sb.String()
+	for _, want := range []string{"complete 2", "critical path:", dtrace.StageFanInWait, "slowest 1 traces:", "problem:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarizeTracesEmpty(t *testing.T) {
+	rep := SummarizeTraces(nil)
+	if rep.Complete != 0 || rep.Traces != 0 || len(rep.Problems) != 0 {
+		t.Fatalf("empty report = %+v", rep)
+	}
+	var sb strings.Builder
+	RenderTraceReport(&sb, rep, 3) // must not panic on empty
+	if !strings.Contains(sb.String(), "complete 0") {
+		t.Fatalf("empty render: %q", sb.String())
+	}
+}
+
+func TestStageStatQuantilesUseDurations(t *testing.T) {
+	var spans []dtrace.Span
+	for i := uint64(1); i <= 10; i++ {
+		spans = append(spans, traceSpans(i, [5]int64{int64(i) * 10, 5, 5, 5, 5})...)
+	}
+	rep := SummarizeTraces(spans)
+	dw := rep.Stages[dtrace.StageDigestWait]
+	if dw.P50 != 50*time.Nanosecond && dw.P50 != 60*time.Nanosecond {
+		t.Fatalf("digest_wait p50 = %v", dw.P50)
+	}
+	if dw.Max != 100 {
+		t.Fatalf("digest_wait max = %v, want 100", dw.Max)
+	}
+}

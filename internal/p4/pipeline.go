@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"p4guard/internal/packet"
 )
@@ -21,10 +22,13 @@ type Verdict struct {
 	Digested bool `json:"digested"`
 }
 
-// Digest is a packet sample queued for the controller.
+// Digest is a packet sample queued for the controller. At is the
+// enqueue wall time, stamped so the digest pump can account queue wait
+// (the digest_wait trace stage) from the moment the sample was taken.
 type Digest struct {
 	Table string
 	Pkt   *packet.Packet
+	At    time.Time
 }
 
 // Pipeline is an ordered list of tables applied to every packet, plus a
@@ -146,6 +150,7 @@ func (p *Pipeline) RunTables(tables []*Table, pkt *packet.Packet) Verdict {
 }
 
 func (p *Pipeline) queueDigest(d Digest) {
+	d.At = time.Now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.offered++

@@ -321,9 +321,30 @@ func (c *Client) WriteEntry(ctx context.Context, e WireEntry) (Response, error) 
 	return c.call(ctx, TypeWrite, Write{Entry: e})
 }
 
+// WriteEntryTraced inserts one reactive entry carrying trace context, so
+// the switch can record its apply span under the caller's install span.
+// Zero IDs make it identical to WriteEntry.
+func (c *Client) WriteEntryTraced(ctx context.Context, e WireEntry, traceID, spanID uint64) (Response, error) {
+	return c.call(ctx, TypeWrite, Write{Entry: e, TraceID: traceID, SpanID: spanID})
+}
+
 // Counters reads the detector table counters.
 func (c *Client) Counters(ctx context.Context) (Response, error) {
 	return c.call(ctx, TypeCounters, CountersRequest{})
+}
+
+// SwitchStats reads the switch's full data-plane stats snapshot (the
+// fleet aggregation scrape). A pre-stats peer rejects the unknown
+// message type, surfaced as a RejectError.
+func (c *Client) SwitchStats(ctx context.Context) (WireSwitchStats, error) {
+	resp, err := c.call(ctx, TypeStats, StatsRequest{})
+	if err != nil {
+		return WireSwitchStats{}, err
+	}
+	if resp.Switch == nil {
+		return WireSwitchStats{}, &RejectError{Op: TypeStats, Reason: "response carries no switch_stats"}
+	}
+	return *resp.Switch, nil
 }
 
 // Heartbeat checks liveness.

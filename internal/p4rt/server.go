@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p4guard/internal/dtrace"
 	"p4guard/internal/p4"
 	"p4guard/internal/switchsim"
 	"p4guard/internal/telemetry"
@@ -29,6 +30,7 @@ type Server struct {
 	programs      atomic.Uint64
 	writes        atomic.Uint64
 	counterReads  atomic.Uint64
+	statsReads    atomic.Uint64
 	digestBatches atomic.Uint64
 	digestPackets atomic.Uint64
 
@@ -102,6 +104,7 @@ func (s *Server) RegisterTelemetry(reg *telemetry.Registry) {
 		{"program", &s.programs},
 		{"write", &s.writes},
 		{"counters", &s.counterReads},
+		{"stats", &s.statsReads},
 	}
 	for _, r := range reqs {
 		c := r.c
@@ -207,6 +210,9 @@ func (s *Server) handleConn(conn net.Conn) {
 		case TypeCounters:
 			s.counterReads.Add(1)
 			resp = s.readCounters()
+		case TypeStats:
+			s.statsReads.Add(1)
+			resp = s.readSwitchStats()
 		case TypeHeartbeat:
 			resp = Response{OK: true}
 		default:
@@ -245,33 +251,44 @@ func (s *Server) send(conn net.Conn, typ MsgType, id uint64, body any) error {
 }
 
 func (s *Server) applyProgram(prog Program) Response {
+	// The apply span nests under the controller's deploy/program span via
+	// the wire trace context; inert when the switch tracer is disarmed or
+	// the push carries no context.
+	sp := s.sw.Tracer().StartDetail(
+		dtrace.SpanContext{Trace: dtrace.TraceID(prog.TraceID), Span: dtrace.SpanID(prog.SpanID)},
+		dtrace.DetailProgram)
+	defer sp.End()
 	defAct, err := ParseAction(prog.DefaultAction)
 	if err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), TraceID: prog.TraceID, SpanID: prog.SpanID}
 	}
 	entries := make([]p4.Entry, 0, len(prog.Entries))
 	for _, we := range prog.Entries {
 		e, err := we.ToP4Entry()
 		if err != nil {
-			return Response{Error: err.Error()}
+			return Response{Error: err.Error(), TraceID: prog.TraceID, SpanID: prog.SpanID}
 		}
 		entries = append(entries, e)
 	}
 	if err := s.sw.ProgramDetector(prog.Offsets, p4.Action{Type: defAct, Class: prog.DefaultClass}, entries); err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), TraceID: prog.TraceID, SpanID: prog.SpanID}
 	}
-	return Response{OK: true, Installed: len(entries)}
+	return Response{OK: true, Installed: len(entries), TraceID: prog.TraceID, SpanID: prog.SpanID}
 }
 
 func (s *Server) applyWrite(w Write) Response {
+	sp := s.sw.Tracer().StartDetail(
+		dtrace.SpanContext{Trace: dtrace.TraceID(w.TraceID), Span: dtrace.SpanID(w.SpanID)},
+		dtrace.DetailApply)
+	defer sp.End()
 	e, err := w.Entry.ToP4Entry()
 	if err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), TraceID: w.TraceID, SpanID: w.SpanID}
 	}
 	if _, err := s.sw.InsertDetectorEntry(e); err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), TraceID: w.TraceID, SpanID: w.SpanID}
 	}
-	return Response{OK: true, Installed: 1}
+	return Response{OK: true, Installed: 1, TraceID: w.TraceID, SpanID: w.SpanID}
 }
 
 func (s *Server) readCounters() Response {
@@ -280,6 +297,31 @@ func (s *Server) readCounters() Response {
 		return Response{Error: err.Error()}
 	}
 	return Response{OK: true, Entries: st.Entries, Hits: st.Hits, Misses: st.Misses}
+}
+
+// readSwitchStats snapshots the switch's data-plane state for the fleet
+// aggregation scrape.
+func (s *Server) readSwitchStats() Response {
+	run, dq, det := s.sw.WireStats()
+	return Response{OK: true, Switch: &WireSwitchStats{
+		Name:        s.sw.Name,
+		Node:        s.sw.Node(),
+		Packets:     int64(run.Packets),
+		Allowed:     int64(run.Allowed),
+		Dropped:     int64(run.Dropped),
+		Digested:    int64(run.Digested),
+		ParseFailed: int64(run.ParseFailed),
+		RateDropped: int64(run.RateDropped),
+
+		DigestDepth:   dq.Depth,
+		DigestOffered: dq.Offered,
+		DigestDrained: dq.Drained,
+		DigestDropped: dq.Dropped,
+
+		TableEntries: det.Entries,
+		TableHits:    det.Hits,
+		TableMisses:  det.Misses,
+	}}
 }
 
 // digestPump periodically drains switch digests to all connected
@@ -317,9 +359,20 @@ func (s *Server) digestPump(interval time.Duration) {
 		}
 		s.digestBatches.Add(1)
 		s.digestPackets.Add(uint64(len(ds)))
+		tracer := s.sw.Tracer()
 		msg := DigestMsg{Packets: make([]WirePacket, 0, len(ds))}
 		for _, d := range ds {
-			msg.Packets = append(msg.Packets, FromPacket(d.Pkt))
+			wp := FromPacket(d.Pkt)
+			// One trace per digest: its root digest_wait span covers
+			// pipeline enqueue → pump drain, and its context rides the wire
+			// so the controller's fan-in span can parent to it. Inert (one
+			// atomic load) while the tracer is nil or disarmed.
+			if sp := tracer.StartTraceAt(dtrace.StageDigestWait, d.At); sp.Active() {
+				ctx := sp.Context()
+				wp.TraceID, wp.SpanID = uint64(ctx.Trace), uint64(ctx.Span)
+				sp.End()
+			}
+			msg.Packets = append(msg.Packets, wp)
 		}
 		for _, c := range conns {
 			if err := s.send(c, TypeDigest, 0, msg); err != nil && !errors.Is(err, net.ErrClosed) {

@@ -31,6 +31,7 @@ const (
 	TypeResponse  MsgType = "response"
 	TypeDigest    MsgType = "digest"
 	TypeHeartbeat MsgType = "heartbeat"
+	TypeStats     MsgType = "stats"
 )
 
 // Envelope is the outer frame: a type tag, a request-correlation ID
@@ -68,30 +69,68 @@ type WireEntry struct {
 }
 
 // Program atomically reprograms the detector table: key layout, default
-// action, and full entry list.
+// action, and full entry list. TraceID/SpanID optionally tie the program
+// push into a distributed trace (internal/dtrace); zero means untraced,
+// and old peers ignore the fields (unknown JSON keys are skipped).
 type Program struct {
 	Offsets       []int       `json:"offsets"`
 	DefaultAction string      `json:"default_action"`
 	DefaultClass  int         `json:"default_class,omitempty"`
 	Entries       []WireEntry `json:"entries"`
+	TraceID       uint64      `json:"trace_id,omitempty"`
+	SpanID        uint64      `json:"span_id,omitempty"`
 }
 
 // Write inserts a single entry into the detector table (reactive path).
+// TraceID/SpanID carry optional trace context, as on Program.
 type Write struct {
-	Entry WireEntry `json:"entry"`
+	Entry   WireEntry `json:"entry"`
+	TraceID uint64    `json:"trace_id,omitempty"`
+	SpanID  uint64    `json:"span_id,omitempty"`
 }
 
 // CountersRequest asks for the detector table's counters.
 type CountersRequest struct{}
 
-// Response answers Program/Write/Counters requests.
+// StatsRequest asks for the switch's full data-plane stats snapshot —
+// the fleet aggregation scrape (controller-side merged /metrics).
+type StatsRequest struct{}
+
+// WireSwitchStats is the stats-RPC payload: one switch's data-plane run
+// stats, digest queue accounting, and detector table counters.
+type WireSwitchStats struct {
+	Name        string `json:"name"`
+	Node        string `json:"node,omitempty"`
+	Packets     int64  `json:"packets"`
+	Allowed     int64  `json:"allowed"`
+	Dropped     int64  `json:"dropped"`
+	Digested    int64  `json:"digested"`
+	ParseFailed int64  `json:"parse_failed"`
+	RateDropped int64  `json:"rate_dropped"`
+
+	DigestDepth   int    `json:"digest_depth"`
+	DigestOffered uint64 `json:"digest_offered"`
+	DigestDrained uint64 `json:"digest_drained"`
+	DigestDropped uint64 `json:"digest_dropped"`
+
+	TableEntries int    `json:"table_entries"`
+	TableHits    uint64 `json:"table_hits"`
+	TableMisses  uint64 `json:"table_misses"`
+}
+
+// Response answers Program/Write/Counters/Stats requests. TraceID/SpanID
+// echo the request's trace context so the caller can stitch the ack into
+// the trace; Switch is set only on stats responses.
 type Response struct {
-	OK        bool   `json:"ok"`
-	Error     string `json:"error,omitempty"`
-	Installed int    `json:"installed,omitempty"`
-	Entries   int    `json:"entries,omitempty"`
-	Hits      uint64 `json:"hits,omitempty"`
-	Misses    uint64 `json:"misses,omitempty"`
+	OK        bool             `json:"ok"`
+	Error     string           `json:"error,omitempty"`
+	Installed int              `json:"installed,omitempty"`
+	Entries   int              `json:"entries,omitempty"`
+	Hits      uint64           `json:"hits,omitempty"`
+	Misses    uint64           `json:"misses,omitempty"`
+	TraceID   uint64           `json:"trace_id,omitempty"`
+	SpanID    uint64           `json:"span_id,omitempty"`
+	Switch    *WireSwitchStats `json:"switch_stats,omitempty"`
 }
 
 // DigestMsg pushes packet samples switch→controller.
@@ -99,11 +138,16 @@ type DigestMsg struct {
 	Packets []WirePacket `json:"packets"`
 }
 
-// WirePacket is a packet sample in wire form.
+// WirePacket is a packet sample in wire form. TraceID/SpanID carry the
+// digest's trace context when the switch has tracing armed: TraceID
+// names the trace minted at digest drain, SpanID the digest_wait span
+// the controller's fan-in span should parent to. Old peers ignore them.
 type WirePacket struct {
-	TimeNS int64  `json:"time_ns"`
-	Link   int    `json:"link"`
-	Bytes  []byte `json:"bytes"`
+	TimeNS  int64  `json:"time_ns"`
+	Link    int    `json:"link"`
+	Bytes   []byte `json:"bytes"`
+	TraceID uint64 `json:"trace_id,omitempty"`
+	SpanID  uint64 `json:"span_id,omitempty"`
 }
 
 // ToPacket converts the wire form back to a packet.

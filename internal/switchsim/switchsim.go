@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p4guard/internal/dtrace"
 	"p4guard/internal/p4"
 	"p4guard/internal/packet"
 	"p4guard/internal/rules"
@@ -55,6 +56,13 @@ type Switch struct {
 	// paths load the pointer once per batch and pay one predictable nil
 	// check per packet.
 	explain atomic.Pointer[explainSampler]
+
+	// tracer, when set, lets the p4rt agent record distributed-trace spans
+	// for this switch's slow path (digest drain, reactive apply). The
+	// forwarding fast path never consults it — tracing costs nothing per
+	// packet, and even the slow-path callers pay only the dtrace disarm
+	// contract (one atomic load) while the tracer is not armed.
+	tracer atomic.Pointer[dtrace.Tracer]
 
 	// latencyHist, when armed by RegisterTelemetry, receives sampled
 	// per-packet forwarding latencies: every multi-packet batch merge is
@@ -185,6 +193,24 @@ func (s *Switch) SetNode(node string) { s.node = node }
 
 // Node returns the fabric node identity ("" when not attached).
 func (s *Switch) Node() string { return s.node }
+
+// SetTracer attaches a distributed tracer the p4rt agent uses for
+// slow-path spans (digest drain, reactive apply). nil detaches.
+func (s *Switch) SetTracer(tr *dtrace.Tracer) { s.tracer.Store(tr) }
+
+// Tracer returns the attached tracer (nil when none); a nil or disarmed
+// tracer makes every span call inert.
+func (s *Switch) Tracer() *dtrace.Tracer { return s.tracer.Load() }
+
+// WireStats snapshots everything the stats RPC reports: run stats,
+// digest queue accounting, and detector table counters, in one call.
+func (s *Switch) WireStats() (RunStats, p4.DigestQueueStats, p4.Stats) {
+	var det p4.Stats
+	if st, err := s.DetectorStats(); err == nil {
+		det = st
+	}
+	return s.Stats(), s.DigestQueueStats(), det
+}
 
 // Link returns the switch's link type.
 func (s *Switch) Link() packet.LinkType { return s.link }

@@ -18,11 +18,10 @@ type Event struct {
 }
 
 // FlightRecorder is a bounded ring buffer of Events: writes never block
-// longer than a short mutex hold and never allocate beyond the fields map
-// the caller passes, and once the ring is full the oldest events are
-// overwritten. It is the control-plane black box — cheap enough to leave
-// on in production, dumped as JSON via /debug/vars when something goes
-// wrong.
+// longer than a short mutex hold, and once the ring is full the oldest
+// events are overwritten. It is the control-plane black box — cheap
+// enough to leave on in production, dumped as JSON via /debug/vars when
+// something goes wrong.
 type FlightRecorder struct {
 	start time.Time
 
@@ -45,15 +44,51 @@ func NewFlightRecorder(capacity int) *FlightRecorder {
 func (f *FlightRecorder) Now() time.Duration { return time.Since(f.start) }
 
 // Record appends an event and returns its sequence number (1-based).
-// fields is retained by reference; callers must not mutate it afterwards.
+// fields is deep-copied before it is stored, so the caller is free to
+// reuse or mutate the map afterwards without corrupting recorded
+// history.
 func (f *FlightRecorder) Record(kind string, fields map[string]any) uint64 {
 	at := f.Now().Nanoseconds()
+	fields = copyFields(fields)
 	f.mu.Lock()
 	f.next++
 	seq := f.next
 	f.ring[(seq-1)%uint64(len(f.ring))] = Event{Seq: seq, AtNs: at, Kind: kind, Fields: fields}
 	f.mu.Unlock()
 	return seq
+}
+
+// copyFields deep-copies an event field map: nested map[string]any,
+// []any, and []byte values are cloned; everything else (numbers,
+// strings, bools) is immutable and copied by value.
+func copyFields(fields map[string]any) map[string]any {
+	if fields == nil {
+		return nil
+	}
+	out := make(map[string]any, len(fields))
+	for k, v := range fields {
+		out[k] = copyFieldValue(v)
+	}
+	return out
+}
+
+func copyFieldValue(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		return copyFields(x)
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = copyFieldValue(e)
+		}
+		return out
+	case []byte:
+		out := make([]byte, len(x))
+		copy(out, x)
+		return out
+	default:
+		return v
+	}
 }
 
 // Total returns the number of events ever recorded (including ones the

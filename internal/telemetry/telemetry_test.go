@@ -52,6 +52,35 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	// 10 observations uniformly in (0,1]: the whole mass sits in bucket 0.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q <= 0 || q > 1 {
+		t.Fatalf("q50 = %v, want within (0,1]", q)
+	}
+	// Add mass above: 10 more at 3 → median moves to the (2,4] bucket edge
+	// region and p99 interpolates inside (2,4].
+	for i := 0; i < 10; i++ {
+		h.Observe(3)
+	}
+	s = h.Snapshot()
+	if q := s.Quantile(0.99); q <= 2 || q > 4 {
+		t.Fatalf("q99 = %v, want within (2,4]", q)
+	}
+	// +Inf bucket clamps to the largest finite bound.
+	h.Observe(100)
+	if q := h.Snapshot().Quantile(1); q != 8 {
+		t.Fatalf("q100 = %v, want clamp to 8", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+}
+
 // TestHistogramConcurrentSnapshot hammers one histogram from writer
 // goroutines while snapshotting concurrently: every snapshot must be
 // monotonic (bucket sum >= count, since count is incremented last and
@@ -226,6 +255,48 @@ func TestFlightRecorderConcurrent(t *testing.T) {
 	}
 }
 
+// TestFlightRecorderFieldsDeepCopied is the regression test for event
+// field aliasing: Record used to store the caller's map by reference, so
+// mutating it afterwards rewrote recorded history.
+func TestFlightRecorderFieldsDeepCopied(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	nested := map[string]any{"inner": 1}
+	list := []any{"a", "b"}
+	raw := []byte{0xde, 0xad}
+	fields := map[string]any{"n": nested, "l": list, "b": raw, "s": "keep"}
+	fr.Record("ev", fields)
+
+	// Mutate everything the caller still holds.
+	fields["s"] = "clobbered"
+	fields["new"] = true
+	nested["inner"] = 99
+	list[0] = "z"
+	raw[0] = 0x00
+
+	ev := fr.Events()[0]
+	if ev.Fields["s"] != "keep" {
+		t.Fatalf("top-level field aliased: %v", ev.Fields["s"])
+	}
+	if _, ok := ev.Fields["new"]; ok {
+		t.Fatal("later insertion leaked into recorded event")
+	}
+	if got := ev.Fields["n"].(map[string]any)["inner"]; got != 1 {
+		t.Fatalf("nested map aliased: %v", got)
+	}
+	if got := ev.Fields["l"].([]any)[0]; got != "a" {
+		t.Fatalf("slice aliased: %v", got)
+	}
+	if got := ev.Fields["b"].([]byte)[0]; got != 0xde {
+		t.Fatalf("byte slice aliased: %#x", got)
+	}
+
+	// nil fields stay nil.
+	fr.Record("empty", nil)
+	if fr.Events()[1].Fields != nil {
+		t.Fatal("nil fields should stay nil")
+	}
+}
+
 func TestServerEndpoints(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("srv_up_total", "Up.").Inc()
@@ -237,7 +308,7 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	t.Cleanup(func() { _ = srv.Close() })
 
-	get := func(path string) string {
+	get := func(path string) (string, http.Header) {
 		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
@@ -250,15 +321,21 @@ func TestServerEndpoints(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return string(body)
+		return string(body), resp.Header
 	}
-	if out := get("/metrics"); !strings.Contains(out, "srv_up_total 1") {
+	out, hdr := get("/metrics")
+	if !strings.Contains(out, "srv_up_total 1") {
 		t.Fatalf("/metrics missing counter:\n%s", out)
 	}
-	if out := get("/debug/vars"); !strings.Contains(out, `"kind": "boot"`) {
+	// Prometheus exposition format version must be declared so scrapers
+	// pick the text parser.
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q, want text/plain; version=0.0.4", ct)
+	}
+	if out, _ := get("/debug/vars"); !strings.Contains(out, `"kind": "boot"`) {
 		t.Fatalf("/debug/vars missing event:\n%s", out)
 	}
-	if out := get("/debug/pprof/cmdline"); len(out) == 0 {
+	if out, _ := get("/debug/pprof/cmdline"); len(out) == 0 {
 		t.Fatal("/debug/pprof/cmdline empty")
 	}
 }

@@ -3,7 +3,10 @@
 # the serial oracles, the zero-alloc training step, SmoothGrad attribution
 # serial vs parallel, and end-to-end two-stage training serial vs
 # parallel. Prints the raw output and writes machine-readable results to
-# BENCH_4.json (override with BENCH_OUT).
+# BENCH_4.json (override with BENCH_OUT). A second section measures the
+# digest→install round trip under the five-gateway lossy netsim topology
+# and writes its e2e latency distribution (p50/p99) to BENCH_7.json
+# (override with BENCH_FLEET_OUT).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,3 +33,28 @@ BEGIN { print "{"; first = 1 }
 }
 END { print "\n}" }' > "$out"
 echo "wrote $out"
+
+fleet_out="${BENCH_FLEET_OUT:-BENCH_7.json}"
+fleet_raw=$(go test -run '^$' \
+    -bench 'BenchmarkFleetDigestInstallLatency' \
+    -benchtime "${BENCH_FLEET_TIME:-100x}" \
+    ./internal/controller/ 2>&1 | grep -v 'no test files')
+printf '%s\n' "$fleet_raw"
+
+printf '%s\n' "$fleet_raw" | awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1
+    nsop = $3
+    p50 = "null"; p99 = "null"; installs = "null"
+    for (i = 4; i < NF; i++) {
+        if ($(i + 1) == "p50_ns") p50 = $i
+        if ($(i + 1) == "p99_ns") p99 = $i
+        if ($(i + 1) == "installs") installs = $i
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"ns_per_op\": %s, \"e2e_p50_ns\": %s, \"e2e_p99_ns\": %s, \"installs\": %s}", name, nsop, p50, p99, installs
+}
+END { print "\n}" }' > "$fleet_out"
+echo "wrote $fleet_out"

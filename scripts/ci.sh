@@ -37,8 +37,12 @@ echo "==> fleet soak (sharded fabric, seeded lossy links, race-enabled)"
 # keep the digest fan-in invariant Offered == Drained + Dropped + Depth
 # per switch and fleet-wide, and leak no goroutines. The determinism
 # tests pin the emulation schedule itself: same seed, same delays.
+# TestFleetTraceExportWellFormed additionally asserts every exported
+# distributed trace is well-formed: no orphan spans, monotonic
+# per-process timestamps, and per-stage durations summing to each
+# trace's end-to-end duration.
 go test -race -count "${CI_FLEET_COUNT:-2}" \
-    -run 'TestFleetShardedConvergenceUnderLossyNetsim|TestDigestFanInBoundedBackpressure|TestSameSeedIdenticalDelaySequence|TestJitterDeterministicSequence|TestLatencyInjectionDeterministic' \
+    -run 'TestFleetShardedConvergenceUnderLossyNetsim|TestDigestFanInBoundedBackpressure|TestFleetTraceExportWellFormed|TestLinkStatsAttribution|TestSameSeedIdenticalDelaySequence|TestJitterDeterministicSequence|TestLatencyInjectionDeterministic' \
     ./internal/controller/ ./internal/netsim/ ./internal/faultnet/
 
 echo "==> hot-path benchmarks"
@@ -50,27 +54,33 @@ go test -run '^$' \
 echo "==> telemetry overhead guard"
 # The instrumented lookup (telemetry registered: sampled latency
 # histogram, per-entry byte counters, scrape callbacks) must stay within
-# CI_GUARD_PCT percent of the uninstrumented hot path, and the
+# CI_GUARD_PCT percent of the uninstrumented hot path, the
 # explain-sampling-disarmed lookup within CI_GUARD_EXPLAIN_PCT percent
 # of the instrumented one (disarmed explain is one pointer load per
-# batch and one nil check per packet — effectively free). Best-of-N runs
-# so scheduler noise doesn't flake the gate.
+# batch and one nil check per packet — effectively free), and the
+# tracing-disarmed lookup within CI_GUARD_TRACE_PCT percent of the
+# instrumented one (a disarmed tracer never touches the forwarding
+# path). Best-of-N runs so scheduler noise doesn't flake the gate.
 guard_out=$(go test -run '^$' \
-    -bench 'BenchmarkDataPlaneLookup$|BenchmarkDataPlaneLookupInstrumented$|BenchmarkDataPlaneLookupInstrumentedExplainOff$' \
+    -bench 'BenchmarkDataPlaneLookup$|BenchmarkDataPlaneLookupInstrumented$|BenchmarkDataPlaneLookupInstrumentedExplainOff$|BenchmarkDataPlaneLookupInstrumentedTraceOff$' \
     -benchtime "${CI_GUARD_BENCHTIME:-0.5s}" -count "${CI_GUARD_COUNT:-3}" . 2>&1)
 printf '%s\n' "$guard_out"
-printf '%s\n' "$guard_out" | awk -v pct="${CI_GUARD_PCT:-10}" -v epct="${CI_GUARD_EXPLAIN_PCT:-1}" '
+printf '%s\n' "$guard_out" | awk -v pct="${CI_GUARD_PCT:-10}" -v epct="${CI_GUARD_EXPLAIN_PCT:-1}" -v tpct="${CI_GUARD_TRACE_PCT:-1}" '
     /^BenchmarkDataPlaneLookupInstrumentedExplainOff/ { if (eoff == 0 || $3 < eoff) eoff = $3; next }
+    /^BenchmarkDataPlaneLookupInstrumentedTraceOff/   { if (toff == 0 || $3 < toff) toff = $3; next }
     /^BenchmarkDataPlaneLookupInstrumented/           { if (inst == 0 || $3 < inst) inst = $3; next }
     /^BenchmarkDataPlaneLookup/                       { if (base == 0 || $3 < base) base = $3 }
     END {
-        if (base == 0 || inst == 0 || eoff == 0) { print "guard: benchmarks missing from output"; exit 1 }
+        if (base == 0 || inst == 0 || eoff == 0 || toff == 0) { print "guard: benchmarks missing from output"; exit 1 }
         ratio = inst / base
         printf "guard: uninstrumented %.1f ns/op, instrumented %.1f ns/op (%.1f%%)\n", base, inst, (ratio - 1) * 100
         if (ratio > 1 + pct / 100) { printf "guard: FAIL, instrumented lookup regresses more than %d%%\n", pct; exit 1 }
         eratio = eoff / inst
         printf "guard: explain-off %.1f ns/op vs instrumented %.1f ns/op (%.1f%%)\n", eoff, inst, (eratio - 1) * 100
         if (eratio > 1 + epct / 100) { printf "guard: FAIL, disarmed explain sampling costs more than %s%%\n", epct; exit 1 }
+        tratio = toff / inst
+        printf "guard: trace-off %.1f ns/op vs instrumented %.1f ns/op (%.1f%%)\n", toff, inst, (tratio - 1) * 100
+        if (tratio > 1 + tpct / 100) { printf "guard: FAIL, disarmed tracing costs more than %s%%\n", tpct; exit 1 }
     }'
 
 echo "==> training speedup guard"
