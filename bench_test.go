@@ -15,6 +15,7 @@ import (
 
 	"p4guard"
 
+	"p4guard/internal/drift"
 	"p4guard/internal/dtrace"
 	"p4guard/internal/experiments"
 	"p4guard/internal/fieldsel"
@@ -168,6 +169,40 @@ func BenchmarkDataPlaneLookupInstrumentedTraceOff(b *testing.B) {
 	sp.End()
 	sw.Process(pkts[0])
 	tr.Disarm()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.Process(pkts[i%len(pkts)])
+	}
+}
+
+// BenchmarkDataPlaneLookupInstrumentedDriftOff is the instrumented
+// lookup with a drift monitor attached, armed, exercised, and then
+// disarmed — the state a production switch sits in when no baseline is
+// loaded. scripts/ci.sh fails if this costs more than
+// CI_GUARD_DRIFT_PCT (default 1%) over the plain instrumented lookup:
+// a disarmed monitor must stay one atomic pointer load per batch (and
+// per packet in Process), nothing more.
+func BenchmarkDataPlaneLookupInstrumentedDriftOff(b *testing.B) {
+	pipe, pkts := benchPipelineAndTrace(b)
+	sw, err := switchsim.New("bench", packet.LinkEthernet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sw.InstallRuleSet(pipe.RuleSet(), p4.Action{Type: p4.ActionAllow}); err != nil {
+		b.Fatal(err)
+	}
+	sw.RegisterTelemetry(telemetry.NewRegistry())
+	baseline := drift.NewBuilder(pipe.Offsets, 0)
+	for _, pkt := range pkts[:64] {
+		baseline.Observe(pkt, drift.NoClass, drift.NoResidual)
+	}
+	mon := drift.NewMonitor()
+	if err := mon.Arm(drift.MonitorConfig{Baseline: baseline.Profile()}); err != nil {
+		b.Fatal(err)
+	}
+	sw.SetDriftMonitor(mon)
+	sw.Process(pkts[0])
+	mon.Disarm()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sw.Process(pkts[i%len(pkts)])

@@ -19,6 +19,7 @@ import (
 
 	"p4guard"
 	"p4guard/internal/controller"
+	"p4guard/internal/drift"
 	"p4guard/internal/dtrace"
 	"p4guard/internal/netsim"
 	"p4guard/internal/p4"
@@ -50,6 +51,10 @@ func run() int {
 		backoff  = flag.Duration("reconnect-backoff", 50*time.Millisecond, "initial reconnect backoff (doubles with jitter up to 60x)")
 		trace    = flag.Bool("trace", false, "arm distributed tracing: digest-path and deploy spans, trace context on the wire")
 		traceOut = flag.String("trace-export", "", "write recorded spans as JSONL to this path on exit (implies -trace)")
+		driftIn  = flag.String("drift", "", "arm drift tracking against this baseline profile (written by p4guard-train -drift-baseline)")
+		driftJ   = flag.String("drift-journal", "", "append drift threshold-crossing events as JSONL to this path (implies -drift)")
+		driftThr = flag.Float64("drift-threshold", drift.DefaultThreshold, "composite drift score alarm level (PSI convention)")
+		driftOut = flag.String("drift-export", "", "write the merged fleet drift profile to this path on exit")
 	)
 	flag.Parse()
 
@@ -113,6 +118,42 @@ func run() int {
 			defer exportTrace(*traceOut, tracer)
 		}
 		fmt.Println("tracing armed as proc \"p4guard-ctl\"")
+	}
+	var driftMon *drift.Monitor
+	if *driftIn != "" || *driftJ != "" {
+		if *driftIn == "" {
+			fmt.Fprintln(os.Stderr, "p4guard-ctl: -drift-journal requires -drift")
+			return 1
+		}
+		baseline, err := drift.LoadProfile(*driftIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4guard-ctl:", err)
+			return 1
+		}
+		driftMon = drift.NewMonitor()
+		if *driftJ != "" {
+			dj, err := telemetry.OpenJournal(*driftJ, "")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "p4guard-ctl:", err)
+				return 1
+			}
+			defer func() { _ = dj.Close() }()
+			driftMon.OnCross(drift.JournalHook(dj))
+		}
+		if err := driftMon.Arm(drift.MonitorConfig{
+			Baseline:  baseline,
+			Shards:    *shards,
+			Threshold: *driftThr,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "p4guard-ctl:", err)
+			return 1
+		}
+		fleetOpts = append(fleetOpts, controller.WithDrift(driftMon))
+		if *driftOut != "" {
+			defer exportDrift(*driftOut, driftMon)
+		}
+		fmt.Printf("drift armed: baseline %s (%d samples), threshold %.2f\n",
+			*driftIn, baseline.Count, *driftThr)
 	}
 	ctl := controller.New(pipe, controller.Config{Name: "p4guard-ctl", Reactive: *reactive},
 		append(fleetOpts,
@@ -182,6 +223,22 @@ func run() int {
 			printStats(ctl, *jsonOut)
 		}
 	}
+}
+
+// exportDrift writes the merged fleet drift profile; failures are
+// reported but never change the exit status.
+func exportDrift(path string, mon *drift.Monitor) {
+	da := mon.Armed()
+	if da == nil {
+		return
+	}
+	prof := da.FleetProfile()
+	if err := drift.SaveProfile(path, prof); err != nil {
+		fmt.Fprintf(os.Stderr, "p4guard-ctl: drift export: %v\n", err)
+		return
+	}
+	fmt.Printf("drift export: %d observations to %s (score %.4f, %d crossings)\n",
+		prof.Count, path, da.FleetScore(), mon.Crossings())
 }
 
 // exportTrace writes the tracer's recorded spans as JSONL; failures are

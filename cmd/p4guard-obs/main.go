@@ -9,40 +9,128 @@
 // cross-process traces and prints the per-stage critical-path breakdown
 // and the slowest traces.
 //
+// The drift subcommand scores a live drift profile (p4guard-ctl /
+// p4guard-switch -drift-export) against a train-time baseline
+// (p4guard-train -drift-baseline), printing the per-feature PSI/KS
+// table, and summarizes drift-crossing journals.
+//
 // Usage:
 //
 //	p4guard-obs -journal train.jsonl [-journal more.jsonl]
 //	p4guard-obs -explain explains.jsonl [-top 10]
 //	p4guard-obs trace -spans ctl.jsonl [-spans gw0.jsonl] [-slowest 5] [-check]
+//	p4guard-obs drift -baseline base.json -live fleet.json [-threshold 0.25] [-check]
+//	p4guard-obs drift -journal drift.jsonl [-check]
+//
+// Exit codes: 0 success, 1 analysis failure (unreadable file, failed
+// -check, explain disagreement), 2 usage error (unknown subcommand or
+// bad flags).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"p4guard/internal/drift"
 	"p4guard/internal/dtrace"
 	"p4guard/internal/obs"
 	"p4guard/internal/telemetry"
 )
 
-// multiFlag collects repeated -journal / -explain flags.
+// multiFlag collects repeated -journal / -explain / -spans flags.
 type multiFlag []string
 
 func (m *multiFlag) String() string     { return fmt.Sprint(*m) }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches subcommands and returns the process exit code; it
+// never calls os.Exit so tests can table-drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		switch args[0] {
+		case "trace":
+			return runTrace(args[1:], stdout, stderr)
+		case "drift":
+			return runDrift(args[1:], stdout, stderr)
+		default:
+			fmt.Fprintf(stderr, "p4guard-obs: unknown subcommand %q (have: trace, drift)\n", args[0])
+			return 2
+		}
+	}
+	return runDefault(args, stdout, stderr)
+}
+
+// runDefault is the journal/explain summarizer (no subcommand).
+func runDefault(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("p4guard-obs", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var journals, explains multiFlag
+	fs.Var(&journals, "journal", "run journal JSONL to summarize (repeatable)")
+	fs.Var(&explains, "explain", "explain dump JSONL to summarize (repeatable)")
+	top := fs.Int("top", 10, "winning entries to list per explain dump")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if len(journals) == 0 && len(explains) == 0 {
+		fmt.Fprintln(stderr, "p4guard-obs: need at least one -journal or -explain file")
+		fs.Usage()
+		return 2
+	}
+
+	exit := 0
+	for _, path := range journals {
+		recs, err := readJournalFile(path, stderr)
+		if recs == nil && err {
+			exit = 1
+			continue
+		}
+		fmt.Fprintf(stdout, "== journal %s ==\n", path)
+		obs.RenderRuns(stdout, obs.SummarizeJournal(recs))
+		fmt.Fprintln(stdout)
+	}
+	for _, path := range explains {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "p4guard-obs: %v\n", err)
+			exit = 1
+			continue
+		}
+		rep, err := obs.ReadExplainDump(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "p4guard-obs: %s: %v\n", path, err)
+			exit = 1
+		}
+		fmt.Fprintf(stdout, "== explain dump %s ==\n", path)
+		obs.RenderExplainReport(stdout, rep, *top)
+		if rep.AgreementRate() < 1 {
+			exit = 1
+		}
+		fmt.Fprintln(stdout)
+	}
+	return exit
+}
+
 // runTrace implements the trace subcommand: merge span exports, report
 // the critical path, optionally fail on malformed traces.
-func runTrace(args []string) int {
-	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+func runTrace(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var spanFiles multiFlag
 	fs.Var(&spanFiles, "spans", "span export JSONL to merge (repeatable)")
 	slowest := fs.Int("slowest", 5, "slowest traces to list (0 disables)")
 	check := fs.Bool("check", false, "exit non-zero on incomplete traces or verification problems")
-	_ = fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if len(spanFiles) == 0 {
-		fmt.Fprintln(os.Stderr, "p4guard-obs trace: need at least one -spans file")
+		fmt.Fprintln(stderr, "p4guard-obs trace: need at least one -spans file")
 		fs.Usage()
 		return 2
 	}
@@ -52,7 +140,7 @@ func runTrace(args []string) int {
 	for _, path := range spanFiles {
 		f, err := os.Open(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "p4guard-obs: %v\n", err)
+			fmt.Fprintf(stderr, "p4guard-obs: %v\n", err)
 			return 1
 		}
 		got, err := dtrace.ReadJSONL(f)
@@ -60,75 +148,98 @@ func runTrace(args []string) int {
 		if err != nil {
 			// A trailing partial line (crashed writer) still yields the
 			// clean prefix; report and keep going.
-			fmt.Fprintf(os.Stderr, "p4guard-obs: %s: %v (keeping %d clean spans)\n", path, err, len(got))
+			fmt.Fprintf(stderr, "p4guard-obs: %s: %v (keeping %d clean spans)\n", path, err, len(got))
 			exit = 1
 		}
 		spans = append(spans, got...)
 	}
 	rep := obs.SummarizeTraces(spans)
-	obs.RenderTraceReport(os.Stdout, rep, *slowest)
+	obs.RenderTraceReport(stdout, rep, *slowest)
 	if *check && (rep.Incomplete > 0 || len(rep.Problems) > 0) {
 		exit = 1
 	}
 	return exit
 }
 
-func main() {
-	if len(os.Args) > 1 && os.Args[1] == "trace" {
-		os.Exit(runTrace(os.Args[2:]))
+// runDrift implements the drift subcommand: score a live profile
+// against a baseline and/or summarize drift-crossing journals.
+func runDrift(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("drift", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseline := fs.String("baseline", "", "train-time baseline profile (p4guard-train -drift-baseline)")
+	live := fs.String("live", "", "live profile to score against the baseline (p4guard-ctl/-switch -drift-export)")
+	threshold := fs.Float64("threshold", drift.DefaultThreshold, "composite-score alarm level")
+	check := fs.Bool("check", false, "exit non-zero when drift exceeds the threshold (or a journal's final state is above it)")
+	var journals multiFlag
+	fs.Var(&journals, "journal", "drift-crossing journal JSONL to summarize (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-
-	var journals, explains multiFlag
-	flag.Var(&journals, "journal", "run journal JSONL to summarize (repeatable)")
-	flag.Var(&explains, "explain", "explain dump JSONL to summarize (repeatable)")
-	top := flag.Int("top", 10, "winning entries to list per explain dump")
-	flag.Parse()
-
-	if len(journals) == 0 && len(explains) == 0 {
-		fmt.Fprintln(os.Stderr, "p4guard-obs: need at least one -journal or -explain file")
-		flag.Usage()
-		os.Exit(2)
+	if (*baseline == "") != (*live == "") {
+		fmt.Fprintln(stderr, "p4guard-obs drift: -baseline and -live go together")
+		fs.Usage()
+		return 2
+	}
+	if *baseline == "" && len(journals) == 0 {
+		fmt.Fprintln(stderr, "p4guard-obs drift: need -baseline/-live or at least one -journal")
+		fs.Usage()
+		return 2
 	}
 
 	exit := 0
+	if *baseline != "" {
+		base, err := drift.LoadProfile(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "p4guard-obs: %v\n", err)
+			return 1
+		}
+		liveProf, err := drift.LoadProfile(*live)
+		if err != nil {
+			fmt.Fprintf(stderr, "p4guard-obs: %v\n", err)
+			return 1
+		}
+		rep, err := obs.SummarizeDrift(base, liveProf, *threshold)
+		if err != nil {
+			fmt.Fprintf(stderr, "p4guard-obs: %v\n", err)
+			return 1
+		}
+		obs.RenderDriftReport(stdout, rep)
+		if *check && rep.Exceeded() {
+			exit = 1
+		}
+	}
 	for _, path := range journals {
-		f, err := os.Open(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "p4guard-obs: %v\n", err)
+		recs, hadErr := readJournalFile(path, stderr)
+		if recs == nil && hadErr {
 			exit = 1
 			continue
 		}
-		recs, err := telemetry.ReadJournal(f)
-		f.Close()
-		if err != nil {
-			// A trailing partial line (crashed writer) still yields the
-			// clean prefix; report and keep going.
-			fmt.Fprintf(os.Stderr, "p4guard-obs: %s: %v (summarizing %d clean records)\n",
-				path, err, len(recs))
+		sum := obs.SummarizeDriftJournal(recs)
+		fmt.Fprintf(stdout, "== drift journal %s ==\n", path)
+		obs.RenderDriftJournal(stdout, sum)
+		if *check && sum.LastUp {
+			exit = 1
 		}
-		fmt.Printf("== journal %s ==\n", path)
-		obs.RenderRuns(os.Stdout, obs.SummarizeJournal(recs))
-		fmt.Println()
 	}
-	for _, path := range explains {
-		f, err := os.Open(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "p4guard-obs: %v\n", err)
-			exit = 1
-			continue
-		}
-		rep, err := obs.ReadExplainDump(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "p4guard-obs: %s: %v\n", path, err)
-			exit = 1
-		}
-		fmt.Printf("== explain dump %s ==\n", path)
-		obs.RenderExplainReport(os.Stdout, rep, *top)
-		if rep.AgreementRate() < 1 {
-			exit = 1
-		}
-		fmt.Println()
+	return exit
+}
+
+// readJournalFile opens and parses a JSONL journal, reporting partial
+// reads to stderr. Returns (nil, true) when the file itself is
+// unreadable; a corrupt tail still yields the clean prefix.
+func readJournalFile(path string, stderr io.Writer) ([]telemetry.JournalRecord, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "p4guard-obs: %v\n", err)
+		return nil, true
 	}
-	os.Exit(exit)
+	recs, err := telemetry.ReadJournal(f)
+	f.Close()
+	if err != nil {
+		// A trailing partial line (crashed writer) still yields the
+		// clean prefix; report and keep going.
+		fmt.Fprintf(stderr, "p4guard-obs: %s: %v (summarizing %d clean records)\n",
+			path, err, len(recs))
+	}
+	return recs, false
 }

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"p4guard/internal/drift"
+	"p4guard/internal/packet"
+	"p4guard/internal/telemetry"
+)
+
+// writeProfile builds a seeded drift profile fixture on disk.
+func writeProfile(t *testing.T, path string, seed int64, shift byte) {
+	t.Helper()
+	b := drift.NewBuilder([]int{0, 1}, 0)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 1500; i++ {
+		b.Observe(&packet.Packet{
+			Link:  packet.LinkEthernet,
+			Bytes: []byte{byte(rng.Intn(64)) + shift, byte(rng.Intn(16)) + shift},
+		}, rng.Intn(3), float64(rng.Intn(100))/1024)
+	}
+	if err := drift.SaveProfile(path, b.Profile()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeDriftJournal writes a drift-crossing journal whose final state is
+// above (up=true last) or below the threshold.
+func writeDriftJournal(t *testing.T, path string, finalUp bool) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := telemetry.NewJournal(f, "run-test")
+	_ = j.Event("drift_cross", drift.CrossEvent{Shard: 0, Up: true, Score: 0.4, Threshold: 0.25, Observations: 64})
+	if !finalUp {
+		_ = j.Event("drift_cross", drift.CrossEvent{Shard: 0, Up: false, Score: 0.1, Threshold: 0.25, Observations: 128})
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+}
+
+// writeRunJournal writes a minimal training-run journal.
+func writeRunJournal(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := telemetry.NewJournal(f, "run-train")
+	_ = j.Event("run_start", map[string]any{"seed": 1, "dataset": "wifi-mqtt"})
+	_ = j.Event("run_end", map[string]any{"final_accuracy": 0.97})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+}
+
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	same := filepath.Join(dir, "same.json")
+	shifted := filepath.Join(dir, "shifted.json")
+	writeProfile(t, base, 1, 0)
+	writeProfile(t, same, 2, 0)      // different seed, same distribution
+	writeProfile(t, shifted, 3, 100) // every byte shifted by 100
+	crossedJ := filepath.Join(dir, "crossed.jsonl")
+	recoveredJ := filepath.Join(dir, "recovered.jsonl")
+	writeDriftJournal(t, crossedJ, true)
+	writeDriftJournal(t, recoveredJ, false)
+	trainJ := filepath.Join(dir, "train.jsonl")
+	writeRunJournal(t, trainJ)
+
+	cases := []struct {
+		name   string
+		args   []string
+		exit   int
+		stderr string // required substring, "" = don't care
+		stdout string
+	}{
+		{name: "no args", args: nil, exit: 2, stderr: "need at least one"},
+		{name: "unknown subcommand", args: []string{"frobnicate"}, exit: 2, stderr: "unknown subcommand"},
+		{name: "bad flag default", args: []string{"-nope"}, exit: 2},
+		{name: "bad flag trace", args: []string{"trace", "-nope"}, exit: 2},
+		{name: "bad flag drift", args: []string{"drift", "-nope"}, exit: 2},
+		{name: "trace missing spans", args: []string{"trace"}, exit: 2, stderr: "-spans"},
+		{name: "drift missing inputs", args: []string{"drift"}, exit: 2, stderr: "need -baseline/-live"},
+		{name: "drift baseline without live", args: []string{"drift", "-baseline", base}, exit: 2, stderr: "go together"},
+		{name: "journal summary", args: []string{"-journal", trainJ}, exit: 0, stdout: "run-train"},
+		{name: "journal missing file", args: []string{"-journal", filepath.Join(dir, "nope.jsonl")}, exit: 1},
+		{name: "drift stable check", args: []string{"drift", "-baseline", base, "-live", same, "-check"}, exit: 0, stdout: "-> ok"},
+		{name: "drift shifted report only", args: []string{"drift", "-baseline", base, "-live", shifted}, exit: 0, stdout: "-> DRIFT"},
+		{name: "drift shifted check", args: []string{"drift", "-baseline", base, "-live", shifted, "-check"}, exit: 1, stdout: "-> DRIFT"},
+		{name: "drift missing profile", args: []string{"drift", "-baseline", base, "-live", filepath.Join(dir, "nope.json")}, exit: 1},
+		{name: "drift journal crossed check", args: []string{"drift", "-journal", crossedJ, "-check"}, exit: 1, stdout: "ABOVE"},
+		{name: "drift journal recovered check", args: []string{"drift", "-journal", recoveredJ, "-check"}, exit: 0, stdout: "below"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.exit {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", got, tc.exit, stdout.String(), stderr.String())
+			}
+			if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
+				t.Fatalf("stderr %q missing %q", stderr.String(), tc.stderr)
+			}
+			if tc.stdout != "" && !strings.Contains(stdout.String(), tc.stdout) {
+				t.Fatalf("stdout %q missing %q", stdout.String(), tc.stdout)
+			}
+		})
+	}
+}

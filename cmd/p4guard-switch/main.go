@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"p4guard"
+	"p4guard/internal/drift"
 	"p4guard/internal/dtrace"
 	"p4guard/internal/p4rt"
 	"p4guard/internal/packet"
@@ -53,6 +54,10 @@ func run() int {
 		digestQ  = flag.Int("digest-queue", 4096, "bounded digest queue capacity; overflow drops with accounting")
 		trace    = flag.Bool("trace", false, "arm distributed tracing: digest and program spans, trace context on the wire")
 		traceOut = flag.String("trace-export", "", "write recorded spans as JSONL to this path on exit (implies -trace)")
+		driftIn  = flag.String("drift", "", "arm switch-side drift tracking against this baseline profile (digested packets only; no class/residual terms)")
+		driftJ   = flag.String("drift-journal", "", "append drift threshold-crossing events as JSONL to this path (implies -drift)")
+		driftThr = flag.Float64("drift-threshold", drift.DefaultThreshold, "composite drift score alarm level (PSI convention)")
+		driftOut = flag.String("drift-export", "", "write the observed drift profile to this path on exit")
 	)
 	flag.Parse()
 
@@ -81,6 +86,37 @@ func run() int {
 			defer exportTrace(*traceOut, tr, "p4guard-switch")
 		}
 		fmt.Printf("tracing armed as proc %q\n", proc)
+	}
+	if *driftIn != "" || *driftJ != "" {
+		if *driftIn == "" {
+			fmt.Fprintln(os.Stderr, "p4guard-switch: -drift-journal requires -drift")
+			return 1
+		}
+		baseline, err := drift.LoadProfile(*driftIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4guard-switch:", err)
+			return 1
+		}
+		mon := drift.NewMonitor()
+		if *driftJ != "" {
+			dj, err := telemetry.OpenJournal(*driftJ, "")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "p4guard-switch:", err)
+				return 1
+			}
+			defer func() { _ = dj.Close() }()
+			mon.OnCross(drift.JournalHook(dj))
+		}
+		if err := mon.Arm(drift.MonitorConfig{Baseline: baseline, Threshold: *driftThr}); err != nil {
+			fmt.Fprintln(os.Stderr, "p4guard-switch:", err)
+			return 1
+		}
+		sw.SetDriftMonitor(mon)
+		if *driftOut != "" {
+			defer exportDrift(*driftOut, mon)
+		}
+		fmt.Printf("drift armed: baseline %s (%d samples), threshold %.2f\n",
+			*driftIn, baseline.Count, *driftThr)
 	}
 	if *rateThr > 0 {
 		if err := sw.EnableRateGuard(nil, *rateThr, *rateWin); err != nil {
@@ -205,6 +241,22 @@ func (d *explainDump) Close() error {
 		err = cerr
 	}
 	return err
+}
+
+// exportDrift writes the switch's observed drift profile; failures are
+// reported but never change the exit status.
+func exportDrift(path string, mon *drift.Monitor) {
+	da := mon.Armed()
+	if da == nil {
+		return
+	}
+	prof := da.FleetProfile()
+	if err := drift.SaveProfile(path, prof); err != nil {
+		fmt.Fprintf(os.Stderr, "p4guard-switch: drift export: %v\n", err)
+		return
+	}
+	fmt.Printf("drift export: %d observations to %s (score %.4f, %d crossings)\n",
+		prof.Count, path, da.FleetScore(), mon.Crossings())
 }
 
 // exportTrace writes the tracer's recorded spans as JSONL; failures are

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"p4guard"
+	"p4guard/internal/drift"
 	"p4guard/internal/metrics"
 	"p4guard/internal/nn"
 	"p4guard/internal/pcap"
@@ -47,6 +48,7 @@ func run() int {
 		runID    = flag.String("run-id", "", "run identifier for the journal (default: generated)")
 		maddr    = flag.String("metrics-addr", "", "serve live training gauges on /metrics at this address (empty = off)")
 		workers  = flag.Int("train-workers", 0, "CPU workers for training (0 = all cores; the trained model is identical for any value)")
+		driftOut = flag.String("drift-baseline", "", "persist the drift baseline profile (slow-path digest distribution of the training split) to this path")
 	)
 	flag.Parse()
 
@@ -164,6 +166,25 @@ func run() int {
 		})
 	}
 
+	if *driftOut != "" {
+		prof, err := pipe.DriftBaseline(train)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4guard-train:", err)
+			return 1
+		}
+		if err := drift.SaveProfile(*driftOut, prof); err != nil {
+			fmt.Fprintln(os.Stderr, "p4guard-train:", err)
+			return 1
+		}
+		fmt.Printf("drift baseline: %d slow-path samples to %s\n", prof.Count, *driftOut)
+		if journal != nil {
+			_ = journal.Event("drift_baseline", map[string]any{
+				"path":        *driftOut,
+				"samples":     prof.Count,
+				"fingerprint": prof.Fingerprint,
+			})
+		}
+	}
 	if *emitP4 != "" {
 		src, err := pipe.EmitP4(false)
 		if err != nil {

@@ -40,11 +40,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"p4guard/internal/drift"
 	"p4guard/internal/dtrace"
 	"p4guard/internal/match"
 	"p4guard/internal/p4"
@@ -59,6 +61,15 @@ import (
 type SlowPath interface {
 	ClassifySlowPath(pkt *packet.Packet) int
 	MatchOffsets() []int
+}
+
+// Residualer is the optional SlowPath extension the drift monitor uses:
+// models exposing an autoencoder reconstruction error (like
+// *p4guard.Pipeline) feed it into the residual-shift sketch. Models
+// without it are observed with drift.NoResidual and scored on feature
+// and verdict-mix drift alone.
+type Residualer interface {
+	Residual(pkt *packet.Packet) float64
 }
 
 // ConnState is one switch connection's position in the state machine.
@@ -138,6 +149,13 @@ type Config struct {
 	// trace context. A nil or disarmed tracer costs one atomic load per
 	// span site.
 	Tracer *dtrace.Tracer
+	// Drift, when non-nil and armed, receives every digest the slow path
+	// classifies — keyed by the source switch's shard — and scores the
+	// live sketches against the armed baseline profile. A nil or disarmed
+	// monitor costs at most one atomic load per digest. Threshold
+	// crossings are recorded in the FlightRecorder (kind "drift") when
+	// one is attached.
+	Drift *drift.Monitor
 }
 
 // Option mutates a Config before the controller starts; the functional-
@@ -190,6 +208,12 @@ func WithShardPolicy(p ShardPolicy) Option {
 // digest-round-trip and deploy spans into.
 func WithTracer(tr *dtrace.Tracer) Option {
 	return func(c *Config) { c.Tracer = tr }
+}
+
+// WithDrift attaches the drift monitor the controller feeds slow-path
+// digests into.
+func WithDrift(m *drift.Monitor) Option {
+	return func(c *Config) { c.Drift = m }
 }
 
 // Stats counts controller activity.
@@ -306,6 +330,14 @@ type Controller struct {
 	// per reactive install, far off the per-packet path.
 	digestHist *telemetry.Histogram
 
+	// residual is the model's optional reconstruction-error hook,
+	// resolved once at construction so the digest path pays an interface
+	// assertion zero times.
+	residual func(pkt *packet.Packet) float64
+	// driftResidualHist, when registered, receives each observed residual
+	// — the histogram RegisterFleetTelemetry exports.
+	driftResidualHist atomic.Pointer[telemetry.Histogram]
+
 	// Cached remote stats scrape (see RemoteSwitchStats), so one /metrics
 	// render fanning out over several CollectFuncs costs one RPC sweep.
 	remoteMu    sync.Mutex
@@ -405,6 +437,21 @@ func New(model SlowPath, cfg Config, opts ...Option) *Controller {
 		conns:      make(map[string]*swConn),
 		fanOpen:    true,
 		digestHist: telemetry.NewHistogram(digestInstallBuckets),
+	}
+	if r, ok := model.(Residualer); ok {
+		c.residual = r.Residual
+	}
+	if cfg.Drift != nil && cfg.FlightRecorder != nil {
+		fr := cfg.FlightRecorder
+		cfg.Drift.OnCross(func(ev drift.CrossEvent) {
+			fr.Record("drift", map[string]any{
+				"shard":        ev.Shard,
+				"up":           ev.Up,
+				"score":        ev.Score,
+				"threshold":    ev.Threshold,
+				"observations": ev.Observations,
+			})
+		})
 	}
 	c.fanCond = sync.NewCond(&c.fanMu)
 	c.workerWg.Add(1)
@@ -807,6 +854,19 @@ func (c *Controller) handleDigest(sc *swConn, wp p4rt.WirePacket, arrived time.T
 	clsSpan.End()
 	ctx = chainCtx(ctx, clsSpan)
 	sc.digests.Add(1)
+
+	// Drift observation: one atomic load when the monitor is disarmed or
+	// absent; the residual forward pass runs only while armed.
+	if da := c.cfg.Drift.Armed(); da != nil {
+		res := drift.NoResidual
+		if c.residual != nil {
+			res = c.residual(pkt)
+		}
+		da.ObservePacket(sc.shard, pkt, class, res)
+		if h := c.driftResidualHist.Load(); h != nil && !math.IsNaN(res) {
+			h.Observe(res)
+		}
+	}
 
 	planSpan := tr.StartSpan(ctx, dtrace.StagePlan)
 	c.mu.Lock()

@@ -2,6 +2,7 @@ package controller
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -39,7 +40,9 @@ type SwitchHealth struct {
 // FleetHealth is the controller's aggregate health view: the mean of the
 // per-switch scores plus fleet-wide digest→install latency quantiles
 // (derived from the span timestamps the tracing layer records — the
-// controller-observed fan-in enqueue → install ack path).
+// controller-observed fan-in enqueue → install ack path). When a drift
+// monitor is armed, the composite Score is degraded past the drift
+// threshold (see FleetHealth's method doc).
 type FleetHealth struct {
 	Score    float64        `json:"score"`
 	Switches []SwitchHealth `json:"switches"`
@@ -50,6 +53,16 @@ type FleetHealth struct {
 	// TraceSpans counts spans recorded by the attached tracer (0 when
 	// tracing is disarmed).
 	TraceSpans uint64 `json:"trace_spans,omitempty"`
+	// DriftArmed reports whether a drift monitor was armed at snapshot
+	// time; the remaining Drift fields are meaningful only when true.
+	DriftArmed bool `json:"drift_armed,omitempty"`
+	// DriftScore is the merged-fleet composite drift score (PSI/KS
+	// composite, see internal/drift.Compute).
+	DriftScore     float64 `json:"drift_score,omitempty"`
+	DriftThreshold float64 `json:"drift_threshold,omitempty"`
+	// DriftExceeded is set when DriftScore is past the armed threshold —
+	// the same condition that fired the flight-recorder drift event.
+	DriftExceeded bool `json:"drift_exceeded,omitempty"`
 }
 
 // switchScore composes one switch's indicators into [0,1]:
@@ -96,7 +109,15 @@ func switchScore(st SwitchStatus) (SwitchHealth, float64) {
 }
 
 // FleetHealth scores the fleet from local state only — no RPCs — so it
-// is cheap enough for every scrape and every status line.
+// is cheap enough for every scrape and every status line. With a drift
+// monitor armed, a fleet drift score past the threshold degrades the
+// composite:
+//
+//	score *= 1 − 0.5·min(1, (drift − threshold)/threshold)
+//
+// so crossing the threshold starts eating the score and a 2× overshoot
+// halves it — connectivity may be perfect while the model is stale, and
+// the health aggregate must say so. A disarmed monitor changes nothing.
 func (c *Controller) FleetHealth() FleetHealth {
 	statuses := c.FleetStatus()
 	out := FleetHealth{Switches: make([]SwitchHealth, 0, len(statuses))}
@@ -114,6 +135,19 @@ func (c *Controller) FleetHealth() FleetHealth {
 	out.DigestInstallP50Ns = int64(snap.Quantile(0.5) * 1e9)
 	out.DigestInstallP99Ns = int64(snap.Quantile(0.99) * 1e9)
 	out.TraceSpans = c.cfg.Tracer.Total()
+	if da := c.cfg.Drift.Armed(); da != nil {
+		out.DriftArmed = true
+		out.DriftScore = da.FleetScore()
+		out.DriftThreshold = da.Threshold()
+		if out.DriftScore > out.DriftThreshold {
+			out.DriftExceeded = true
+			penalty := (out.DriftScore - out.DriftThreshold) / out.DriftThreshold
+			if penalty > 1 {
+				penalty = 1
+			}
+			out.Score *= 1 - 0.5*penalty
+		}
+	}
 	return out
 }
 
@@ -240,6 +274,66 @@ func (c *Controller) RegisterFleetTelemetry(reg *telemetry.Registry) {
 				emit([]telemetry.Label{ctl, {Key: "switch", Value: st.Addr}}, v)
 			}
 		})
+
+	if mon := c.cfg.Drift; mon != nil {
+		c.driftResidualHist.Store(reg.Histogram("p4guard_drift_residual",
+			"Autoencoder reconstruction residual of slow-path digests while the drift monitor is armed.",
+			driftResidualBuckets, ctl))
+		reg.CollectFunc("p4guard_drift_score",
+			"Composite drift score vs the armed baseline, per shard and fleet-merged.", "gauge",
+			func(emit func([]telemetry.Label, float64)) {
+				da := mon.Armed()
+				if da == nil {
+					return
+				}
+				for i := 0; i < da.Shards(); i++ {
+					emit([]telemetry.Label{ctl, {Key: "shard", Value: fmt.Sprintf("%d", i)}}, da.ShardScore(i))
+				}
+				emit([]telemetry.Label{ctl, {Key: "shard", Value: "fleet"}}, da.FleetScore())
+			})
+		reg.CollectFunc("p4guard_drift_observations_total",
+			"Digests folded into the drift sketches, per shard.", "counter",
+			func(emit func([]telemetry.Label, float64)) {
+				da := mon.Armed()
+				if da == nil {
+					return
+				}
+				for i := 0; i < da.Shards(); i++ {
+					emit([]telemetry.Label{ctl, {Key: "shard", Value: fmt.Sprintf("%d", i)}}, float64(da.ShardObservations(i)))
+				}
+			})
+		reg.CollectFunc("p4guard_drift_feature_psi",
+			"Per-feature PSI of the merged fleet profile vs the baseline, by match-key offset.", "gauge",
+			func(emit func([]telemetry.Label, float64)) {
+				da := mon.Armed()
+				if da == nil {
+					return
+				}
+				det := da.FleetDetail()
+				if det == nil {
+					return
+				}
+				for _, f := range det.Features {
+					emit([]telemetry.Label{ctl, {Key: "offset", Value: fmt.Sprintf("%d", f.Offset)}}, f.PSI)
+				}
+			})
+		reg.GaugeFunc("p4guard_drift_threshold", "Armed drift alarm threshold (0 while disarmed).",
+			func() float64 {
+				if da := mon.Armed(); da != nil {
+					return da.Threshold()
+				}
+				return 0
+			}, ctl)
+		reg.CounterFunc("p4guard_drift_crossings_total", "Upward drift threshold crossings, lifetime.",
+			func() float64 { return float64(mon.Crossings()) }, ctl)
+	}
+}
+
+// driftResidualBuckets bound the exported residual histogram; the
+// autoencoder mean-squared error of normalized bytes lives in
+// [~1e-6, 1].
+var driftResidualBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1,
 }
 
 // SortSwitchHealth orders a health slice by address — a stable render

@@ -1,0 +1,182 @@
+package drift
+
+import (
+	"fmt"
+	"math"
+)
+
+// psiGroups coarsens the 256 byte bins into this many equal groups for
+// the PSI term: full-resolution PSI over sparse byte histograms is
+// dominated by sampling noise, while 8-byte groups keep modal features
+// (ports, type codes) sharply separated. The KS term still uses the full
+// 256-bin CDF.
+const psiGroups = 32
+
+// psiEpsilon floors bin proportions so empty bins contribute a large but
+// finite penalty (the standard PSI zero-replacement).
+const psiEpsilon = 1e-4
+
+// FeatureScore is one match-key byte's drift verdict.
+type FeatureScore struct {
+	Offset   int     `json:"offset"`
+	PSI      float64 `json:"psi"`
+	KS       float64 `json:"ks"`
+	BaseMean float64 `json:"base_mean"`
+	LiveMean float64 `json:"live_mean"`
+}
+
+// Score is the composite drift verdict of a live profile against a
+// baseline. Total is the weighted composite Compute documents; the
+// components are kept so tables and journals can show where the drift
+// came from.
+type Score struct {
+	Total float64 `json:"total"`
+	// FeatureMaxPSI is the largest per-feature PSI — one drifted byte is
+	// a drifted key, so the feature term uses max, not mean.
+	FeatureMaxPSI float64        `json:"feature_max_psi"`
+	Features      []FeatureScore `json:"features"`
+	// ClassPSI compares the verdict mixes; -1 when either side recorded
+	// no verdicts (e.g. switch-side observers) and the term was skipped.
+	ClassPSI float64 `json:"class_psi"`
+	// ResidualPSI compares the autoencoder residual distributions; -1
+	// when either side recorded no residuals and the term was skipped.
+	ResidualPSI      float64 `json:"residual_psi"`
+	ResidualBaseMean float64 `json:"residual_base_mean"`
+	ResidualLiveMean float64 `json:"residual_live_mean"`
+	BaseCount        uint64  `json:"base_count"`
+	LiveCount        uint64  `json:"live_count"`
+}
+
+// psi computes the population stability index between two count vectors
+// of equal length: sum (q_i - p_i) * ln(q_i / p_i) with proportions
+// floored at psiEpsilon.
+func psi(base, live []uint64, baseTotal, liveTotal uint64) float64 {
+	if baseTotal == 0 || liveTotal == 0 {
+		return 0
+	}
+	var s float64
+	for i := range base {
+		p := float64(base[i]) / float64(baseTotal)
+		q := float64(live[i]) / float64(liveTotal)
+		if p < psiEpsilon {
+			p = psiEpsilon
+		}
+		if q < psiEpsilon {
+			q = psiEpsilon
+		}
+		s += (q - p) * math.Log(q/p)
+	}
+	return s
+}
+
+// group coarsens 256 byte bins into psiGroups equal groups.
+func group(bins []uint64) []uint64 {
+	per := len(bins) / psiGroups
+	out := make([]uint64, psiGroups)
+	for i, n := range bins {
+		out[i/per] += n
+	}
+	return out
+}
+
+// ks computes the Kolmogorov–Smirnov statistic (max CDF gap) between two
+// histograms over the same bin layout.
+func ks(base, live []uint64, baseTotal, liveTotal uint64) float64 {
+	if baseTotal == 0 || liveTotal == 0 {
+		return 0
+	}
+	var cb, cl uint64
+	var worst float64
+	for i := range base {
+		cb += base[i]
+		cl += live[i]
+		gap := math.Abs(float64(cb)/float64(baseTotal) - float64(cl)/float64(liveTotal))
+		if gap > worst {
+			worst = gap
+		}
+	}
+	return worst
+}
+
+// padClasses right-pads the shorter verdict-mix vector with zeros so
+// both sides cover the same class range.
+func padClasses(a, b []uint64) ([]uint64, []uint64) {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	pa := make([]uint64, n)
+	pb := make([]uint64, n)
+	copy(pa, a)
+	copy(pb, b)
+	return pa, pb
+}
+
+// Compute scores a live profile against a baseline. The composite is a
+// weighted mean of the present components:
+//
+//	Total = (0.5·max_i featurePSI_i + 0.25·classPSI + 0.25·residualPSI) / Σweights
+//
+// where the class term is skipped (weight removed) when either side
+// recorded no verdicts, and the residual term likewise when either side
+// recorded no residuals — so a switch-side observer with no model is
+// scored on its feature distribution alone, not penalized for what it
+// cannot measure. An empty live profile scores 0 (no evidence is not
+// drift). Offsets must match the baseline's; anything else is an error.
+func Compute(base, live *Profile) (*Score, error) {
+	if base == nil || live == nil {
+		return nil, fmt.Errorf("drift: compute: nil profile")
+	}
+	if len(base.Offsets) != len(live.Offsets) {
+		return nil, fmt.Errorf("drift: compute: offsets %v != baseline %v", live.Offsets, base.Offsets)
+	}
+	for i := range base.Offsets {
+		if base.Offsets[i] != live.Offsets[i] {
+			return nil, fmt.Errorf("drift: compute: offsets %v != baseline %v", live.Offsets, base.Offsets)
+		}
+	}
+	sc := &Score{
+		ClassPSI:         -1,
+		ResidualPSI:      -1,
+		ResidualBaseMean: base.Residual.Mean(),
+		ResidualLiveMean: live.Residual.Mean(),
+		BaseCount:        base.Count,
+		LiveCount:        live.Count,
+		Features:         make([]FeatureScore, len(base.Offsets)),
+	}
+	for i := range base.Features {
+		fb, fl := &base.Features[i], &live.Features[i]
+		fs := FeatureScore{
+			Offset:   fb.Offset,
+			BaseMean: fb.Mean(),
+			LiveMean: fl.Mean(),
+		}
+		if fb.Count > 0 && fl.Count > 0 {
+			fs.PSI = psi(group(fb.Bins), group(fl.Bins), fb.Count, fl.Count)
+			fs.KS = ks(fb.Bins, fl.Bins, fb.Count, fl.Count)
+		}
+		sc.Features[i] = fs
+		if fs.PSI > sc.FeatureMaxPSI {
+			sc.FeatureMaxPSI = fs.PSI
+		}
+	}
+
+	total := 0.5 * sc.FeatureMaxPSI
+	weight := 0.5
+	baseCls, liveCls := classTotal(base.Classes), classTotal(live.Classes)
+	if baseCls > 0 && liveCls > 0 {
+		cb, cl := padClasses(base.Classes, live.Classes)
+		sc.ClassPSI = psi(cb, cl, baseCls, liveCls)
+		total += 0.25 * sc.ClassPSI
+		weight += 0.25
+	}
+	if base.Residual.Count > 0 && live.Residual.Count > 0 {
+		sc.ResidualPSI = psi(base.Residual.Bins, live.Residual.Bins, base.Residual.Count, live.Residual.Count)
+		total += 0.25 * sc.ResidualPSI
+		weight += 0.25
+	}
+	if live.Count > 0 {
+		sc.Total = total / weight
+	}
+	return sc, nil
+}

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p4guard/internal/drift"
 	"p4guard/internal/dtrace"
 	"p4guard/internal/p4"
 	"p4guard/internal/packet"
@@ -70,6 +71,14 @@ type Switch struct {
 	// latencySampleEvery. Nil means telemetry is off and the hot path pays
 	// only the pointer load.
 	latencyHist atomic.Pointer[telemetry.Histogram]
+
+	// driftMon, when set by SetDriftMonitor and armed, sketches the
+	// switch's own slow-path digest stream: only digested (table-miss)
+	// packets are observed, with no verdict class and no residual —
+	// switch-side drift is a feature-distribution signal. Nil or disarmed
+	// costs the forwarding paths one pointer load per batch plus a nil
+	// check per digested packet.
+	driftMon atomic.Pointer[drift.Monitor]
 
 	// Cumulative stats, updated with atomics (one merge per batch).
 	packets     atomic.Int64
@@ -193,6 +202,20 @@ func (s *Switch) SetNode(node string) { s.node = node }
 
 // Node returns the fabric node identity ("" when not attached).
 func (s *Switch) Node() string { return s.node }
+
+// SetDriftMonitor attaches the drift monitor the forwarding paths feed
+// digested (table-miss) packets into; nil detaches. An attached but
+// disarmed monitor costs one extra atomic load per packet.
+func (s *Switch) SetDriftMonitor(m *drift.Monitor) { s.driftMon.Store(m) }
+
+// DriftMonitor returns the attached drift monitor (nil when none).
+func (s *Switch) DriftMonitor() *drift.Monitor { return s.driftMon.Load() }
+
+// driftArmed resolves the live armed drift state: nil when no monitor
+// is attached or it is disarmed.
+func (s *Switch) driftArmed() *drift.Armed {
+	return s.driftMon.Load().Armed()
+}
 
 // SetTracer attaches a distributed tracer the p4rt agent uses for
 // slow-path spans (digest drain, reactive apply). nil detaches.
@@ -331,6 +354,9 @@ func (s *Switch) Process(pkt *packet.Packet) p4.Verdict {
 	if sp := s.explain.Load(); sp != nil && !rateDropped {
 		sp.maybeSample(s, pkt, v)
 	}
+	if da := s.driftArmed(); da != nil && v.Digested {
+		da.ObservePacket(0, pkt, drift.NoClass, drift.NoResidual)
+	}
 	var d RunStats
 	d.add(v, parsedOK, rateDropped)
 	d.Packets = 1
@@ -346,11 +372,15 @@ func (s *Switch) processBatch(pkts []*packet.Packet, out []p4.Verdict) RunStats 
 	start := time.Now()
 	tables := s.pipeline.TableSnapshot()
 	sampler := s.explain.Load()
+	driftA := s.driftArmed()
 	var d RunStats
 	for i, pkt := range pkts {
 		v, parsedOK, rateDropped := s.classify(tables, pkt)
 		if sampler != nil && !rateDropped {
 			sampler.maybeSample(s, pkt, v)
+		}
+		if driftA != nil && v.Digested {
+			driftA.ObservePacket(0, pkt, drift.NoClass, drift.NoResidual)
 		}
 		if out != nil {
 			out[i] = v
@@ -397,6 +427,7 @@ func (s *Switch) RunParallel(pkts []*packet.Packet, workers int) RunStats {
 	start := time.Now()
 	tables := s.pipeline.TableSnapshot()
 	sampler := s.explain.Load()
+	driftA := s.driftArmed()
 	deltas := make([]RunStats, workers)
 	var wg sync.WaitGroup
 	chunk := (len(pkts) + workers - 1) / workers
@@ -416,6 +447,9 @@ func (s *Switch) RunParallel(pkts []*packet.Packet, workers int) RunStats {
 				v, parsedOK, rateDropped := s.classify(tables, pkt)
 				if sampler != nil && !rateDropped {
 					sampler.maybeSample(s, pkt, v)
+				}
+				if driftA != nil && v.Digested {
+					driftA.ObservePacket(0, pkt, drift.NoClass, drift.NoResidual)
 				}
 				d.add(v, parsedOK, rateDropped)
 			}

@@ -133,6 +133,72 @@ func TestReadJournalToleratesPartialTrailingLine(t *testing.T) {
 	}
 }
 
+// TestReadJournalMidFileCorruption covers corruption in the *interior*
+// of a journal — a torn write or disk fault in the middle, not just a
+// crashed tail. The records before the bad line must come back clean
+// and the error must name the offending line.
+func TestReadJournalMidFileCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf, "run-mid")
+	for i := 0; i < 4; i++ {
+		if err := j.Event("tick", map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(buf.String(), "\n")[:4]
+
+	cases := map[string]struct {
+		corrupt string // replaces line 3 (index 2)
+		clean   int
+		errLine string
+	}{
+		"garbage line":   {"!!not json!!\n", 2, "line 3"},
+		"truncated line": {lines[2][:len(lines[2])/2] + "\n", 2, "line 3"},
+		"binary splice":  {"\x00\x01\x02\n", 2, "line 3"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			doc := lines[0] + lines[1] + tc.corrupt + lines[3]
+			recs, err := ReadJournal(strings.NewReader(doc))
+			if err == nil {
+				t.Fatal("corrupt interior line parsed without error")
+			}
+			if !strings.Contains(err.Error(), tc.errLine) {
+				t.Fatalf("error %q does not name %s", err, tc.errLine)
+			}
+			if len(recs) != tc.clean {
+				t.Fatalf("%d clean records recovered, want %d", len(recs), tc.clean)
+			}
+			for i, rec := range recs {
+				if rec.Kind != "tick" || rec.Seq != uint64(i+1) {
+					t.Fatalf("clean prefix record %d = %+v", i, rec)
+				}
+			}
+		})
+	}
+}
+
+// TestReadJournalSkipsBlankInteriorLines: blank lines (e.g. from an
+// append with a spurious newline) are not corruption.
+func TestReadJournalSkipsBlankInteriorLines(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf, "run-blank")
+	_ = j.Event("a", nil)
+	_ = j.Event("b", nil)
+	_ = j.Flush()
+	lines := strings.SplitAfter(buf.String(), "\n")[:2]
+	recs, err := ReadJournal(strings.NewReader(lines[0] + "\n\n" + lines[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Kind != "a" || recs[1].Kind != "b" {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
 func TestNewRunIDUnique(t *testing.T) {
 	a, b := NewRunID(), NewRunID()
 	if a == b {

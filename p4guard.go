@@ -23,9 +23,12 @@ package p4guard
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
+	"p4guard/internal/autoenc"
+	"p4guard/internal/drift"
 	"p4guard/internal/dtree"
 	"p4guard/internal/fieldsel"
 	"p4guard/internal/iotgen"
@@ -105,6 +108,8 @@ type TrainTimings struct {
 	Classifier     time.Duration
 	Distillation   time.Duration
 	RuleCompile    time.Duration
+	// DriftModel is the residual autoencoder used for drift tracking.
+	DriftModel time.Duration
 }
 
 // Pipeline is a trained two-stage model plus its compiled rule set.
@@ -123,6 +128,11 @@ type Pipeline struct {
 	tree    *dtree.Tree
 	rs      *rules.RuleSet
 	matcher *match.Compiled
+	// auto is the drift-residual autoencoder: a small reconstructor of
+	// the normalized match-key bytes, trained with its own seed stream so
+	// the classifier/tree/rules stay byte-identical with or without it.
+	// Nil on pipelines saved before the drift subsystem existed.
+	auto *autoenc.Autoencoder
 }
 
 // setRuleSet installs a rule set and its compiled matcher together, so
@@ -231,6 +241,23 @@ func Train(train *trace.Dataset, cfg Config) (*Pipeline, error) {
 		return nil, err
 	}
 	p.Timings.RuleCompile = time.Since(start)
+
+	// Drift residual model: a small autoencoder reconstructing the
+	// normalized selected-byte columns. Its seed stream (Seed+3) is
+	// disjoint from the classifier's (Seed+1) and the distiller's
+	// (Seed+2), so every earlier stage trains byte-identically with or
+	// without it.
+	start = time.Now()
+	xa, err := train.SelectColumns(offsets)
+	if err != nil {
+		return nil, err
+	}
+	auto, err := autoenc.Train(xa, autoenc.Config{Hidden: []int{8, 4}, Epochs: 15, Seed: cfg.Seed + 3})
+	if err != nil {
+		return nil, fmt.Errorf("p4guard: drift residual model: %w", err)
+	}
+	p.auto = auto
+	p.Timings.DriftModel = time.Since(start)
 	return p, nil
 }
 
@@ -336,6 +363,58 @@ func (p *Pipeline) ClassifySlowPath(pkt *packet.Packet) int {
 // MatchOffsets returns the selected key layout (satisfies the controller's
 // SlowPath interface).
 func (p *Pipeline) MatchOffsets() []int { return p.Offsets }
+
+// Residual returns the drift autoencoder's mean-squared reconstruction
+// error of one packet's normalized match-key bytes — a shift signal for
+// the drift monitor, not a classifier. drift.NoResidual (NaN) when the
+// pipeline predates the residual model.
+func (p *Pipeline) Residual(pkt *packet.Packet) float64 {
+	if p.auto == nil {
+		return drift.NoResidual
+	}
+	row := make([]float64, len(p.Offsets))
+	for i, off := range p.Offsets {
+		row[i] = float64(pkt.ByteAt(off)) / 255
+	}
+	x, err := tensorRow(row)
+	if err != nil {
+		return drift.NoResidual
+	}
+	errs, err := p.auto.SampleError(x)
+	if err != nil || len(errs) == 0 || math.IsNaN(errs[0]) {
+		return drift.NoResidual
+	}
+	return errs[0]
+}
+
+// DriftBaseline profiles the expected slow-path digest stream: the
+// training samples the compiled rules MISS (exactly the packets a
+// digest-on-miss deployment sends to the controller), sketched with the
+// slow-path class and the residual model — the profile live shard
+// sketches are scored against. Persisted by p4guard-train
+// -drift-baseline and loaded by the daemons' -drift flags. Errors when
+// the rules cover every sample (no slow-path traffic to profile).
+func (p *Pipeline) DriftBaseline(ds *trace.Dataset) (*drift.Profile, error) {
+	if p.matcher == nil {
+		return nil, fmt.Errorf("p4guard: pipeline not trained")
+	}
+	b := drift.NewBuilder(p.Offsets, 0)
+	for _, s := range ds.Samples {
+		if _, matched := p.matcher.Classify(s.Pkt); matched {
+			continue
+		}
+		b.Observe(s.Pkt, p.ClassifySlowPath(s.Pkt), p.Residual(s.Pkt))
+	}
+	if b.Count() == 0 {
+		return nil, fmt.Errorf("p4guard: drift baseline: compiled rules cover every sample, no slow-path traffic to profile")
+	}
+	prof := b.Profile()
+	prof.Source = ds.Name
+	prof.Fingerprint = ds.Fingerprint()
+	prof.Link = p.Link.String()
+	prof.ClassNames = append([]string(nil), p.ClassNames...)
+	return prof, nil
+}
 
 // PredictNN classifies every test packet with the stage-2 MLP (slow-path
 // semantics).

@@ -6,7 +6,10 @@
 # BENCH_4.json (override with BENCH_OUT). A second section measures the
 # digest→install round trip under the five-gateway lossy netsim topology
 # and writes its e2e latency distribution (p50/p99) to BENCH_7.json
-# (override with BENCH_FLEET_OUT).
+# (override with BENCH_FLEET_OUT). A third section measures the drift
+# observability paths — per-digest sketch update, composite PSI/KS
+# rescore, and the fleet drift /metrics scrape — and writes them to
+# BENCH_8.json (override with BENCH_DRIFT_OUT).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -58,3 +61,24 @@ BEGIN { print "{"; first = 1 }
 }
 END { print "\n}" }' > "$fleet_out"
 echo "wrote $fleet_out"
+
+drift_out="${BENCH_DRIFT_OUT:-BENCH_8.json}"
+drift_raw=$(go test -run '^$' \
+    -bench 'BenchmarkDriftUpdate|BenchmarkDriftScore|BenchmarkFleetDriftScrape' \
+    -benchtime "${BENCH_DRIFT_TIME:-1s}" \
+    ./internal/drift/ ./internal/controller/ 2>&1 | grep -v 'no test files')
+printf '%s\n' "$drift_raw"
+
+printf '%s\n' "$drift_raw" | awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1
+    nsop = $3
+    allocs = "null"
+    for (i = 4; i < NF; i++) if ($(i + 1) == "allocs/op") allocs = $i
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, allocs
+}
+END { print "\n}" }' > "$drift_out"
+echo "wrote $drift_out"

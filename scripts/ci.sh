@@ -51,27 +51,38 @@ go test -run '^$' \
     -benchtime "${CI_BENCHTIME:-1s}" \
     ./... 2>&1 | grep -v '^ok\|no test files'
 
+echo "==> drift soak (concurrent sketches, race-enabled, seeded determinism)"
+# The drift monitor must survive concurrent ingest + scrape + baseline
+# re-arm under the race detector with never-torn, monotonic snapshots,
+# and two seeded runs must produce byte-identical fleet profiles.
+go test -race -count "${CI_DRIFT_COUNT:-2}" \
+    -run 'TestDriftSoakConcurrent|TestDriftSeededRunsByteIdentical' \
+    ./internal/drift/
+
 echo "==> telemetry overhead guard"
 # The instrumented lookup (telemetry registered: sampled latency
 # histogram, per-entry byte counters, scrape callbacks) must stay within
 # CI_GUARD_PCT percent of the uninstrumented hot path, the
 # explain-sampling-disarmed lookup within CI_GUARD_EXPLAIN_PCT percent
 # of the instrumented one (disarmed explain is one pointer load per
-# batch and one nil check per packet — effectively free), and the
+# batch and one nil check per packet — effectively free), the
 # tracing-disarmed lookup within CI_GUARD_TRACE_PCT percent of the
 # instrumented one (a disarmed tracer never touches the forwarding
-# path). Best-of-N runs so scheduler noise doesn't flake the gate.
+# path), and the drift-disarmed lookup within CI_GUARD_DRIFT_PCT
+# percent (a disarmed drift monitor is one atomic pointer load per
+# batch). Best-of-N runs so scheduler noise doesn't flake the gate.
 guard_out=$(go test -run '^$' \
-    -bench 'BenchmarkDataPlaneLookup$|BenchmarkDataPlaneLookupInstrumented$|BenchmarkDataPlaneLookupInstrumentedExplainOff$|BenchmarkDataPlaneLookupInstrumentedTraceOff$' \
+    -bench 'BenchmarkDataPlaneLookup$|BenchmarkDataPlaneLookupInstrumented$|BenchmarkDataPlaneLookupInstrumentedExplainOff$|BenchmarkDataPlaneLookupInstrumentedTraceOff$|BenchmarkDataPlaneLookupInstrumentedDriftOff$' \
     -benchtime "${CI_GUARD_BENCHTIME:-0.5s}" -count "${CI_GUARD_COUNT:-3}" . 2>&1)
 printf '%s\n' "$guard_out"
-printf '%s\n' "$guard_out" | awk -v pct="${CI_GUARD_PCT:-10}" -v epct="${CI_GUARD_EXPLAIN_PCT:-1}" -v tpct="${CI_GUARD_TRACE_PCT:-1}" '
+printf '%s\n' "$guard_out" | awk -v pct="${CI_GUARD_PCT:-10}" -v epct="${CI_GUARD_EXPLAIN_PCT:-1}" -v tpct="${CI_GUARD_TRACE_PCT:-1}" -v dpct="${CI_GUARD_DRIFT_PCT:-1}" '
     /^BenchmarkDataPlaneLookupInstrumentedExplainOff/ { if (eoff == 0 || $3 < eoff) eoff = $3; next }
     /^BenchmarkDataPlaneLookupInstrumentedTraceOff/   { if (toff == 0 || $3 < toff) toff = $3; next }
+    /^BenchmarkDataPlaneLookupInstrumentedDriftOff/   { if (doff == 0 || $3 < doff) doff = $3; next }
     /^BenchmarkDataPlaneLookupInstrumented/           { if (inst == 0 || $3 < inst) inst = $3; next }
     /^BenchmarkDataPlaneLookup/                       { if (base == 0 || $3 < base) base = $3 }
     END {
-        if (base == 0 || inst == 0 || eoff == 0 || toff == 0) { print "guard: benchmarks missing from output"; exit 1 }
+        if (base == 0 || inst == 0 || eoff == 0 || toff == 0 || doff == 0) { print "guard: benchmarks missing from output"; exit 1 }
         ratio = inst / base
         printf "guard: uninstrumented %.1f ns/op, instrumented %.1f ns/op (%.1f%%)\n", base, inst, (ratio - 1) * 100
         if (ratio > 1 + pct / 100) { printf "guard: FAIL, instrumented lookup regresses more than %d%%\n", pct; exit 1 }
@@ -81,6 +92,9 @@ printf '%s\n' "$guard_out" | awk -v pct="${CI_GUARD_PCT:-10}" -v epct="${CI_GUAR
         tratio = toff / inst
         printf "guard: trace-off %.1f ns/op vs instrumented %.1f ns/op (%.1f%%)\n", toff, inst, (tratio - 1) * 100
         if (tratio > 1 + tpct / 100) { printf "guard: FAIL, disarmed tracing costs more than %s%%\n", tpct; exit 1 }
+        dratio = doff / inst
+        printf "guard: drift-off %.1f ns/op vs instrumented %.1f ns/op (%.1f%%)\n", doff, inst, (dratio - 1) * 100
+        if (dratio > 1 + dpct / 100) { printf "guard: FAIL, disarmed drift monitor costs more than %s%%\n", dpct; exit 1 }
     }'
 
 echo "==> training speedup guard"

@@ -7,18 +7,23 @@ import (
 	"io"
 	"math/rand"
 
+	"p4guard/internal/autoenc"
 	"p4guard/internal/dtree"
 	"p4guard/internal/nn"
 	"p4guard/internal/packet"
 )
 
-// pipelineSnap is the on-disk form of a trained pipeline.
+// pipelineSnap is the on-disk form of a trained pipeline. Auto (the
+// drift-residual autoencoder) is optional in both directions: gob skips
+// absent fields, so old files load with a nil residual model and new
+// files load under old readers.
 type pipelineSnap struct {
 	Offsets    []int
 	Link       int
 	ClassNames []string
 	Net        []byte
 	Tree       []byte
+	Auto       []byte
 }
 
 // Save writes the trained pipeline (field selection, MLP, tree) to w. The
@@ -28,12 +33,17 @@ func (p *Pipeline) Save(w io.Writer) error {
 	if p.net == nil || p.tree == nil {
 		return fmt.Errorf("p4guard: cannot save untrained pipeline")
 	}
-	var netBuf, treeBuf bytes.Buffer
+	var netBuf, treeBuf, autoBuf bytes.Buffer
 	if err := nn.Save(&netBuf, p.net); err != nil {
 		return err
 	}
 	if err := p.tree.Save(&treeBuf); err != nil {
 		return err
+	}
+	if p.auto != nil {
+		if err := autoenc.Save(&autoBuf, p.auto); err != nil {
+			return err
+		}
 	}
 	snap := pipelineSnap{
 		Offsets:    p.Offsets,
@@ -41,6 +51,7 @@ func (p *Pipeline) Save(w io.Writer) error {
 		ClassNames: p.ClassNames,
 		Net:        netBuf.Bytes(),
 		Tree:       treeBuf.Bytes(),
+		Auto:       autoBuf.Bytes(),
 	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("p4guard: encode pipeline: %w", err)
@@ -68,6 +79,13 @@ func LoadPipeline(r io.Reader) (*Pipeline, error) {
 		ClassNames: snap.ClassNames,
 		net:        net,
 		tree:       tree,
+	}
+	if len(snap.Auto) > 0 {
+		auto, err := autoenc.Load(bytes.NewReader(snap.Auto))
+		if err != nil {
+			return nil, err
+		}
+		p.auto = auto
 	}
 	rs, err := tree.CompileRuleSet(snap.Offsets, 0)
 	if err != nil {
