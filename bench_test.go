@@ -11,6 +11,8 @@ package p4guard_test
 //	go run ./cmd/experiments
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"p4guard"
@@ -21,6 +23,7 @@ import (
 	"p4guard/internal/fieldsel"
 	"p4guard/internal/p4"
 	"p4guard/internal/packet"
+	"p4guard/internal/rules"
 	"p4guard/internal/switchsim"
 	"p4guard/internal/telemetry"
 	"p4guard/internal/tensor"
@@ -354,6 +357,104 @@ func BenchmarkSwitchRunSequential(b *testing.B) {
 	}
 	b.ReportMetric(st.PPS(), "pps")
 	b.ReportMetric(float64(len(pkts)), "pkts/burst")
+}
+
+// ppsKeyOffsets are the detector key offsets used by the PPS matrix.
+// They land in the Ethernet MAC fields, which ppsFrames randomizes, so
+// bursts mix table hits and misses like learned detectors do.
+var ppsKeyOffsets = []int{0, 3, 7, 11}
+
+// ppsFrames builds a burst of parseable Ethernet/IPv4/UDP frames padded
+// to the requested wire size, with randomized addresses at the key
+// offsets.
+func ppsFrames(b *testing.B, size, n int, seed int64) []*packet.Packet {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pkts := make([]*packet.Packet, n)
+	for i := range pkts {
+		eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+		rng.Read(eth.Dst[:])
+		rng.Read(eth.Src[:])
+		ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP}
+		udp := packet.UDP{SrcPort: uint16(rng.Intn(65536)), DstPort: 5683}
+		f := udp.Marshal(ip.Marshal(eth.Marshal(nil), packet.UDPLen), 0)
+		if len(f) < size {
+			pad := make([]byte, size-len(f))
+			rng.Read(pad)
+			f = append(f, pad...)
+		}
+		pkts[i] = &packet.Packet{Link: packet.LinkEthernet, Bytes: f}
+	}
+	return pkts
+}
+
+// ppsRuleSet builds a detector table with the requested entry count over
+// the PPS key offsets.
+func ppsRuleSet(entries int, seed int64) *rules.RuleSet {
+	rng := rand.New(rand.NewSource(seed))
+	rs := rules.NewRuleSet(ppsKeyOffsets, 0)
+	for i := 0; i < entries; i++ {
+		var preds []rules.BytePredicate
+		for _, off := range ppsKeyOffsets {
+			a, bb := byte(rng.Intn(256)), byte(rng.Intn(256))
+			if a > bb {
+				a, bb = bb, a
+			}
+			preds = append(preds, rules.BytePredicate{Offset: off, Lo: a, Hi: bb})
+		}
+		rs.Add(rules.Rule{Priority: rng.Intn(8), Class: rng.Intn(3), Preds: preds})
+	}
+	return rs
+}
+
+// BenchmarkDataPlanePPS is the wire-speed matrix behind BENCH_9.json:
+// frame sizes 64/512/1500 × small (16-entry) and large (1024-entry)
+// detector tables × the per-packet reference engine vs the zero-copy
+// batched fast path. scripts/ci.sh gates the batch/perpacket speedup at
+// the large table (CI_GUARD_PPS_SPEEDUP).
+func BenchmarkDataPlanePPS(b *testing.B) {
+	const burst = 512
+	tables := []struct {
+		name    string
+		entries int
+	}{{"small", 16}, {"large", 1024}}
+	for _, frameSize := range []int{64, 512, 1500} {
+		for _, tbl := range tables {
+			rs := ppsRuleSet(tbl.entries, int64(tbl.entries))
+			pkts := ppsFrames(b, frameSize, burst, int64(frameSize))
+			for _, mode := range []string{"perpacket", "batch"} {
+				name := fmt.Sprintf("frame=%d/table=%s/mode=%s", frameSize, tbl.name, mode)
+				b.Run(name, func(b *testing.B) {
+					sw, err := switchsim.New("pps", packet.LinkEthernet)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := sw.InstallRuleSet(rs, p4.Action{Type: p4.ActionAllow}); err != nil {
+						b.Fatal(err)
+					}
+					if mode == "perpacket" {
+						sw.SetFastPath(false)
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							for _, pkt := range pkts {
+								sw.Process(pkt)
+							}
+						}
+					} else {
+						arena := switchsim.NewBatchArena()
+						sw.RunWithArena(pkts, arena) // warm the arena and flow cache
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							sw.RunWithArena(pkts, arena)
+						}
+					}
+					b.StopTimer()
+					b.ReportAllocs()
+					b.ReportMetric(float64(b.N*burst)/b.Elapsed().Seconds(), "pps")
+				})
+			}
+		}
+	}
 }
 
 // BenchmarkSwitchRunParallel measures the multi-core engine at 8 workers.

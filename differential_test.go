@@ -103,6 +103,140 @@ func TestDifferentialMatchAgreement(t *testing.T) {
 	}
 }
 
+// TestDifferentialFastPathAgreement extends the differential suite to the
+// zero-copy batched engine: on every scenario, the fast path's verdicts
+// must be identical to the per-packet reference engine, to the offline
+// matcher/oracle classification, and to the side-effect-free Explain
+// reconstruction — at one worker and across parallel shard counts.
+func TestDifferentialFastPathAgreement(t *testing.T) {
+	for _, scen := range ScenarioNames() {
+		t.Run(scen, func(t *testing.T) {
+			ds, err := GenerateTrace(scen, TraceConfig{Seed: 43, Packets: 800})
+			if err != nil {
+				t.Fatal(err)
+			}
+			train, test, err := ds.Split(0.6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pipe, err := Train(train, Config{Seed: 3, NumFields: 5, MLPEpochs: 10, TreeDepth: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs := pipe.RuleSet()
+
+			mk := func(fast bool) *switchsim.Switch {
+				sw, err := switchsim.New("fastdiff-"+scen, ds.Link)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sw.SetFastPath(fast)
+				if _, err := sw.InstallRuleSet(rs, p4.Action{Type: p4.ActionAllow}); err != nil {
+					t.Fatal(err)
+				}
+				return sw
+			}
+
+			pkts := tracePacketSlice(test)
+			ref := mk(false)
+			want := ref.ProcessBatch(pkts)
+
+			fast := mk(true)
+			got := fast.ProcessBatch(pkts)
+			matcher := pipe.Matcher()
+			for i, pkt := range pkts {
+				if got[i] != want[i] {
+					t.Fatalf("pkt %d: fast %+v != per-packet reference %+v", i, got[i], want[i])
+				}
+				oracleClass, oracleMatched := rs.ClassifyDetail(pkt)
+				mc, mm := matcher.Classify(pkt)
+				if mc != oracleClass || mm != oracleMatched {
+					t.Fatalf("pkt %d: matcher (%d,%v) != oracle (%d,%v)", i, mc, mm, oracleClass, oracleMatched)
+				}
+				if got[i].Matched != oracleMatched || got[i].Class != oracleClass {
+					t.Fatalf("pkt %d: fast verdict %+v disagrees with oracle (%d,%v)",
+						i, got[i], oracleClass, oracleMatched)
+				}
+				if ev := fast.Explain(pkt); ev.Verdict != got[i] {
+					t.Fatalf("pkt %d: Explain verdict %+v != fast verdict %+v", i, ev.Verdict, got[i])
+				}
+			}
+
+			for _, workers := range []int{1, 2, 4} {
+				sw := mk(true)
+				verdicts := sw.ProcessBatchParallel(pkts, workers)
+				for i := range want {
+					if verdicts[i] != want[i] {
+						t.Fatalf("workers=%d pkt %d: %+v != reference %+v", workers, i, verdicts[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialFastPathUnderTernaryChurn interleaves detector
+// reprogramming (fresh rule sets and high-priority ternary inserts) with
+// forwarding bursts and re-checks fast-vs-reference agreement after every
+// mutation, so flow-cache invalidation is exercised on realistic traffic.
+func TestDifferentialFastPathUnderTernaryChurn(t *testing.T) {
+	ds, err := GenerateTrace("wifi-mqtt", TraceConfig{Seed: 47, Packets: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := tracePacketSlice(ds)
+
+	fast, err := switchsim.New("churn-fast", ds.Link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := switchsim.New("churn-ref", ds.Link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.SetFastPath(false)
+
+	for round := 0; round < 5; round++ {
+		sub, _, err := ds.Split(0.5 + 0.08*float64(round))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := Train(sub, Config{Seed: int64(round + 1), NumFields: 4, MLPEpochs: 6, TreeDepth: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := pipe.RuleSet()
+		for _, sw := range []*switchsim.Switch{fast, ref} {
+			if _, err := sw.InstallRuleSet(rs, p4.Action{Type: p4.ActionAllow}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if round%2 == 1 {
+			width := len(rs.Offsets)
+			lo := make([]byte, width)
+			hi := make([]byte, width)
+			for i := range hi {
+				hi[i] = 0x7f
+			}
+			for _, sw := range []*switchsim.Switch{fast, ref} {
+				if _, err := sw.InsertDetectorEntry(p4.Entry{
+					Priority: 1000, Lo: lo, Hi: hi,
+					Action: p4.Action{Type: p4.ActionDrop, Class: 2},
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		want := ref.ProcessBatch(pkts)
+		got := fast.ProcessBatch(pkts)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d pkt %d: fast %+v != reference %+v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // TestDifferentialAgreementSurvivesReload runs the matcher/oracle agreement
 // check on a pipeline that has been through a Save/Load round trip, so the
 // recompiled matcher in LoadPipeline is covered too.

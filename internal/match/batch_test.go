@@ -1,0 +1,184 @@
+package match
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"p4guard/internal/rules"
+)
+
+func randRows(rng *rand.Rand, width, n int) []RangeRow {
+	rows := make([]RangeRow, n)
+	for r := range rows {
+		row := RangeRow{Lo: make([]byte, width), Hi: make([]byte, width)}
+		for p := 0; p < width; p++ {
+			a, b := byte(rng.Intn(256)), byte(rng.Intn(256))
+			if a > b && rng.Intn(8) != 0 { // keep some dead rows
+				a, b = b, a
+			}
+			// Widen most positions so matches actually happen.
+			if rng.Intn(2) == 0 {
+				a, b = 0, 255
+			}
+			row.Lo[p], row.Hi[p] = a, b
+		}
+		rows[r] = row
+	}
+	return rows
+}
+
+// TestFindBatchMatchesFind pins the batched resolver to the single-key
+// reference on random keys, covering both the one-word fast loop
+// (≤64 rows) and the general multi-word loop (>64 rows).
+func TestFindBatchMatchesFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, cfg := range []struct{ width, rows, keys int }{
+		{1, 3, 64}, {4, 20, 256}, {4, 64, 256}, {5, 100, 256}, {8, 200, 512},
+	} {
+		ix, err := CompileRanges(cfg.width, randRows(rng, cfg.width, cfg.rows))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var kb KeyBatch
+		kb.Reset(cfg.width, cfg.keys)
+		for i := 0; i < cfg.keys; i++ {
+			rng.Read(kb.Key(i))
+		}
+		rows := make([]int32, cfg.keys)
+		ix.FindBatch(&kb, rows)
+		for i := 0; i < cfg.keys; i++ {
+			want, ok := ix.Find(kb.Key(i))
+			if !ok {
+				want = -1
+			}
+			if int(rows[i]) != want {
+				t.Fatalf("cfg %+v key %d: FindBatch=%d Find=%d", cfg, i, rows[i], want)
+			}
+		}
+		// Sparse resolution through the index list must agree too.
+		idxs := []int32{0, int32(cfg.keys / 2), int32(cfg.keys - 1)}
+		sub := make([]int32, len(idxs))
+		ix.FindBatchIdx(&kb, idxs, sub)
+		for j, idx := range idxs {
+			if sub[j] != rows[idx] {
+				t.Fatalf("cfg %+v idx %d: FindBatchIdx=%d FindBatch=%d", cfg, idx, sub[j], rows[idx])
+			}
+		}
+	}
+}
+
+func TestFindBatchWidthMismatch(t *testing.T) {
+	ix, err := CompileRanges(4, randRows(rand.New(rand.NewSource(1)), 4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kb KeyBatch
+	kb.Reset(3, 5)
+	rows := []int32{9, 9, 9, 9, 9}
+	ix.FindBatch(&kb, rows)
+	for i, r := range rows {
+		if r != -1 {
+			t.Fatalf("key %d: width-mismatched batch resolved to row %d", i, r)
+		}
+	}
+}
+
+func TestKeyBatchReuseAndIsolation(t *testing.T) {
+	var kb KeyBatch
+	kb.Reset(4, 3)
+	base := &kb.keys[0]
+	copy(kb.Key(0), []byte{1, 2, 3, 4})
+	copy(kb.Key(2), []byte{9, 9, 9, 9})
+	// Key slices are capacity-bounded: appending cannot bleed into key 1.
+	k0 := kb.Key(0)
+	_ = append(k0, 0xee)
+	if kb.Key(1)[0] == 0xee {
+		t.Fatal("append through Key(0) overwrote Key(1)")
+	}
+	kb.Reset(4, 2)
+	if &kb.keys[0] != base {
+		t.Fatal("Reset to a smaller batch reallocated the buffer")
+	}
+	if got := kb.Len(); got != 2 {
+		t.Fatalf("Len = %d", got)
+	}
+}
+
+func TestMaskOpsMatchByteLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 5, 7, 8, 9, 15, 16, 17, 33, 64} {
+		key := make([]byte, n)
+		val := make([]byte, n)
+		mask := make([]byte, n)
+		dst := make([]byte, n)
+		want := make([]byte, n)
+		for trial := 0; trial < 50; trial++ {
+			rng.Read(key)
+			rng.Read(val)
+			rng.Read(mask)
+			MaskBytes(dst, key, mask)
+			wantEq := true
+			for i := range key {
+				want[i] = key[i] & mask[i]
+				if (key[i]^val[i])&mask[i] != 0 {
+					wantEq = false
+				}
+			}
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("n=%d MaskBytes=%x want %x", n, dst, want)
+			}
+			if got := MaskedEqual(key, val, mask); got != wantEq {
+				t.Fatalf("n=%d MaskedEqual=%v want %v", n, got, wantEq)
+			}
+			// The equal case must also be detected.
+			MaskBytes(dst, key, mask)
+			masked := make([]byte, n)
+			MaskBytes(masked, key, mask)
+			vv := make([]byte, n)
+			copy(vv, masked)
+			if !MaskedEqual(key, vv, mask) {
+				t.Fatalf("n=%d MaskedEqual false for constructed equal value", n)
+			}
+		}
+	}
+}
+
+// TestClassifyBatchMatchesClassifyKey pins batched classification to the
+// single-key path on a compiled rule set.
+func TestClassifyBatchMatchesClassifyKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rs := rules.NewRuleSet([]int{0, 2, 5}, 7)
+	for i := 0; i < 12; i++ {
+		var preds []rules.BytePredicate
+		for _, off := range []int{0, 2, 5} {
+			if rng.Intn(3) > 0 {
+				a, b := byte(rng.Intn(256)), byte(rng.Intn(256))
+				if a > b {
+					a, b = b, a
+				}
+				preds = append(preds, rules.BytePredicate{Offset: off, Lo: a, Hi: b})
+			}
+		}
+		rs.Add(rules.Rule{Priority: i % 4, Class: i % 3, Preds: preds})
+	}
+	m, err := Compile(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	var kb KeyBatch
+	kb.Reset(3, n)
+	for i := 0; i < n; i++ {
+		rng.Read(kb.Key(i))
+	}
+	classes := make([]int, n)
+	matched := make([]bool, n)
+	m.ClassifyBatch(&kb, classes, matched)
+	for i := 0; i < n; i++ {
+		wc, wm := m.ClassifyKey(kb.Key(i))
+		if classes[i] != wc || matched[i] != wm {
+			t.Fatalf("key %d: batch (%d,%v) != single (%d,%v)", i, classes[i], matched[i], wc, wm)
+		}
+	}
+}

@@ -66,6 +66,10 @@ type lookupState struct {
 	exact    map[string]*Entry
 	tuples   []*tupleGroup   // ternary tuple-space-search index
 	rangeIdx *match.KeyIndex // compiled range-match index (row i = entries[i])
+	// lpmMasks[i] is entries[i].PrefixLen expanded to a byte mask, so the
+	// batched fast path can test prefixes with 64-bit lane compares
+	// (match.MaskedEqual) instead of the bit-fiddling prefixMatch loop.
+	lpmMasks [][]byte
 }
 
 // tupleGroup indexes all ternary entries sharing one mask: a hash lookup
@@ -212,6 +216,10 @@ func (t *Table) reindex() {
 		sort.SliceStable(t.entries, func(i, j int) bool {
 			return t.entries[i].PrefixLen > t.entries[j].PrefixLen
 		})
+		st.lpmMasks = make([][]byte, len(t.entries))
+		for i, e := range t.entries {
+			st.lpmMasks[i] = prefixMask(st.width, e.PrefixLen)
+		}
 	}
 	st.entries = t.entries
 	t.state.Store(st)
@@ -384,6 +392,19 @@ func (t *Table) Lookup(frame []byte) (act Action, matched bool) {
 	atomic.AddUint64(&hit.bytes, uint64(len(frame)))
 	atomic.AddUint64(&t.hits, 1)
 	return hit.Action, true
+}
+
+// prefixMask expands a prefix length in bits to a width-byte mask.
+func prefixMask(width, prefixLen int) []byte {
+	m := make([]byte, width)
+	full := prefixLen / 8
+	for i := 0; i < full && i < width; i++ {
+		m[i] = 0xff
+	}
+	if rem := prefixLen % 8; rem > 0 && full < width {
+		m[full] = byte(0xff << (8 - rem))
+	}
+	return m
 }
 
 func prefixMatch(key, value []byte, prefixLen int) bool {

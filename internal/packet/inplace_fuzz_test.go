@@ -1,0 +1,111 @@
+// Fuzz agreement between the in-place descriptor parser and the p4
+// parse-graph reference. Lives in package packet_test because it drives
+// p4.StandardParser (which imports packet) against packet.ParseFrame.
+package packet_test
+
+import (
+	"testing"
+
+	"p4guard/internal/p4"
+	"p4guard/internal/packet"
+)
+
+// descAgrees fails the test unless the descriptor and the parse-graph
+// result agree field for field: acceptance, header count, and each
+// header's state name, offset, and length.
+func descAgrees(t *testing.T, link packet.LinkType, data []byte) {
+	t.Helper()
+	parser, err := p4.StandardParser(link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := parser.Parse(data)
+	var d packet.FrameDesc
+	ok := packet.ParseFrame(link, data, &d)
+	if ok != ref.Accepted || d.Accepted != ref.Accepted {
+		t.Fatalf("link %v: in-place accepted=%v, parse graph accepted=%v (frame %x)",
+			link, ok, ref.Accepted, data)
+	}
+	if d.N != len(ref.Headers) {
+		t.Fatalf("link %v: in-place found %d headers, parse graph %d (frame %x)",
+			link, d.N, len(ref.Headers), data)
+	}
+	for i, h := range d.Headers() {
+		r := ref.Headers[i]
+		if h.Kind.String() != r.Name || int(h.Off) != r.Offset || int(h.Len) != r.Length {
+			t.Fatalf("link %v header %d: in-place %s@%d+%d, parse graph %s@%d+%d (frame %x)",
+				link, i, h.Kind, h.Off, h.Len, r.Name, r.Offset, r.Length, data)
+		}
+	}
+	if got := parser.Accepts(data); got != ok {
+		t.Fatalf("link %v: AcceptFrame=%v, parser.Accepts=%v (frame %x)", link, ok, got, data)
+	}
+}
+
+func inplaceSeedFrames() [][]byte {
+	eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+	ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoTCP}
+	tcp := packet.TCP{SrcPort: 1, DstPort: 1883, Flags: packet.TCPSyn}
+	tcpFrame := tcp.Marshal(ip.Marshal(eth.Marshal(nil), packet.TCPLen))
+
+	udpEth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+	udpIP := packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP}
+	udp := packet.UDP{SrcPort: 1, DstPort: 5683}
+	udpFrame := udp.Marshal(udpIP.Marshal(udpEth.Marshal(nil), packet.UDPLen), 0)
+
+	arpEth := packet.Ethernet{EtherType: packet.EtherTypeARP}
+	arp := packet.ARP{Op: packet.ARPRequest}
+	arpFrame := arp.Marshal(arpEth.Marshal(nil))
+
+	mac := packet.IEEE802154{FrameType: packet.FrameData, PANID: 1, Dst: 2, Src: 3}
+	nwk := packet.ZigbeeNWK{FrameType: packet.ZigbeeData, Dst: 4, Src: 5}
+	zigFrame := nwk.Marshal(mac.Marshal(nil))
+
+	ble := packet.BLELinkLayer{AccessAddress: packet.BLEAdvAccessAddress, PDUType: packet.BLEAdvInd, Payload: []byte{1, 2}}
+	bleFrame := ble.Marshal(nil)
+
+	return [][]byte{
+		tcpFrame, udpFrame, arpFrame, zigFrame, bleFrame,
+		tcpFrame[:10], tcpFrame[:20], tcpFrame[:35],
+		{}, {0xff}, {0x45, 0x00},
+	}
+}
+
+// FuzzInPlaceParserAgreement fuzzes raw frames through every link's
+// in-place parser: it must agree field for field with the parse graph
+// and never read out of bounds (the fuzz harness catches panics) on
+// truncated or malformed input.
+func FuzzInPlaceParserAgreement(f *testing.F) {
+	for _, seed := range inplaceSeedFrames() {
+		f.Add(seed)
+	}
+	links := []packet.LinkType{packet.LinkEthernet, packet.LinkIEEE802154, packet.LinkBLE}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, link := range links {
+			descAgrees(t, link, data)
+		}
+	})
+}
+
+// TestInPlaceParserAgreementMutations runs the agreement check over
+// systematic mutations of valid frames — every truncation length and
+// every single-byte corruption position of the first 64 bytes — so the
+// boundary conditions are pinned even without long fuzz runs.
+func TestInPlaceParserAgreementMutations(t *testing.T) {
+	links := []packet.LinkType{packet.LinkEthernet, packet.LinkIEEE802154, packet.LinkBLE}
+	for _, seed := range inplaceSeedFrames() {
+		for _, link := range links {
+			for n := 0; n <= len(seed); n++ {
+				descAgrees(t, link, seed[:n])
+			}
+			mut := make([]byte, len(seed))
+			for pos := 0; pos < len(seed) && pos < 64; pos++ {
+				for _, b := range []byte{0x00, 0x0f, 0x46, 0xff} {
+					copy(mut, seed)
+					mut[pos] = b
+					descAgrees(t, link, mut)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package switchsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"p4guard/internal/p4"
+	"p4guard/internal/packet"
+	"p4guard/internal/rules"
+)
+
+// randRuleSet builds a deterministic multi-field rule set with a mix of
+// allow and drop classes.
+func randRuleSet(seed int64) *rules.RuleSet {
+	rng := rand.New(rand.NewSource(seed))
+	offsets := []int{0, 3, 7}
+	rs := rules.NewRuleSet(offsets, 0)
+	for i := 0; i < 10; i++ {
+		var preds []rules.BytePredicate
+		for _, off := range offsets {
+			if rng.Float64() < 0.7 {
+				a, b := byte(rng.Intn(256)), byte(rng.Intn(256))
+				if a > b {
+					a, b = b, a
+				}
+				preds = append(preds, rules.BytePredicate{Offset: off, Lo: a, Hi: b})
+			}
+		}
+		rs.Add(rules.Rule{Priority: rng.Intn(5), Class: rng.Intn(3), Preds: preds})
+	}
+	return rs
+}
+
+// TestFastPathMatchesReferenceEngine runs the same trace through the
+// zero-copy engine and the per-packet reference path on twin switches:
+// verdicts, run stats, detector counters, and digest accounting must be
+// identical, at one worker and across worker counts.
+func TestFastPathMatchesReferenceEngine(t *testing.T) {
+	rs := randRuleSet(17)
+	pkts := tracePackets(1200, 29)
+
+	mk := func(fast bool) *Switch {
+		sw := mkSwitch(t)
+		sw.SetFastPath(fast)
+		if _, err := sw.InstallRuleSet(rs, p4.Action{Type: p4.ActionDigest}); err != nil {
+			t.Fatal(err)
+		}
+		return sw
+	}
+
+	ref := mk(false)
+	want := ref.ProcessBatch(pkts)
+
+	fast := mk(true)
+	got := fast.ProcessBatch(pkts)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pkt %d: fast %+v != reference %+v", i, got[i], want[i])
+		}
+	}
+	fs, rs2 := fast.Stats(), ref.Stats()
+	fs.Elapsed, rs2.Elapsed = 0, 0
+	if fs != rs2 {
+		t.Fatalf("run stats diverged: fast %+v ref %+v", fs, rs2)
+	}
+	fd, rd := mustDetectorStats(t, fast), mustDetectorStats(t, ref)
+	if fd != rd {
+		t.Fatalf("detector stats diverged: fast %+v ref %+v", fd, rd)
+	}
+	fq, rq := fast.DigestQueueStats(), ref.DigestQueueStats()
+	if fq != rq {
+		t.Fatalf("digest accounting diverged: fast %+v ref %+v", fq, rq)
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		sw := mk(true)
+		verdicts := sw.ProcessBatchParallel(pkts, workers)
+		for i := range want {
+			if verdicts[i] != want[i] {
+				t.Fatalf("workers=%d pkt %d: fast %+v != reference %+v", workers, i, verdicts[i], want[i])
+			}
+		}
+	}
+}
+
+func mustDetectorStats(t *testing.T, sw *Switch) p4.Stats {
+	t.Helper()
+	st, err := sw.DetectorStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Name = ""
+	return st
+}
+
+// TestFastPathAgreesUnderChurn alternates detector reprogramming with
+// forwarding bursts: after every change, fast and reference verdicts
+// must still agree (the flow cache's generation tag must never serve a
+// stale entry).
+func TestFastPathAgreesUnderChurn(t *testing.T) {
+	pkts := tracePackets(300, 31)
+	fast := mkSwitch(t)
+	ref := mkSwitch(t)
+	ref.SetFastPath(false)
+	for round := 0; round < 6; round++ {
+		rs := randRuleSet(int64(100 + round))
+		for _, sw := range []*Switch{fast, ref} {
+			if _, err := sw.InstallRuleSet(rs, p4.Action{Type: p4.ActionAllow}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if round%2 == 1 {
+			for _, sw := range []*Switch{fast, ref} {
+				if _, err := sw.InsertDetectorEntry(p4.Entry{
+					Priority: 999, Lo: []byte{0, 0, 0}, Hi: []byte{63, 255, 255},
+					Action: p4.Action{Type: p4.ActionDrop, Class: 2},
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		want := ref.ProcessBatch(pkts)
+		got := fast.ProcessBatch(pkts)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d pkt %d: fast %+v != reference %+v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSteadyStateForwardingZeroAlloc is the allocation gate for the
+// tentpole: once an arena is warm, forwarding whole bursts through the
+// zero-copy engine must not allocate at all.
+func TestSteadyStateForwardingZeroAlloc(t *testing.T) {
+	sw := mkSwitch(t)
+	rs := randRuleSet(23)
+	if _, err := sw.InstallRuleSet(rs, p4.Action{Type: p4.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	pkts := tracePackets(256, 37)
+	arena := NewBatchArena()
+	// Warm-up: sizes the arena buffers and populates the flow cache.
+	sw.RunWithArena(pkts, arena)
+	allocs := testing.AllocsPerRun(50, func() {
+		sw.RunWithArena(pkts, arena)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state batch loop allocates %.2f/op, want 0", allocs)
+	}
+	if got := len(arena.Verdicts()); got != len(pkts) {
+		t.Fatalf("arena verdicts = %d, want %d", got, len(pkts))
+	}
+}
+
+// TestProcessSinglePacketZeroAlloc pins the satellite fix: the
+// single-packet path used to materialize link-layer header structs for
+// parse acceptance, which on BLE copied the PDU payload per packet. The
+// descriptor walk made Process allocation-free.
+func TestProcessSinglePacketZeroAlloc(t *testing.T) {
+	for _, link := range []packet.LinkType{packet.LinkEthernet, packet.LinkBLE} {
+		sw, err := New("alloc", link)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := rules.NewRuleSet([]int{0}, 0)
+		rs.Add(rules.Rule{Priority: 1, Class: 1, Preds: []rules.BytePredicate{{Offset: 0, Lo: 250, Hi: 255}}})
+		if _, err := sw.InstallRuleSet(rs, p4.Action{Type: p4.ActionAllow}); err != nil {
+			t.Fatal(err)
+		}
+		var frame []byte
+		if link == packet.LinkBLE {
+			ble := packet.BLELinkLayer{AccessAddress: packet.BLEAdvAccessAddress, PDUType: packet.BLEAdvInd,
+				Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8}}
+			frame = ble.Marshal(nil)
+		} else {
+			eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+			ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP}
+			udp := packet.UDP{SrcPort: 1, DstPort: 5683}
+			frame = udp.Marshal(ip.Marshal(eth.Marshal(nil), packet.UDPLen), 0)
+		}
+		pkt := &packet.Packet{Link: link, Bytes: frame}
+		sw.Process(pkt) // warm
+		allocs := testing.AllocsPerRun(100, func() { sw.Process(pkt) })
+		if allocs != 0 {
+			t.Fatalf("link %v: Process allocates %.2f/op, want 0", link, allocs)
+		}
+	}
+}
+
+// TestSetFastPathToggle checks the knob is honored and reported.
+func TestSetFastPathToggle(t *testing.T) {
+	sw := mkSwitch(t)
+	if !sw.FastPath() {
+		t.Fatal("fast path should default on")
+	}
+	sw.SetFastPath(false)
+	if sw.FastPath() {
+		t.Fatal("SetFastPath(false) not honored")
+	}
+	if _, err := sw.InstallRuleSet(dropHighByte0(), p4.Action{Type: p4.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	// Both settings still forward correctly.
+	pkts := tracePackets(50, 41)
+	slow := sw.ProcessBatch(pkts)
+	sw.SetFastPath(true)
+	fast := sw.ProcessBatch(pkts)
+	for i := range slow {
+		if slow[i] != fast[i] {
+			t.Fatalf("pkt %d: toggle changed verdict %+v -> %+v", i, slow[i], fast[i])
+		}
+	}
+}

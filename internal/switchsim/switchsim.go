@@ -80,6 +80,19 @@ type Switch struct {
 	// check per digested packet.
 	driftMon atomic.Pointer[drift.Monitor]
 
+	// fastPath selects the batched zero-copy engine (in-place parse,
+	// SoA key gather, flow-cached batch lookup, batched counter and
+	// digest flush) for ProcessBatch/Run/RunParallel. On by default;
+	// SetFastPath(false) pins the per-packet reference path, which the
+	// differential suite compares against.
+	fastPath atomic.Bool
+
+	// arenas recycles BatchArena workspaces across batches and workers,
+	// making the steady-state forwarding loop allocation-free. Callers
+	// needing deterministic reuse (alloc gates) hold their own arena and
+	// use RunWithArena.
+	arenas sync.Pool
+
 	// Cumulative stats, updated with atomics (one merge per batch).
 	packets     atomic.Int64
 	allowed     atomic.Int64
@@ -189,8 +202,20 @@ func NewWithDigestCapacity(name string, link packet.LinkType, digestCap int) (*S
 	if err := pipe.AddTable(det); err != nil {
 		return nil, err
 	}
-	return &Switch{Name: name, pipeline: pipe, parser: parser, link: link}, nil
+	s := &Switch{Name: name, pipeline: pipe, parser: parser, link: link}
+	s.fastPath.Store(true)
+	s.arenas.New = func() any { return NewBatchArena() }
+	return s, nil
 }
+
+// SetFastPath selects between the batched zero-copy engine (true, the
+// default) and the per-packet reference path. Both produce identical
+// verdicts and counters; the knob exists for differential testing and
+// for the perf baseline the bench suite records.
+func (s *Switch) SetFastPath(on bool) { s.fastPath.Store(on) }
+
+// FastPath reports whether the zero-copy engine is selected.
+func (s *Switch) FastPath() bool { return s.fastPath.Load() }
 
 // Pipeline exposes the underlying pipeline (used by the p4rt server).
 func (s *Switch) Pipeline() *p4.Pipeline { return s.pipeline }
@@ -337,8 +362,12 @@ func defaultGuardKey(link packet.LinkType) []p4.FieldSpec {
 
 // classify runs one packet through parser, rate guard, and pipeline with
 // no stats or timing side effects; the caller accounts the outcome.
+// Parse acceptance uses the allocation-free in-place descriptor walk —
+// equivalent to s.parser.Accepts (the packet fuzz suite pins the two
+// together field for field) but without materializing header structs,
+// which on the BLE graph used to copy the PDU payload per packet.
 func (s *Switch) classify(tables []*p4.Table, pkt *packet.Packet) (v p4.Verdict, parsedOK, rateDropped bool) {
-	parsedOK = s.parser.Accepts(pkt.Bytes)
+	parsedOK = packet.AcceptFrame(s.link, pkt.Bytes)
 	if g := s.rateGuard.Load(); g != nil && g.Observe(pkt.Bytes, pkt.Time) {
 		return p4.Verdict{Allowed: false, Class: -1, Matched: true}, parsedOK, true
 	}
@@ -365,10 +394,119 @@ func (s *Switch) Process(pkt *packet.Packet) p4.Verdict {
 	return v
 }
 
-// processBatch classifies pkts sequentially against one table snapshot,
-// writing verdicts into out when non-nil, and returns the batch delta.
-// Cumulative stats are merged once.
+// BatchArena is one worker's recycled forwarding state: the p4 batch
+// workspace (SoA keys, flow caches, digest staging) plus verdict and
+// active-set buffers. Arenas are either pooled by the switch or owned by
+// a caller that wants deterministic buffer reuse (RunWithArena); after
+// the first batch warms the buffers, forwarding through an arena
+// allocates nothing.
+type BatchArena struct {
+	ws       p4.BatchWorkspace
+	verdicts []p4.Verdict
+	active   []int32
+}
+
+// NewBatchArena returns an empty arena; buffers grow on first use.
+func NewBatchArena() *BatchArena { return &BatchArena{} }
+
+// forwardBatch is the zero-copy engine: in-place parse acceptance, rate
+// guard, active-set construction, then the batched pipeline. Verdicts
+// land in out (len(pkts)); the returned delta has Packets set but no
+// Elapsed (the caller owns timing). Observable behaviour per packet —
+// verdicts, counters, digest accounting, sampler and drift observation
+// order — matches the per-packet reference path.
+func (s *Switch) forwardBatch(pkts []*packet.Packet, out []p4.Verdict, a *BatchArena) RunStats {
+	tables := s.pipeline.TableSnapshot()
+	sampler := s.explain.Load()
+	driftA := s.driftArmed()
+	guard := s.rateGuard.Load()
+	var d RunStats
+	if cap(a.active) < len(pkts) {
+		a.active = make([]int32, 0, len(pkts))
+	}
+	active := a.active[:0]
+	for i, pkt := range pkts {
+		if !packet.AcceptFrame(s.link, pkt.Bytes) {
+			d.ParseFailed++
+		}
+		if guard != nil && guard.Observe(pkt.Bytes, pkt.Time) {
+			out[i] = p4.Verdict{Allowed: false, Class: -1, Matched: true}
+			d.Dropped++
+			d.RateDropped++
+			continue
+		}
+		active = append(active, int32(i))
+	}
+	a.active = active
+	s.pipeline.RunTablesBatch(tables, pkts, active, &a.ws, out)
+	for _, idx := range active {
+		v := out[idx]
+		if sampler != nil {
+			sampler.maybeSample(s, pkts[idx], v)
+		}
+		if driftA != nil && v.Digested {
+			driftA.ObservePacket(0, pkts[idx], drift.NoClass, drift.NoResidual)
+		}
+		if v.Allowed {
+			d.Allowed++
+		} else {
+			d.Dropped++
+		}
+		if v.Digested {
+			d.Digested++
+		}
+	}
+	d.Packets = len(pkts)
+	return d
+}
+
+// RunWithArena runs a burst through the zero-copy engine using the
+// caller's arena (verdicts land in a.Verdicts()), regardless of the
+// fast-path flag. This is the deterministic zero-alloc entry point: the
+// pooled path may cold-start a fresh arena whenever the GC trims the
+// pool, but a held arena reuses the same buffers every call.
+func (s *Switch) RunWithArena(pkts []*packet.Packet, a *BatchArena) RunStats {
+	start := time.Now()
+	if cap(a.verdicts) < len(pkts) {
+		a.verdicts = make([]p4.Verdict, len(pkts))
+	}
+	a.verdicts = a.verdicts[:len(pkts)]
+	d := s.forwardBatch(pkts, a.verdicts, a)
+	d.Elapsed = time.Since(start)
+	s.mergeStats(d)
+	return d
+}
+
+// Verdicts returns the verdict buffer the arena's last run filled.
+func (a *BatchArena) Verdicts() []p4.Verdict { return a.verdicts }
+
+// processBatchFast times one burst through a pooled arena and merges
+// stats once.
+func (s *Switch) processBatchFast(pkts []*packet.Packet, out []p4.Verdict) RunStats {
+	start := time.Now()
+	a := s.arenas.Get().(*BatchArena)
+	if out == nil {
+		if cap(a.verdicts) < len(pkts) {
+			a.verdicts = make([]p4.Verdict, len(pkts))
+		}
+		a.verdicts = a.verdicts[:len(pkts)]
+		out = a.verdicts
+	}
+	d := s.forwardBatch(pkts, out, a)
+	s.arenas.Put(a)
+	d.Elapsed = time.Since(start)
+	s.mergeStats(d)
+	return d
+}
+
+// processBatch classifies pkts against one table snapshot, writing
+// verdicts into out when non-nil, and returns the batch delta.
+// Cumulative stats are merged once. The fast-path flag selects the
+// batched zero-copy engine or the per-packet reference loop.
 func (s *Switch) processBatch(pkts []*packet.Packet, out []p4.Verdict) RunStats {
+	if s.fastPath.Load() {
+		return s.processBatchFast(pkts, out)
+	}
 	start := time.Now()
 	tables := s.pipeline.TableSnapshot()
 	sampler := s.explain.Load()
@@ -415,6 +553,25 @@ func (s *Switch) Run(pkts []*packet.Packet) RunStats {
 // only per-packet verdict order within stats is unordered, which the
 // counters cannot observe.
 func (s *Switch) RunParallel(pkts []*packet.Packet, workers int) RunStats {
+	return s.runParallel(pkts, workers, nil)
+}
+
+// ProcessBatchParallel shards the burst across workers and returns the
+// verdicts in packet order (out[i] is pkts[i]'s verdict regardless of
+// which worker classified it). It is RunParallel with verdicts kept —
+// the differential suite uses it to prove worker count never changes a
+// verdict.
+func (s *Switch) ProcessBatchParallel(pkts []*packet.Packet, workers int) []p4.Verdict {
+	out := make([]p4.Verdict, len(pkts))
+	s.runParallel(pkts, workers, out)
+	return out
+}
+
+// runParallel implements RunParallel/ProcessBatchParallel: contiguous
+// shards, private per-worker stats merged once, wall-clock Elapsed.
+// Fast-path workers each run the batched engine with a pooled arena;
+// reference workers run the per-packet loop.
+func (s *Switch) runParallel(pkts []*packet.Packet, workers int, out []p4.Verdict) RunStats {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -422,9 +579,10 @@ func (s *Switch) RunParallel(pkts []*packet.Packet, workers int) RunStats {
 		workers = len(pkts)
 	}
 	if workers <= 1 {
-		return s.Run(pkts)
+		return s.processBatch(pkts, out)
 	}
 	start := time.Now()
+	fast := s.fastPath.Load()
 	tables := s.pipeline.TableSnapshot()
 	sampler := s.explain.Load()
 	driftA := s.driftArmed()
@@ -440,10 +598,27 @@ func (s *Switch) RunParallel(pkts []*packet.Packet, workers int) RunStats {
 		if lo >= hi {
 			break
 		}
+		var shardOut []p4.Verdict
+		if out != nil {
+			shardOut = out[lo:hi]
+		}
 		wg.Add(1)
-		go func(shard []*packet.Packet, d *RunStats) {
+		go func(shard []*packet.Packet, shardOut []p4.Verdict, d *RunStats) {
 			defer wg.Done()
-			for _, pkt := range shard {
+			if fast {
+				a := s.arenas.Get().(*BatchArena)
+				if shardOut == nil {
+					if cap(a.verdicts) < len(shard) {
+						a.verdicts = make([]p4.Verdict, len(shard))
+					}
+					a.verdicts = a.verdicts[:len(shard)]
+					shardOut = a.verdicts
+				}
+				*d = s.forwardBatch(shard, shardOut, a)
+				s.arenas.Put(a)
+				return
+			}
+			for i, pkt := range shard {
 				v, parsedOK, rateDropped := s.classify(tables, pkt)
 				if sampler != nil && !rateDropped {
 					sampler.maybeSample(s, pkt, v)
@@ -451,10 +626,13 @@ func (s *Switch) RunParallel(pkts []*packet.Packet, workers int) RunStats {
 				if driftA != nil && v.Digested {
 					driftA.ObservePacket(0, pkt, drift.NoClass, drift.NoResidual)
 				}
+				if shardOut != nil {
+					shardOut[i] = v
+				}
 				d.add(v, parsedOK, rateDropped)
 			}
 			d.Packets = len(shard)
-		}(pkts[lo:hi], &deltas[w])
+		}(pkts[lo:hi], shardOut, &deltas[w])
 	}
 	wg.Wait()
 	var total RunStats

@@ -9,7 +9,11 @@
 # (override with BENCH_FLEET_OUT). A third section measures the drift
 # observability paths — per-digest sketch update, composite PSI/KS
 # rescore, and the fleet drift /metrics scrape — and writes them to
-# BENCH_8.json (override with BENCH_DRIFT_OUT).
+# BENCH_8.json (override with BENCH_DRIFT_OUT). A fourth section runs
+# the wire-speed matrix (frame size × table size × per-packet vs
+# zero-copy batch) and writes pps, ns/op, allocs, and the
+# batch/perpacket speedup per cell to BENCH_9.json (override with
+# BENCH_PPS_OUT).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -82,3 +86,41 @@ BEGIN { print "{"; first = 1 }
 }
 END { print "\n}" }' > "$drift_out"
 echo "wrote $drift_out"
+
+pps_out="${BENCH_PPS_OUT:-BENCH_9.json}"
+pps_raw=$(go test -run '^$' \
+    -bench 'BenchmarkDataPlanePPS' \
+    -benchtime "${BENCH_PPS_TIME:-2000x}" \
+    . 2>&1 | grep -v 'no test files')
+printf '%s\n' "$pps_raw"
+
+printf '%s\n' "$pps_raw" | awk '
+BEGIN { print "{"; first = 1 }
+/^BenchmarkDataPlanePPS\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    nsop = $3
+    pps = "null"; allocs = "null"
+    for (i = 4; i < NF; i++) {
+        if ($(i + 1) == "pps") pps = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    ppsv[name] = pps
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"ns_per_op\": %s, \"pps\": %s, \"allocs_per_op\": %s}", name, nsop, pps, allocs
+}
+END {
+    for (name in ppsv) {
+        if (name !~ /mode=batch$/) continue
+        base = name
+        sub(/mode=batch$/, "mode=perpacket", base)
+        if (base in ppsv && ppsv[base] + 0 > 0) {
+            cell = name
+            sub(/\/mode=batch$/, "", cell)
+            printf ",\n  \"speedup/%s\": %.2f", cell, ppsv[name] / ppsv[base]
+        }
+    }
+    print "\n}"
+}' > "$pps_out"
+echo "wrote $pps_out"
