@@ -43,6 +43,8 @@ func run() int {
 		k        = flag.Int("k", 6, "selected fields when training")
 		reactive = flag.Bool("reactive", true, "install reactive drop entries for slow-path hits")
 		missOpen = flag.Bool("miss-open", false, "allow on table miss instead of digesting")
+		compress = flag.Int("compress", 0, "rule compression level before deploy: 0=off, 1=shadow elimination, 2=+interval merging, 3=+priority releveling")
+		delta    = flag.Bool("delta", false, "reprogram switches with incremental deltas when possible instead of full table swaps")
 		duration = flag.Duration("duration", 0, "exit after this long (0 = until signal)")
 		stats    = flag.Duration("stats", 2*time.Second, "stats print interval")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (empty = off)")
@@ -197,7 +199,14 @@ func run() int {
 	if *missOpen {
 		miss = p4.Action{Type: p4.ActionAllow}
 	}
-	if err := ctl.DeployRuleSet(ctx, pipe.RuleSet(), miss); err != nil {
+	deployOpts := []controller.DeployOption{controller.WithMissAction(miss)}
+	if *compress > 0 {
+		deployOpts = append(deployOpts, controller.WithCompression(*compress))
+	}
+	if *delta {
+		deployOpts = append(deployOpts, controller.WithDeltaOnly())
+	}
+	if err := ctl.Deploy(ctx, pipe.RuleSet(), deployOpts...); err != nil {
 		fmt.Fprintln(os.Stderr, "p4guard-ctl:", err)
 		return 1
 	}

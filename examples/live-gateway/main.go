@@ -63,7 +63,8 @@ func run() error {
 	if err := ctl.ConnectShard(context.Background(), srv.Addr(), 0); err != nil {
 		return err
 	}
-	if err := ctl.DeployRuleSet(context.Background(), pipe.RuleSet(), p4.Action{Type: p4.ActionDigest}); err != nil {
+	if err := ctl.Deploy(context.Background(), pipe.RuleSet(),
+		controller.WithMissAction(p4.Action{Type: p4.ActionDigest})); err != nil {
 		return err
 	}
 	fmt.Printf("controller connected to %v, %d rules deployed (key: %s)\n",

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -240,6 +241,14 @@ type Stats struct {
 	Reconnects      int `json:"reconnects"`
 	Reconciles      int `json:"reconciles"`
 	ReplayedEntries int `json:"replayed_entries"`
+	// DeltaApplies counts epoch advances installed as incremental deltas
+	// (vs full program swaps); DeltaFallbacks counts delta pushes a
+	// switch rejected (old peer, base mismatch) that converged via the
+	// full-swap fallback instead. CompressedRules counts rules removed by
+	// the most recent deploy's compression pass, summed across shards.
+	DeltaApplies    int `json:"delta_applies"`
+	DeltaFallbacks  int `json:"delta_fallbacks"`
+	CompressedRules int `json:"compressed_rules"`
 }
 
 // String renders the stats in the key=value form p4guard-ctl prints.
@@ -256,6 +265,12 @@ type desired struct {
 	valid  bool
 	epoch  uint64
 	shards []p4rt.Program
+	// deltas[i], when non-nil, is the incremental edit that advances a
+	// switch holding shard i's epoch-1 program to this epoch without a
+	// full table swap (and without wiping its reactive entries). Only
+	// minted by Deploy(WithDeltaOnly) when the previous epoch's shard
+	// program is a valid, worthwhile delta base.
+	deltas []*p4rt.DeltaMsg
 	// at is when the epoch was minted; the reconciler measures epoch
 	// propagation latency (deploy → applied on a given switch) against it.
 	at time.Time
@@ -356,6 +371,10 @@ type swConn struct {
 	opMu     sync.Mutex
 	client   *p4rt.Client // nil while down
 	reactive []p4rt.WireEntry
+	// noDelta marks a peer that rejected the delta message type (an old
+	// switch); the reconciler stops offering deltas to it. Guarded by
+	// opMu; reset on redial, since the peer may have been upgraded.
+	noDelta bool
 
 	// Watermarks are written under opMu but read lock-free by status
 	// snapshots, so a slow reconcile never blocks FleetStatus.
@@ -646,9 +665,11 @@ func (c *Controller) redial(sc *swConn) (*p4rt.Client, error) {
 		if err == nil {
 			sc.opMu.Lock()
 			sc.client = cl
-			// The peer may be a fresh process: assume nothing survived.
+			// The peer may be a fresh process: assume nothing survived,
+			// and re-probe delta support (it may have been upgraded).
 			sc.appliedEpoch.Store(0)
 			sc.appliedReactive.Store(0)
+			sc.noDelta = false
 			rerr := c.reconcileLocked(c.ctx, sc)
 			if rerr != nil {
 				sc.client = nil
@@ -690,6 +711,15 @@ func (d desired) shardProgram(shard int) p4rt.Program {
 	return d.shards[shard%len(d.shards)]
 }
 
+// shardDelta picks the shard's incremental edit from epoch-1 to this
+// epoch, nil when only a full swap can converge the switch.
+func (d desired) shardDelta(shard int) *p4rt.DeltaMsg {
+	if len(d.deltas) == 0 {
+		return nil
+	}
+	return d.deltas[shard%len(d.deltas)]
+}
+
 // reconcileLocked replays the desired state the switch is missing: its
 // shard's current program when the switch's epoch is stale (which wipes
 // the table, so all reactive entries follow), otherwise just the
@@ -702,17 +732,42 @@ func (c *Controller) reconcileLocked(ctx context.Context, sc *swConn) error {
 
 	cl := sc.client
 	replayedProg := false
+	deltaApplied := false
 	var replayedEntries int
 	if want.valid && sc.appliedEpoch.Load() < want.epoch {
-		if _, err := cl.ProgramDetector(ctx, want.shardProgram(sc.shard)); err != nil {
-			return fmt.Errorf("reconcile %s: program epoch %d shard %d: %w", sc.addr, want.epoch, sc.shard, err)
+		// A switch exactly one epoch behind can advance with the deploy's
+		// precomputed delta: no full table swap, reactive entries and
+		// surviving counters stay live. Anything else — older epochs, a
+		// peer that rejected the delta message type, a base-signature
+		// mismatch on the switch — converges via the full program swap.
+		if d := want.shardDelta(sc.shard); d != nil && !sc.noDelta &&
+			sc.appliedEpoch.Load() == want.epoch-1 {
+			if _, err := cl.ProgramDelta(ctx, *d); err == nil {
+				deltaApplied = true
+				c.bumpStat(func(s *Stats) { s.DeltaApplies++ })
+			} else if errors.Is(err, p4rt.ErrRejected) {
+				// Old peers reject the unknown message type permanently;
+				// a base mismatch is per-epoch. Either way this epoch
+				// falls back to the full swap below.
+				if re := (*p4rt.RejectError)(nil); errors.As(err, &re) && strings.Contains(re.Reason, "unknown message type") {
+					sc.noDelta = true
+				}
+				c.bumpStat(func(s *Stats) { s.DeltaFallbacks++ })
+			} else {
+				return fmt.Errorf("reconcile %s: delta epoch %d shard %d: %w", sc.addr, want.epoch, sc.shard, err)
+			}
+		}
+		if !deltaApplied {
+			if _, err := cl.ProgramDetector(ctx, want.shardProgram(sc.shard)); err != nil {
+				return fmt.Errorf("reconcile %s: program epoch %d shard %d: %w", sc.addr, want.epoch, sc.shard, err)
+			}
+			sc.appliedReactive.Store(0) // Program replaced the table: replay all
+			replayedProg = true
 		}
 		sc.appliedEpoch.Store(want.epoch)
 		if !want.at.IsZero() {
 			sc.epochLatencyNs.Store(time.Since(want.at).Nanoseconds())
 		}
-		sc.appliedReactive.Store(0) // Program replaced the table: replay all
-		replayedProg = true
 	}
 	for int(sc.appliedReactive.Load()) < len(sc.reactive) {
 		e := sc.reactive[sc.appliedReactive.Load()]
@@ -958,21 +1013,76 @@ func (c *Controller) handleDigest(sc *swConn, wp p4rt.WirePacket, arrived time.T
 	}
 }
 
-// DeployRuleSet partitions the compiled rules into per-shard sets
-// (PlanShards under the configured policy), records them as the
-// controller's desired state (bumping the program epoch), and programs
-// every Ready switch with its shard synchronously; missAction is the
-// detector's default (digest to keep the slow path in the loop, or allow
-// to run open-loop). Switches that are Degraded or mid-reconnect are not
-// an error: their supervisors replay the new epoch on reconnect, so the
-// fleet converges to this rule set. The call fails only on a rule set
-// the matcher rejects, a cancelled or expired ctx (typed:
-// context.Canceled / p4rt.ErrTimeout), or when no switch was ever
-// connected.
+// DeployOption customizes a Deploy call.
+type DeployOption func(*deployConfig)
+
+type deployConfig struct {
+	miss      p4.Action
+	compress  int
+	deltaOnly bool
+}
+
+// WithMissAction sets the detector's default action for this deployment:
+// digest keeps the slow path in the loop (the default), allow runs
+// open-loop.
+func WithMissAction(a p4.Action) DeployOption {
+	return func(c *deployConfig) { c.miss = a }
+}
+
+// WithCompression runs the verdict-preserving rules.Compress pass at the
+// given level (see rules.Compress) before sharding, so switches are
+// programmed with the smaller equivalent rule set. Level 0 (the default)
+// deploys the rule set as given.
+func WithCompression(level int) DeployOption {
+	return func(c *deployConfig) { c.compress = level }
+}
+
+// WithDeltaOnly asks Deploy to diff each shard's new program against the
+// previous deployment and record per-shard deltas alongside the full
+// programs. Switches exactly one epoch behind then converge via the
+// delta (preserving live counters and reactive entries); everything else
+// — older switches, pre-delta peers, base-signature mismatches — still
+// converges via the full program, so the option is always safe.
+func WithDeltaOnly() DeployOption {
+	return func(c *deployConfig) { c.deltaOnly = true }
+}
+
+// DeployRuleSet deploys rs with missAction as the detector default.
+//
+// Deprecated: use Deploy with WithMissAction; DeployRuleSet is a
+// compatibility shim over it.
 func (c *Controller) DeployRuleSet(ctx context.Context, rs *rules.RuleSet, missAction p4.Action) error {
+	return c.Deploy(ctx, rs, WithMissAction(missAction))
+}
+
+// Deploy partitions the compiled rules into per-shard sets (PlanShards
+// under the configured policy), records them as the controller's desired
+// state (bumping the program epoch), and programs every Ready switch
+// with its shard synchronously. Switches that are Degraded or
+// mid-reconnect are not an error: their supervisors replay the new epoch
+// on reconnect, so the fleet converges to this rule set. The call fails
+// only on a rule set the matcher or compressor rejects, a cancelled or
+// expired ctx (typed: context.Canceled / p4rt.ErrTimeout), or when no
+// switch was ever connected. Options select the miss action
+// (WithMissAction, default digest), a pre-shard compression pass
+// (WithCompression), and incremental reprogramming (WithDeltaOnly).
+func (c *Controller) Deploy(ctx context.Context, rs *rules.RuleSet, opts ...DeployOption) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	dc := deployConfig{miss: p4.Action{Type: p4.ActionDigest}}
+	for _, o := range opts {
+		o(&dc)
+	}
+	if dc.compress > 0 {
+		crs, cstats, err := rules.Compress(rs, dc.compress)
+		if err != nil {
+			return fmt.Errorf("controller: compress: %w", err)
+		}
+		rs = crs
+		c.bumpStat(func(s *Stats) { s.CompressedRules += cstats.Removed() })
+	}
+	missAction := dc.miss
 	// Compile every shard first: a rule set the unified matcher rejects
 	// must never reach a switch, and the compiled mirrors are what the
 	// reactive path consults for per-switch deployed coverage.
@@ -1003,14 +1113,49 @@ func (c *Controller) DeployRuleSet(ctx context.Context, rs *rules.RuleSet, missA
 			progs[i].TraceID, progs[i].SpanID = uint64(rctx.Trace), uint64(rctx.Span)
 		}
 	}
+	// Delta minting diffs each shard against the previous desired
+	// program. The diff is O(entries), so it runs outside c.mu; the
+	// install section below re-checks that no concurrent deploy moved
+	// the epoch in between and drops the deltas if one did (they would
+	// describe the wrong base program).
+	var deltas []*p4rt.DeltaMsg
+	var deltaBase uint64
+	if dc.deltaOnly {
+		c.mu.Lock()
+		prevValid := c.desired.valid && len(c.desired.shards) == len(progs)
+		prevShards := c.desired.shards
+		deltaBase = c.desired.epoch
+		c.mu.Unlock()
+		if prevValid {
+			deltas = make([]*p4rt.DeltaMsg, len(progs))
+			minted := false
+			for i := range progs {
+				d, ok := p4rt.DeltaFromPrograms(prevShards[i], progs[i])
+				// A delta carrying more edits than half the program
+				// saves nothing over a full swap; ship it wholesale.
+				if ok && d.Size()*2 <= len(progs[i].Entries)+1 {
+					d.TraceID, d.SpanID = progs[i].TraceID, progs[i].SpanID
+					deltas[i] = &d
+					minted = true
+				}
+			}
+			if !minted {
+				deltas = nil
+			}
+		}
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return fmt.Errorf("controller: closed")
 	}
+	if deltas != nil && c.desired.epoch != deltaBase {
+		deltas = nil
+	}
 	c.desired.valid = true
 	c.desired.epoch++
 	c.desired.shards = progs
+	c.desired.deltas = deltas
 	c.desired.at = time.Now()
 	epoch := c.desired.epoch
 	conns := append([]*swConn(nil), c.fleet...)
@@ -1060,13 +1205,20 @@ func (c *Controller) DeployRuleSet(ctx context.Context, rs *rules.RuleSet, missA
 		s.DeployedRules = total
 	})
 	if fr := c.cfg.FlightRecorder; fr != nil {
+		nd := 0
+		for _, d := range deltas {
+			if d != nil {
+				nd++
+			}
+		}
 		fr.Record("deploy", map[string]any{
-			"rules":    total,
-			"epoch":    epoch,
-			"shards":   len(progs),
-			"switches": len(conns),
-			"applied":  applied,
-			"dur_ns":   fr.Now().Nanoseconds() - start,
+			"rules":        total,
+			"epoch":        epoch,
+			"shards":       len(progs),
+			"delta_shards": nd,
+			"switches":     len(conns),
+			"applied":      applied,
+			"dur_ns":       fr.Now().Nanoseconds() - start,
 		})
 	}
 	root.SetAttr("epoch", fmt.Sprintf("%d", epoch))
@@ -1114,6 +1266,12 @@ func (c *Controller) RegisterTelemetry(reg *telemetry.Registry) {
 		stat(func(s Stats) int { return s.Reconciles }), ctl)
 	reg.CounterFunc("p4guard_ctl_replayed_entries_total", "Reactive entries re-installed by reconciliation.",
 		stat(func(s Stats) int { return s.ReplayedEntries }), ctl)
+	reg.CounterFunc("p4guard_ctl_delta_applies_total", "Epoch advances applied as incremental deltas.",
+		stat(func(s Stats) int { return s.DeltaApplies }), ctl)
+	reg.CounterFunc("p4guard_ctl_delta_fallbacks_total", "Delta pushes rejected and retried as full programs.",
+		stat(func(s Stats) int { return s.DeltaFallbacks }), ctl)
+	reg.CounterFunc("p4guard_ctl_compressed_rules_total", "Rules eliminated by deploy-time compression.",
+		stat(func(s Stats) int { return s.CompressedRules }), ctl)
 	reg.CollectFunc("p4guard_ctl_conn_state", "Per-switch connection state (one-hot).", "gauge",
 		func(emit func([]telemetry.Label, float64)) {
 			for addr, st := range c.States() {

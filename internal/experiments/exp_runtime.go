@@ -211,7 +211,8 @@ func reactivePass(cfg Config, train, test *trace.Dataset, budget int) ([]string,
 	if err := ctl.Connect(context.Background(), srv.Addr()); err != nil {
 		return nil, err
 	}
-	if err := ctl.DeployRuleSet(context.Background(), pipe.RuleSet(), p4.Action{Type: p4.ActionDigest}); err != nil {
+	if err := ctl.Deploy(context.Background(), pipe.RuleSet(),
+		controller.WithMissAction(p4.Action{Type: p4.ActionDigest})); err != nil {
 		return nil, err
 	}
 	_, entries := pipe.TableCost()

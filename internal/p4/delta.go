@@ -1,0 +1,393 @@
+package p4
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Incremental reprogramming. A Delta edits the canonical programmed
+// entry list (Table.Replace's wire-order list) in place: deletions and
+// priority moves address base entries by canonical index, adds and
+// moves carry the index (Order) they occupy in the resulting program.
+// Surviving entries fill the remaining slots in base order, so applying
+// a delta reproduces exactly the program a full Replace of the new
+// entry list would install — while sharing every surviving entry
+// (counters included), preserving reactive Inserts, and updating only
+// the ternary-store partitions the delta touches.
+//
+// A delta names its base with (BaseCount, BaseHash); Apply refuses a
+// delta whose base does not match the installed program (ErrDeltaBase),
+// which is the signal for the control plane to fall back to a full
+// swap.
+
+// ErrDeltaBase reports a delta aimed at a different base program than
+// the one installed.
+var ErrDeltaBase = errors.New("delta base mismatch")
+
+// DeltaMove reprioritizes one base entry: the entry at canonical index
+// Base is re-created with Priority at index Order of the new program.
+// (The re-created entry gets a fresh ID and fresh counters; a move is
+// a delete+add that happens to reuse the match fields.)
+type DeltaMove struct {
+	Base     int
+	Priority int
+	Order    int
+}
+
+// DeltaAdd inserts a new entry at canonical index Order of the new
+// program.
+type DeltaAdd struct {
+	Entry Entry
+	Order int
+}
+
+// Delta is an incremental edit of a table's canonical program.
+type Delta struct {
+	// BaseCount and BaseHash identify the program the delta was computed
+	// against (see Table.ProgramSignature). BaseHash 0 skips the hash
+	// check (count is always checked).
+	BaseCount int
+	BaseHash  uint64
+
+	Deletes []int
+	Moves   []DeltaMove
+	Adds    []DeltaAdd
+}
+
+// Size is the number of edit operations the delta carries.
+func (d *Delta) Size() int { return len(d.Deletes) + len(d.Moves) + len(d.Adds) }
+
+// Empty reports a no-op delta.
+func (d *Delta) Empty() bool { return d.Size() == 0 }
+
+// NewCount is the entry count of the program the delta produces.
+func (d *Delta) NewCount() int { return d.BaseCount - len(d.Deletes) + len(d.Adds) }
+
+// HashEntry hashes one entry's match fields (ID and counters excluded)
+// with FNV-1a. Program signatures XOR per-entry hashes, so they are
+// order-independent and incrementally maintainable: controller and
+// switch compute identical signatures for identical entry multisets
+// without exchanging the entries.
+func HashEntry(e *Entry) uint64 {
+	h := fnv.New64a()
+	var num [8]byte
+	binary.BigEndian.PutUint64(num[:], uint64(int64(e.Priority)))
+	h.Write(num[:])
+	binary.BigEndian.PutUint64(num[:], uint64(int64(e.PrefixLen)))
+	h.Write(num[:])
+	binary.BigEndian.PutUint64(num[:], uint64(int64(e.Action.Type)))
+	h.Write(num[:])
+	binary.BigEndian.PutUint64(num[:], uint64(int64(e.Action.Class)))
+	h.Write(num[:])
+	for _, b := range [][]byte{e.Value, e.Mask, e.Lo, e.Hi} {
+		binary.BigEndian.PutUint64(num[:], uint64(len(b)))
+		h.Write(num[:])
+		h.Write(b)
+	}
+	return h.Sum64()
+}
+
+// HashEntries is the order-independent signature of an entry list: the
+// XOR of every entry's HashEntry.
+func HashEntries(entries []Entry) uint64 {
+	var h uint64
+	for i := range entries {
+		h ^= HashEntry(&entries[i])
+	}
+	return h
+}
+
+// matchFieldsKey is an entry's identity for delta matching: every match
+// field except priority (so a priority change pairs up as a move).
+func matchFieldsKey(e *Entry) string {
+	b := make([]byte, 0, 24+len(e.Value)+len(e.Mask)+len(e.Lo)+len(e.Hi))
+	var num [8]byte
+	binary.BigEndian.PutUint64(num[:], uint64(int64(e.PrefixLen)))
+	b = append(b, num[:]...)
+	b = append(b, byte(e.Action.Type))
+	binary.BigEndian.PutUint64(num[:], uint64(int64(e.Action.Class)))
+	b = append(b, num[:]...)
+	for _, f := range [][]byte{e.Value, e.Mask, e.Lo, e.Hi} {
+		binary.BigEndian.PutUint64(num[:], uint64(len(f)))
+		b = append(b, num[:]...)
+		b = append(b, f...)
+	}
+	return string(b)
+}
+
+// ComputeDelta diffs two canonical programs, pairing entries by match
+// fields. ok is false when the diff cannot be expressed as a valid
+// delta — duplicate match fields on either side, or surviving entries
+// whose relative order changed — in which case the caller must fall
+// back to a full Replace. An ok delta applied to old yields a program
+// entry-for-entry identical to new (IDs aside).
+func ComputeDelta(old, new []Entry) (Delta, bool) {
+	d := Delta{BaseCount: len(old), BaseHash: HashEntries(old)}
+	oldIdx := make(map[string]int, len(old))
+	for i := range old {
+		k := matchFieldsKey(&old[i])
+		if _, dup := oldIdx[k]; dup {
+			return Delta{}, false
+		}
+		oldIdx[k] = i
+	}
+	matched := make([]bool, len(old))
+	// Surviving (unmoved) pairs must keep their relative base order —
+	// the splice places survivors in base order, so a reordering diff
+	// cannot round-trip.
+	lastSurvivor := -1
+	seenNew := make(map[string]bool, len(new))
+	for ni := range new {
+		k := matchFieldsKey(&new[ni])
+		if seenNew[k] {
+			return Delta{}, false
+		}
+		seenNew[k] = true
+		oi, found := oldIdx[k]
+		if !found {
+			d.Adds = append(d.Adds, DeltaAdd{Entry: new[ni], Order: ni})
+			continue
+		}
+		matched[oi] = true
+		if old[oi].Priority != new[ni].Priority {
+			d.Moves = append(d.Moves, DeltaMove{Base: oi, Priority: new[ni].Priority, Order: ni})
+			continue
+		}
+		if oi < lastSurvivor {
+			return Delta{}, false
+		}
+		lastSurvivor = oi
+	}
+	for i := range old {
+		if !matched[i] {
+			d.Deletes = append(d.Deletes, i)
+		}
+	}
+	return d, true
+}
+
+// Apply edits the canonical program incrementally and atomically: the
+// new lookup generation is published in one store, with surviving
+// entries (and their counters), reactive Inserts, and — for ternary
+// tables — every untouched store partition shared with the previous
+// generation. On any error the table is unchanged.
+//
+// For ternary tables the cost is O(survivors) pointer moves plus
+// O(edits · trie depth) index work; no O(n log n) re-sort and no full
+// index rebuild. Other kinds apply the same program edit but rebuild
+// their index (range tables must recompile the bitset index), so the
+// win there is wire- and validation-level only.
+func (t *Table) Apply(d Delta) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	if d.BaseCount != len(t.prog) {
+		return fmt.Errorf("table %s: base count %d != installed %d: %w",
+			t.Name, d.BaseCount, len(t.prog), ErrDeltaBase)
+	}
+	if d.BaseHash != 0 && d.BaseHash != t.progHash {
+		return fmt.Errorf("table %s: base hash %#x != installed %#x: %w",
+			t.Name, d.BaseHash, t.progHash, ErrDeltaBase)
+	}
+	newCount := d.NewCount()
+	if newCount < 0 {
+		return fmt.Errorf("table %s: delta deletes more than base: %w", t.Name, ErrBadEntry)
+	}
+	if t.MaxEntries > 0 && newCount+len(t.inserted) > t.MaxEntries {
+		return fmt.Errorf("table %s (%d entries): %w", t.Name, newCount+len(t.inserted), ErrTableFull)
+	}
+	w := t.width()
+	for i := range d.Adds {
+		if err := t.validate(&d.Adds[i].Entry, w); err != nil {
+			return fmt.Errorf("table %s: add %d: %w", t.Name, i, err)
+		}
+	}
+	// Removed base slots (deletes + move sources) must be unique and in
+	// range; target orders must be unique and in range. A dense bitmap
+	// beats a map here: the splice and removed-entry sweeps below probe
+	// it once per base slot.
+	removed := make([]bool, d.BaseCount)
+	for _, i := range d.Deletes {
+		if i < 0 || i >= d.BaseCount || removed[i] {
+			return fmt.Errorf("table %s: delete index %d: %w", t.Name, i, ErrBadEntry)
+		}
+		removed[i] = true
+	}
+	for _, m := range d.Moves {
+		if m.Base < 0 || m.Base >= d.BaseCount || removed[m.Base] {
+			return fmt.Errorf("table %s: move base %d: %w", t.Name, m.Base, ErrBadEntry)
+		}
+		removed[m.Base] = true
+	}
+	// Newcomers (moves + adds) in target order, so IDs are assigned in
+	// canonical order and priority ties resolve exactly as a full
+	// Replace of the new program would.
+	type newcomer struct {
+		e     *Entry
+		order int
+	}
+	newcomers := make([]newcomer, 0, len(d.Moves)+len(d.Adds))
+	for _, m := range d.Moves {
+		// Field-by-field copy: a whole-struct copy would read the live
+		// atomic counters non-atomically under concurrent forwarding.
+		src := t.prog[m.Base]
+		cp := Entry{
+			Priority: m.Priority,
+			Value:    src.Value, Mask: src.Mask, PrefixLen: src.PrefixLen,
+			Lo: src.Lo, Hi: src.Hi, Action: src.Action,
+		}
+		newcomers = append(newcomers, newcomer{e: &cp, order: m.Order})
+	}
+	for i := range d.Adds {
+		cp := d.Adds[i].Entry
+		newcomers = append(newcomers, newcomer{e: &cp, order: d.Adds[i].Order})
+	}
+	sort.Slice(newcomers, func(i, j int) bool { return newcomers[i].order < newcomers[j].order })
+
+	// Splice: newcomers claim their target slots, survivors fill the
+	// rest in base order.
+	newProg := make([]*Entry, newCount)
+	for i := range newcomers {
+		o := newcomers[i].order
+		if o < 0 || o >= newCount || newProg[o] != nil {
+			return fmt.Errorf("table %s: order %d: %w", t.Name, o, ErrBadEntry)
+		}
+		t.nextID++
+		newcomers[i].e.ID = t.nextID
+		newProg[o] = newcomers[i].e
+	}
+	si := 0
+	removedEntries := make([]*Entry, 0, len(d.Deletes)+len(d.Moves))
+	for i := 0; i < newCount; i++ {
+		if newProg[i] != nil {
+			continue
+		}
+		for si < len(t.prog) && removed[si] {
+			si++
+		}
+		if si >= len(t.prog) {
+			return fmt.Errorf("table %s: delta survivor underflow: %w", t.Name, ErrBadEntry)
+		}
+		newProg[i] = t.prog[si]
+		si++
+	}
+	for i, e := range t.prog {
+		if removed[i] {
+			removedEntries = append(removedEntries, e)
+		}
+	}
+
+	// Newcomers get canonical-order keys interleaving exactly as a full
+	// Replace of the new program would order them: each maximal run of
+	// newcomers divides the ord gap between its surviving neighbours
+	// evenly. Survivor ords are immutable and base-ordered, so they are
+	// strictly increasing across newProg already, and because newcomers
+	// is sorted by target order, each maximal run of consecutive orders
+	// is exactly one gap to split — O(edits), never a walk over the
+	// whole program. A gap too narrow to split (dozens of deltas stacked
+	// between the same two survivors with no intervening Replace to
+	// re-gap the space) is refused as a base problem; the caller falls
+	// back to a full swap.
+	for i := 0; i < len(newcomers); {
+		j := i
+		for j+1 < len(newcomers) && newcomers[j+1].order == newcomers[j].order+1 {
+			j++
+		}
+		start, end := newcomers[i].order, newcomers[j].order
+		left := uint64(0)
+		if start > 0 {
+			left = newProg[start-1].ord
+		}
+		right := insertedOrdBase
+		if end+1 < newCount {
+			right = newProg[end+1].ord
+		}
+		step := (right - left) / uint64(j-i+2)
+		if step == 0 {
+			return fmt.Errorf("table %s: canonical order space exhausted; full replace required: %w",
+				t.Name, ErrDeltaBase)
+		}
+		for k := i; k <= j; k++ {
+			left += step
+			newProg[newcomers[k].order].ord = left
+		}
+		i = j + 1
+	}
+
+	// Commit: incremental hash, then the index. Ternary tables get the
+	// incremental merge + partition-sharing path; everything else
+	// reindexes from scratch.
+	hash := t.progHash
+	for _, e := range removedEntries {
+		hash ^= HashEntry(e)
+	}
+	for i := range newcomers {
+		hash ^= HashEntry(newcomers[i].e)
+	}
+	prev := t.state.Load()
+	t.prog = newProg
+	t.progHash = hash
+	if t.Kind == MatchTernary {
+		added := make([]*Entry, len(newcomers))
+		for i := range newcomers {
+			added[i] = newcomers[i].e
+		}
+		t.publishTernaryDelta(prev, removedEntries, added)
+	} else {
+		t.reindex()
+	}
+	return nil
+}
+
+// publishTernaryDelta builds the next ternary generation from the
+// previous one: the sorted entry list is a linear merge (survivors keep
+// their order; newcomers are merge-inserted by canonical rank) and the
+// store is the previous store with only the touched partitions
+// replaced. Callers hold t.mu and have already updated t.prog.
+func (t *Table) publishTernaryDelta(prev *lookupState, removedEntries, added []*Entry) {
+	// One sweep over the previous sorted order does both edits: removed
+	// entries are dropped with a two-pointer match (both lists are in
+	// canonical match order and (priority, ord) is unique per entry, so
+	// no hashing is needed) and newcomers land at pre-computed insertion
+	// indexes. Binary-searching each newcomer's rank up front keeps the
+	// million-element sweep free of entry dereferences — it is pointer
+	// compares and pointer copies only, O(edits · log n + n) instead of
+	// O(n) rank comparisons each costing a cache miss.
+	rm := append([]*Entry(nil), removedEntries...)
+	sortByPriority(rm)
+	add := append([]*Entry(nil), added...)
+	sortByPriority(add)
+	inspos := make([]int, len(add))
+	for k, a := range add {
+		inspos[k] = sort.Search(len(prev.entries), func(i int) bool { return beats(a, prev.entries[i]) })
+	}
+	merged := make([]*Entry, 0, len(prev.entries)-len(rm)+len(add))
+	ri, j := 0, 0
+	for i, e := range prev.entries {
+		for j < len(add) && inspos[j] == i {
+			merged = append(merged, add[j])
+			j++
+		}
+		if ri < len(rm) && rm[ri] == e {
+			ri++
+			continue
+		}
+		merged = append(merged, e)
+	}
+	merged = append(merged, add[j:]...)
+
+	ts := prev.tstore.edit(removedEntries, added)
+
+	st := &lookupState{
+		kind:    t.Kind,
+		key:     t.Key,
+		width:   t.width(),
+		def:     t.DefaultAction,
+		entries: merged,
+		tstore:  ts,
+	}
+	t.state.Store(st)
+}

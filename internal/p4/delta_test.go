@@ -1,0 +1,447 @@
+package p4
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func key2() []FieldSpec {
+	return []FieldSpec{
+		{Name: "b0", Offset: 0, Width: 1},
+		{Name: "b1", Offset: 1, Width: 1},
+	}
+}
+
+// randTernaryProgram builds a duplicate-free ternary program over a
+// 2-byte key: a small mask pool forces partition reuse, a small
+// priority range forces ties resolved by canonical order.
+func randTernaryProgram(rng *rand.Rand, n int) []Entry {
+	masks := [][]byte{
+		{0xff, 0xff}, {0xff, 0x00}, {0xf0, 0x00},
+		{0x80, 0x80}, {0x00, 0x00}, {0xc0, 0xff},
+	}
+	seen := make(map[string]bool, n)
+	out := make([]Entry, 0, n)
+	for len(out) < n {
+		m := masks[rng.Intn(len(masks))]
+		v := []byte{byte(rng.Intn(256)) & m[0], byte(rng.Intn(256)) & m[1]}
+		k := string(v) + "|" + string(m)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, Entry{
+			Priority: rng.Intn(6),
+			Value:    v,
+			Mask:     append([]byte(nil), m...),
+			Action:   Action{Type: ActionDrop, Class: 1 + rng.Intn(5)},
+		})
+	}
+	return out
+}
+
+// mutateProgram derives an edited program: deletions, priority moves,
+// and insertions at random positions, keeping survivors in base order
+// so ComputeDelta always succeeds.
+func mutateProgram(rng *rand.Rand, old []Entry) []Entry {
+	seen := make(map[string]bool, len(old))
+	for i := range old {
+		seen[string(old[i].Value)+"|"+string(old[i].Mask)] = true
+	}
+	out := make([]Entry, 0, len(old))
+	for _, e := range old {
+		switch rng.Intn(10) {
+		case 0: // delete
+		case 1, 2: // move
+			e.Priority = rng.Intn(6)
+			out = append(out, e)
+		default:
+			out = append(out, e)
+		}
+	}
+	for _, a := range randTernaryProgram(rng, 4) {
+		k := string(a.Value) + "|" + string(a.Mask)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		pos := rng.Intn(len(out) + 1)
+		out = append(out[:pos], append([]Entry{a}, out[pos:]...)...)
+	}
+	return out
+}
+
+func ternaryCorpus(rng *rand.Rand, n int) [][]byte {
+	frames := make([][]byte, n)
+	for i := range frames {
+		frames[i] = []byte{byte(rng.Intn(256)), byte(rng.Intn(256))}
+	}
+	return frames
+}
+
+func zeroID(e Entry) Entry {
+	e.ID = 0
+	return e
+}
+
+func entriesEqualIgnoringID(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if fmt.Sprintf("%+v", zeroID(a[i])) != fmt.Sprintf("%+v", zeroID(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestApplyMatchesReplace is the delta round-trip property: for random
+// base programs and random edits, Apply(ComputeDelta(old, new)) must
+// leave the table in exactly the state Replace(new) would — same wire
+// program (IDs aside), same signature hash, same verdict for every key
+// against both the indexed lookup and the linear oracle.
+func TestApplyMatchesReplace(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		oldP := randTernaryProgram(rng, 20+rng.Intn(30))
+		newP := mutateProgram(rng, oldP)
+
+		d, ok := ComputeDelta(oldP, newP)
+		if !ok {
+			t.Fatalf("seed %d: ComputeDelta failed on an order-preserving edit", seed)
+		}
+
+		tblA := NewTable("a", MatchTernary, key2(), 0, Action{Type: ActionAllow})
+		if err := tblA.Replace(oldP); err != nil {
+			t.Fatal(err)
+		}
+		if err := tblA.Apply(d); err != nil {
+			t.Fatalf("seed %d: apply: %v", seed, err)
+		}
+		tblB := NewTable("b", MatchTernary, key2(), 0, Action{Type: ActionAllow})
+		if err := tblB.Replace(newP); err != nil {
+			t.Fatal(err)
+		}
+
+		if !entriesEqualIgnoringID(tblA.ProgramEntries(), tblB.ProgramEntries()) {
+			t.Fatalf("seed %d: delta-applied program differs from Replace(new)", seed)
+		}
+		ca, ha := tblA.ProgramSignature()
+		cb, hb := tblB.ProgramSignature()
+		if ca != cb || ha != hb {
+			t.Fatalf("seed %d: signatures differ: (%d,%#x) vs (%d,%#x)", seed, ca, ha, cb, hb)
+		}
+		for _, frame := range ternaryCorpus(rng, 200) {
+			aa, am := tblA.Lookup(frame)
+			ba, bm := tblB.Lookup(frame)
+			if aa != ba || am != bm {
+				t.Fatalf("seed %d: frame %v: delta table (%v,%v) != replace table (%v,%v)",
+					seed, frame, aa, am, ba, bm)
+			}
+			oa, om := tblA.LookupOracle(frame)
+			if oa != aa || om != am {
+				t.Fatalf("seed %d: frame %v: lookup (%v,%v) != oracle (%v,%v)",
+					seed, frame, aa, am, oa, om)
+			}
+		}
+	}
+}
+
+func TestApplyBaseMismatch(t *testing.T) {
+	prog := []Entry{
+		{Priority: 1, Value: []byte{1, 0}, Mask: []byte{0xff, 0x00}, Action: Action{Type: ActionDrop, Class: 1}},
+		{Priority: 2, Value: []byte{2, 0}, Mask: []byte{0xff, 0x00}, Action: Action{Type: ActionDrop, Class: 2}},
+	}
+	tbl := NewTable("det", MatchTernary, key2(), 0, Action{Type: ActionAllow})
+	if err := tbl.Replace(prog); err != nil {
+		t.Fatal(err)
+	}
+	before := tbl.ProgramEntries()
+
+	if err := tbl.Apply(Delta{BaseCount: 7}); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("count mismatch: err = %v, want ErrDeltaBase", err)
+	}
+	_, hash := tbl.ProgramSignature()
+	if err := tbl.Apply(Delta{BaseCount: 2, BaseHash: hash ^ 1, Deletes: []int{0}}); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("hash mismatch: err = %v, want ErrDeltaBase", err)
+	}
+	// Zero BaseHash skips the hash check.
+	if err := tbl.Apply(Delta{BaseCount: 2, Deletes: []int{1}}); err != nil {
+		t.Fatalf("unhashed delta: %v", err)
+	}
+	if got := tbl.ProgramEntries(); len(got) != 1 || got[0].Value[0] != before[0].Value[0] {
+		t.Fatalf("delete left %+v", got)
+	}
+}
+
+func TestApplyAtomicOnError(t *testing.T) {
+	prog := []Entry{
+		{Priority: 1, Value: []byte{1, 0}, Mask: []byte{0xff, 0x00}, Action: Action{Type: ActionDrop, Class: 1}},
+		{Priority: 2, Value: []byte{2, 0}, Mask: []byte{0xff, 0x00}, Action: Action{Type: ActionDrop, Class: 2}},
+	}
+	tbl := NewTable("det", MatchTernary, key2(), 0, Action{Type: ActionAllow})
+	if err := tbl.Replace(prog); err != nil {
+		t.Fatal(err)
+	}
+	before := tbl.ProgramEntries()
+	_, beforeHash := tbl.ProgramSignature()
+
+	bad := []Delta{
+		{BaseCount: 2, Deletes: []int{5}},                                                                // delete out of range
+		{BaseCount: 2, Deletes: []int{0, 0}},                                                             // duplicate removal
+		{BaseCount: 2, Moves: []DeltaMove{{Base: 0, Priority: 9, Order: 7}}},                             // order out of range
+		{BaseCount: 2, Adds: []DeltaAdd{{Entry: Entry{Value: []byte{1}, Mask: []byte{0xff}}, Order: 2}}}, // bad width
+		{BaseCount: 2, Adds: []DeltaAdd{ // colliding orders
+			{Entry: Entry{Value: []byte{9, 0}, Mask: []byte{0xff, 0x00}, Action: Action{Type: ActionDrop}}, Order: 2},
+			{Entry: Entry{Value: []byte{8, 0}, Mask: []byte{0xff, 0x00}, Action: Action{Type: ActionDrop}}, Order: 2},
+		}},
+	}
+	for i, d := range bad {
+		if err := tbl.Apply(d); err == nil {
+			t.Fatalf("bad delta %d applied", i)
+		}
+		if !entriesEqualIgnoringID(tbl.ProgramEntries(), before) {
+			t.Fatalf("bad delta %d mutated the table", i)
+		}
+		if _, h := tbl.ProgramSignature(); h != beforeHash {
+			t.Fatalf("bad delta %d changed the signature", i)
+		}
+	}
+}
+
+// TestApplyPreservesCountersAndInserted: a delta touches only what it
+// names — surviving programmed entries keep their IDs and live hit
+// counters, and reactive Inserts stay installed (unlike Replace, which
+// wipes them).
+func TestApplyPreservesCountersAndInserted(t *testing.T) {
+	prog := []Entry{
+		{Priority: 5, Value: []byte{1, 0}, Mask: []byte{0xff, 0x00}, Action: Action{Type: ActionDrop, Class: 1}},
+		{Priority: 4, Value: []byte{2, 0}, Mask: []byte{0xff, 0x00}, Action: Action{Type: ActionDrop, Class: 2}},
+	}
+	tbl := NewTable("det", MatchTernary, key2(), 0, Action{Type: ActionAllow})
+	if err := tbl.Replace(prog); err != nil {
+		t.Fatal(err)
+	}
+	survivorID := tbl.ProgramEntries()[0].ID
+	reactiveID, err := tbl.Insert(Entry{Priority: 9, Value: []byte{7, 7}, Mask: []byte{0xff, 0xff},
+		Action: Action{Type: ActionDrop, Class: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		tbl.Lookup([]byte{1, 0}) // bump the survivor's counter
+	}
+
+	d := Delta{
+		BaseCount: 2,
+		BaseHash:  HashEntries(prog),
+		Deletes:   []int{1},
+		Adds: []DeltaAdd{{Entry: Entry{Priority: 3, Value: []byte{3, 0}, Mask: []byte{0xff, 0x00},
+			Action: Action{Type: ActionDrop, Class: 3}}, Order: 1}},
+	}
+	if err := tbl.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := tbl.EntryHits(survivorID)
+	if err != nil || hits != 3 {
+		t.Fatalf("survivor hits = %d, err = %v, want 3 kept across Apply", hits, err)
+	}
+	if _, err := tbl.EntryHits(reactiveID); err != nil {
+		t.Fatalf("reactive entry lost by Apply: %v", err)
+	}
+	if act, _ := tbl.Lookup([]byte{7, 7}); act.Class != 9 {
+		t.Fatalf("reactive entry not matching after Apply: %+v", act)
+	}
+	// Replace wipes reactive state; Apply must not have.
+	if err := tbl.Replace(prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.EntryHits(reactiveID); err == nil {
+		t.Fatal("Replace kept a reactive entry")
+	}
+}
+
+func TestComputeDeltaBails(t *testing.T) {
+	mk := func(v byte, prio int) Entry {
+		return Entry{Priority: prio, Value: []byte{v, 0}, Mask: []byte{0xff, 0x00},
+			Action: Action{Type: ActionDrop, Class: 1}}
+	}
+	// Duplicate match keys on either side are ambiguous.
+	if _, ok := ComputeDelta([]Entry{mk(1, 1), mk(1, 2)}, []Entry{mk(2, 1)}); ok {
+		t.Fatal("duplicate old keys accepted")
+	}
+	if _, ok := ComputeDelta([]Entry{mk(2, 1)}, []Entry{mk(1, 1), mk(1, 2)}); ok {
+		t.Fatal("duplicate new keys accepted")
+	}
+	// Survivors that swap relative order cannot be expressed.
+	oldP := []Entry{mk(1, 1), mk(2, 1)}
+	newP := []Entry{mk(2, 1), mk(1, 1)}
+	if _, ok := ComputeDelta(oldP, newP); ok {
+		t.Fatal("survivor reorder accepted")
+	}
+	// The same swap with a priority change is a move, which is fine.
+	newP = []Entry{mk(2, 5), mk(1, 1)}
+	d, ok := ComputeDelta(oldP, newP)
+	if !ok || len(d.Moves) != 1 {
+		t.Fatalf("move-based reorder rejected: ok=%v delta=%+v", ok, d)
+	}
+}
+
+// TestApplyRangeTable covers the non-ternary Apply path (full reindex):
+// the edit semantics are identical even though the index is rebuilt.
+func TestApplyRangeTable(t *testing.T) {
+	mk := func(lo, hi byte, prio, class int) Entry {
+		return Entry{Priority: prio, Lo: []byte{lo, 0}, Hi: []byte{hi, 0xff},
+			Action: Action{Type: ActionDrop, Class: class}}
+	}
+	oldP := []Entry{mk(0, 50, 3, 1), mk(51, 100, 2, 2), mk(101, 200, 1, 3)}
+	newP := []Entry{mk(0, 50, 3, 1), mk(101, 200, 1, 3), mk(201, 250, 1, 4)}
+	d, ok := ComputeDelta(oldP, newP)
+	if !ok {
+		t.Fatal("range delta not computed")
+	}
+	tblA := NewTable("ra", MatchRange, key2(), 0, Action{Type: ActionAllow})
+	if err := tblA.Replace(oldP); err != nil {
+		t.Fatal(err)
+	}
+	if err := tblA.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	tblB := NewTable("rb", MatchRange, key2(), 0, Action{Type: ActionAllow})
+	if err := tblB.Replace(newP); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 256; v++ {
+		frame := []byte{byte(v), 9}
+		aa, am := tblA.Lookup(frame)
+		ba, bm := tblB.Lookup(frame)
+		if aa != ba || am != bm {
+			t.Fatalf("byte %d: delta (%v,%v) != replace (%v,%v)", v, aa, am, ba, bm)
+		}
+	}
+}
+
+// TestTernaryDeltaChurnDifferential hammers a ternary table with
+// concurrent lock-free readers while the writer churns it through
+// Apply deltas, reactive Inserts, and Deletes, asserting after every
+// mutation that the trie-backed Lookup, the linear oracle, and Explain
+// agree on a spread of keys. Run with -race this is the persistent
+// store's publication-safety proof.
+func TestTernaryDeltaChurnDifferential(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(workers) * 97))
+			tbl := NewTable("det", MatchTernary, key2(), 0, Action{Type: ActionAllow})
+			prog := randTernaryProgram(rng, 40)
+			if err := tbl.Replace(prog); err != nil {
+				t.Fatal(err)
+			}
+			frames := ternaryCorpus(rng, 64)
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(seed))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+							tbl.Lookup([]byte{byte(r.Intn(256)), byte(r.Intn(256))})
+						}
+					}
+				}(int64(w + 1))
+			}
+
+			var reactive []uint64
+			for round := 0; round < 60; round++ {
+				switch rng.Intn(4) {
+				case 0:
+					id, err := tbl.Insert(Entry{
+						Priority: rng.Intn(6),
+						Value:    []byte{byte(rng.Intn(256)), byte(rng.Intn(256))},
+						Mask:     []byte{0xff, 0xff},
+						Action:   Action{Type: ActionDrop, Class: 7},
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					reactive = append(reactive, id)
+				case 1:
+					if len(reactive) > 0 {
+						i := rng.Intn(len(reactive))
+						if err := tbl.Delete(reactive[i]); err != nil {
+							t.Fatal(err)
+						}
+						reactive = append(reactive[:i], reactive[i+1:]...)
+					}
+				default:
+					next := mutateProgram(rng, prog)
+					d, ok := ComputeDelta(prog, next)
+					if !ok {
+						t.Fatalf("round %d: delta not computable", round)
+					}
+					if err := tbl.Apply(d); err != nil {
+						t.Fatalf("round %d: apply: %v", round, err)
+					}
+					prog = next
+				}
+				for _, frame := range frames {
+					la, lm := tbl.Lookup(frame)
+					oa, om := tbl.LookupOracle(frame)
+					if la != oa || lm != om {
+						t.Fatalf("round %d frame %v: lookup (%v,%v) != oracle (%v,%v)",
+							round, frame, la, lm, oa, om)
+					}
+				}
+				explainLookupAgree(t, tbl, frames)
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// TestDefineApplyLifecycle covers the split programming API: Define
+// keeps entries across a layout-compatible redefine, wipes them when
+// the layout changes, and the deprecated Program shim remains
+// equivalent to Define+Replace.
+func TestDefineApplyLifecycle(t *testing.T) {
+	tbl := NewTable("det", MatchTernary, key2(), 0, Action{Type: ActionAllow})
+	prog := []Entry{{Priority: 1, Value: []byte{1, 2}, Mask: []byte{0xff, 0xff},
+		Action: Action{Type: ActionDrop, Class: 1}}}
+	if err := tbl.Replace(prog); err != nil {
+		t.Fatal(err)
+	}
+	// Same layout, new default: entries survive.
+	if err := tbl.Define(key2(), Action{Type: ActionDigest}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("compatible Define wiped entries: len=%d", tbl.Len())
+	}
+	if act, matched := tbl.Lookup([]byte{9, 9}); matched || act.Type != ActionDigest {
+		t.Fatalf("new default not in effect: (%v,%v)", act, matched)
+	}
+	// New layout: entries cannot survive a different key shape.
+	if err := tbl.Define(key1(), Action{Type: ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("layout change kept entries: len=%d", tbl.Len())
+	}
+	// Program shim == Define + Replace.
+	if err := tbl.Program(key2(), Action{Type: ActionAllow}, prog); err != nil {
+		t.Fatal(err)
+	}
+	if act, matched := tbl.Lookup([]byte{1, 2}); !matched || act.Class != 1 {
+		t.Fatalf("Program shim: (%v,%v)", act, matched)
+	}
+}

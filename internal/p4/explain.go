@@ -16,8 +16,8 @@ import (
 // counters and never queues digests, so it can be called on live
 // traffic (sampled or on demand) without distorting the accounting the
 // telemetry layer exports. Winner selection replicates each match
-// kind's Lookup algorithm exactly — including the tuple-space-search
-// tie-breaking for ternary tables — so Explain and Lookup can never
+// kind's Lookup algorithm exactly — including the partitioned ternary
+// store's (priority, ID) tie-breaking — so Explain and Lookup can never
 // disagree on the verdict.
 
 // EntryByteExplain compares one key byte against one entry.
@@ -161,25 +161,16 @@ func explainEntry(st *lookupState, key []byte, e *Entry, mo int) EntryExplain {
 
 // winnerEntry replicates Lookup's winner selection on a snapshot,
 // returning the winning entry and its match-order index (-1 on miss).
-// It must stay in lockstep with Table.Lookup — in particular the
-// ternary arm repeats the tuple-space search (group order, first-wins
-// priority ties) rather than a naive priority scan, because the two
-// differ on equal-priority entries in different mask groups.
+// It must stay in lockstep with Table.Lookup — the ternary arm probes
+// the same partitioned trie store with the same (priority, ID)
+// tie-breaking, so Explain and Lookup can never disagree.
 func winnerEntry(st *lookupState, key []byte) (*Entry, int) {
 	var hit *Entry
 	switch st.kind {
 	case MatchExact:
 		hit = st.exact[string(key)]
 	case MatchTernary:
-		masked := make([]byte, len(key))
-		for _, g := range st.tuples {
-			for i, m := range g.mask {
-				masked[i] = key[i] & m
-			}
-			if e, ok := g.byValu[string(masked)]; ok && (hit == nil || e.Priority > hit.Priority) {
-				hit = e
-			}
-		}
+		hit = st.tstore.find(key, make([]byte, len(key)))
 	case MatchLPM:
 		for _, e := range st.entries {
 			if prefixMatch(key, e.Value, e.PrefixLen) {

@@ -21,9 +21,9 @@ import (
 //     function of (lookup state, key) and every cache entry is tagged
 //     with the state generation that produced it;
 //   - cache misses fall through to the kind-specific index — the bitset
-//     range engine batched over the miss set, tuple-space search and LPM
-//     with 64-bit lane compares (match.MaskBytes / match.MaskedEqual)
-//     instead of per-byte loops;
+//     range engine batched over the miss set, the partitioned ternary
+//     trie store and LPM with 64-bit lane compares (match.MaskBytes /
+//     match.MaskedEqual) instead of per-byte loops;
 //   - direct counters are tallied with run-length merging and one pair
 //     of table-level atomic adds per batch instead of three atomic
 //     read-modify-writes per packet;
@@ -379,21 +379,10 @@ func fillKey(dst, frame []byte, specs []FieldSpec) {
 	}
 }
 
-// findTernaryLanes is the tuple-space search with the per-byte masking
-// loop replaced by 64-bit lane masking into the caller's scratch.
+// findTernaryLanes probes the partitioned trie store with the caller's
+// lane-masking scratch — the same walk (and tie-breaking) as Lookup.
 func (st *lookupState) findTernaryLanes(key, masked []byte) *Entry {
-	var hit *Entry
-	for _, g := range st.tuples {
-		match.MaskBytes(masked, key, g.mask)
-		e, ok := g.byValu[string(masked)]
-		if !ok {
-			continue
-		}
-		if hit == nil || e.Priority > hit.Priority {
-			hit = e
-		}
-	}
-	return hit
+	return st.tstore.find(key, masked)
 }
 
 // findLPMLanes is the longest-prefix scan with prefixMatch replaced by a

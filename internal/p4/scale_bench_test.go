@@ -1,0 +1,133 @@
+package p4
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// scaleMaskPool is the benchmark's fixed mask-pattern pool: real rule
+// sets compile to a bounded set of mask shapes regardless of entry
+// count (prefix expansion over a handful of selected offsets), so the
+// partition count saturates while entries grow — the property that
+// makes the partitioned hash store sublinear in entries.
+func scaleMaskPool() [][]byte {
+	pool := make([][]byte, 0, 64)
+	bytes := []byte{0x00, 0x80, 0xc0, 0xf0, 0xff}
+	for _, a := range bytes {
+		for _, b := range bytes {
+			for _, c := range []byte{0x00, 0xff} {
+				pool = append(pool, []byte{a, b, c, 0xff})
+			}
+		}
+	}
+	return pool // 50 patterns
+}
+
+func scaleKey() []FieldSpec {
+	return []FieldSpec{
+		{Name: "b0", Offset: 0, Width: 1},
+		{Name: "b1", Offset: 1, Width: 1},
+		{Name: "b2", Offset: 2, Width: 1},
+		{Name: "b3", Offset: 3, Width: 1},
+	}
+}
+
+func scaleProgram(rng *rand.Rand, n int) []Entry {
+	pool := scaleMaskPool()
+	out := make([]Entry, n)
+	for i := range out {
+		m := pool[rng.Intn(len(pool))]
+		v := make([]byte, 4)
+		rng.Read(v)
+		for j := range v {
+			v[j] &= m[j]
+		}
+		out[i] = Entry{
+			Priority: rng.Intn(1024),
+			Value:    v,
+			Mask:     append([]byte(nil), m...),
+			Action:   Action{Type: ActionDrop, Class: 1 + rng.Intn(7)},
+		}
+	}
+	return out
+}
+
+// BenchmarkTernaryLookup measures single-key lookup latency across four
+// decades of table size. With the fixed mask pool the partition count
+// saturates around 50, so ns/op must stay within a small constant
+// factor from 1k to 1M entries — the CI sublinearity guard
+// (CI_GUARD_SUBLINEAR in scripts/ci.sh) pins 1M <= 4x 1k.
+func BenchmarkTernaryLookup(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(42))
+			tbl := NewTable("det", MatchTernary, scaleKey(), 0, Action{Type: ActionAllow})
+			if err := tbl.Replace(scaleProgram(rng, n)); err != nil {
+				b.Fatal(err)
+			}
+			frames := make([][]byte, 1024)
+			for i := range frames {
+				f := make([]byte, 4)
+				rng.Read(f)
+				frames[i] = f
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tbl.Lookup(frames[i&1023])
+			}
+		})
+	}
+}
+
+// BenchmarkTernaryReplace is the full-swap baseline at 1M entries:
+// validate, copy, sort, and rebuild every partition index.
+func BenchmarkTernaryReplace(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	prog := scaleProgram(rng, 1_000_000)
+	tbl := NewTable("det", MatchTernary, scaleKey(), 0, Action{Type: ActionAllow})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tbl.Replace(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTernaryDelta applies a 1%-of-entries edit to a 1M-entry
+// table. The delta path's contract (and the PR's acceptance bar) is
+// >= 10x faster than the BenchmarkTernaryReplace full swap: the splice
+// is O(survivor pointer copies) and the index work is O(edits) hash
+// probes with untouched partitions shared, never a full rebuild.
+func BenchmarkTernaryDelta(b *testing.B) {
+	const n = 1_000_000
+	rng := rand.New(rand.NewSource(42))
+	prog := scaleProgram(rng, n)
+	tbl := NewTable("det", MatchTernary, scaleKey(), 0, Action{Type: ActionAllow})
+	if err := tbl.Replace(prog); err != nil {
+		b.Fatal(err)
+	}
+	// 1% churn: delete 5k, re-add 5k fresh entries in their place.
+	deltas := make([]Delta, 2)
+	for di := range deltas {
+		d := Delta{BaseCount: n}
+		adds := scaleProgram(rng, n/200)
+		for i := range adds {
+			slot := i * 150
+			d.Deletes = append(d.Deletes, slot)
+			d.Adds = append(d.Adds, DeltaAdd{Entry: adds[i], Order: slot})
+		}
+		deltas[di] = d
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	// Alternate two same-shape deltas so every iteration applies
+	// against a valid 1M-entry base without re-Replacing mid-loop.
+	for i := 0; i < b.N; i++ {
+		if err := tbl.Apply(deltas[i&1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -17,7 +17,14 @@ import (
 //   - lpm:     Value and PrefixLen (bits); longest prefix wins
 //   - range:   Lo and Hi per key byte (inclusive), Priority breaks overlaps
 type Entry struct {
-	ID        uint64
+	ID uint64
+	// ord is the entry's immutable canonical-order key: priority ties
+	// resolve by ascending ord, reproducing wire/insertion order through
+	// per-entry data the lock-free index can read on any generation.
+	// Replace assigns gapped wire-order ords, Apply bisects the gaps for
+	// newcomers, and reactive Inserts order in a band above every
+	// programmed ord.
+	ord       uint64
 	Priority  int
 	Value     []byte
 	Mask      []byte
@@ -28,15 +35,24 @@ type Entry struct {
 
 	// P4-style direct counters, accessed atomically. Entry pointers are
 	// shared across lookup-state generations, so the counters survive
-	// reindexing (though not a full Program, which allocates new entries).
+	// reindexing and delta application (though not a full Replace, which
+	// allocates new entries).
 	hits  uint64
 	bytes uint64
 }
 
-// Table is one match–action table. Mutations (insert/delete/program) are
-// serialized by mu and publish an immutable lookupState snapshot; the
-// lookup hot path reads the snapshot through one atomic load and touches
-// no lock at all. Hit/miss counters are atomics shared across snapshots.
+// Table is one match–action table. Mutations (insert/delete/define/
+// replace/apply) are serialized by mu and publish an immutable
+// lookupState snapshot; the lookup hot path reads the snapshot through
+// one atomic load and touches no lock at all. Hit/miss counters are
+// atomics shared across snapshots.
+//
+// Entries live in two pools: prog is the canonical programmed list in
+// wire order (what Replace installed, edited in place by Apply), and
+// inserted holds reactive single-entry Inserts. Deltas address prog by
+// canonical index and never disturb inserted, so reactive state
+// survives an incremental reprogram that would be wiped by a full
+// Replace.
 type Table struct {
 	Name          string
 	Kind          MatchKind
@@ -44,12 +60,14 @@ type Table struct {
 	MaxEntries    int
 	DefaultAction Action
 
-	mu      sync.Mutex // serializes mutation; never taken by Lookup
-	nextID  uint64
-	entries []*Entry // source of truth; replaced (never mutated) on change
-	state   atomic.Pointer[lookupState]
-	hits    uint64 // accessed atomically
-	misses  uint64 // accessed atomically
+	mu       sync.Mutex // serializes mutation; never taken by Lookup
+	nextID   uint64
+	prog     []*Entry // canonical programmed entries, wire order
+	progHash uint64   // order-independent signature of prog (see HashEntry)
+	inserted []*Entry // reactive Inserts, chronological
+	state    atomic.Pointer[lookupState]
+	hits     uint64 // accessed atomically
+	misses   uint64 // accessed atomically
 }
 
 // lookupState is one immutable generation of the table's lookup index.
@@ -64,20 +82,12 @@ type lookupState struct {
 	def      Action
 	entries  []*Entry
 	exact    map[string]*Entry
-	tuples   []*tupleGroup   // ternary tuple-space-search index
+	tstore   *ternaryStore   // partitioned hash-indexed ternary index
 	rangeIdx *match.KeyIndex // compiled range-match index (row i = entries[i])
 	// lpmMasks[i] is entries[i].PrefixLen expanded to a byte mask, so the
 	// batched fast path can test prefixes with 64-bit lane compares
 	// (match.MaskedEqual) instead of the bit-fiddling prefixMatch loop.
 	lpmMasks [][]byte
-}
-
-// tupleGroup indexes all ternary entries sharing one mask: a hash lookup
-// of key&mask replaces a linear scan, the classic tuple-space-search
-// optimization software switches use to emulate TCAM lookup.
-type tupleGroup struct {
-	mask   []byte
-	byValu map[string]*Entry // masked value -> highest-priority entry
 }
 
 // NewTable constructs an empty table. MaxEntries <= 0 means unlimited.
@@ -132,36 +142,125 @@ func (t *Table) validate(e *Entry, w int) error {
 	return nil
 }
 
-// Insert adds an entry and returns its assigned ID.
+// entryCount returns prog+inserted size; callers hold t.mu.
+func (t *Table) entryCount() int { return len(t.prog) + len(t.inserted) }
+
+// Canonical-order bands: programmed entries get gapped wire-order ords
+// (progOrdStride apart; Apply bisects the gaps for newcomers), and
+// reactive Inserts order above every possible programmed ord — keeping
+// the historical "programmed before inserted" resolution of priority
+// ties.
+const (
+	progOrdStride   = uint64(1) << 32
+	insertedOrdBase = uint64(1) << 56
+)
+
+// Insert adds a reactive entry and returns its assigned ID. Inserted
+// entries live outside the canonical program: they survive Apply deltas
+// and are dropped by Replace/Program full swaps.
 func (t *Table) Insert(e Entry) (uint64, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if err := t.validate(&e, t.width()); err != nil {
 		return 0, fmt.Errorf("table %s: %w", t.Name, err)
 	}
-	if t.MaxEntries > 0 && len(t.entries) >= t.MaxEntries {
-		return 0, fmt.Errorf("table %s (%d entries): %w", t.Name, len(t.entries), ErrTableFull)
+	if t.MaxEntries > 0 && t.entryCount() >= t.MaxEntries {
+		return 0, fmt.Errorf("table %s (%d entries): %w", t.Name, t.entryCount(), ErrTableFull)
 	}
 	t.nextID++
 	e.ID = t.nextID
+	e.ord = insertedOrdBase + e.ID // IDs are monotonic: insertion order
 	stored := e
-	next := make([]*Entry, len(t.entries)+1)
-	copy(next, t.entries)
-	next[len(t.entries)] = &stored
-	t.entries = next
+	t.inserted = append(t.inserted, &stored)
 	t.reindex()
 	return stored.ID, nil
 }
 
+// Define sets the table's schema: key layout and default action. When
+// the new layout extracts the same key bytes as the current one, the
+// installed entries are kept (so a default-action change is cheap);
+// a layout change invalidates every entry and clears the table.
+func (t *Table) Define(key []FieldSpec, def Action) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !sameKeyLayout(t.Key, key) {
+		t.prog, t.inserted, t.progHash = nil, nil, 0
+	}
+	t.Key, t.DefaultAction = key, def
+	t.reindex()
+	return nil
+}
+
+// KeySpecs returns a copy of the table's current key layout.
+func (t *Table) KeySpecs() []FieldSpec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]FieldSpec(nil), t.Key...)
+}
+
+// sameKeyLayout reports whether two key layouts extract identical key
+// bytes (names are cosmetic; offset/width sequences decide validity).
+func sameKeyLayout(a, b []FieldSpec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Offset != b[i].Offset || a[i].Width != b[i].Width {
+			return false
+		}
+	}
+	return true
+}
+
+// Replace atomically swaps the table's full canonical entry list under
+// the current schema, rebuilding the lookup index once. Reactive
+// Inserts are dropped (the swap defines the table's entire contents);
+// use Apply for an incremental edit that preserves them. On error the
+// table is unchanged.
+func (t *Table) Replace(entries []Entry) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.replaceLocked(entries)
+}
+
+func (t *Table) replaceLocked(entries []Entry) error {
+	w := t.width()
+	if t.MaxEntries > 0 && len(entries) > t.MaxEntries {
+		return fmt.Errorf("table %s (%d entries): %w", t.Name, len(entries), ErrTableFull)
+	}
+	for i := range entries {
+		if err := t.validate(&entries[i], w); err != nil {
+			return fmt.Errorf("table %s: entry %d: %w", t.Name, i, err)
+		}
+	}
+	t.prog = make([]*Entry, len(entries))
+	t.progHash = 0
+	for i := range entries {
+		e := entries[i]
+		t.nextID++
+		e.ID = t.nextID
+		e.ord = uint64(i+1) * progOrdStride
+		t.prog[i] = &e
+		t.progHash ^= HashEntry(&e)
+	}
+	t.inserted = nil
+	t.reindex()
+	return nil
+}
+
 // Program atomically replaces the table's key layout, default action, and
-// entry list, rebuilding the lookup index once. It is the race-safe (and
-// O(n log n) instead of per-insert) way to reprogram a live table.
+// entry list, rebuilding the lookup index once.
+//
+// Deprecated: Program conflates schema and contents. Use Define (schema)
+// plus Replace (full swap) or Apply (incremental delta) instead.
 func (t *Table) Program(key []FieldSpec, def Action, entries []Entry) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	w := KeyWidth(key)
 	savedKey, savedDef := t.Key, t.DefaultAction
 	t.Key, t.DefaultAction = key, def
+	// Validate against the new width before touching entry state so a bad
+	// program leaves the table exactly as it was.
 	if t.MaxEntries > 0 && len(entries) > t.MaxEntries {
 		t.Key, t.DefaultAction = savedKey, savedDef
 		return fmt.Errorf("table %s (%d entries): %w", t.Name, len(entries), ErrTableFull)
@@ -172,22 +271,32 @@ func (t *Table) Program(key []FieldSpec, def Action, entries []Entry) error {
 			return fmt.Errorf("table %s: entry %d: %w", t.Name, i, err)
 		}
 	}
-	t.entries = make([]*Entry, len(entries))
-	for i := range entries {
-		e := entries[i]
-		t.nextID++
-		e.ID = t.nextID
-		t.entries[i] = &e
+	if err := t.replaceLocked(entries); err != nil {
+		t.Key, t.DefaultAction = savedKey, savedDef
+		return err
 	}
-	t.reindex()
 	return nil
 }
 
-// reindex sorts the (freshly copied) entry slice for the table's kind,
+// ProgramSignature identifies the canonical programmed entry list: its
+// length and an order-independent hash over every entry's match fields
+// (IDs and counters excluded). A Delta names the base it was computed
+// against with the same pair, so Apply can refuse a delta aimed at a
+// different program.
+func (t *Table) ProgramSignature() (count int, hash uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.prog), t.progHash
+}
+
+// reindex sorts a freshly merged entry slice for the table's kind,
 // rebuilds the lookup index, and publishes the new state. Callers must
-// hold t.mu and must have replaced t.entries with a new slice (the
-// previous generation's slice is still being read lock-free).
+// hold t.mu. The previous generation's slice is never mutated (it is
+// still being read lock-free); sorting happens on the merged copy.
 func (t *Table) reindex() {
+	merged := make([]*Entry, 0, t.entryCount())
+	merged = append(merged, t.prog...)
+	merged = append(merged, t.inserted...)
 	st := &lookupState{
 		kind:  t.Kind,
 		key:   t.Key,
@@ -196,54 +305,59 @@ func (t *Table) reindex() {
 	}
 	switch t.Kind {
 	case MatchExact:
-		st.exact = make(map[string]*Entry, len(t.entries))
+		st.exact = make(map[string]*Entry, len(merged))
 		// Later entries overwrite earlier duplicates, matching the
 		// behaviour of sequential Inserts.
-		for _, e := range t.entries {
+		for _, e := range merged {
 			st.exact[string(e.Value)] = e
 		}
 	case MatchTernary:
-		sort.SliceStable(t.entries, func(i, j int) bool {
-			return t.entries[i].Priority > t.entries[j].Priority
-		})
-		st.tuples = buildTuples(t.entries)
+		sortByPriority(merged)
+		st.tstore = buildTernaryStore(merged)
 	case MatchRange:
-		sort.SliceStable(t.entries, func(i, j int) bool {
-			return t.entries[i].Priority > t.entries[j].Priority
-		})
-		st.rangeIdx = buildRangeIndex(st.width, t.entries)
+		sortByPriority(merged)
+		st.rangeIdx = buildRangeIndex(st.width, merged)
 	case MatchLPM:
-		sort.SliceStable(t.entries, func(i, j int) bool {
-			return t.entries[i].PrefixLen > t.entries[j].PrefixLen
+		sort.Slice(merged, func(i, j int) bool {
+			if merged[i].PrefixLen != merged[j].PrefixLen {
+				return merged[i].PrefixLen > merged[j].PrefixLen
+			}
+			return merged[i].ord < merged[j].ord
 		})
-		st.lpmMasks = make([][]byte, len(t.entries))
-		for i, e := range t.entries {
+		st.lpmMasks = make([][]byte, len(merged))
+		for i, e := range merged {
 			st.lpmMasks[i] = prefixMask(st.width, e.PrefixLen)
 		}
 	}
-	st.entries = t.entries
+	st.entries = merged
 	t.state.Store(st)
 }
 
-// buildTuples indexes ternary entries by mask. Entries are already
-// sorted by descending priority, so the first entry seen for a
-// (mask,value) pair is the winner (matching first-match-wins semantics on
-// priority ties).
-func buildTuples(entries []*Entry) []*tupleGroup {
-	byMask := make(map[string]*tupleGroup)
-	var tuples []*tupleGroup
-	for _, e := range entries {
-		g := byMask[string(e.Mask)]
-		if g == nil {
-			g = &tupleGroup{mask: e.Mask, byValu: make(map[string]*Entry)}
-			byMask[string(e.Mask)] = g
-			tuples = append(tuples, g)
+// sortByPriority orders entries by descending priority, breaking ties
+// by ascending canonical-order key — exactly the stable wire/insertion
+// order the table has always used, expressed through an immutable
+// per-entry field so the ternary store can resolve ties without
+// knowing an entry's slice position.
+func sortByPriority(entries []*Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Priority != entries[j].Priority {
+			return entries[i].Priority > entries[j].Priority
 		}
-		if _, dup := g.byValu[string(e.Value)]; !dup {
-			g.byValu[string(e.Value)] = e
-		}
+		return entries[i].ord < entries[j].ord
+	})
+}
+
+// beats reports whether entry e outranks f under the table's match
+// order: higher priority first, then earlier canonical order. A nil f
+// never beats.
+func beats(e, f *Entry) bool {
+	if f == nil {
+		return true
 	}
-	return tuples
+	if e.Priority != f.Priority {
+		return e.Priority > f.Priority
+	}
+	return e.ord < f.ord
 }
 
 // buildRangeIndex compiles the priority-sorted range entries into the
@@ -268,16 +382,27 @@ func buildRangeIndex(width int, entries []*Entry) *match.KeyIndex {
 	return idx
 }
 
-// Delete removes the entry with the given ID.
+// Delete removes the entry with the given ID (programmed or reactive).
 func (t *Table) Delete(id uint64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for i, e := range t.entries {
+	for i, e := range t.prog {
 		if e.ID == id {
-			next := make([]*Entry, 0, len(t.entries)-1)
-			next = append(next, t.entries[:i]...)
-			next = append(next, t.entries[i+1:]...)
-			t.entries = next
+			next := make([]*Entry, 0, len(t.prog)-1)
+			next = append(next, t.prog[:i]...)
+			next = append(next, t.prog[i+1:]...)
+			t.prog = next
+			t.progHash ^= HashEntry(e)
+			t.reindex()
+			return nil
+		}
+	}
+	for i, e := range t.inserted {
+		if e.ID == id {
+			next := make([]*Entry, 0, len(t.inserted)-1)
+			next = append(next, t.inserted[:i]...)
+			next = append(next, t.inserted[i+1:]...)
+			t.inserted = next
 			t.reindex()
 			return nil
 		}
@@ -289,7 +414,7 @@ func (t *Table) Delete(id uint64) error {
 func (t *Table) Clear() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.entries = nil
+	t.prog, t.inserted, t.progHash = nil, nil, 0
 	t.reindex()
 }
 
@@ -307,6 +432,27 @@ func (t *Table) Entries() []Entry {
 	st := t.state.Load()
 	out := make([]Entry, len(st.entries))
 	for i, e := range st.entries {
+		out[i] = Entry{
+			ID:        e.ID,
+			Priority:  e.Priority,
+			Value:     append([]byte(nil), e.Value...),
+			Mask:      append([]byte(nil), e.Mask...),
+			PrefixLen: e.PrefixLen,
+			Lo:        append([]byte(nil), e.Lo...),
+			Hi:        append([]byte(nil), e.Hi...),
+			Action:    e.Action,
+		}
+	}
+	return out
+}
+
+// ProgramEntries returns a deep copy of the canonical programmed list in
+// wire order (reactive Inserts excluded) — the base a Delta addresses.
+func (t *Table) ProgramEntries() []Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Entry, len(t.prog))
+	for i, e := range t.prog {
 		out[i] = Entry{
 			ID:        e.ID,
 			Priority:  e.Priority,
@@ -340,8 +486,6 @@ func (t *Table) Lookup(frame []byte) (act Action, matched bool) {
 	case MatchExact:
 		hit = st.exact[string(key)]
 	case MatchTernary:
-		// Tuple-space search: one hash probe per distinct mask instead of
-		// a scan over every entry.
 		var mb [64]byte
 		var masked []byte
 		if len(key) <= len(mb) {
@@ -349,18 +493,7 @@ func (t *Table) Lookup(frame []byte) (act Action, matched bool) {
 		} else {
 			masked = make([]byte, len(key))
 		}
-		for _, g := range st.tuples {
-			for i, m := range g.mask {
-				masked[i] = key[i] & m
-			}
-			e, ok := g.byValu[string(masked)]
-			if !ok {
-				continue
-			}
-			if hit == nil || e.Priority > hit.Priority {
-				hit = e
-			}
-		}
+		hit = st.tstore.find(key, masked)
 	case MatchLPM:
 		for _, e := range st.entries {
 			if prefixMatch(key, e.Value, e.PrefixLen) {
@@ -392,6 +525,54 @@ func (t *Table) Lookup(frame []byte) (act Action, matched bool) {
 	atomic.AddUint64(&hit.bytes, uint64(len(frame)))
 	atomic.AddUint64(&t.hits, 1)
 	return hit.Action, true
+}
+
+// LookupOracle is the linear-scan reference for Lookup: it walks the
+// sorted entry list first-match (last-match for exact, mirroring the
+// map's later-duplicate-wins) with no index, no counters, and no side
+// effects. Differential tests assert the indexed Lookup, LookupBatch,
+// and Explain never disagree with it on any table generation.
+func (t *Table) LookupOracle(frame []byte) (act Action, matched bool) {
+	st := t.state.Load()
+	key := ExtractKey(frame, st.key)
+	hit := st.findLinear(key)
+	if hit == nil {
+		return st.def, false
+	}
+	return hit.Action, true
+}
+
+// findLinear scans the state's entries without any index, returning the
+// entry Lookup must resolve to.
+func (st *lookupState) findLinear(key []byte) *Entry {
+	var hit *Entry
+	switch st.kind {
+	case MatchExact:
+		for _, e := range st.entries {
+			if string(e.Value) == string(key) {
+				hit = e // later duplicates win, as in the exact map
+			}
+		}
+	case MatchTernary:
+		for _, e := range st.entries {
+			if match.MaskedEqual(key, e.Value, e.Mask) {
+				return e
+			}
+		}
+	case MatchLPM:
+		for _, e := range st.entries {
+			if prefixMatch(key, e.Value, e.PrefixLen) {
+				return e
+			}
+		}
+	case MatchRange:
+		for _, e := range st.entries {
+			if rangeMatch(key, e.Lo, e.Hi) {
+				return e
+			}
+		}
+	}
+	return hit
 }
 
 // prefixMask expands a prefix length in bits to a width-byte mask.

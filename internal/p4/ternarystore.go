@@ -1,0 +1,413 @@
+package p4
+
+import (
+	"bytes"
+	"sort"
+
+	"p4guard/internal/match"
+)
+
+// Partitioned ternary store. The previous tuple-space search probed one
+// hash group per distinct mask, visiting every group on every lookup;
+// this store keeps the per-mask partitioning but makes the costs that
+// grow with table size sublinear:
+//
+//   - partitions are ordered by their maximum entry priority and the
+//     walk stops as soon as no remaining partition can outrank the best
+//     hit so far, so high-priority matches touch a handful of
+//     partitions instead of all of them;
+//   - each partition indexes its masked values in an open-addressing
+//     hash table whose slots pair the leaf pointer with the key's full
+//     hash. A non-matching partition (the common case: a key matches a
+//     handful of the partitions) costs one slot-array load and a tag
+//     compare — no pointer chase — and successive partitions' probes
+//     are independent loads the CPU overlaps, unlike a bitwise trie
+//     whose O(log n) node hops are each a dependent cache miss. That
+//     data-dependency difference is what keeps million-entry lookups
+//     within a small constant factor of thousand-entry ones.
+//
+// Published slot arrays are immutable: delta application copies the
+// slot array of each touched partition once per batch (copy-on-write),
+// shares every untouched partition with the previous generation, and
+// purges tombstones by rehashing when they accumulate — which is what
+// makes Apply cheap and concurrent lookups on old generations safe
+// without locks.
+//
+// Tie-breaking is exact: the winner is the matching entry that beats
+// all others under the table's canonical match order (priority, then
+// canonical rank — see sortByPriority), which the linear-scan oracle
+// reproduces by walking the sorted entry list first-match.
+
+// tleaf holds every entry sharing one masked value, best-first under
+// the canonical match order, so deleting a winner resurfaces the
+// shadowed runner-up exactly as a full rebuild would.
+type tleaf struct {
+	key []byte // the masked value (aliases a member entry's Value)
+	es  []*Entry
+}
+
+// tombstone marks a vacated slot so linear-probe chains stay intact
+// across persistent deletes; rehashes purge them.
+var tombstone = &tleaf{}
+
+// tslot pairs a leaf with its key's full hash: probes compare tags
+// before touching the leaf, so scanning a partition that does not hold
+// the key reads only the slot array.
+type tslot struct {
+	tag  uint64
+	leaf *tleaf // nil = never occupied (probe stop), tombstone = deleted
+}
+
+// Open-addressing load ceiling: grow when occupied slots (live plus
+// tombstones) would exceed tLoadNum/tLoadDen of capacity. Keeping the
+// ceiling under 1 also guarantees every probe loop terminates.
+const (
+	tLoadNum = 7
+	tLoadDen = 10
+)
+
+// thash is FNV-1a over the masked value; computed from bytes already in
+// cache, it costs no memory traffic.
+func thash(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// slotsFor returns the smallest power-of-two capacity keeping n leaves
+// under the load ceiling.
+func slotsFor(n int) int {
+	c := 8
+	for c*tLoadNum < n*tLoadDen {
+		c <<= 1
+	}
+	return c
+}
+
+// tpart is one mask partition: all ternary entries sharing a mask
+// pattern, indexed by masked value. maxPrio is an upper bound on the
+// member priorities (exact after a build, possibly stale-high after
+// persistent deletes — stale-high costs an extra probe, never a wrong
+// verdict). Published partitions are immutable; edits replace a touched
+// partition with a copy owning a fresh slot array.
+type tpart struct {
+	mask    []byte
+	maxPrio int
+	count   int // live entries across all leaves
+	live    int // slots holding a real leaf
+	dead    int // tombstoned slots
+	slots   []tslot
+}
+
+// lookup returns the leaf stored under masked, or nil. Termination:
+// the load ceiling keeps at least one never-occupied slot in every
+// published array.
+func (p *tpart) lookup(masked []byte, h uint64) *tleaf {
+	m := uint64(len(p.slots) - 1)
+	for i := h & m; ; i = (i + 1) & m {
+		s := &p.slots[i]
+		if s.leaf == nil {
+			return nil
+		}
+		if s.tag == h && s.leaf != tombstone && bytes.Equal(s.leaf.key, masked) {
+			return s.leaf
+		}
+	}
+}
+
+// slotIndex returns the index of the slot holding masked, or -1.
+func (p *tpart) slotIndex(masked []byte, h uint64) int {
+	m := uint64(len(p.slots) - 1)
+	for i := h & m; ; i = (i + 1) & m {
+		s := &p.slots[i]
+		if s.leaf == nil {
+			return -1
+		}
+		if s.tag == h && s.leaf != tombstone && bytes.Equal(s.leaf.key, masked) {
+			return int(i)
+		}
+	}
+}
+
+// put stores a leaf under a key known to be absent, reusing the first
+// tombstone or free slot on the probe path. Callers ensure capacity.
+func (p *tpart) put(h uint64, lf *tleaf) {
+	m := uint64(len(p.slots) - 1)
+	for i := h & m; ; i = (i + 1) & m {
+		s := &p.slots[i]
+		if s.leaf == nil || s.leaf == tombstone {
+			if s.leaf == tombstone {
+				p.dead--
+			}
+			s.tag, s.leaf = h, lf
+			p.live++
+			return
+		}
+	}
+}
+
+// rehash rebuilds the slot array sized for minLeaves, purging
+// tombstones. Only called on partitions the caller owns (fresh builds
+// or copy-on-write copies).
+func (p *tpart) rehash(minLeaves int) {
+	old := p.slots
+	p.slots = make([]tslot, slotsFor(minLeaves))
+	p.live, p.dead = 0, 0
+	for i := range old {
+		if lf := old[i].leaf; lf != nil && lf != tombstone {
+			p.put(old[i].tag, lf)
+		}
+	}
+}
+
+// insert adds e to an owned partition. ordered marks build-time inserts
+// (entries arrive best-first, so duplicates append in place behind the
+// leaf's better members); edit-time inserts splice a fresh leaf by
+// canonical rank because the old leaf may be shared with a published
+// generation.
+func (p *tpart) insert(e *Entry, ordered bool) {
+	h := thash(e.Value)
+	if i := p.slotIndex(e.Value, h); i >= 0 {
+		old := p.slots[i].leaf
+		if ordered {
+			old.es = append(old.es, e)
+		} else {
+			pos := len(old.es)
+			for k, x := range old.es {
+				if beats(e, x) {
+					pos = k
+					break
+				}
+			}
+			es := make([]*Entry, 0, len(old.es)+1)
+			es = append(es, old.es[:pos]...)
+			es = append(es, e)
+			es = append(es, old.es[pos:]...)
+			p.slots[i].leaf = &tleaf{key: old.key, es: es}
+		}
+	} else {
+		if (p.live+p.dead+1)*tLoadDen > len(p.slots)*tLoadNum {
+			p.rehash(p.live + 1)
+		}
+		p.put(h, &tleaf{key: e.Value, es: []*Entry{e}})
+	}
+	p.count++
+	if e.Priority > p.maxPrio {
+		p.maxPrio = e.Priority
+	}
+}
+
+// removeEntry deletes e (by pointer identity) from an owned partition.
+func (p *tpart) removeEntry(e *Entry) {
+	h := thash(e.Value)
+	i := p.slotIndex(e.Value, h)
+	if i < 0 {
+		return
+	}
+	old := p.slots[i].leaf
+	idx := -1
+	for k, x := range old.es {
+		if x == e {
+			idx = k
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	if len(old.es) == 1 {
+		p.slots[i].leaf = tombstone
+		p.live--
+		p.dead++
+	} else {
+		es := make([]*Entry, 0, len(old.es)-1)
+		es = append(es, old.es[:idx]...)
+		es = append(es, old.es[idx+1:]...)
+		// Keep the leaf key aliased to a surviving entry's value so the
+		// leaf never pins a deleted entry's backing array.
+		p.slots[i].leaf = &tleaf{key: es[0].Value, es: es}
+	}
+	p.count--
+}
+
+// ternaryStore is one generation's ternary index: partitions ordered by
+// descending maxPrio plus a mask lookup for delta application.
+type ternaryStore struct {
+	parts  []*tpart
+	byMask map[string]*tpart
+}
+
+// buildTernaryStore indexes entries (already in canonical match order)
+// from scratch.
+func buildTernaryStore(entries []*Entry) *ternaryStore {
+	ts := &ternaryStore{byMask: make(map[string]*tpart)}
+	counts := make(map[string]int)
+	for _, e := range entries {
+		counts[string(e.Mask)]++
+	}
+	for _, e := range entries {
+		mk := string(e.Mask)
+		p := ts.byMask[mk]
+		if p == nil {
+			p = &tpart{mask: e.Mask, maxPrio: e.Priority,
+				slots: make([]tslot, slotsFor(counts[mk]))}
+			ts.byMask[mk] = p
+			ts.parts = append(ts.parts, p)
+		}
+		p.insert(e, true)
+	}
+	ts.sortParts()
+	return ts
+}
+
+func (ts *ternaryStore) sortParts() {
+	sort.Slice(ts.parts, func(i, j int) bool {
+		return ts.parts[i].maxPrio > ts.parts[j].maxPrio
+	})
+}
+
+// tBatch is how many partitions find stages ahead: large enough to
+// fill the CPU's outstanding-miss capacity, small enough to keep the
+// scratch buffers on the stack.
+const tBatch = 32
+
+// find returns the best-matching entry for key, or nil. masked is
+// caller scratch of key length. Exactness: the walk visits every
+// partition whose maxPrio could still beat the best hit (the order is
+// maxPrio-descending and the cut is strict), so any entry outranking
+// the current best lives in a partition that is still visited.
+//
+// The walk is two-staged per batch of partitions: the first stage
+// computes every partition's hash and loads its first probe slot with
+// no data-dependent branches between iterations, so the slot loads —
+// the only per-partition accesses that miss cache on large tables —
+// issue concurrently instead of serializing one miss per partition.
+// The second stage resolves each staged probe (now cached) and keeps
+// the strict maxPrio early exit.
+func (ts *ternaryStore) find(key, masked []byte) *Entry {
+	if ts == nil {
+		return nil
+	}
+	var (
+		hit  *Entry
+		hbuf [tBatch]uint64
+		lbuf [tBatch]*tleaf
+	)
+	parts := ts.parts
+	for base := 0; base < len(parts); base += tBatch {
+		if hit != nil && parts[base].maxPrio < hit.Priority {
+			break
+		}
+		n := len(parts) - base
+		if n > tBatch {
+			n = tBatch
+		}
+		for k := 0; k < n; k++ {
+			p := parts[base+k]
+			match.MaskBytes(masked, key, p.mask)
+			h := thash(masked)
+			hbuf[k] = h
+			lbuf[k] = p.slots[h&uint64(len(p.slots)-1)].leaf
+		}
+		for k := 0; k < n; k++ {
+			p := parts[base+k]
+			if hit != nil && p.maxPrio < hit.Priority {
+				return hit
+			}
+			if lbuf[k] == nil {
+				continue
+			}
+			match.MaskBytes(masked, key, p.mask)
+			if lf := p.lookup(masked, hbuf[k]); lf != nil {
+				if e := lf.es[0]; beats(e, hit) {
+					hit = e
+				}
+			}
+		}
+	}
+	return hit
+}
+
+// edit returns a generation with removes taken out and adds put in.
+// Edits are grouped by mask so each touched partition's slot array is
+// copied exactly once per batch; untouched partitions stay shared with
+// the receiver, which concurrent lookups keep reading undisturbed.
+func (ts *ternaryStore) edit(removes, adds []*Entry) *ternaryStore {
+	nts := ts.clone()
+	touched := make(map[string]*tpart)
+	owned := func(mask []byte) *tpart {
+		mk := string(mask)
+		if p := touched[mk]; p != nil {
+			return p
+		}
+		var np *tpart
+		if p := nts.byMask[mk]; p != nil {
+			np = &tpart{mask: p.mask, maxPrio: p.maxPrio, count: p.count,
+				live: p.live, dead: p.dead,
+				slots: append([]tslot(nil), p.slots...)}
+			nts.replacePart(p, np)
+		} else {
+			np = &tpart{mask: append([]byte(nil), mask...),
+				slots: make([]tslot, slotsFor(1))}
+			nts.byMask[mk] = np
+			nts.parts = append(nts.parts, np)
+		}
+		touched[mk] = np
+		return np
+	}
+	for _, e := range removes {
+		owned(e.Mask).removeEntry(e)
+	}
+	for _, e := range adds {
+		owned(e.Mask).insert(e, false)
+	}
+	for _, p := range touched {
+		if p.count == 0 {
+			nts.dropPart(p)
+		} else if p.dead*4 > len(p.slots) {
+			p.rehash(p.live)
+		}
+	}
+	nts.sortParts()
+	return nts
+}
+
+func (ts *ternaryStore) replacePart(old, nw *tpart) {
+	ts.byMask[string(nw.mask)] = nw
+	for i, p := range ts.parts {
+		if p == old {
+			ts.parts[i] = nw
+			break
+		}
+	}
+}
+
+func (ts *ternaryStore) dropPart(old *tpart) {
+	delete(ts.byMask, string(old.mask))
+	for i, p := range ts.parts {
+		if p == old {
+			ts.parts = append(ts.parts[:i], ts.parts[i+1:]...)
+			break
+		}
+	}
+}
+
+// clone copies the partition list and mask map (the partitions and
+// their slot arrays stay shared) so edits never disturb the generation
+// concurrent lookups are reading.
+func (ts *ternaryStore) clone() *ternaryStore {
+	if ts == nil {
+		return &ternaryStore{byMask: make(map[string]*tpart)}
+	}
+	nts := &ternaryStore{
+		parts:  append([]*tpart(nil), ts.parts...),
+		byMask: make(map[string]*tpart, len(ts.byMask)),
+	}
+	for k, v := range ts.byMask {
+		nts.byMask[k] = v
+	}
+	return nts
+}

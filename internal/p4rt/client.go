@@ -316,6 +316,15 @@ func (c *Client) ProgramDetector(ctx context.Context, prog Program) (Response, e
 	return c.call(ctx, TypeProgram, prog)
 }
 
+// ProgramDelta applies an incremental program edit to the switch's
+// detector table. A pre-delta peer rejects the unknown message type,
+// and a switch whose installed base does not match the delta's
+// signature refuses it — both surface as a RejectError, the caller's
+// cue to fall back to a full ProgramDetector swap.
+func (c *Client) ProgramDelta(ctx context.Context, d DeltaMsg) (Response, error) {
+	return c.call(ctx, TypeDelta, d)
+}
+
 // WriteEntry inserts one reactive entry.
 func (c *Client) WriteEntry(ctx context.Context, e WireEntry) (Response, error) {
 	return c.call(ctx, TypeWrite, Write{Entry: e})

@@ -45,6 +45,93 @@ func (w WireEntry) ToP4Entry() (p4.Entry, error) {
 	}, nil
 }
 
+// WireFromP4Entry converts a p4 table entry to wire form.
+func WireFromP4Entry(e p4.Entry) WireEntry {
+	return WireEntry{
+		Priority:  e.Priority,
+		Value:     e.Value,
+		Mask:      e.Mask,
+		PrefixLen: e.PrefixLen,
+		Lo:        e.Lo,
+		Hi:        e.Hi,
+		Action:    FormatAction(e.Action.Type),
+		Class:     e.Action.Class,
+	}
+}
+
+// ToP4Delta converts the wire delta into a p4.Delta.
+func (d *DeltaMsg) ToP4Delta() (p4.Delta, error) {
+	out := p4.Delta{
+		BaseCount: d.BaseCount,
+		BaseHash:  d.BaseHash,
+		Deletes:   d.Deletes,
+	}
+	for _, m := range d.Moves {
+		out.Moves = append(out.Moves, p4.DeltaMove{Base: m.Base, Priority: m.Priority, Order: m.Order})
+	}
+	for _, a := range d.Adds {
+		e, err := a.Entry.ToP4Entry()
+		if err != nil {
+			return p4.Delta{}, err
+		}
+		out.Adds = append(out.Adds, p4.DeltaAdd{Entry: e, Order: a.Order})
+	}
+	return out, nil
+}
+
+// DeltaFromPrograms diffs two Program messages for the same key layout
+// into a DeltaMsg. ok is false when no valid delta exists — layouts
+// differ, the diff is ambiguous (duplicate entries), or surviving
+// entries reordered — in which case the caller sends next wholesale.
+func DeltaFromPrograms(prev, next Program) (DeltaMsg, bool) {
+	if len(prev.Offsets) != len(next.Offsets) {
+		return DeltaMsg{}, false
+	}
+	for i := range prev.Offsets {
+		if prev.Offsets[i] != next.Offsets[i] {
+			return DeltaMsg{}, false
+		}
+	}
+	toEntries := func(wes []WireEntry) ([]p4.Entry, bool) {
+		out := make([]p4.Entry, len(wes))
+		for i, we := range wes {
+			e, err := we.ToP4Entry()
+			if err != nil {
+				return nil, false
+			}
+			out[i] = e
+		}
+		return out, true
+	}
+	oldE, ok := toEntries(prev.Entries)
+	if !ok {
+		return DeltaMsg{}, false
+	}
+	newE, ok := toEntries(next.Entries)
+	if !ok {
+		return DeltaMsg{}, false
+	}
+	d, ok := p4.ComputeDelta(oldE, newE)
+	if !ok {
+		return DeltaMsg{}, false
+	}
+	msg := DeltaMsg{
+		Offsets:       next.Offsets,
+		DefaultAction: next.DefaultAction,
+		DefaultClass:  next.DefaultClass,
+		BaseCount:     d.BaseCount,
+		BaseHash:      d.BaseHash,
+		Deletes:       d.Deletes,
+	}
+	for _, m := range d.Moves {
+		msg.Moves = append(msg.Moves, WireDeltaMove{Base: m.Base, Priority: m.Priority, Order: m.Order})
+	}
+	for _, a := range d.Adds {
+		msg.Adds = append(msg.Adds, WireDeltaAdd{Entry: WireFromP4Entry(a.Entry), Order: a.Order})
+	}
+	return msg, true
+}
+
 // ProgramFromRuleSet compiles a rule set into a Program message: one
 // range-match entry per rule, actions derived from each rule's class, with
 // the given miss behaviour. (The detector table is a range table; TCAM

@@ -1,0 +1,205 @@
+package p4rt
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"p4guard/internal/packet"
+)
+
+// legacyServer emulates a pre-delta switch agent: it completes the
+// handshake, answers heartbeats, and answers every other frame the way
+// the old dispatch loop's default branch did — a Response whose Error
+// names the unknown message type. The delta rollout's compatibility
+// contract (client.ProgramDelta doc, controller fallback) is pinned
+// against this concrete behavior.
+func legacyServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer func() { _ = c.Close() }()
+				env, err := ReadMsg(c)
+				if err != nil || env.Type != TypeHello {
+					return
+				}
+				if err := WriteMsg(c, TypeHelloAck, env.ID, HelloAck{ServerName: "legacy"}); err != nil {
+					return
+				}
+				for {
+					env, err := ReadMsg(c)
+					if err != nil {
+						return
+					}
+					resp := Response{OK: true}
+					if env.Type != TypeHeartbeat {
+						resp = Response{Error: fmt.Sprintf("unknown message type %q", env.Type)}
+					}
+					if err := WriteMsg(c, TypeResponse, env.ID, resp); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestDeltaRejectedByOldPeer: a delta sent to a pre-delta peer must
+// come back as a typed rejection whose reason names the unknown message
+// type — that exact shape is what the controller keys its full-swap
+// fallback (and its per-switch no-delta latch) on. The connection must
+// survive so the fallback Program can reuse it.
+func TestDeltaRejectedByOldPeer(t *testing.T) {
+	addr := legacyServer(t)
+	cl, err := Dial(addr, "t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	_, err = cl.ProgramDelta(context.Background(), DeltaMsg{
+		Offsets: []int{0}, DefaultAction: "allow", BaseCount: 1, BaseHash: 7,
+		Deletes: []int{0},
+	})
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	var rej *RejectError
+	if !errors.As(err, &rej) {
+		t.Fatalf("err %v is not a *RejectError", err)
+	}
+	if rej.Op != TypeDelta || !strings.Contains(rej.Reason, "unknown message type") {
+		t.Fatalf("reject = %+v, want op delta and an unknown-message-type reason", rej)
+	}
+	if err := cl.Heartbeat(context.Background()); err != nil {
+		t.Fatalf("connection dead after delta rejection: %v", err)
+	}
+}
+
+// TestProgramDeltaOverWire drives the full delta path end to end:
+// install a base program, diff it against an edited successor with
+// DeltaFromPrograms, apply the delta remotely, and check the data plane
+// flipped to the new verdicts.
+func TestProgramDeltaOverWire(t *testing.T) {
+	sw, _, cl := startPair(t, nil)
+
+	base := Program{
+		Offsets:       []int{0},
+		DefaultAction: "allow",
+		Entries: []WireEntry{
+			{Priority: 2, Lo: []byte{200}, Hi: []byte{255}, Action: "drop", Class: 1},
+			{Priority: 1, Lo: []byte{100}, Hi: []byte{110}, Action: "drop", Class: 2},
+		},
+	}
+	if _, err := cl.ProgramDetector(context.Background(), base); err != nil {
+		t.Fatal(err)
+	}
+	if v := sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{105}}); v.Allowed {
+		t.Fatal("base program not active")
+	}
+
+	// Successor: the [100,110] rule is gone, a [0,9] rule appears.
+	next := Program{
+		Offsets:       []int{0},
+		DefaultAction: "allow",
+		Entries: []WireEntry{
+			{Priority: 2, Lo: []byte{200}, Hi: []byte{255}, Action: "drop", Class: 1},
+			{Priority: 1, Lo: []byte{0}, Hi: []byte{9}, Action: "drop", Class: 3},
+		},
+	}
+	d, ok := DeltaFromPrograms(base, next)
+	if !ok {
+		t.Fatal("DeltaFromPrograms found no valid delta")
+	}
+	if d.Size() == 0 || d.Size() >= len(next.Entries)+1 {
+		t.Fatalf("delta size %d not a real edit", d.Size())
+	}
+	resp, err := cl.ProgramDelta(context.Background(), d)
+	if err != nil || !resp.OK {
+		t.Fatalf("ProgramDelta: %v %+v", err, resp)
+	}
+	if v := sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{105}}); !v.Allowed {
+		t.Fatal("deleted rule still dropping after delta")
+	}
+	if v := sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{5}}); v.Allowed {
+		t.Fatal("added rule not active after delta")
+	}
+	if v := sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{210}}); v.Allowed {
+		t.Fatal("surviving rule lost after delta")
+	}
+
+	// Replaying the same delta must be rejected — its base is gone — and
+	// must not disturb the installed program.
+	if _, err := cl.ProgramDelta(context.Background(), d); !errors.Is(err, ErrRejected) {
+		t.Fatalf("stale delta err = %v, want ErrRejected", err)
+	}
+	if v := sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{5}}); v.Allowed {
+		t.Fatal("rejected delta disturbed the installed program")
+	}
+}
+
+// TestDeltaLayoutMismatchRejected: a delta whose key layout differs
+// from the installed program must be rejected untouched — deltas edit a
+// program, they never reshape its schema.
+func TestDeltaLayoutMismatchRejected(t *testing.T) {
+	sw, _, cl := startPair(t, nil)
+	base := Program{Offsets: []int{0}, DefaultAction: "allow",
+		Entries: []WireEntry{{Priority: 1, Lo: []byte{200}, Hi: []byte{255}, Action: "drop", Class: 1}}}
+	if _, err := cl.ProgramDetector(context.Background(), base); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cl.ProgramDelta(context.Background(), DeltaMsg{
+		Offsets: []int{0, 1}, DefaultAction: "allow", BaseCount: 1, Deletes: []int{0},
+	})
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("layout-mismatch delta err = %v, want ErrRejected", err)
+	}
+	if v := sw.Process(&packet.Packet{Link: packet.LinkEthernet, Bytes: []byte{210}}); v.Allowed {
+		t.Fatal("rejected delta disturbed the installed program")
+	}
+}
+
+// TestDeltaMsgWireShape pins the delta message's JSON field names: the
+// wire contract other implementations (and future versions of this one)
+// decode against.
+func TestDeltaMsgWireShape(t *testing.T) {
+	d := DeltaMsg{
+		Offsets:       []int{0, 4},
+		DefaultAction: "digest",
+		DefaultClass:  2,
+		BaseCount:     10,
+		BaseHash:      0xabc,
+		Deletes:       []int{3},
+		Moves:         []WireDeltaMove{{Base: 1, Priority: 9, Order: 0}},
+		Adds:          []WireDeltaAdd{{Entry: WireEntry{Priority: 5, Value: []byte{7}, Mask: []byte{255}, Action: "drop", Class: 1}, Order: 2}},
+		TraceID:       1,
+		SpanID:        2,
+	}
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"offsets":[0,4],"default_action":"digest","default_class":2,` +
+		`"base_count":10,"base_hash":2748,"deletes":[3],` +
+		`"moves":[{"base":1,"priority":9,"order":0}],` +
+		`"adds":[{"entry":{"priority":5,"value":"Bw==","mask":"/w==","action":"drop","class":1},"order":2}],` +
+		`"trace_id":1,"span_id":2}`
+	if string(raw) != want {
+		t.Fatalf("delta wire shape drifted:\n got %s\nwant %s", raw, want)
+	}
+}

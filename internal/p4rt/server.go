@@ -28,6 +28,7 @@ type Server struct {
 
 	// Control-plane counters, atomics so handlers never contend on mu.
 	programs      atomic.Uint64
+	deltas        atomic.Uint64
 	writes        atomic.Uint64
 	counterReads  atomic.Uint64
 	statsReads    atomic.Uint64
@@ -102,6 +103,7 @@ func (s *Server) RegisterTelemetry(reg *telemetry.Registry) {
 		c   *atomic.Uint64
 	}{
 		{"program", &s.programs},
+		{"delta", &s.deltas},
 		{"write", &s.writes},
 		{"counters", &s.counterReads},
 		{"stats", &s.statsReads},
@@ -199,6 +201,14 @@ func (s *Server) handleConn(conn net.Conn) {
 				break
 			}
 			resp = s.applyProgram(prog)
+		case TypeDelta:
+			s.deltas.Add(1)
+			var d DeltaMsg
+			if err := DecodeBody(env, &d); err != nil {
+				resp = Response{Error: err.Error()}
+				break
+			}
+			resp = s.applyDelta(d)
 		case TypeWrite:
 			s.writes.Add(1)
 			var w Write
@@ -274,6 +284,30 @@ func (s *Server) applyProgram(prog Program) Response {
 		return Response{Error: err.Error(), TraceID: prog.TraceID, SpanID: prog.SpanID}
 	}
 	return Response{OK: true, Installed: len(entries), TraceID: prog.TraceID, SpanID: prog.SpanID}
+}
+
+// applyDelta applies an incremental program edit. Any failure — base
+// signature mismatch, key layout mismatch, malformed edit — comes back
+// as a Response error, which the controller surfaces as a RejectError
+// and answers with a full program swap; the switch state is untouched
+// on every error path.
+func (s *Server) applyDelta(d DeltaMsg) Response {
+	sp := s.sw.Tracer().StartDetail(
+		dtrace.SpanContext{Trace: dtrace.TraceID(d.TraceID), Span: dtrace.SpanID(d.SpanID)},
+		dtrace.DetailProgram)
+	defer sp.End()
+	defAct, err := ParseAction(d.DefaultAction)
+	if err != nil {
+		return Response{Error: err.Error(), TraceID: d.TraceID, SpanID: d.SpanID}
+	}
+	pd, err := d.ToP4Delta()
+	if err != nil {
+		return Response{Error: err.Error(), TraceID: d.TraceID, SpanID: d.SpanID}
+	}
+	if err := s.sw.ApplyDetectorDelta(d.Offsets, p4.Action{Type: defAct, Class: d.DefaultClass}, pd); err != nil {
+		return Response{Error: err.Error(), TraceID: d.TraceID, SpanID: d.SpanID}
+	}
+	return Response{OK: true, Installed: d.Size(), TraceID: d.TraceID, SpanID: d.SpanID}
 }
 
 func (s *Server) applyWrite(w Write) Response {

@@ -32,6 +32,7 @@ const (
 	TypeDigest    MsgType = "digest"
 	TypeHeartbeat MsgType = "heartbeat"
 	TypeStats     MsgType = "stats"
+	TypeDelta     MsgType = "delta"
 )
 
 // Envelope is the outer frame: a type tag, a request-correlation ID
@@ -80,6 +81,46 @@ type Program struct {
 	TraceID       uint64      `json:"trace_id,omitempty"`
 	SpanID        uint64      `json:"span_id,omitempty"`
 }
+
+// WireDeltaMove reprioritizes the base entry at canonical index Base to
+// Priority, landing at index Order of the resulting program.
+type WireDeltaMove struct {
+	Base     int `json:"base"`
+	Priority int `json:"priority"`
+	Order    int `json:"order"`
+}
+
+// WireDeltaAdd inserts a new entry at index Order of the resulting
+// program.
+type WireDeltaAdd struct {
+	Entry WireEntry `json:"entry"`
+	Order int       `json:"order"`
+}
+
+// DeltaMsg incrementally edits the detector program instead of
+// re-sending it wholesale: deletes and priority moves address the
+// installed program by canonical index, adds carry their target index.
+// BaseCount/BaseHash pin the base the delta was computed against (see
+// p4.Table.ProgramSignature); a switch whose installed program differs
+// rejects the delta, and the controller falls back to a full Program —
+// the same fallback old peers trigger by rejecting the unknown message
+// type. Offsets must match the installed key layout (a delta cannot
+// reshape the schema); DefaultAction/DefaultClass may change.
+type DeltaMsg struct {
+	Offsets       []int           `json:"offsets"`
+	DefaultAction string          `json:"default_action"`
+	DefaultClass  int             `json:"default_class,omitempty"`
+	BaseCount     int             `json:"base_count"`
+	BaseHash      uint64          `json:"base_hash"`
+	Deletes       []int           `json:"deletes,omitempty"`
+	Moves         []WireDeltaMove `json:"moves,omitempty"`
+	Adds          []WireDeltaAdd  `json:"adds,omitempty"`
+	TraceID       uint64          `json:"trace_id,omitempty"`
+	SpanID        uint64          `json:"span_id,omitempty"`
+}
+
+// Size is the number of edit operations the delta carries.
+func (d *DeltaMsg) Size() int { return len(d.Deletes) + len(d.Moves) + len(d.Adds) }
 
 // Write inserts a single entry into the detector table (reactive path).
 // TraceID/SpanID carry optional trace context, as on Program.

@@ -1,0 +1,307 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Compression levels. Each level includes the ones below it.
+const (
+	// CompressShadow drops rules that can never be the first match:
+	// empty rules (contradictory predicates) and rules whose region is
+	// contained in a single earlier rule's region.
+	CompressShadow = 1
+	// CompressMerge additionally merges pairs of same-class rules whose
+	// regions differ in exactly one key dimension with overlapping or
+	// adjacent intervals there, when no differently-classed rule between
+	// them touches the moved region.
+	CompressMerge = 2
+	// CompressReorder additionally collapses the priority space: rules
+	// are releveled along the different-class overlap graph, so
+	// non-conflicting rules share a priority level and TCAM reorder
+	// churn on update is bounded by the conflict depth, not the rule
+	// count.
+	CompressReorder = 3
+)
+
+// CompressStats reports what a Compress call did.
+type CompressStats struct {
+	Input            int `json:"input"`             // rules in
+	Shadowed         int `json:"shadowed"`          // dropped as unreachable
+	Merged           int `json:"merged"`            // absorbed into a neighbour
+	Output           int `json:"output"`            // rules out
+	InputPriorities  int `json:"input_priorities"`  // distinct priority levels in
+	OutputPriorities int `json:"output_priorities"` // distinct priority levels out
+}
+
+// Removed is the number of rules compression eliminated.
+func (s CompressStats) Removed() int { return s.Input - s.Output }
+
+// rect is a rule's match region as a hyper-rectangle over the key
+// layout: one inclusive byte interval per key dimension. Predicates on
+// the same offset intersect; offsets the rule doesn't constrain span
+// the full [0,255].
+type rect struct {
+	lo, hi []byte
+	empty  bool
+}
+
+func (rs *RuleSet) ruleRect(r Rule) (rect, error) {
+	dim := make(map[int]int, len(rs.Offsets))
+	for i, off := range rs.Offsets {
+		if _, ok := dim[off]; !ok {
+			dim[off] = i
+		}
+	}
+	rc := rect{lo: make([]byte, len(rs.Offsets)), hi: make([]byte, len(rs.Offsets))}
+	for i := range rc.hi {
+		rc.hi[i] = 0xff
+	}
+	for _, p := range r.Preds {
+		d, ok := dim[p.Offset]
+		if !ok {
+			return rect{}, fmt.Errorf("rules: predicate offset %d not in key layout %v", p.Offset, rs.Offsets)
+		}
+		if p.Lo > rc.lo[d] {
+			rc.lo[d] = p.Lo
+		}
+		if p.Hi < rc.hi[d] {
+			rc.hi[d] = p.Hi
+		}
+		if rc.lo[d] > rc.hi[d] {
+			rc.empty = true
+		}
+	}
+	return rc, nil
+}
+
+// contains reports a ⊇ b. An empty b is contained in everything.
+func (a rect) contains(b rect) bool {
+	if b.empty {
+		return true
+	}
+	if a.empty {
+		return false
+	}
+	for d := range a.lo {
+		if a.lo[d] > b.lo[d] || a.hi[d] < b.hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// overlaps reports whether a ∩ b is non-empty.
+func (a rect) overlaps(b rect) bool {
+	if a.empty || b.empty {
+		return false
+	}
+	for d := range a.lo {
+		if a.lo[d] > b.hi[d] || b.lo[d] > a.hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// intersectInside reports whether a ∩ b ⊆ c — i.e. b's overlap with a
+// adds nothing outside c.
+func intersectInside(a, b, c rect) bool {
+	if !a.overlaps(b) {
+		return true
+	}
+	if c.empty {
+		return false
+	}
+	for d := range a.lo {
+		lo, hi := a.lo[d], a.hi[d]
+		if b.lo[d] > lo {
+			lo = b.lo[d]
+		}
+		if b.hi[d] < hi {
+			hi = b.hi[d]
+		}
+		if lo < c.lo[d] || hi > c.hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// tryUnion returns the union of a and b when it is itself a rectangle:
+// the rectangles agree on every dimension but at most one, where their
+// intervals overlap or are adjacent. ok is false otherwise.
+func tryUnion(a, b rect) (rect, bool) {
+	if a.contains(b) {
+		return a, true
+	}
+	if b.contains(a) {
+		return b, true
+	}
+	diff := -1
+	for d := range a.lo {
+		if a.lo[d] != b.lo[d] || a.hi[d] != b.hi[d] {
+			if diff >= 0 {
+				return rect{}, false
+			}
+			diff = d
+		}
+	}
+	// diff >= 0 here: identical rects were handled by contains above.
+	lo, hi := a.lo[diff], a.hi[diff]
+	blo, bhi := b.lo[diff], b.hi[diff]
+	// Overlapping or adjacent intervals union to one interval. The +1
+	// adjacency check guards the 0xff wraparound.
+	if blo > hi && (hi == 0xff || blo > hi+1) {
+		return rect{}, false
+	}
+	if lo > bhi && (bhi == 0xff || lo > bhi+1) {
+		return rect{}, false
+	}
+	u := rect{lo: append([]byte(nil), a.lo...), hi: append([]byte(nil), a.hi...)}
+	if blo < lo {
+		u.lo[diff] = blo
+	}
+	if bhi > hi {
+		u.hi[diff] = bhi
+	}
+	return u, true
+}
+
+// rectRule rebuilds a rule from its rectangle, keeping prio and class.
+func (rs *RuleSet) rectRule(rc rect, prio, class int) Rule {
+	r := Rule{Priority: prio, Class: class}
+	for d, off := range rs.Offsets {
+		if rc.lo[d] != 0 || rc.hi[d] != 0xff {
+			r.Preds = append(r.Preds, BytePredicate{Offset: off, Lo: rc.lo[d], Hi: rc.hi[d]})
+		}
+	}
+	return r
+}
+
+func distinctPriorities(rules []Rule) int {
+	seen := make(map[int]bool, len(rules))
+	for i := range rules {
+		seen[rules[i].Priority] = true
+	}
+	return len(seen)
+}
+
+// Compress returns a verdict-equivalent copy of rs with fewer (or
+// equal) rules and, at CompressReorder, a collapsed priority space.
+// Equivalence is exact: for every packet, Classify on the result equals
+// Classify on the input (the compress differential tests pin this on
+// random corpora). The input is not modified.
+//
+// The pass reasons about rules as hyper-rectangles over the key layout
+// in first-match list order:
+//
+//   - shadow elimination drops a rule only when one single earlier rule
+//     contains it, so the drop can never expose a lower rule;
+//   - interval aggregation replaces two same-class rules with their
+//     exact union (one differing dimension, overlapping or adjacent
+//     there) only when every rule between them either misses the moved
+//     region or carries the same class, run to fixpoint;
+//   - priority releveling assigns level(i) = 1 + max level over earlier
+//     overlapping different-class rules, then re-sorts stably — any
+//     pair the sort can reorder is non-overlapping or same-class, so
+//     first-match verdicts are unchanged.
+func Compress(rs *RuleSet, level int) (*RuleSet, CompressStats, error) {
+	if level < CompressShadow {
+		return nil, CompressStats{}, fmt.Errorf("rules: compression level %d, want >= %d", level, CompressShadow)
+	}
+	if level > CompressReorder {
+		level = CompressReorder
+	}
+	st := CompressStats{Input: len(rs.Rules), InputPriorities: distinctPriorities(rs.Rules)}
+
+	rules := append([]Rule(nil), rs.Rules...)
+	rects := make([]rect, 0, len(rules))
+	kept := rules[:0]
+	for _, r := range rules {
+		rc, err := rs.ruleRect(r)
+		if err != nil {
+			return nil, CompressStats{}, err
+		}
+		shadowed := rc.empty
+		for j := range rects {
+			if shadowed {
+				break
+			}
+			shadowed = rects[j].contains(rc)
+		}
+		if shadowed {
+			st.Shadowed++
+			continue
+		}
+		rects = append(rects, rc)
+		kept = append(kept, r)
+	}
+	rules = kept
+
+	if level >= CompressMerge {
+		for changed := true; changed; {
+			changed = false
+			for i := 0; i < len(rules) && !changed; i++ {
+				for j := i + 1; j < len(rules); j++ {
+					if rules[i].Class != rules[j].Class {
+						continue
+					}
+					u, ok := tryUnion(rects[i], rects[j])
+					if !ok {
+						continue
+					}
+					// The merged rule claims rect j's region at
+					// position i. A different-class rule between the
+					// two that reaches into the part of j's region not
+					// already owned by i would lose packets it used to
+					// win — skip the merge.
+					safe := true
+					for k := i + 1; k < j && safe; k++ {
+						if rules[k].Class != rules[i].Class && !intersectInside(rects[k], rects[j], rects[i]) {
+							safe = false
+						}
+					}
+					if !safe {
+						continue
+					}
+					rules[i] = rs.rectRule(u, rules[i].Priority, rules[i].Class)
+					rects[i] = u
+					rules = append(rules[:j], rules[j+1:]...)
+					rects = append(rects[:j], rects[j+1:]...)
+					st.Merged++
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	if level >= CompressReorder && len(rules) > 0 {
+		levels := make([]int, len(rules))
+		maxLevel := 0
+		for i := range rules {
+			lv := 1
+			for j := 0; j < i; j++ {
+				if rules[j].Class != rules[i].Class && rects[j].overlaps(rects[i]) && levels[j] >= lv {
+					lv = levels[j] + 1
+				}
+			}
+			levels[i] = lv
+			if lv > maxLevel {
+				maxLevel = lv
+			}
+		}
+		for i := range rules {
+			rules[i].Priority = maxLevel - levels[i] + 1
+		}
+		sort.SliceStable(rules, func(a, b int) bool { return rules[a].Priority > rules[b].Priority })
+	}
+
+	out := NewRuleSet(rs.Offsets, rs.DefaultClass)
+	out.SetLink(rs.link)
+	out.Rules = rules
+	st.Output = len(rules)
+	st.OutputPriorities = distinctPriorities(rules)
+	return out, st, nil
+}

@@ -1,0 +1,245 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+
+	"p4guard/internal/packet"
+)
+
+// randomCompressSet builds a rule set with coarse-grained ranges so
+// shadows, adjacencies, and overlaps all occur with useful frequency.
+func randomCompressSet(rnd *rand.Rand) *RuleSet {
+	offsets := []int{0, 1, 2}
+	rs := NewRuleSet(offsets, 0)
+	n := 3 + rnd.Intn(12)
+	for i := 0; i < n; i++ {
+		r := Rule{Priority: n - i, Class: rnd.Intn(3)}
+		for _, off := range offsets {
+			if rnd.Intn(10) < 7 {
+				lo := byte(rnd.Intn(8) * 32)
+				hi := lo + byte(rnd.Intn(8))*32 + 31
+				if hi < lo {
+					hi = lo + 31
+				}
+				r.Preds = append(r.Preds, BytePredicate{Offset: off, Lo: lo, Hi: hi})
+			}
+		}
+		rs.Rules = append(rs.Rules, r)
+	}
+	return rs
+}
+
+// compressCorpus samples packets biased toward rule boundaries, where
+// off-by-one compression bugs live.
+func compressCorpus(rs *RuleSet, rnd *rand.Rand) []*packet.Packet {
+	var pkts []*packet.Packet
+	for i := 0; i < 300; i++ {
+		b := make([]byte, 3)
+		rnd.Read(b)
+		pkts = append(pkts, &packet.Packet{Bytes: b})
+	}
+	for _, r := range rs.Rules {
+		for _, p := range r.Preds {
+			for _, v := range []int{int(p.Lo) - 1, int(p.Lo), int(p.Hi), int(p.Hi) + 1} {
+				if v < 0 || v > 255 {
+					continue
+				}
+				b := make([]byte, 3)
+				rnd.Read(b)
+				b[p.Offset] = byte(v)
+				pkts = append(pkts, &packet.Packet{Bytes: b})
+			}
+		}
+	}
+	return pkts
+}
+
+// TestCompressEquivalenceQuick is the compression contract: at every
+// level, for random rule sets, the compressed set classifies every
+// packet in a boundary-biased corpus exactly as the original does.
+func TestCompressEquivalenceQuick(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		rs := randomCompressSet(rnd)
+		pkts := compressCorpus(rs, rnd)
+		for level := CompressShadow; level <= CompressReorder; level++ {
+			crs, st, err := Compress(rs, level)
+			if err != nil {
+				t.Fatalf("seed %d level %d: %v", seed, level, err)
+			}
+			if st.Output > st.Input {
+				t.Fatalf("seed %d level %d: output %d > input %d", seed, level, st.Output, st.Input)
+			}
+			if st.Input-st.Shadowed-st.Merged != st.Output {
+				t.Fatalf("seed %d level %d: stats don't balance: %+v", seed, level, st)
+			}
+			for _, pkt := range pkts {
+				if got, want := crs.Classify(pkt), rs.Classify(pkt); got != want {
+					t.Fatalf("seed %d level %d: packet %v: compressed class %d, original %d",
+						seed, level, pkt.Bytes, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCompressTernaryEquivalence pins that the compressed set still
+// compiles to TCAM entries with unchanged verdicts — compression must
+// survive the priority-based ternary evaluation, not just the linear
+// first-match scan.
+func TestCompressTernaryEquivalence(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		rs := randomCompressSet(rnd)
+		pkts := compressCorpus(rs, rnd)
+		for level := CompressShadow; level <= CompressReorder; level++ {
+			crs, _, err := Compress(rs, level)
+			if err != nil {
+				t.Fatalf("seed %d level %d: %v", seed, level, err)
+			}
+			entries, err := crs.CompileTernary()
+			if err != nil {
+				t.Fatalf("seed %d level %d: compile: %v", seed, level, err)
+			}
+			for _, pkt := range pkts {
+				got := ClassifyTernary(entries, crs.DefaultClass, crs.Offsets, pkt)
+				if want := rs.Classify(pkt); got != want {
+					t.Fatalf("seed %d level %d: packet %v: ternary class %d, original %d",
+						seed, level, pkt.Bytes, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCompressShadowElimination(t *testing.T) {
+	rs := NewRuleSet([]int{0}, 0)
+	rs.Add(Rule{Priority: 3, Preds: []BytePredicate{{Offset: 0, Lo: 10, Hi: 100}}, Class: 1})
+	// Contained in the rule above: unreachable.
+	rs.Add(Rule{Priority: 2, Preds: []BytePredicate{{Offset: 0, Lo: 20, Hi: 50}}, Class: 2})
+	// Contradictory predicates: matches nothing.
+	rs.Add(Rule{Priority: 1, Preds: []BytePredicate{{Offset: 0, Lo: 200, Hi: 210}, {Offset: 0, Lo: 0, Hi: 100}}, Class: 2})
+	crs, st, err := Compress(rs, CompressShadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crs.Rules) != 1 || st.Shadowed != 2 {
+		t.Fatalf("want 1 rule with 2 shadowed, got %d rules, stats %+v", len(crs.Rules), st)
+	}
+	if rs.Classify(&packet.Packet{Bytes: []byte{30}}) != crs.Classify(&packet.Packet{Bytes: []byte{30}}) {
+		t.Fatal("shadow elimination changed a verdict")
+	}
+}
+
+func TestCompressMergeAdjacent(t *testing.T) {
+	rs := NewRuleSet([]int{0, 1}, 0)
+	rs.Add(Rule{Priority: 2, Preds: []BytePredicate{{Offset: 0, Lo: 0, Hi: 99}}, Class: 1})
+	rs.Add(Rule{Priority: 1, Preds: []BytePredicate{{Offset: 0, Lo: 100, Hi: 199}}, Class: 1})
+	crs, st, err := Compress(rs, CompressMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crs.Rules) != 1 || st.Merged != 1 {
+		t.Fatalf("adjacent same-class rules should merge: %d rules, stats %+v", len(crs.Rules), st)
+	}
+	for v := 0; v < 256; v++ {
+		pkt := &packet.Packet{Bytes: []byte{byte(v), 7}}
+		if crs.Classify(pkt) != rs.Classify(pkt) {
+			t.Fatalf("byte %d: merged verdict differs", v)
+		}
+	}
+
+	// Same shape, but a differently-classed rule between the two claims
+	// part of the lower region: the merge would steal its packets, so
+	// it must not happen.
+	blocked := NewRuleSet([]int{0, 1}, 0)
+	blocked.Add(Rule{Priority: 3, Preds: []BytePredicate{{Offset: 0, Lo: 0, Hi: 99}}, Class: 1})
+	blocked.Add(Rule{Priority: 2, Preds: []BytePredicate{{Offset: 0, Lo: 100, Hi: 150}, {Offset: 1, Lo: 0, Hi: 10}}, Class: 2})
+	blocked.Add(Rule{Priority: 1, Preds: []BytePredicate{{Offset: 0, Lo: 100, Hi: 199}}, Class: 1})
+	crs2, _, err := Compress(blocked, CompressMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := &packet.Packet{Bytes: []byte{120, 5}}
+	if got := crs2.Classify(pkt); got != 2 {
+		t.Fatalf("blocked merge stole an intermediate rule's packet: class %d, want 2", got)
+	}
+}
+
+// TestCompressMergeReducesCost pins the point of level 2: the merged
+// set's TCAM expansion is no larger, and strictly smaller when
+// mergeable neighbours exist.
+func TestCompressMergeReducesCost(t *testing.T) {
+	rs := NewRuleSet([]int{0}, 0)
+	rs.Add(Rule{Priority: 2, Preds: []BytePredicate{{Offset: 0, Lo: 0, Hi: 127}}, Class: 1})
+	rs.Add(Rule{Priority: 1, Preds: []BytePredicate{{Offset: 0, Lo: 128, Hi: 255}}, Class: 1})
+	before, err := rs.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	crs, _, err := Compress(rs, CompressMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := crs.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [0,127]∪[128,255] = the full wildcard: one entry.
+	if after.Entries != 1 || after.Entries >= before.Entries {
+		t.Fatalf("cost: before %d entries, after %d", before.Entries, after.Entries)
+	}
+}
+
+func TestCompressReorderCollapsesPriorities(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	rs := randomCompressSet(rnd)
+	_, st, err := Compress(rs, CompressReorder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OutputPriorities > st.InputPriorities {
+		t.Fatalf("releveling grew the priority space: %d -> %d", st.InputPriorities, st.OutputPriorities)
+	}
+	// Disjoint rules can share a level; build a set where that must
+	// collapse everything to one level.
+	flat := NewRuleSet([]int{0}, 0)
+	flat.Add(Rule{Priority: 30, Preds: []BytePredicate{{Offset: 0, Lo: 0, Hi: 9}}, Class: 1})
+	flat.Add(Rule{Priority: 20, Preds: []BytePredicate{{Offset: 0, Lo: 10, Hi: 19}}, Class: 2})
+	flat.Add(Rule{Priority: 10, Preds: []BytePredicate{{Offset: 0, Lo: 20, Hi: 29}}, Class: 1})
+	cflat, cst, err := Compress(flat, CompressReorder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.OutputPriorities != 1 {
+		t.Fatalf("disjoint rules should flatten to one priority level, got %d", cst.OutputPriorities)
+	}
+	for v := 0; v < 40; v++ {
+		pkt := &packet.Packet{Bytes: []byte{byte(v)}}
+		if cflat.Classify(pkt) != flat.Classify(pkt) {
+			t.Fatalf("byte %d: releveled verdict differs", v)
+		}
+	}
+}
+
+func TestCompressValidation(t *testing.T) {
+	rs := NewRuleSet([]int{0}, 0)
+	rs.Add(Rule{Priority: 1, Preds: []BytePredicate{{Offset: 0, Lo: 1, Hi: 2}}, Class: 1})
+	if _, _, err := Compress(rs, 0); err == nil {
+		t.Fatal("level 0 should be rejected")
+	}
+	bad := NewRuleSet([]int{0}, 0)
+	bad.Add(Rule{Priority: 1, Preds: []BytePredicate{{Offset: 9, Lo: 1, Hi: 2}}, Class: 1})
+	if _, _, err := Compress(bad, CompressShadow); err == nil {
+		t.Fatal("predicate outside the key layout should be rejected")
+	}
+	// The input must not be modified.
+	orig := rs.Rules[0].Priority
+	if _, _, err := Compress(rs, CompressReorder); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rules[0].Priority != orig {
+		t.Fatal("Compress mutated its input")
+	}
+}

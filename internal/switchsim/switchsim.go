@@ -289,7 +289,10 @@ func (s *Switch) InstallRuleSet(rs *rules.RuleSet, missAction p4.Action) (int, e
 	if err != nil {
 		return 0, err
 	}
-	if err := det.Program(keySpecs(rs.Offsets), missAction, rows); err != nil {
+	if err := det.Define(keySpecs(rs.Offsets), missAction); err != nil {
+		return 0, fmt.Errorf("switchsim: define: %w", err)
+	}
+	if err := det.Replace(rows); err != nil {
 		return 0, fmt.Errorf("switchsim: install: %w", err)
 	}
 	return len(rows), nil
@@ -305,10 +308,54 @@ func (s *Switch) ProgramDetector(offsets []int, missAction p4.Action, entries []
 	if err != nil {
 		return err
 	}
-	if err := det.Program(keySpecs(offsets), missAction, entries); err != nil {
+	if err := det.Define(keySpecs(offsets), missAction); err != nil {
+		return fmt.Errorf("switchsim: define: %w", err)
+	}
+	if err := det.Replace(entries); err != nil {
 		return fmt.Errorf("switchsim: program: %w", err)
 	}
 	return nil
+}
+
+// ApplyDetectorDelta applies an incremental program delta to the
+// detector table. The delta cannot reshape the key layout: when offsets
+// disagree with the installed schema the call is refused untouched, and
+// the caller (the p4rt server, on the controller's behalf) falls back
+// to a full program swap. missAction may change with the delta (a cheap
+// schema update when the layout is unchanged). Reactive entries and
+// surviving entries' direct counters are preserved.
+func (s *Switch) ApplyDetectorDelta(offsets []int, missAction p4.Action, d p4.Delta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	det, err := s.pipeline.Table(DetectorTable)
+	if err != nil {
+		return err
+	}
+	specs := keySpecs(offsets)
+	if cur := det.KeySpecs(); !sameLayout(cur, specs) {
+		return fmt.Errorf("switchsim: delta: key layout mismatch (installed %d fields, delta %d)",
+			len(cur), len(specs))
+	}
+	if err := det.Define(specs, missAction); err != nil {
+		return fmt.Errorf("switchsim: define: %w", err)
+	}
+	if err := det.Apply(d); err != nil {
+		return fmt.Errorf("switchsim: delta: %w", err)
+	}
+	return nil
+}
+
+// sameLayout reports whether two key layouts extract the same bytes.
+func sameLayout(a, b []p4.FieldSpec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Offset != b[i].Offset || a[i].Width != b[i].Width {
+			return false
+		}
+	}
+	return true
 }
 
 // InsertDetectorEntry adds one entry to the detector table (reactive path).

@@ -470,6 +470,11 @@ func (p *Pipeline) EmitP4(inlineEntries bool) (string, error) {
 // budget TCAM entries: rules are kept greedily by traffic-coverage density
 // measured on ref (typically the training trace). Dropped regions fall
 // back to the default (benign) class.
+//
+// The verdict-preserving compression pass runs first, so the trimmer
+// spends the budget on the compressed (cheaper, merged) rules — lossy
+// trimming only starts once lossless compression is exhausted, which
+// can only raise the coverage that fits a given budget.
 func (p *Pipeline) TrimToBudget(budget int, ref *trace.Dataset) (*Pipeline, error) {
 	if p.rs == nil {
 		return nil, fmt.Errorf("p4guard: pipeline not trained")
@@ -478,8 +483,12 @@ func (p *Pipeline) TrimToBudget(budget int, ref *trace.Dataset) (*Pipeline, erro
 	for i, s := range ref.Samples {
 		pkts[i] = s.Pkt
 	}
-	weights := p.rs.HitWeights(pkts)
-	trimmed, err := p.rs.TrimToBudget(budget, weights)
+	rs, _, err := rules.Compress(p.rs, rules.CompressMerge)
+	if err != nil {
+		return nil, err
+	}
+	weights := rs.HitWeights(pkts)
+	trimmed, err := rs.TrimToBudget(budget, weights)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,8 @@ import (
 
 	"p4guard/internal/fieldsel"
 	"p4guard/internal/metrics"
+	"p4guard/internal/packet"
+	"p4guard/internal/rules"
 	"p4guard/internal/trace"
 )
 
@@ -264,6 +266,73 @@ func TestTrimToBudgetPipeline(t *testing.T) {
 	var untrained Pipeline
 	if _, err := untrained.TrimToBudget(10, train); err == nil {
 		t.Fatal("untrained TrimToBudget succeeded")
+	}
+}
+
+// TestTrimToBudgetCompressesFirst is the compress-before-trim
+// regression test: the lossless compression pass must run before lossy
+// trimming, so (a) a budget covering the compressed cost loses no
+// verdict at all even when it is below the raw cost, and (b) under a
+// tight budget the trimmed pipeline preserves at least as much verdict
+// agreement as trimming the raw rule set directly.
+func TestTrimToBudgetCompressesFirst(t *testing.T) {
+	train, _ := trainTest(t, "wifi-mqtt", 1200)
+	pipe, err := Train(train, Config{Seed: 10, NumFields: 6, TreeDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := pipe.RuleSet()
+	crs, _, err := rules.Compress(full, rules.CompressMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressedCost, err := crs.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) Budget exactly the compressed cost: nothing lossy may happen,
+	// so every training packet keeps its original verdict.
+	lossless, err := pipe.TrimToBudget(compressedCost.Entries, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range train.Samples {
+		if got, want := lossless.ClassifyPacket(s.Pkt), full.Classify(s.Pkt); got != want {
+			t.Fatalf("budget=compressed cost must be lossless: class %d != %d", got, want)
+		}
+	}
+
+	// (b) Tight budget: compressed-then-trimmed must agree with the full
+	// rule set on at least as many packets as raw trimming does.
+	_, rawEntries := pipe.TableCost()
+	budget := rawEntries/4 + 1
+	smart, err := pipe.TrimToBudget(budget, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := make([]*packet.Packet, train.Len())
+	for i, s := range train.Samples {
+		pkts[i] = s.Pkt
+	}
+	rawTrimmed, err := full.TrimToBudget(budget, full.HitWeights(pkts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := func(classify func(*packet.Packet) int) int {
+		n := 0
+		for _, pkt := range pkts {
+			if classify(pkt) == full.Classify(pkt) {
+				n++
+			}
+		}
+		return n
+	}
+	smartAgree := agree(smart.ClassifyPacket)
+	rawAgree := agree(rawTrimmed.Classify)
+	if smartAgree < rawAgree {
+		t.Fatalf("compress-first trim agrees on %d/%d packets, raw trim on %d — compression lowered coverage",
+			smartAgree, len(pkts), rawAgree)
 	}
 }
 

@@ -13,7 +13,11 @@
 # the wire-speed matrix (frame size × table size × per-packet vs
 # zero-copy batch) and writes pps, ns/op, allocs, and the
 # batch/perpacket speedup per cell to BENCH_9.json (override with
-# BENCH_PPS_OUT).
+# BENCH_PPS_OUT). A fifth section measures the million-entry rule path —
+# ternary lookup across four decades of table size, the 1M full-swap
+# Replace baseline, and the 1%-churn delta Apply — and writes ns/op,
+# allocs, the 1M/1k lookup ratio, and the replace/delta speedup to
+# BENCH_10.json (override with BENCH_SCALE_OUT).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -124,3 +128,36 @@ END {
     print "\n}"
 }' > "$pps_out"
 echo "wrote $pps_out"
+
+scale_out="${BENCH_SCALE_OUT:-BENCH_10.json}"
+scale_raw=$(go test -run '^$' \
+    -bench 'BenchmarkTernaryLookup|BenchmarkTernaryReplace|BenchmarkTernaryDelta' \
+    -benchtime "${BENCH_SCALE_TIME:-1s}" \
+    ./internal/p4/ 2>&1 | grep -v 'no test files')
+printf '%s\n' "$scale_raw"
+
+printf '%s\n' "$scale_raw" | awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    nsop = $3
+    allocs = "null"
+    for (i = 4; i < NF; i++) if ($(i + 1) == "allocs/op") allocs = $i
+    ns[name] = nsop
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, allocs
+}
+END {
+    lo = "BenchmarkTernaryLookup/entries=1000"
+    hi = "BenchmarkTernaryLookup/entries=1000000"
+    if (lo in ns && hi in ns && ns[lo] + 0 > 0)
+        printf ",\n  \"lookup_1m_over_1k\": %.2f", ns[hi] / ns[lo]
+    rep = "BenchmarkTernaryReplace"
+    del = "BenchmarkTernaryDelta"
+    if (rep in ns && del in ns && ns[del] + 0 > 0)
+        printf ",\n  \"delta_speedup_vs_replace\": %.2f", ns[rep] / ns[del]
+    print "\n}"
+}' > "$scale_out"
+echo "wrote $scale_out"

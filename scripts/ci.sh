@@ -40,9 +40,14 @@ echo "==> fleet soak (sharded fabric, seeded lossy links, race-enabled)"
 # TestFleetTraceExportWellFormed additionally asserts every exported
 # distributed trace is well-formed: no orphan spans, monotonic
 # per-process timestamps, and per-stage durations summing to each
-# trace's end-to-end duration.
+# trace's end-to-end duration. The delta soak pins the incremental
+# reprogramming path: a delta-only deploy across a sharded fleet must
+# converge every switch byte-identical to a full-swap reference fleet
+# (reactive entries surviving in place), a pre-delta peer must trip
+# exactly one full-swap fallback and latch, and compressed+delta
+# deploys must stay verdict-equivalent to the uncompressed rule set.
 go test -race -count "${CI_FLEET_COUNT:-2}" \
-    -run 'TestFleetShardedConvergenceUnderLossyNetsim|TestDigestFanInBoundedBackpressure|TestFleetTraceExportWellFormed|TestLinkStatsAttribution|TestSameSeedIdenticalDelaySequence|TestJitterDeterministicSequence|TestLatencyInjectionDeterministic' \
+    -run 'TestFleetShardedConvergenceUnderLossyNetsim|TestDigestFanInBoundedBackpressure|TestFleetTraceExportWellFormed|TestLinkStatsAttribution|TestSameSeedIdenticalDelaySequence|TestJitterDeterministicSequence|TestLatencyInjectionDeterministic|TestDeltaDeployConvergesIdenticalToFullSwap|TestDeltaFallsBackAndLatchesOnOldPeer|TestCompressedDeltaDeployEquivalence' \
     ./internal/controller/ ./internal/netsim/ ./internal/faultnet/
 
 echo "==> hot-path benchmarks"
@@ -156,5 +161,27 @@ else
             if (speedup < min) { printf "guard: FAIL, batch PPS speedup %.2fx below %sx\n", speedup, min; exit 1 }
         }'
 fi
+
+echo "==> million-entry sublinearity guard"
+# Ternary lookup must stay sublinear in table size: with a saturating
+# mask-pattern pool the partitioned hash store's cost is bounded by the
+# partition count, not the entry count, so the 1M-entry lookup must stay
+# within CI_GUARD_SUBLINEAR x the 1k-entry lookup. A linear-scan
+# regression shows up as a ~1000x ratio, so the 4x bar has three orders
+# of magnitude of slack against the failure mode while still catching a
+# broken index. Best-of-N so scheduler noise doesn't flake the gate.
+scale_out=$(go test -run '^$' \
+    -bench 'BenchmarkTernaryLookup/entries=1000$|BenchmarkTernaryLookup/entries=1000000$' \
+    -benchtime "${CI_GUARD_BENCHTIME:-0.5s}" -count "${CI_GUARD_COUNT:-3}" ./internal/p4/ 2>&1)
+printf '%s\n' "$scale_out"
+printf '%s\n' "$scale_out" | awk -v max="${CI_GUARD_SUBLINEAR:-4}" '
+    /^BenchmarkTernaryLookup\/entries=1000000/ { if (big == 0 || $3 < big) big = $3; next }
+    /^BenchmarkTernaryLookup\/entries=1000/    { if (small == 0 || $3 < small) small = $3 }
+    END {
+        if (small == 0 || big == 0) { print "guard: benchmarks missing from output"; exit 1 }
+        ratio = big / small
+        printf "guard: 1k lookup %.0f ns/op, 1M lookup %.0f ns/op (%.2fx)\n", small, big, ratio
+        if (ratio > max) { printf "guard: FAIL, 1M-entry lookup %.2fx over 1k exceeds %sx\n", ratio, max; exit 1 }
+    }'
 
 echo "==> ci green"
